@@ -1,0 +1,44 @@
+"""Ablation: DVFS level granularity (Section 6.3's closing remark).
+
+"By increasing the granularity of DVFS level, one can increase the control
+accuracy of MPPT and the power margin can be further decreased."
+"""
+
+from conftest import emit
+
+from repro.core.simulation import run_day
+from repro.environment.locations import PHOENIX_AZ
+from repro.harness.reporting import format_table
+from repro.multicore.dvfs import default_dvfs_table
+
+LEVEL_COUNTS = (3, 6, 12, 32)
+
+
+def sweep_granularity():
+    rows = []
+    for n_levels in LEVEL_COUNTS:
+        day = run_day(
+            "HM2",
+            PHOENIX_AZ,
+            7,
+            "MPPT&Opt",
+            dvfs_table=default_dvfs_table(n_levels),
+        )
+        rows.append((n_levels, day.mean_tracking_error, day.energy_utilization))
+    return rows
+
+
+def test_ablation_dvfs_granularity(benchmark, out_dir):
+    rows = benchmark.pedantic(sweep_granularity, rounds=1, iterations=1)
+
+    table = format_table(
+        ["DVFS levels", "tracking error", "utilization"],
+        [[str(n), f"{e:.1%}", f"{u:.1%}"] for n, e, u in rows],
+    )
+    emit(out_dir, "ablation_dvfs_granularity", table)
+
+    by_levels = {n: e for n, e, _ in rows}
+    # Finer levels track more accurately than the coarsest table.
+    assert by_levels[32] < by_levels[3]
+    # The paper's 6-level SpeedStep table is already close to fine-grained.
+    assert by_levels[6] < by_levels[3]

@@ -1,0 +1,41 @@
+"""Ablation: MPP tracking interval (the paper fixes it at 10 minutes).
+
+Shorter intervals chase the supply more tightly (lower drift error);
+longer intervals leave the operating point stale between events.
+"""
+
+from conftest import emit
+
+from repro.core.config import SolarCoreConfig
+from repro.core.simulation import run_day
+from repro.environment.locations import PHOENIX_AZ
+from repro.harness.reporting import format_table
+
+INTERVALS_MIN = (2.0, 5.0, 10.0, 20.0, 40.0)
+
+
+def sweep_intervals():
+    rows = []
+    for interval in INTERVALS_MIN:
+        cfg = SolarCoreConfig(tracking_interval_min=interval)
+        day = run_day("HM2", PHOENIX_AZ, 7, "MPPT&Opt", config=cfg)
+        rows.append(
+            (interval, day.mean_tracking_error, day.energy_utilization,
+             day.tracking_events)
+        )
+    return rows
+
+
+def test_ablation_tracking_interval(benchmark, out_dir):
+    rows = benchmark.pedantic(sweep_intervals, rounds=1, iterations=1)
+
+    table = format_table(
+        ["interval min", "tracking error", "utilization", "events"],
+        [[f"{i:.0f}", f"{e:.1%}", f"{u:.1%}", str(n)] for i, e, u, n in rows],
+    )
+    emit(out_dir, "ablation_tracking_interval", table)
+
+    errors = {i: e for i, e, _, _ in rows}
+    events = {i: n for i, _, _, n in rows}
+    assert errors[2.0] < errors[40.0]
+    assert events[2.0] > events[40.0]

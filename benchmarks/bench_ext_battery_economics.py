@@ -1,0 +1,50 @@
+"""Extension: the storage bill SolarCore avoids (paper Section 1's case).
+
+Sizes the battery a Figure 2-C system would need to buffer each station's
+daily harvest, ages it under the daily duty cycle, and annualizes the
+cost — the recurring expense the battery-free direct-coupled design
+eliminates at < 1 % performance cost (Figure 21).
+"""
+
+from conftest import emit
+
+from repro.environment.locations import ALL_LOCATIONS
+from repro.harness.reporting import format_table
+from repro.power.battery_economics import battery_cost_analysis
+
+
+def analyze_stations(runner):
+    rows = []
+    for location in ALL_LOCATIONS:
+        # Size against the best (July) harvest — the battery must absorb it.
+        day = runner.battery_day("HM2", location.code, 7, 0.92)
+        analysis = battery_cost_analysis(
+            daily_buffer_wh=day.harvested_wh, load_w=150.0
+        )
+        rows.append((location.code, day.harvested_wh, analysis))
+    return rows
+
+
+def test_ext_battery_economics(benchmark, runner, out_dir):
+    rows = benchmark.pedantic(
+        analyze_stations, args=(runner,), rounds=1, iterations=1
+    )
+
+    table = format_table(
+        ["site", "daily harvest", "battery size", "service life",
+         "annualized cost"],
+        [
+            [code, f"{wh:.0f} Wh", f"{a.capacity_wh / 1000:.2f} kWh",
+             f"{a.service_years:.1f} yr", f"${a.annualized_cost:.0f}/yr"]
+            for code, wh, a in rows
+        ],
+    )
+    emit(out_dir, "ext_battery_economics", table)
+
+    for code, harvested_wh, analysis in rows:
+        # The battery must hold more than a day's harvest (DoD headroom)...
+        assert analysis.capacity_wh > harvested_wh
+        # ...wears out well before the panel's ~25-year life...
+        assert analysis.service_years < 10.0
+        # ...and costs real money every year. SolarCore's bill: $0.
+        assert analysis.annualized_cost > 10.0

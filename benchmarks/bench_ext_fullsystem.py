@@ -1,0 +1,41 @@
+"""Extension: full-system solar power management (paper Section 8).
+
+Chip + DRAM + DRPM disk + NIC coordinated by cross-component marginal
+utility under a two-module array — the paper's declared future work.
+"""
+
+from conftest import emit
+
+from repro.environment.locations import OAK_RIDGE_TN, PHOENIX_AZ
+from repro.fullsystem import run_day_fullsystem
+from repro.harness.reporting import format_table
+
+
+def run_fullsystem_days():
+    return {
+        (loc.code, month): run_day_fullsystem("ML2", loc, month)
+        for loc, month in ((PHOENIX_AZ, 7), (PHOENIX_AZ, 1), (OAK_RIDGE_TN, 1))
+    }
+
+
+def test_ext_fullsystem(benchmark, out_dir):
+    days = benchmark.pedantic(run_fullsystem_days, rounds=1, iterations=1)
+
+    rows = [
+        [f"{site} m{month}", f"{d.energy_utilization:.1%}",
+         f"{d.effective_duration_fraction:.1%}", f"{d.mean_system_utility:.2f}"]
+        for (site, month), d in days.items()
+    ]
+    emit(
+        out_dir,
+        "ext_fullsystem",
+        format_table(
+            ["site/month", "utilization", "solar duration", "mean service"], rows
+        ),
+    )
+
+    az = days[("PFCI", 7)]
+    tn = days[("ORNL", 1)]
+    assert az.energy_utilization > 0.8
+    assert tn.effective_duration_fraction < az.effective_duration_fraction
+    assert az.mean_system_utility > tn.mean_system_utility

@@ -1,0 +1,43 @@
+"""Extension: hierarchical budget division at rack scale.
+
+Four heterogeneous chips share one farm; the coordinator divides the
+harvested budget by equal shares, proportional-to-demand, or rack-level
+TPR water-filling.  The paper's throughput-per-watt principle composes:
+TPR wins at the rack level for the same reason MPPT&Opt wins per-core.
+"""
+
+from conftest import emit
+
+from repro.environment.locations import PHOENIX_AZ
+from repro.harness.reporting import format_table
+from repro.rack import DIVISION_POLICIES, run_day_rack
+
+MIXES = ("H1", "L1", "HM2", "ML2")
+
+
+def run_policies():
+    return {
+        policy: run_day_rack(MIXES, PHOENIX_AZ, 7, policy)
+        for policy in DIVISION_POLICIES
+    }
+
+
+def test_ext_rack_scale(benchmark, out_dir):
+    results = benchmark.pedantic(run_policies, rounds=1, iterations=1)
+
+    baseline = results["equal"].total_ptp
+    table = format_table(
+        ["policy", "rack PTP", "vs equal", "utilization"],
+        [
+            [policy, f"{day.total_ptp:,.0f}",
+             f"{day.total_ptp / baseline - 1.0:+.1%}",
+             f"{day.energy_utilization:.1%}"]
+            for policy, day in results.items()
+        ],
+    )
+    emit(out_dir, "ext_rack_scale", table)
+
+    assert results["tpr"].total_ptp > results["equal"].total_ptp
+    assert results["tpr"].total_ptp > results["proportional"].total_ptp
+    for day in results.values():
+        assert day.energy_utilization > 0.7

@@ -1,0 +1,23 @@
+"""Figure 1: solar energy utilization of a fixed load vs irradiance.
+
+Paper's point: a load matched at 1000 W/m^2 wastes >50% of the available
+energy at 400 W/m^2 — the motivation for supply-aware power management.
+"""
+
+from conftest import emit
+
+from repro.harness.experiments import fig01_fixed_load_utilization
+from repro.harness.reporting import format_table
+
+
+def test_fig01_fixed_load(benchmark, out_dir):
+    rows = benchmark(fig01_fixed_load_utilization)
+
+    table = format_table(
+        ["irradiance W/m^2", "energy utilization"],
+        [[f"{g:.0f}", f"{u:.1%}"] for g, u in rows],
+    )
+    emit(out_dir, "fig01_fixed_load", table)
+
+    assert rows[0][1] > 0.999  # matched at the reference point
+    assert dict(rows)[400.0] < 0.5  # the paper's >50% loss

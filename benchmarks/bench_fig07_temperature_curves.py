@@ -1,0 +1,32 @@
+"""Figure 7: BP3180N module I-V/P-V curves across temperature (G = 1000)."""
+
+from conftest import emit
+
+from repro.harness.experiments import fig07_module_temperature_curves
+from repro.harness.reporting import format_table
+
+
+def test_fig07_temperature_curves(benchmark, out_dir):
+    curves = benchmark(fig07_module_temperature_curves)
+
+    rows = []
+    for t in sorted(curves):
+        v, i, p = curves[t].approximate_mpp
+        rows.append(
+            [f"{t:.0f}", f"{curves[t].isc:.2f}", f"{curves[t].voc:.2f}",
+             f"{v:.2f}", f"{p:.1f}"]
+        )
+    table = format_table(["T C", "Isc A", "Voc V", "Vmpp V", "Pmax W"], rows)
+    emit(out_dir, "fig07_temperature_curves", table)
+
+    # Paper: hotter -> Voc falls faster than Isc rises; MPP shifts left and
+    # total power drops.
+    ts = sorted(curves)
+    vocs = [curves[t].voc for t in ts]
+    iscs = [curves[t].isc for t in ts]
+    vmpps = [curves[t].approximate_mpp[0] for t in ts]
+    pmaxes = [curves[t].approximate_mpp[2] for t in ts]
+    assert all(b < a for a, b in zip(vocs, vocs[1:]))
+    assert all(b > a for a, b in zip(iscs, iscs[1:]))
+    assert all(b < a for a, b in zip(vmpps, vmpps[1:]))
+    assert all(b < a for a, b in zip(pmaxes, pmaxes[1:]))

@@ -1,0 +1,33 @@
+"""Figure 19: effective operation duration (% daytime on solar vs utility)
+per station and month."""
+
+import numpy as np
+from conftest import emit
+
+from repro.harness.experiments import fig19_effective_duration
+from repro.harness.reporting import format_table
+
+
+def test_fig19_effective_duration(benchmark, runner, out_dir):
+    durations = benchmark.pedantic(
+        fig19_effective_duration, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+
+    rows = [
+        [site, str(month), f"{frac:.1%}", f"{1.0 - frac:.1%}"]
+        for (site, month), frac in sorted(durations.items())
+    ]
+    emit(
+        out_dir,
+        "fig19_effective_duration",
+        format_table(["site", "month", "solar", "utility"], rows),
+    )
+
+    per_site = {
+        site: float(np.mean([durations[(site, m)] for m in (1, 4, 7, 10)]))
+        for site in ("PFCI", "BMS", "ECSU", "ORNL")
+    }
+    # Resource-class ordering, with the rich sites in the paper's 60-90%+.
+    assert per_site["PFCI"] >= per_site["BMS"] >= per_site["ORNL"]
+    assert per_site["PFCI"] > 0.6
+    assert per_site["ORNL"] < per_site["PFCI"]

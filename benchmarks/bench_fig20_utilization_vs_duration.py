@@ -1,0 +1,44 @@
+"""Figure 20: average solar energy utilization vs effective operation
+duration bucket — utilization collapses when the backup supply carries
+much of the day."""
+
+import math
+
+import numpy as np
+from conftest import emit
+
+from repro.harness.experiments import POLICIES, fig20_utilization_vs_duration
+from repro.harness.reporting import format_table
+
+
+def test_fig20_utilization_vs_duration(benchmark, runner, out_dir):
+    data = benchmark.pedantic(
+        fig20_utilization_vs_duration, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+
+    rows = []
+    for (low, high), per_policy in data.items():
+        cells = [f"{low:.0%}-{min(high, 1.0):.0%}"]
+        cells.extend(
+            "-" if math.isnan(per_policy[p]) else f"{per_policy[p]:.1%}"
+            for p in POLICIES
+        )
+        rows.append(cells)
+    emit(
+        out_dir,
+        "fig20_utilization_vs_duration",
+        format_table(["duration"] + list(POLICIES), rows),
+    )
+
+    # Utilization decreases as the effective duration bucket drops.
+    opt_by_bucket = [
+        per_policy["MPPT&Opt"]
+        for bucket, per_policy in data.items()
+        if not math.isnan(per_policy["MPPT&Opt"])
+    ]
+    assert len(opt_by_bucket) >= 3
+    assert all(b < a + 0.03 for a, b in zip(opt_by_bucket, opt_by_bucket[1:]))
+    # Paper: >= 80% of daytime tracked -> >= ~82% utilization on average.
+    top_bucket = data[(0.9, 1.01)]["MPPT&Opt"]
+    if not math.isnan(top_bucket):
+        assert top_bucket > 0.80

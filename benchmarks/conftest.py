@@ -1,0 +1,36 @@
+"""Shared infrastructure for the per-figure benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at full
+resolution (1-minute steps, the complete evaluation grid unless noted).
+Results are cached in a session-wide runner — the grid is simulated once
+and sliced by every figure — and each bench writes the rows/series it
+reproduces to ``benchmarks/out/`` alongside printing them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness.runner import SimulationRunner
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def runner() -> SimulationRunner:
+    """Session-wide cache of full-resolution day simulations."""
+    return SimulationRunner()
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def emit(out_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a reproduced artifact and persist it under benchmarks/out/."""
+    print(f"\n===== {name} =====\n{text}")
+    (out_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,47 @@
+"""Site-selection study: how geography and season shape green computing.
+
+Run:  python examples/datacenter_seasons.py
+
+Sweeps the paper's four NREL MIDC stations across the four evaluated
+months and reports, per (site, season): daily insolation, effective
+solar-powered duration, energy utilization, and the solar share of total
+chip energy — the numbers an operator would use to pick a solar-powered
+datacenter site (paper Table 2 / Figures 18-19).
+"""
+
+from repro import ALL_LOCATIONS, generate_trace, run_day
+from repro.harness.reporting import format_table
+
+MONTH_NAMES = {1: "Jan", 4: "Apr", 7: "Jul", 10: "Oct"}
+
+
+def main() -> None:
+    rows = []
+    for location in ALL_LOCATIONS:
+        for month in (1, 4, 7, 10):
+            trace = generate_trace(location, month)
+            day = run_day("ML2", location, month, "MPPT&Opt", trace=trace)
+            solar_share = day.solar_used_wh / (day.solar_used_wh + day.utility_wh)
+            rows.append([
+                f"{location.code} ({location.potential})",
+                MONTH_NAMES[month],
+                f"{trace.daily_insolation_kwh_m2():.2f}",
+                f"{day.effective_duration_fraction:.0%}",
+                f"{day.energy_utilization:.0%}",
+                f"{solar_share:.0%}",
+            ])
+
+    print(format_table(
+        ["site", "month", "kWh/m^2/day", "solar duration",
+         "utilization", "solar share of chip energy"],
+        rows,
+    ))
+    print(
+        "\nSites with excellent resource (PFCI) keep the chip on solar for"
+        "\nmost of the day year-round; low-resource sites (ORNL) lean on the"
+        "\nutility in winter — the paper's Figure 19 story."
+    )
+
+
+if __name__ == "__main__":
+    main()

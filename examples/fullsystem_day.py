@@ -1,0 +1,50 @@
+"""Full-system solar day: chip + memory + disk + NIC under one panel.
+
+Run:  python examples/fullsystem_day.py
+
+The paper's Section 8 future work, implemented: the SolarCore controller
+coordinates per-core DVFS, DRAM power states, DRPM disk rotation speed, and
+NIC link rate against a two-module PV array, allocating each marginal watt
+to whichever knob buys the most weighted system service.
+"""
+
+from repro import PHOENIX_AZ, OAK_RIDGE_TN, mix
+from repro.fullsystem import default_server, run_day_fullsystem
+from repro.harness.reporting import format_table, sparkline
+
+
+def main() -> None:
+    server = default_server(mix("ML2"))
+    print("Server power envelope:")
+    floor = server.floor_power_at(0.0)
+    server.chip.set_all_levels(5)
+    for component in server.components:
+        component.set_level(component.n_levels - 1)
+    peak = server.total_power_at(0.0)
+    print(f"  floor {floor:.0f} W  ...  peak {peak:.0f} W  (panel: 2x BP3180N)")
+
+    rows = []
+    for location, month in ((PHOENIX_AZ, 7), (PHOENIX_AZ, 1), (OAK_RIDGE_TN, 1)):
+        day = run_day_fullsystem("ML2", location, month)
+        rows.append([
+            f"{location.code} m{month}",
+            f"{day.energy_utilization:.0%}",
+            f"{day.effective_duration_fraction:.0%}",
+            f"{day.mean_system_utility:.2f}",
+        ])
+        if location is PHOENIX_AZ and month == 7:
+            print("\nJuly day at Phoenix:")
+            print(f"  MPP budget   |{sparkline(day.mpp_w)}|")
+            print(f"  server draw  |{sparkline(day.consumed_w)}|")
+            print(f"  system util  |{sparkline(day.system_utility)}|")
+
+    print()
+    print(format_table(
+        ["site/month", "energy utilization", "solar duration",
+         "mean system service (0-1.65)"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

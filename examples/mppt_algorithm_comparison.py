@@ -1,0 +1,62 @@
+"""Classic MPPT algorithms vs SolarCore's joint (k, w) tracking.
+
+Run:  python examples/mppt_algorithm_comparison.py
+
+Perturb-and-observe and incremental conductance (the paper's related work
+[32], [33]) pin a *fixed* load at the panel's MPP by tuning only the
+converter.  They harvest almost as much energy as SolarCore — but, as the
+paper's Section 2.3 argues, the energy lands at whatever rail voltage the
+fixed load produces, with no workload performance to show for it.
+SolarCore converts the same tracking accuracy into throughput by adapting
+the multi-core load.
+"""
+
+from repro import MultiCoreChip, PVArray, find_mpp, mix
+from repro.core import SolarCoreConfig, SolarCoreController, make_tuner
+from repro.harness.reporting import format_table
+from repro.mppt import IncrementalConductance, PerturbObserve, run_tracker
+from repro.power import DCDCConverter
+
+# A slowly clouding afternoon: (irradiance, cell temperature) conditions.
+PROFILE = [(950, 48), (900, 47), (820, 45), (600, 40), (450, 35), (700, 42)]
+
+
+def solarcore_run(array: PVArray) -> tuple[float, float]:
+    """Track the same profile with SolarCore; return (efficiency, GIPS)."""
+    chip = MultiCoreChip(mix("HM2"))
+    chip.set_all_levels(0)
+    controller = SolarCoreController(
+        array, DCDCConverter(), chip, make_tuner("MPPT&Opt"), SolarCoreConfig()
+    )
+    drawn, available, throughput = 0.0, 0.0, 0.0
+    for irradiance, temp in PROFILE:
+        result = controller.track(irradiance, temp, minute=0.0)
+        mpp = find_mpp(array, irradiance, temp)
+        drawn += min(chip.total_power_at(0.0), result.power_w, mpp.power)
+        available += mpp.power
+        throughput += chip.total_throughput_at(0.0)
+    return drawn / available, throughput / len(PROFILE)
+
+
+def main() -> None:
+    array = PVArray()
+    rows = []
+    for tracker_cls in (PerturbObserve, IncrementalConductance):
+        tracker = tracker_cls(DCDCConverter(k=3.0, delta_k=0.05))
+        run = run_tracker(tracker, array, 1.8, PROFILE, steps_per_condition=30)
+        rows.append([run.name, f"{run.tracking_efficiency:.1%}", "0.00 (fixed load)"])
+
+    efficiency, gips = solarcore_run(array)
+    rows.append(["SolarCore (k + w)", f"{efficiency:.1%}", f"{gips:.2f} GIPS"])
+
+    print(format_table(
+        ["tracker", "tracking efficiency", "workload throughput"], rows
+    ))
+    print(
+        "\nAll three pin the panel near its MPP; only SolarCore's joint"
+        "\ntransfer-ratio + load adaptation turns the watts into computation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Characterize a PV module the way the paper's Section 3 does.
+
+Run:  python examples/panel_characterization.py
+
+Sweeps the BP3180N module across irradiance and temperature, printing the
+landmark points of every curve (Isc, Voc, MPP) plus an ASCII P-V plot —
+the paper's Figures 6 and 7 in terminal form — and demonstrates building a
+custom module from cell-level parameters.
+"""
+
+from repro import PVModule, bp3180n, find_mpp
+from repro.harness.reporting import format_table, sparkline
+from repro.pv import CellParameters, ModuleParameters, sample_iv_curve
+
+
+def sweep(module: PVModule, conditions, fixed_label: str) -> None:
+    rows = []
+    for label, irradiance, temp in conditions:
+        curve = sample_iv_curve(module, irradiance, temp, n_points=120)
+        mpp = find_mpp(module, irradiance, temp)
+        rows.append([
+            label,
+            f"{curve.isc:.2f}",
+            f"{curve.voc:.2f}",
+            f"{mpp.voltage:.2f}",
+            f"{mpp.power:.1f}",
+            sparkline(curve.power, width=36),
+        ])
+    print(f"\n{fixed_label}")
+    print(format_table(
+        ["condition", "Isc A", "Voc V", "Vmpp V", "Pmax W", "P-V curve"], rows
+    ))
+
+
+def main() -> None:
+    module = PVModule(bp3180n())
+    print(f"Module: {module.params.name} "
+          f"({module.params.cells_series} cells in series)")
+
+    sweep(
+        module,
+        [(f"G={g:4.0f}", float(g), 25.0) for g in (400, 600, 800, 1000)],
+        "Irradiance sweep at 25 C (paper Figure 6):",
+    )
+    sweep(
+        module,
+        [(f"T={t:3.0f}C", 1000.0, float(t)) for t in (0, 25, 50, 75)],
+        "Temperature sweep at 1000 W/m^2 (paper Figure 7):",
+    )
+
+    # Building a custom module from cell parameters.
+    custom = PVModule(
+        ModuleParameters(
+            name="Custom-60",
+            cell=CellParameters(isc_ref=8.5, voc_ref=0.62, ideality=1.2),
+            cells_series=60,
+        )
+    )
+    mpp = find_mpp(custom, 1000.0, 25.0)
+    print(
+        f"\nCustom 60-cell module: Voc={custom.open_circuit_voltage(1000, 25):.1f} V, "
+        f"Pmax={mpp.power:.0f} W at {mpp.voltage:.1f} V"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Quickstart: simulate one solar-powered day and print the headline metrics.
+
+Run:  python examples/quickstart.py
+
+Simulates a July day in Phoenix, AZ with the heterogeneous HM2 workload
+(half high-EPI, half moderate-EPI SPEC2000 programs) on an 8-core chip
+powered by a BP3180N panel under SolarCore's MPPT&Opt management.
+"""
+
+from repro import PHOENIX_AZ, run_day
+
+
+def main() -> None:
+    day = run_day("HM2", PHOENIX_AZ, month=7, policy="MPPT&Opt")
+
+    print(f"workload             {day.mix_name}")
+    print(f"station              {day.location_code} (Phoenix, AZ), July")
+    print(f"solar available      {day.solar_available_wh:7.1f} Wh")
+    print(f"solar consumed       {day.solar_used_wh:7.1f} Wh")
+    print(f"energy utilization   {day.energy_utilization:7.1%}")
+    print(f"effective duration   {day.effective_duration_fraction:7.1%} of daytime")
+    print(f"mean tracking error  {day.mean_tracking_error:7.1%}")
+    print(f"utility backup       {day.utility_wh:7.1f} Wh")
+    print(f"instructions (solar) {day.ptp:7.0f} Ginst")
+    print(f"tracking events      {day.tracking_events:7d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Rack-scale solar computing: the datacenter deployment the paper motivates.
+
+Run:  python examples/rack_scale.py
+
+Four chips with different workload mixes share one solar farm.  The rack
+coordinator divides the harvested budget by three policies — equal shares,
+proportional-to-demand, and TPR water-filling — showing that the paper's
+throughput-per-watt principle composes hierarchically: at rack scale it
+routes power away from energy-hungry chips toward efficient ones.
+"""
+
+from repro import PHOENIX_AZ
+from repro.harness.reporting import format_table
+from repro.rack import DIVISION_POLICIES, run_day_rack
+
+MIXES = ("H1", "L1", "HM2", "ML2")
+
+
+def main() -> None:
+    print(f"Rack: {len(MIXES)} chips ({', '.join(MIXES)}) on a "
+          f"{len(MIXES)}-string farm @ Phoenix, July\n")
+
+    results = {
+        policy: run_day_rack(MIXES, PHOENIX_AZ, 7, policy)
+        for policy in DIVISION_POLICIES
+    }
+    baseline = results["equal"].total_ptp
+
+    rows = []
+    for policy, day in results.items():
+        per_chip = "  ".join(
+            f"{name}:{ginst / 1000:.0f}k"
+            for name, ginst in zip(day.mix_names, day.retired_ginst)
+        )
+        rows.append([
+            policy,
+            f"{day.total_ptp / 1000:,.0f}k",
+            f"{day.total_ptp / baseline - 1.0:+.1%}",
+            f"{day.energy_utilization:.0%}",
+            per_chip,
+        ])
+    print(format_table(
+        ["division policy", "rack PTP (Ginst)", "vs equal", "utilization",
+         "per-chip instructions"],
+        rows,
+    ))
+    print(
+        "\nTPR water-filling starves the high-EPI chip (H1) and feeds the"
+        "\nefficient ones — the paper's per-core argument, one level up."
+    )
+
+
+if __name__ == "__main__":
+    main()

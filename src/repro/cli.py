@@ -1,0 +1,310 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+    list        show stations, workload mixes, and policies
+    panel       characterize the BP3180N panel at a condition
+    trace       summarize a synthetic weather day
+    simulate    run one day under a policy (or fixed budget / battery)
+    campaign    multi-realization campaign with carbon accounting
+    experiment  regenerate one of the paper's figures/tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.core.load_tuning import TUNER_NAMES
+    from repro.environment.locations import ALL_LOCATIONS
+    from repro.workloads.mixes import ALL_MIX_NAMES, mix
+
+    print("stations:")
+    for loc in ALL_LOCATIONS:
+        print(f"  {loc.code:5s} {loc.name:22s} {loc.potential}")
+    print("\nworkload mixes:")
+    for name in ALL_MIX_NAMES:
+        benches = ", ".join(b.name for b in mix(name).benchmarks)
+        print(f"  {name:4s} {benches}")
+    print("\npolicies:")
+    for name in TUNER_NAMES:
+        print(f"  {name}")
+    print("  Fixed-<watts>  (via simulate --fixed-budget)")
+    print("  Battery        (via simulate --battery-derating)")
+    return 0
+
+
+def _cmd_panel(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.harness.reporting import format_table, sparkline
+    from repro.pv.curves import sample_iv_curve
+    from repro.pv.module import PVModule
+    from repro.pv.mpp import find_mpp
+    from repro.pv.params import bp3180n
+
+    if args.shading:
+        from repro.pv.shading import ShadedSeriesString, find_global_mpp
+
+        factors = tuple(float(f) for f in args.shading.split(","))
+        string = ShadedSeriesString(factors)
+        mpp = find_global_mpp(string, args.irradiance, args.temperature)
+        voc = string.open_circuit_voltage(args.irradiance, args.temperature)
+        voltages = np.linspace(1e-3, voc * 0.999, 120)
+        powers = [
+            string.power(float(v), args.irradiance, args.temperature)
+            for v in voltages
+        ]
+        print(f"{len(factors)}-module string, shading {factors}, "
+              f"G={args.irradiance:.0f} W/m^2, T={args.temperature:.0f} C")
+        print(f"global MPP {mpp.power:.1f} W at {mpp.voltage:.1f} V "
+              f"(Voc {voc:.1f} V)")
+        print(f"P-V |{sparkline(powers)}|")
+        return 0
+
+    module = PVModule(bp3180n())
+    curve = sample_iv_curve(module, args.irradiance, args.temperature, 150)
+    mpp = find_mpp(module, args.irradiance, args.temperature)
+    print(f"{module.params.name} at G={args.irradiance:.0f} W/m^2, "
+          f"T={args.temperature:.0f} C")
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ["Isc", f"{curve.isc:.2f} A"],
+            ["Voc", f"{curve.voc:.2f} V"],
+            ["Vmpp", f"{mpp.voltage:.2f} V"],
+            ["Impp", f"{mpp.current:.2f} A"],
+            ["Pmax", f"{mpp.power:.1f} W"],
+        ],
+    ))
+    print(f"P-V |{sparkline(curve.power)}|")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.environment.irradiance import generate_trace
+    from repro.environment.locations import location_by_code
+    from repro.harness.reporting import sparkline
+
+    location = location_by_code(args.site)
+    trace = generate_trace(location, args.month, seed=args.seed)
+    print(f"{location.name}, month {args.month} ({trace.label})")
+    print(f"  insolation {trace.daily_insolation_kwh_m2():.2f} kWh/m^2 "
+          f"(daytime window), peak {trace.peak_irradiance():.0f} W/m^2")
+    print(f"  G(t) |{sparkline(trace.irradiance)}|")
+    print(f"  T(t) {trace.ambient_c.min():.1f} .. {trace.ambient_c.max():.1f} C")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.simulation import run_day, run_day_battery, run_day_fixed
+    from repro.environment.locations import location_by_code
+
+    location = location_by_code(args.site)
+    if args.battery_derating is not None:
+        day = run_day_battery(args.mix, location, args.month, args.battery_derating)
+        print(f"battery system (derating {day.derating:.0%}) "
+              f"{day.mix_name} @ {day.location_code} m{day.month}")
+        print(f"  harvested {day.harvested_wh:.0f} Wh, "
+              f"full-speed runtime {day.runtime_minutes:.0f} min, "
+              f"PTP {day.ptp:.0f} Ginst")
+        return 0
+
+    if args.fixed_budget is not None:
+        day = run_day_fixed(args.mix, location, args.month, args.fixed_budget)
+    else:
+        day = run_day(args.mix, location, args.month, args.policy)
+    if args.export_csv:
+        from repro.harness.export import day_to_csv
+
+        day_to_csv(day, args.export_csv)
+        print(f"wrote {args.export_csv}")
+    if args.export_json:
+        from repro.harness.export import day_to_json
+
+        day_to_json(day, args.export_json)
+        print(f"wrote {args.export_json}")
+    print(f"{day.policy} {day.mix_name} @ {day.location_code} m{day.month}")
+    print(f"  solar available   {day.solar_available_wh:8.1f} Wh")
+    print(f"  solar consumed    {day.solar_used_wh:8.1f} Wh "
+          f"({day.energy_utilization:.1%} utilization)")
+    print(f"  utility backup    {day.utility_wh:8.1f} Wh")
+    print(f"  solar duration    {day.effective_duration_fraction:8.1%}")
+    print(f"  tracking error    {day.mean_tracking_error:8.1%}")
+    print(f"  PTP               {day.ptp:8.0f} Ginst")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.core.campaign import run_campaign
+    from repro.environment.locations import location_by_code
+    from repro.harness.reporting import format_table
+
+    locations = [location_by_code(code) for code in args.sites]
+    campaign = run_campaign(
+        args.mix, locations, tuple(args.months),
+        days_per_cell=args.days, policy=args.policy,
+    )
+    rows = []
+    for cell in campaign.cells:
+        rows.append([
+            cell.location_code,
+            str(cell.month),
+            f"{cell.mean('energy_utilization'):.1%}"
+            f" ± {cell.std('energy_utilization'):.1%}",
+            f"{cell.mean('effective_duration_fraction'):.1%}",
+            f"{cell.mean('ptp'):,.0f}",
+        ])
+    print(format_table(
+        ["site", "month", "utilization", "solar duration", "mean PTP (Ginst)"],
+        rows,
+    ))
+    carbon = campaign.carbon()
+    print(f"\noverall utilization {campaign.overall_utilization:.1%} "
+          f"over {len(campaign.all_days)} simulated days")
+    print(f"carbon: {carbon.avoided_kg:.2f} kg CO2 avoided, "
+          f"{carbon.emitted_kg:.2f} kg emitted "
+          f"({carbon.reduction_fraction:.0%} footprint reduction)")
+    return 0
+
+
+_EXPERIMENTS = {
+    "fig01": "fig01",
+    "table7": "table7",
+    "fig18": "fig18",
+    "fig19": "fig19",
+    "fig21": "fig21",
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.harness import experiments, reporting
+
+    name = args.name.lower()
+    if name == "fig01":
+        rows = experiments.fig01_fixed_load_utilization()
+        print(reporting.format_table(
+            ["irradiance", "utilization"],
+            [[f"{g:.0f}", f"{u:.1%}"] for g, u in rows],
+        ))
+    elif name == "table7":
+        table = experiments.table7_tracking_error()
+        print(reporting.render_table7(table))
+    elif name == "fig18":
+        data = experiments.fig18_energy_utilization()
+        print(reporting.render_fig18(data, experiments.BATTERY_BOUNDS))
+    elif name == "fig19":
+        durations = experiments.fig19_effective_duration()
+        rows = [
+            [site, str(month), f"{frac:.1%}"]
+            for (site, month), frac in sorted(durations.items())
+        ]
+        print(reporting.format_table(["site", "month", "solar duration"], rows))
+    elif name == "fig21":
+        data = experiments.fig21_normalized_ptp()
+        print(reporting.render_fig21_summary(data))
+    else:
+        print(f"unknown experiment {args.name!r}; "
+              f"known: {', '.join(sorted(_EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SolarCore (HPCA 2011) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show stations, mixes, and policies")
+
+    panel = sub.add_parser("panel", help="characterize the BP3180N panel")
+    panel.add_argument("--irradiance", type=float, default=1000.0)
+    panel.add_argument("--temperature", type=float, default=25.0)
+    panel.add_argument("--shading", default=None,
+                       help="comma-separated per-module factors, e.g. 1.0,0.4")
+
+    trace = sub.add_parser("trace", help="summarize a synthetic weather day")
+    trace.add_argument("--site", default="AZ")
+    trace.add_argument("--month", type=int, default=7)
+    trace.add_argument("--seed", type=int, default=None)
+
+    simulate = sub.add_parser("simulate", help="run one day simulation")
+    simulate.add_argument("--mix", default="HM2")
+    simulate.add_argument("--site", default="AZ")
+    simulate.add_argument("--month", type=int, default=7)
+    simulate.add_argument("--policy", default="MPPT&Opt")
+    simulate.add_argument("--fixed-budget", type=float, default=None,
+                          help="run the Fixed-Power baseline at this budget [W]")
+    simulate.add_argument("--battery-derating", type=float, default=None,
+                          help="run the battery baseline at this de-rating")
+    simulate.add_argument("--export-csv", default=None,
+                          help="write the day's time series to a CSV file")
+    simulate.add_argument("--export-json", default=None,
+                          help="write series + metrics to a JSON file")
+
+    rack = sub.add_parser("rack", help="simulate a rack on a shared farm")
+    rack.add_argument("--mixes", nargs="+", default=["H1", "L1", "HM2", "ML2"])
+    rack.add_argument("--site", default="AZ")
+    rack.add_argument("--month", type=int, default=7)
+    rack.add_argument("--policy", default="tpr",
+                      choices=["equal", "proportional", "tpr"])
+
+    campaign = sub.add_parser("campaign", help="multi-day campaign + carbon")
+    campaign.add_argument("--mix", default="HM2")
+    campaign.add_argument("--sites", nargs="+", default=["AZ", "TN"])
+    campaign.add_argument("--months", nargs="+", type=int, default=[1, 7])
+    campaign.add_argument("--days", type=int, default=3)
+    campaign.add_argument("--policy", default="MPPT&Opt")
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
+    experiment.add_argument("name", help=f"one of: {', '.join(sorted(_EXPERIMENTS))}")
+
+    return parser
+
+
+def _cmd_rack(args: argparse.Namespace) -> int:
+    from repro.environment.locations import location_by_code
+    from repro.rack import run_day_rack
+
+    location = location_by_code(args.site)
+    day = run_day_rack(tuple(args.mixes), location, args.month, args.policy)
+    print(f"rack [{', '.join(day.mix_names)}] @ {day.location_code} "
+          f"m{day.month}, division={day.policy}")
+    print(f"  rack PTP          {day.total_ptp:10.0f} Ginst")
+    print(f"  energy utilization {day.energy_utilization:9.1%}")
+    print(f"  solar duration    {day.effective_duration_fraction:10.1%}")
+    for name, ginst in zip(day.mix_names, day.retired_ginst):
+        print(f"  chip {name:4s} {ginst:10.0f} Ginst")
+    return 0
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "panel": _cmd_panel,
+    "trace": _cmd_trace,
+    "simulate": _cmd_simulate,
+    "campaign": _cmd_campaign,
+    "experiment": _cmd_experiment,
+    "rack": _cmd_rack,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)

@@ -1,0 +1,59 @@
+"""The paper's contribution: SolarCore MPPT control and load optimization."""
+
+from repro.core.campaign import CampaignCell, CampaignResult, run_campaign
+from repro.core.config import SolarCoreConfig
+from repro.core.forecast import SupplyPredictor
+from repro.core.controller import SolarCoreController, TrackingResult
+from repro.core.fixed_power import allocate_budget, lp_allocation_bound
+from repro.core.load_tuning import (
+    TUNER_NAMES,
+    IndividualCoreTuner,
+    LoadTuner,
+    OptTuner,
+    RoundRobinTuner,
+    make_tuner,
+)
+from repro.core.simulation import (
+    BatteryDayResult,
+    DayResult,
+    run_day,
+    run_day_battery,
+    run_day_fixed,
+)
+from repro.core.tpr import (
+    TPREntry,
+    best_downgrade_core,
+    best_upgrade_core,
+    build_allocation_table,
+    downgrade_tpr,
+    upgrade_tpr,
+)
+
+__all__ = [
+    "SolarCoreConfig",
+    "SolarCoreController",
+    "TrackingResult",
+    "LoadTuner",
+    "OptTuner",
+    "RoundRobinTuner",
+    "IndividualCoreTuner",
+    "make_tuner",
+    "TUNER_NAMES",
+    "TPREntry",
+    "upgrade_tpr",
+    "downgrade_tpr",
+    "build_allocation_table",
+    "best_upgrade_core",
+    "best_downgrade_core",
+    "allocate_budget",
+    "lp_allocation_bound",
+    "DayResult",
+    "BatteryDayResult",
+    "run_day",
+    "run_day_fixed",
+    "run_day_battery",
+    "CampaignCell",
+    "CampaignResult",
+    "run_campaign",
+    "SupplyPredictor",
+]

@@ -1,0 +1,298 @@
+"""The SolarCore controller: multi-core aware MPP tracking (paper Section 4.2).
+
+The controller owns the two knobs of the direct-coupled system — the DC/DC
+transfer ratio ``k`` and the multi-core load ``w`` (per-core DVFS, delegated
+to a :class:`~repro.core.load_tuning.LoadTuner`) — and runs the paper's
+three-step tracking strategy (Figure 9) at every tracking event:
+
+    Step 1  restore the rail voltage to nominal by tuning the load;
+    Step 2  perturb ``k`` by +delta-k and watch the output current: a rise
+            means the operating point is left of the MPP (keep the move), a
+            fall means the direction was wrong (net move becomes -delta-k);
+    Step 3  raise the load until the rail returns to nominal.
+
+Steps 2-3 repeat, each combined move dragging the operating point toward the
+MPP at a stable rail voltage, until the measured power passes its inflection
+point; the controller then sheds load until consumption sits a configured
+power margin below the discovered maximum (Section 6.1's accuracy/robustness
+trade-off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy.optimize import brentq
+
+from repro.core.config import SolarCoreConfig
+from repro.core.load_tuning import LoadTuner
+from repro.multicore.chip import MultiCoreChip
+from repro.power.converter import DCDCConverter
+from repro.power.operating_point import OperatingPoint, solve_operating_point
+from repro.power.sensors import IVSensor, SensorReading
+from repro.pv.curves import PVDevice
+from repro.pv.mpp import find_mpp
+
+__all__ = ["SolarCoreController", "TrackingResult"]
+
+
+@dataclass(frozen=True)
+class TrackingResult:
+    """Outcome of one tracking event.
+
+    Attributes:
+        iterations: Combined (k, w) tuning iterations performed.
+        power_w: Load power after tracking [W].
+        best_power_w: Maximum power observed during the event [W] (the
+            controller's MPP estimate).
+        rail_voltage: Converter output voltage after tracking [V].
+        k: Transfer ratio after tracking.
+        load_saturated: True when every core reached the top level and the
+            panel still had headroom.
+    """
+
+    iterations: int
+    power_w: float
+    best_power_w: float
+    rail_voltage: float
+    k: float
+    load_saturated: bool
+
+
+class SolarCoreController:
+    """Coordinates converter and per-core DVFS to harvest maximal solar power.
+
+    Args:
+        array: The PV generator.
+        converter: The DC/DC matching network.
+        chip: The multi-core load.
+        tuner: Load-adaptation policy (IC / RR / Opt).
+        config: Controller parameters.
+        sensor: Front-end I/V sensor (ideal by default).
+    """
+
+    def __init__(
+        self,
+        array: PVDevice,
+        converter: DCDCConverter,
+        chip: MultiCoreChip,
+        tuner: LoadTuner,
+        config: SolarCoreConfig | None = None,
+        sensor: IVSensor | None = None,
+    ) -> None:
+        self.array = array
+        self.converter = converter
+        self.chip = chip
+        self.tuner = tuner
+        self.config = config or SolarCoreConfig()
+        self.sensor = sensor or IVSensor()
+        #: Per-event margin override set by an adaptive-margin supervisor
+        #: (None = use ``config.power_margin``).
+        self.margin_override: float | None = None
+
+    # ------------------------------------------------------------------
+    # Electrical helpers
+    # ------------------------------------------------------------------
+    def _read(self, point: OperatingPoint) -> SensorReading:
+        """Sample the I/V sensors, averaging an ADC burst if configured.
+
+        Averaging suppresses multiplicative sensor noise by ~sqrt(N) —
+        essential for the perturb-and-observe direction decisions, whose
+        true signal is a ~1 % current change.
+        """
+        n = self.config.sensor_averaging
+        if n == 1:
+            return self.sensor.read(point)
+        readings = [self.sensor.read(point) for _ in range(n)]
+        return SensorReading(
+            voltage=sum(r.voltage for r in readings) / n,
+            current=sum(r.current for r in readings) / n,
+        )
+
+    def solve(self, irradiance: float, cell_temp_c: float, minute: float) -> OperatingPoint:
+        """Operating point at the current (k, levels) and environment."""
+        resistance = self.chip.effective_resistance(minute, self.config.rail_voltage)
+        return solve_operating_point(
+            self.array, self.converter, resistance, irradiance, cell_temp_c
+        )
+
+    def _align_k_to_rail(
+        self, irradiance: float, cell_temp_c: float, minute: float
+    ) -> OperatingPoint:
+        """Snap ``k`` (on its delta-k grid) so the rail sits near nominal.
+
+        Solves for the *right-branch* PV voltage (between Vmpp and Voc) at
+        which the panel supplies the chip's demand, and sets
+        ``k = Vpv / Vnominal``.  Anchoring on the stable branch matters: a
+        fast supply drop can leave the previous operating point on the
+        collapsed near-short-circuit branch, where naive fixed-point updates
+        of ``k`` ratchet the rail toward zero.  This stands in for the brief
+        calibration sweep a real MPPT front-end performs; the
+        perturb-and-observe loop does the actual tracking.
+        """
+        chip_demand = self.chip.total_power_at(minute)
+        op = self.solve(irradiance, cell_temp_c, minute)
+        if chip_demand <= 0.0:
+            return op
+        mpp = find_mpp(self.array, irradiance, cell_temp_c)
+        if mpp.power <= 0.0:
+            return op
+        # Stay strictly right of the MPP so the equilibrium is on the stable
+        # branch even when demand exceeds what the panel can give.
+        target_power = min(chip_demand, 0.98 * mpp.power)
+        voc = self.array.open_circuit_voltage(irradiance, cell_temp_c)
+
+        def surplus(v: float) -> float:
+            return v * self.array.current(v, irradiance, cell_temp_c) - target_power
+
+        # surplus(Vmpp) >= 0 by construction and surplus(Voc) < 0.
+        v_right = float(brentq(surplus, mpp.voltage, voc, xtol=1e-6))
+        quantum = self.converter.delta_k
+        self.converter.k = round(v_right / self.config.rail_voltage / quantum) * quantum
+        return self.solve(irradiance, cell_temp_c, minute)
+
+    def _restore_rail(
+        self, irradiance: float, cell_temp_c: float, minute: float
+    ) -> OperatingPoint:
+        """Step 1: move the rail voltage back into the acceptance band using
+        the load knob (k untouched, as in the paper's flowchart)."""
+        cfg = self.config
+        op = self.solve(irradiance, cell_temp_c, minute)
+        for _ in range(cfg.max_track_iterations):
+            reading = self._read(op)
+            error = reading.voltage - cfg.rail_voltage
+            if abs(error) <= cfg.rail_tolerance_v:
+                break
+            # Rail high -> panel has headroom -> draw more (raise load).
+            moved = (
+                self.tuner.increase(self.chip, minute)
+                if error > 0
+                else self.tuner.decrease(self.chip, minute)
+            )
+            if not moved:
+                break
+            new_op = self.solve(irradiance, cell_temp_c, minute)
+            new_error = self._read(new_op).voltage - cfg.rail_voltage
+            if abs(new_error) >= abs(error):
+                # The DVFS quantum overshot the band; undo and settle.
+                if error > 0:
+                    self.tuner.decrease(self.chip, minute)
+                else:
+                    self.tuner.increase(self.chip, minute)
+                op = self.solve(irradiance, cell_temp_c, minute)
+                break
+            op = new_op
+        return op
+
+    # ------------------------------------------------------------------
+    # The tracking event
+    # ------------------------------------------------------------------
+    def track(
+        self, irradiance: float, cell_temp_c: float, minute: float
+    ) -> TrackingResult:
+        """Run one three-step MPP tracking event (paper Figure 9).
+
+        Environment is frozen for the duration of the event — tracking takes
+        under 5 ms against a 10-minute period (paper Section 5).
+
+        Returns:
+            A :class:`TrackingResult` describing the settled state.
+        """
+        cfg = self.config
+        margin = (
+            cfg.power_margin if self.margin_override is None else self.margin_override
+        )
+        if irradiance <= 0.0:
+            return TrackingResult(0, 0.0, 0.0, 0.0, self.converter.k, False)
+
+        # Step 1: normalize the rail.  A coarse k alignment first keeps the
+        # load knob within reach of the acceptance band at dawn/dusk.
+        self._align_k_to_rail(irradiance, cell_temp_c, minute)
+        op = self._restore_rail(irradiance, cell_temp_c, minute)
+
+        best_power = self._read(op).power
+        load_saturated = False
+        iterations = 0
+        for iterations in range(1, cfg.max_track_iterations + 1):
+            # Step 2: perturb k and observe the output current direction.
+            current_before = self._read(op).current
+            self.converter.step_up()
+            op = self.solve(irradiance, cell_temp_c, minute)
+            if self._read(op).current < current_before:
+                # Wrong direction: net move becomes -delta-k.
+                self.converter.step_down(2)
+                op = self.solve(irradiance, cell_temp_c, minute)
+
+            # Step 3: load matching — raise load until the rail returns to
+            # nominal (each raise pulls Vout down toward Vdd).  A raise that
+            # would drop the rail below the acceptance band is undone: the
+            # DVFS quantum is coarser than the remaining error.
+            raised_any = False
+            while self._read(op).voltage > cfg.rail_voltage:
+                if not self.tuner.increase(self.chip, minute):
+                    load_saturated = True
+                    break
+                candidate = self.solve(irradiance, cell_temp_c, minute)
+                if (
+                    self._read(candidate).voltage
+                    < cfg.rail_voltage - cfg.rail_tolerance_v
+                ):
+                    self.tuner.decrease(self.chip, minute)
+                    op = self.solve(irradiance, cell_temp_c, minute)
+                    break
+                raised_any = True
+                op = candidate
+
+            power = self._read(op).power
+            # Hysteresis on inflection detection: the measured transient
+            # power wobbles with the rail's position inside the tolerance
+            # band, and with fine DVFS quanta that wobble can exceed one
+            # load step.  Only a clear drop marks the true inflection.
+            inflection_band = max(1.0, 0.01 * best_power)
+            if power < best_power - inflection_band:
+                # Inflection passed: shed load back under the budget margin.
+                target = best_power * (1.0 - margin)
+                while (
+                    self._read(op).power > target
+                    and self.tuner.decrease(self.chip, minute)
+                ):
+                    op = self.solve(irradiance, cell_temp_c, minute)
+                break
+            best_power = power
+            if load_saturated:
+                # Chip absorbs everything it can; park the rail at nominal.
+                op = self._align_k_to_rail(irradiance, cell_temp_c, minute)
+                break
+            if not raised_any:
+                # Neither knob moved the system: settled at the optimum.
+                break
+
+        # Safety net: if the event ended with the rail far from nominal
+        # (deep supply transient mid-event), re-anchor on the stable branch.
+        if abs(self._read(op).voltage - cfg.rail_voltage) > 3 * cfg.rail_tolerance_v:
+            op = self._align_k_to_rail(irradiance, cell_temp_c, minute)
+            op = self._restore_rail(irradiance, cell_temp_c, minute)
+
+        # Leave the stabilizing power margin below the discovered maximum
+        # (Section 6.1): the headroom absorbs load ripple and small supply
+        # drops until the next tracking event.  The margin applies to the
+        # chip's nominal-rail demand — what it will actually draw once the
+        # converter's inner loop re-centers the rail after the event.
+        margin_target = best_power * (1.0 - margin)
+        while (
+            not load_saturated
+            and self.chip.total_power_at(minute) > margin_target
+            and self.tuner.decrease(self.chip, minute)
+        ):
+            pass
+        op = self.solve(irradiance, cell_temp_c, minute)
+
+        reading = self._read(op)
+        return TrackingResult(
+            iterations=iterations,
+            power_w=reading.power,
+            best_power_w=best_power,
+            rail_voltage=reading.voltage,
+            k=self.converter.k,
+            load_saturated=load_saturated,
+        )

@@ -1,0 +1,223 @@
+"""Per-core load adaptation policies (paper Table 6 and Figures 10-12).
+
+A *load tuner* answers one question for the MPPT controller: when the solar
+budget allows one more DVFS step (or demands one less), which core moves?
+
+    MPPT&IC  — keep tuning one core until it saturates, then the next
+    MPPT&RR  — distribute steps round-robin across cores
+    MPPT&Opt — pick by throughput-power ratio (the SolarCore default)
+
+All tuners share the :class:`LoadTuner` interface: ``increase``/``decrease``
+perform one single-level move on one core and report whether any move was
+possible.  When ``allow_gating`` is set (the paper's PCPG, Section 4), a
+tuner that has exhausted its DVFS range extends it: ``decrease`` gates a
+core once every active core sits at the bottom level (always keeping at
+least one core running), and ``increase`` considers ungating a parked core.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.tpr import best_downgrade_core, best_upgrade_core, upgrade_tpr
+from repro.multicore.chip import MultiCoreChip
+from repro.multicore.core import Core
+
+__all__ = [
+    "LoadTuner",
+    "OptTuner",
+    "RoundRobinTuner",
+    "IndividualCoreTuner",
+    "make_tuner",
+    "TUNER_NAMES",
+]
+
+
+def _ungate_at_floor(core: Core) -> None:
+    """Bring a gated core back online at the bottom DVFS level."""
+    core.set_level(core.table.min_level)
+    core.ungate()
+
+
+def _floor_efficiency(core: Core, minute: float) -> float:
+    """Throughput per watt of a core if run at the bottom level now."""
+    level = core.table.min_level
+    power = core.power_at_level(level, minute)
+    if power <= 0.0:
+        return float("inf")
+    return core.throughput_at_level(level, minute) / power
+
+
+class LoadTuner(ABC):
+    """Strategy interface: one single-level DVFS (or PCPG) move per call."""
+
+    name: str = "abstract"
+
+    def __init__(self, allow_gating: bool = True) -> None:
+        self.allow_gating = allow_gating
+
+    @abstractmethod
+    def increase(self, chip: MultiCoreChip, minute: float) -> bool:
+        """Raise the chip load by one step on one core.
+
+        Returns False when no core can go higher.
+        """
+
+    @abstractmethod
+    def decrease(self, chip: MultiCoreChip, minute: float) -> bool:
+        """Lower the chip load by one step on one core.
+
+        Returns False when no core can go lower.
+        """
+
+    # -- shared PCPG helpers -------------------------------------------
+    def _gated_cores(self, chip: MultiCoreChip) -> list[Core]:
+        return [core for core in chip.cores if core.gated]
+
+    def _can_gate_another(self, chip: MultiCoreChip) -> bool:
+        """Gating is allowed while more than one core remains active."""
+        return self.allow_gating and len(chip.active_cores()) > 1
+
+
+class OptTuner(LoadTuner):
+    """Throughput-power-ratio optimized tuning (MPPT&Opt, the paper's
+    SolarCore configuration).
+
+    Upgrades whatever buys the most throughput per watt — a DVFS level-up on
+    an active core or the un-gating of a parked core; downgrades shed the
+    cheapest throughput per watt, gating the least efficient bottom-level
+    core once DVFS range is exhausted.
+    """
+
+    name = "MPPT&Opt"
+
+    def increase(self, chip: MultiCoreChip, minute: float) -> bool:
+        core = best_upgrade_core(chip, minute)
+        best_tpr = upgrade_tpr(core, minute) if core is not None else None
+        if self.allow_gating:
+            for gated in self._gated_cores(chip):
+                tpr = _floor_efficiency(gated, minute)
+                if best_tpr is None or tpr > best_tpr:
+                    core, best_tpr = gated, tpr
+        if core is None:
+            return False
+        if core.gated:
+            _ungate_at_floor(core)
+        else:
+            core.set_level(core.level + 1)
+        return True
+
+    def decrease(self, chip: MultiCoreChip, minute: float) -> bool:
+        core = best_downgrade_core(chip, minute)
+        if core is not None:
+            core.set_level(core.level - 1)
+            return True
+        if not self._can_gate_another(chip):
+            return False
+        victim = min(chip.active_cores(), key=lambda c: _floor_efficiency(c, minute))
+        victim.gate()
+        return True
+
+
+class RoundRobinTuner(LoadTuner):
+    """Round-robin tuning (MPPT&RR): budget variation spreads evenly.
+
+    A rotating cursor visits cores in index order, skipping cores already at
+    the requested extreme.  Gated cores are revived before anyone gets a
+    second helping; gating victims follow the same rotation.
+    """
+
+    name = "MPPT&RR"
+
+    def __init__(self, allow_gating: bool = True) -> None:
+        super().__init__(allow_gating)
+        self._cursor = 0
+
+    def increase(self, chip: MultiCoreChip, minute: float) -> bool:
+        if self.allow_gating:
+            for core in chip.cores:
+                if core.gated:
+                    _ungate_at_floor(core)
+                    return True
+        n = chip.n_cores
+        for offset in range(n):
+            core = chip.cores[(self._cursor + offset) % n]
+            if not core.gated and core.level < core.table.max_level:
+                core.set_level(core.level + 1)
+                self._cursor = (core.core_id + 1) % n
+                return True
+        return False
+
+    def decrease(self, chip: MultiCoreChip, minute: float) -> bool:
+        n = chip.n_cores
+        for offset in range(n):
+            core = chip.cores[(self._cursor + offset) % n]
+            if not core.gated and core.level > core.table.min_level:
+                core.set_level(core.level - 1)
+                self._cursor = (core.core_id + 1) % n
+                return True
+        if not self._can_gate_another(chip):
+            return False
+        for offset in range(n):
+            core = chip.cores[(self._cursor + offset) % n]
+            if not core.gated:
+                core.gate()
+                self._cursor = (core.core_id + 1) % n
+                return True
+        return False
+
+
+class IndividualCoreTuner(LoadTuner):
+    """Individual-core tuning (MPPT&IC): concentrate power in few cores.
+
+    Keeps raising the same core until it reaches the top level before
+    touching the next; sheds load symmetrically from the tail, gating
+    trailing cores once their DVFS range is exhausted.  This is the paper's
+    weakest policy — the cubic P(V) law makes the last levels of a hot core
+    poor value.
+    """
+
+    name = "MPPT&IC"
+
+    def increase(self, chip: MultiCoreChip, minute: float) -> bool:
+        for core in chip.cores:
+            if not core.gated and core.level < core.table.max_level:
+                core.set_level(core.level + 1)
+                return True
+        if self.allow_gating:
+            for core in chip.cores:
+                if core.gated:
+                    _ungate_at_floor(core)
+                    return True
+        return False
+
+    def decrease(self, chip: MultiCoreChip, minute: float) -> bool:
+        for core in reversed(chip.cores):
+            if not core.gated and core.level > core.table.min_level:
+                core.set_level(core.level - 1)
+                return True
+        if not self._can_gate_another(chip):
+            return False
+        for core in reversed(chip.cores):
+            if not core.gated:
+                core.gate()
+                return True
+        return False
+
+
+#: Policy name -> factory, in the paper's Table 6 order.
+_TUNERS = {
+    "MPPT&IC": IndividualCoreTuner,
+    "MPPT&RR": RoundRobinTuner,
+    "MPPT&Opt": OptTuner,
+}
+
+TUNER_NAMES = tuple(_TUNERS)
+
+
+def make_tuner(name: str, allow_gating: bool = True) -> LoadTuner:
+    """Instantiate a load tuner by paper policy name (case-insensitive)."""
+    for key, factory in _TUNERS.items():
+        if key.lower() == name.lower():
+            return factory(allow_gating)
+    raise KeyError(f"unknown tuner {name!r}; known: {', '.join(_TUNERS)}")

@@ -1,0 +1,120 @@
+"""Throughput-power ratio (TPR) optimization (paper Section 4.3).
+
+The TPR of a core quantifies the throughput return on the next watt:
+
+    TPR_i = dT_i / dP_i
+
+evaluated for a one-level DVFS move at the core's current program phase.
+Cores with large TPR are first in line when the solar budget grows; cores
+with small TPR give power back first when it shrinks.  The sorted allocation
+table mirrors the paper's Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.multicore.chip import MultiCoreChip
+from repro.multicore.core import Core
+
+__all__ = [
+    "TPREntry",
+    "upgrade_tpr",
+    "downgrade_tpr",
+    "build_allocation_table",
+    "best_upgrade_core",
+    "best_downgrade_core",
+]
+
+
+@dataclass(frozen=True)
+class TPREntry:
+    """One row of the TPR allocation table (paper Figure 10).
+
+    Attributes:
+        core_id: Core index.
+        level: Current DVFS level.
+        upgrade: TPR of moving one level up (None at the top level).
+        downgrade: TPR of moving one level down (None at the bottom level).
+    """
+
+    core_id: int
+    level: int
+    upgrade: float | None
+    downgrade: float | None
+
+
+def upgrade_tpr(core: Core, minute: float) -> float | None:
+    """TPR of raising ``core`` one DVFS level, or None if impossible.
+
+    Uses the profiled phase IPC and the power model — exactly the
+    ``delta-T / delta-P`` the paper derives from performance counters and
+    I/V sensors.
+    """
+    if core.gated or core.level >= core.table.max_level:
+        return None
+    new_level = core.level + 1
+    d_throughput = core.throughput_at_level(new_level, minute) - core.throughput_at(minute)
+    d_power = core.power_at_level(new_level, minute) - core.power_at(minute)
+    if d_power <= 0.0:
+        return None
+    return d_throughput / d_power
+
+
+def downgrade_tpr(core: Core, minute: float) -> float | None:
+    """TPR of lowering ``core`` one DVFS level, or None if impossible.
+
+    Measured as throughput lost per watt released; the scheduler sheds load
+    from the core where this is *smallest*.
+    """
+    if core.gated or core.level <= core.table.min_level:
+        return None
+    new_level = core.level - 1
+    d_throughput = core.throughput_at(minute) - core.throughput_at_level(new_level, minute)
+    d_power = core.power_at(minute) - core.power_at_level(new_level, minute)
+    if d_power <= 0.0:
+        return None
+    return d_throughput / d_power
+
+
+def build_allocation_table(chip: MultiCoreChip, minute: float) -> list[TPREntry]:
+    """The per-core TPR table, sorted by upgrade TPR descending.
+
+    Cores that cannot be upgraded sort last.
+    """
+    entries = [
+        TPREntry(
+            core_id=core.core_id,
+            level=core.level,
+            upgrade=upgrade_tpr(core, minute),
+            downgrade=downgrade_tpr(core, minute),
+        )
+        for core in chip.cores
+    ]
+    entries.sort(
+        key=lambda e: e.upgrade if e.upgrade is not None else float("-inf"),
+        reverse=True,
+    )
+    return entries
+
+
+def best_upgrade_core(chip: MultiCoreChip, minute: float) -> Core | None:
+    """The core whose next level-up buys the most throughput per watt."""
+    best: Core | None = None
+    best_tpr = float("-inf")
+    for core in chip.cores:
+        tpr = upgrade_tpr(core, minute)
+        if tpr is not None and tpr > best_tpr:
+            best, best_tpr = core, tpr
+    return best
+
+
+def best_downgrade_core(chip: MultiCoreChip, minute: float) -> Core | None:
+    """The core whose next level-down costs the least throughput per watt."""
+    best: Core | None = None
+    best_tpr = float("inf")
+    for core in chip.cores:
+        tpr = downgrade_tpr(core, minute)
+        if tpr is not None and tpr < best_tpr:
+            best, best_tpr = core, tpr
+    return best

@@ -1,0 +1,36 @@
+"""Meteorological substrate: stations, solar geometry, weather, day traces."""
+
+from repro.environment.irradiance import default_seed, generate_trace
+from repro.environment.locations import (
+    ALL_LOCATIONS,
+    EVALUATED_MONTHS,
+    ELIZABETH_CITY_NC,
+    GOLDEN_CO,
+    OAK_RIDGE_TN,
+    PHOENIX_AZ,
+    CloudRegime,
+    Location,
+    location_by_code,
+)
+from repro.environment.trace import (
+    DAYTIME_END_MIN,
+    DAYTIME_START_MIN,
+    EnvironmentTrace,
+)
+
+__all__ = [
+    "generate_trace",
+    "default_seed",
+    "Location",
+    "CloudRegime",
+    "location_by_code",
+    "ALL_LOCATIONS",
+    "EVALUATED_MONTHS",
+    "PHOENIX_AZ",
+    "GOLDEN_CO",
+    "ELIZABETH_CITY_NC",
+    "OAK_RIDGE_TN",
+    "EnvironmentTrace",
+    "DAYTIME_START_MIN",
+    "DAYTIME_END_MIN",
+]

@@ -1,0 +1,101 @@
+"""Year-round environment generation by seasonal interpolation.
+
+The paper evaluates four anchor months (Jan/Apr/Jul/Oct).  For annual-yield
+studies, the cloud regime and temperature range of any month are obtained
+by cyclic linear interpolation between the neighbouring anchors — January's
+regime blends toward April's through February and March, and October's
+wraps back to January's through November and December.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.environment.irradiance import generate_trace
+from repro.environment.locations import EVALUATED_MONTHS, CloudRegime, Location
+from repro.environment.trace import EnvironmentTrace
+
+__all__ = ["interpolated_regime", "interpolated_temps", "generate_month_trace",
+           "annual_insolation"]
+
+_ANCHORS = EVALUATED_MONTHS  # (1, 4, 7, 10)
+
+
+def _bracket(month: int) -> tuple[int, int, float]:
+    """Surrounding anchor months and the interpolation weight toward the
+    later anchor (0 at the earlier anchor, 1 at the later)."""
+    if not 1 <= month <= 12:
+        raise ValueError(f"month must be 1-12, got {month}")
+    for i, anchor in enumerate(_ANCHORS):
+        nxt = _ANCHORS[(i + 1) % len(_ANCHORS)]
+        span = (nxt - anchor) % 12 or 12
+        offset = (month - anchor) % 12
+        if offset < span:
+            return anchor, nxt, offset / span
+    raise AssertionError("unreachable: anchors cover the cycle")
+
+
+def interpolated_regime(location: Location, month: int) -> CloudRegime:
+    """The (possibly interpolated) cloud regime of any calendar month."""
+    if month in location.regimes:
+        return location.regimes[month]
+    lo, hi, w = _bracket(month)
+    a, b = location.regimes[lo], location.regimes[hi]
+
+    def mix(x: float, y: float) -> float:
+        return (1.0 - w) * x + w * y
+
+    return CloudRegime(
+        base_clearness=mix(a.base_clearness, b.base_clearness),
+        events_per_hour=mix(a.events_per_hour, b.events_per_hour),
+        event_depth=mix(a.event_depth, b.event_depth),
+        event_minutes=mix(a.event_minutes, b.event_minutes),
+        volatility=mix(a.volatility, b.volatility),
+    )
+
+
+def interpolated_temps(location: Location, month: int) -> tuple[float, float]:
+    """The (possibly interpolated) (t_min, t_max) of any calendar month."""
+    if month in location.temps_c:
+        return location.temps_c[month]
+    lo, hi, w = _bracket(month)
+    a_min, a_max = location.temps_c[lo]
+    b_min, b_max = location.temps_c[hi]
+    return (
+        (1.0 - w) * a_min + w * b_min,
+        (1.0 - w) * a_max + w * b_max,
+    )
+
+
+def generate_month_trace(
+    location: Location,
+    month: int,
+    seed: int | None = None,
+    step_minutes: float = 1.0,
+) -> EnvironmentTrace:
+    """Like :func:`repro.environment.irradiance.generate_trace`, for *any*
+    month — interpolating regime and temperatures when needed."""
+    if month in location.regimes:
+        return generate_trace(location, month, seed=seed, step_minutes=step_minutes)
+    expanded = replace(
+        location,
+        regimes={**location.regimes, month: interpolated_regime(location, month)},
+        temps_c={**location.temps_c, month: interpolated_temps(location, month)},
+    )
+    return generate_trace(expanded, month, seed=seed, step_minutes=step_minutes)
+
+
+def annual_insolation(
+    location: Location,
+    seed: int | None = None,
+    step_minutes: float = 2.0,
+) -> dict[int, float]:
+    """Mid-month daily insolation [kWh/m^2] for all 12 months."""
+    return {
+        month: generate_month_trace(
+            location, month, seed=seed, step_minutes=step_minutes
+        ).daily_insolation_kwh_m2()
+        for month in range(1, 13)
+    }

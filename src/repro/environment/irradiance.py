@@ -1,0 +1,80 @@
+"""Synthetic day-trace generator standing in for NREL MIDC measurements.
+
+``generate_trace(location, month)`` produces one daytime
+(7:30 am - 5:30 pm, 1-minute cadence) trace of irradiance and ambient
+temperature for a station/month pair: deterministic clear-sky irradiance from
+solar geometry, multiplied by a seeded stochastic clearness series, plus the
+diurnal temperature cycle.
+
+Seeds default to a stable hash of (station code, month), so every experiment
+in the repository sees the same "measured" day unless it asks for another.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.environment.locations import Location
+from repro.environment.solar_geometry import clear_sky_poa, mid_month_day_of_year
+from repro.environment.temperature import diurnal_temperature
+from repro.environment.trace import DAYTIME_END_MIN, DAYTIME_START_MIN, EnvironmentTrace
+from repro.environment.weather import clearness_series
+
+__all__ = ["generate_trace", "default_seed"]
+
+
+def default_seed(location: Location, month: int) -> int:
+    """Stable, platform-independent seed for a (station, month) pair."""
+    return zlib.crc32(f"{location.code}:{month}".encode())
+
+
+def generate_trace(
+    location: Location,
+    month: int,
+    seed: int | None = None,
+    step_minutes: float = 1.0,
+) -> EnvironmentTrace:
+    """Generate one daytime environment trace for a station and month.
+
+    Args:
+        location: Station (see :mod:`repro.environment.locations`).
+        month: Calendar month; the paper evaluates {1, 4, 7, 10}.
+        seed: RNG seed; defaults to a stable hash of (station, month).
+        step_minutes: Sampling cadence [minutes].
+
+    Returns:
+        An :class:`EnvironmentTrace` spanning 7:30 am - 5:30 pm.
+    """
+    if month not in location.regimes:
+        raise ValueError(
+            f"{location.code} has no regime for month {month}; "
+            f"evaluated months: {sorted(location.regimes)}"
+        )
+    if step_minutes <= 0:
+        raise ValueError(f"step_minutes must be positive, got {step_minutes}")
+    if seed is None:
+        seed = default_seed(location, month)
+    rng = np.random.default_rng(seed)
+
+    minutes = np.arange(DAYTIME_START_MIN, DAYTIME_END_MIN + 1e-9, step_minutes)
+    day_of_year = mid_month_day_of_year(month)
+    clear_sky = np.array(
+        [
+            clear_sky_poa(location.latitude_deg, day_of_year, m / 60.0)
+            for m in minutes
+        ]
+    )
+    clearness = clearness_series(minutes, location.regimes[month], rng)
+    irradiance = clear_sky * clearness
+
+    t_min, t_max = location.temps_c[month]
+    ambient = diurnal_temperature(minutes, t_min, t_max, float(np.mean(clearness)))
+
+    return EnvironmentTrace(
+        minutes=minutes,
+        irradiance=irradiance,
+        ambient_c=ambient,
+        label=f"{location.code} month={month} seed={seed}",
+    )

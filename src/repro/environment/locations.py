@@ -1,0 +1,161 @@
+"""The four NREL MIDC measurement stations evaluated in the paper (Table 2).
+
+Each station carries its geographic coordinates (driving the deterministic
+solar-geometry component of irradiance) and a per-season cloud regime
+(driving the stochastic component), calibrated so the simulated mean daily
+insolation falls in the paper's resource class:
+
+    PFCI  Phoenix, AZ         > 6.0 kWh/m^2/day   Excellent
+    BMS   Golden, CO          5.0 - 6.0           Good
+    ECSU  Elizabeth City, NC  4.0 - 5.0           Moderate
+    ORNL  Oak Ridge, TN       < 4.0               Low
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "CloudRegime",
+    "Location",
+    "PHOENIX_AZ",
+    "GOLDEN_CO",
+    "ELIZABETH_CITY_NC",
+    "OAK_RIDGE_TN",
+    "ALL_LOCATIONS",
+    "location_by_code",
+    "EVALUATED_MONTHS",
+]
+
+#: The mid-month days evaluated in the paper (Jan/Apr/Jul/Oct 2009).
+EVALUATED_MONTHS = (1, 4, 7, 10)
+
+
+@dataclass(frozen=True)
+class CloudRegime:
+    """Stochastic cloud-field parameters for one (station, month).
+
+    Attributes:
+        base_clearness: Mean clear-sky fraction away from cloud events
+            (1.0 = perfectly clear).
+        events_per_hour: Mean Poisson arrival rate of discrete cloud events.
+        event_depth: Mean fractional irradiance attenuation of an event
+            (0 = transparent, 1 = fully opaque).
+        event_minutes: Mean event duration [minutes].
+        volatility: Amplitude of fast small-scale clearness jitter; high
+            values produce the paper's "irregular" weather patterns.
+    """
+
+    base_clearness: float
+    events_per_hour: float
+    event_depth: float
+    event_minutes: float
+    volatility: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.base_clearness <= 1.0:
+            raise ValueError(f"base_clearness must be in (0, 1], got {self.base_clearness}")
+        if not 0.0 <= self.event_depth <= 1.0:
+            raise ValueError(f"event_depth must be in [0, 1], got {self.event_depth}")
+
+
+@dataclass(frozen=True)
+class Location:
+    """A measurement station with geography and seasonal cloud regimes.
+
+    Attributes:
+        code: Short MIDC station code (e.g. ``"PFCI"``).
+        name: Human-readable place name.
+        latitude_deg: Geographic latitude [degrees north].
+        potential: Resource class label from the paper's Table 2.
+        regimes: Cloud regime per evaluated month {1, 4, 7, 10}.
+        temps_c: (daily min, daily max) ambient temperature [C] per month.
+    """
+
+    code: str
+    name: str
+    latitude_deg: float
+    potential: str
+    regimes: dict[int, CloudRegime]
+    temps_c: dict[int, tuple[float, float]]
+
+    def __post_init__(self) -> None:
+        for month in EVALUATED_MONTHS:
+            if month not in self.regimes:
+                raise ValueError(f"{self.code}: missing cloud regime for month {month}")
+            if month not in self.temps_c:
+                raise ValueError(f"{self.code}: missing temperatures for month {month}")
+
+
+PHOENIX_AZ = Location(
+    code="PFCI",
+    name="Phoenix, AZ",
+    latitude_deg=33.45,
+    potential="Excellent",
+    regimes={
+        1: CloudRegime(0.99, 0.10, 0.35, 15.0, 0.01),  # regular winter sky
+        4: CloudRegime(0.98, 0.15, 0.35, 15.0, 0.02),
+        7: CloudRegime(0.93, 0.80, 0.55, 18.0, 0.08),  # monsoon: irregular
+        10: CloudRegime(0.98, 0.20, 0.35, 15.0, 0.02),
+    },
+    temps_c={1: (8.0, 20.0), 4: (15.0, 30.0), 7: (29.0, 41.0), 10: (18.0, 31.0)},
+)
+
+GOLDEN_CO = Location(
+    code="BMS",
+    name="Golden, CO",
+    latitude_deg=39.74,
+    potential="Good",
+    regimes={
+        1: CloudRegime(0.93, 0.50, 0.50, 20.0, 0.04),
+        4: CloudRegime(0.92, 0.70, 0.50, 20.0, 0.05),
+        7: CloudRegime(0.94, 0.60, 0.45, 15.0, 0.05),
+        10: CloudRegime(0.93, 0.55, 0.50, 18.0, 0.04),
+    },
+    temps_c={1: (-8.0, 6.0), 4: (1.0, 16.0), 7: (14.0, 31.0), 10: (2.0, 18.0)},
+)
+
+ELIZABETH_CITY_NC = Location(
+    code="ECSU",
+    name="Elizabeth City, NC",
+    latitude_deg=36.28,
+    potential="Moderate",
+    regimes={
+        1: CloudRegime(0.90, 0.70, 0.55, 22.0, 0.05),
+        4: CloudRegime(0.85, 1.20, 0.65, 26.0, 0.10),  # volatile spring
+        7: CloudRegime(0.93, 0.50, 0.45, 18.0, 0.05),
+        10: CloudRegime(0.88, 0.80, 0.60, 24.0, 0.06),
+    },
+    temps_c={1: (1.0, 11.0), 4: (9.0, 21.0), 7: (22.0, 32.0), 10: (11.0, 22.0)},
+)
+
+OAK_RIDGE_TN = Location(
+    code="ORNL",
+    name="Oak Ridge, TN",
+    latitude_deg=35.93,
+    potential="Low",
+    regimes={
+        1: CloudRegime(0.80, 1.30, 0.65, 30.0, 0.08),
+        4: CloudRegime(0.82, 1.40, 0.68, 28.0, 0.10),
+        7: CloudRegime(0.86, 1.10, 0.58, 24.0, 0.08),
+        10: CloudRegime(0.78, 1.50, 0.68, 30.0, 0.09),
+    },
+    temps_c={1: (-1.0, 9.0), 4: (8.0, 22.0), 7: (20.0, 32.0), 10: (8.0, 21.0)},
+)
+
+ALL_LOCATIONS = (PHOENIX_AZ, GOLDEN_CO, ELIZABETH_CITY_NC, OAK_RIDGE_TN)
+
+_BY_CODE = {loc.code: loc for loc in ALL_LOCATIONS}
+_BY_STATE = {"AZ": PHOENIX_AZ, "CO": GOLDEN_CO, "NC": ELIZABETH_CITY_NC, "TN": OAK_RIDGE_TN}
+
+
+def location_by_code(code: str) -> Location:
+    """Look up a station by MIDC code (``PFCI``/``BMS``/``ECSU``/``ORNL``)
+    or by the two-letter state tag the paper's figures use (``AZ``...``TN``)."""
+    key = code.upper()
+    if key in _BY_CODE:
+        return _BY_CODE[key]
+    if key in _BY_STATE:
+        return _BY_STATE[key]
+    known = sorted(_BY_CODE) + sorted(_BY_STATE)
+    raise KeyError(f"unknown station {code!r}; known: {', '.join(known)}")

@@ -1,0 +1,130 @@
+"""Loader for real NREL MIDC data exports.
+
+The paper drives its evaluation from Measurement and Instrumentation Data
+Center records (https://www.nrel.gov/midc/).  This repository ships a
+synthetic substitute (:mod:`repro.environment.irradiance`), but a user with
+downloaded MIDC CSV exports can feed the *measured* days straight into
+every simulation via :func:`load_midc_csv`.
+
+Expected format: the MIDC "time series" CSV export —
+
+    DATE (MM/DD/YYYY),MST,Global Horizontal [W/m^2],Air Temperature [deg C]
+    1/15/2009,7:30,102.4,3.2
+    ...
+
+Column names are matched loosely (any column containing "global" or "ghi"
+for irradiance; "temp" for temperature; a time column named like "MST",
+"LST", or containing "time").
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import re
+from pathlib import Path
+
+import numpy as np
+
+from repro.environment.trace import EnvironmentTrace
+
+__all__ = ["load_midc_csv", "MIDCFormatError"]
+
+
+class MIDCFormatError(ValueError):
+    """Raised when a CSV cannot be interpreted as a MIDC export."""
+
+
+def _find_column(headers: list[str], patterns: list[str]) -> int | None:
+    for i, header in enumerate(headers):
+        lowered = header.lower()
+        if any(pattern in lowered for pattern in patterns):
+            return i
+    return None
+
+
+def _parse_minutes(token: str) -> float:
+    """Parse an HH:MM token into minutes since midnight."""
+    match = re.fullmatch(r"(\d{1,2}):(\d{2})", token.strip())
+    if not match:
+        raise MIDCFormatError(f"unparseable time token {token!r}")
+    hours, minutes = int(match.group(1)), int(match.group(2))
+    if hours > 23 or minutes > 59:
+        raise MIDCFormatError(f"out-of-range time {token!r}")
+    return hours * 60.0 + minutes
+
+
+def load_midc_csv(
+    source: str | Path | io.TextIOBase,
+    label: str = "MIDC",
+    clip_window: tuple[float, float] | None = (450.0, 1050.0),
+) -> EnvironmentTrace:
+    """Load one day of MIDC measurements into an :class:`EnvironmentTrace`.
+
+    Args:
+        source: Path to a CSV file, or an open text stream.
+        label: Provenance label for the trace.
+        clip_window: Optional (start, end) minutes-since-midnight window;
+            defaults to the paper's 7:30 am - 5:30 pm evaluation window.
+            Pass None to keep every row.
+
+    Returns:
+        The measured day as an :class:`EnvironmentTrace`.
+
+    Raises:
+        MIDCFormatError: If required columns are missing or values are
+            malformed.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, newline="") as handle:
+            return load_midc_csv(handle, label=label, clip_window=clip_window)
+
+    reader = csv.reader(source)
+    try:
+        headers = next(reader)
+    except StopIteration:
+        raise MIDCFormatError("empty CSV") from None
+
+    time_col = _find_column(headers, ["mst", "lst", "pst", "est", "time"])
+    ghi_col = _find_column(headers, ["global", "ghi"])
+    temp_col = _find_column(headers, ["temp"])
+    if time_col is None or ghi_col is None or temp_col is None:
+        raise MIDCFormatError(
+            f"could not locate time/irradiance/temperature columns in {headers}"
+        )
+
+    minutes_list: list[float] = []
+    ghi_list: list[float] = []
+    temp_list: list[float] = []
+    for row_number, row in enumerate(reader, start=2):
+        if not row or all(not cell.strip() for cell in row):
+            continue
+        try:
+            minute = _parse_minutes(row[time_col])
+            ghi = float(row[ghi_col])
+            temp = float(row[temp_col])
+        except (IndexError, ValueError, MIDCFormatError) as exc:
+            raise MIDCFormatError(f"bad row {row_number}: {row} ({exc})") from None
+        # Night-time sensor offsets can read slightly negative.
+        minutes_list.append(minute)
+        ghi_list.append(max(ghi, 0.0))
+        temp_list.append(temp)
+
+    if len(minutes_list) < 2:
+        raise MIDCFormatError("fewer than two data rows")
+
+    minutes = np.array(minutes_list)
+    ghi = np.array(ghi_list)
+    temp = np.array(temp_list)
+
+    if clip_window is not None:
+        mask = (minutes >= clip_window[0]) & (minutes <= clip_window[1])
+        if int(np.sum(mask)) < 2:
+            raise MIDCFormatError(
+                f"fewer than two rows inside the window {clip_window}"
+            )
+        minutes, ghi, temp = minutes[mask], ghi[mask], temp[mask]
+
+    return EnvironmentTrace(
+        minutes=minutes, irradiance=ghi, ambient_c=temp, label=label
+    )

@@ -1,0 +1,126 @@
+"""Deterministic solar geometry: declination, hour angle, zenith, clear sky.
+
+This provides the non-stochastic backbone of the synthetic irradiance traces:
+given a latitude and a day of the year, the clear-sky global horizontal
+irradiance (GHI) follows from sun position and an air-mass attenuation model
+(Meinel), peaking near solar noon and vanishing outside daylight.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "declination_deg",
+    "hour_angle_deg",
+    "cos_zenith",
+    "cos_incidence_tilted",
+    "air_mass",
+    "clear_sky_ghi",
+    "clear_sky_poa",
+    "mid_month_day_of_year",
+]
+
+#: Solar constant [W/m^2].
+SOLAR_CONSTANT = 1361.0
+
+#: Day-of-year of the 15th of each month (non-leap year).
+_MID_MONTH_DOY = {
+    1: 15, 2: 46, 3: 74, 4: 105, 5: 135, 6: 166,
+    7: 196, 8: 227, 9: 258, 10: 288, 11: 319, 12: 349,
+}
+
+
+def mid_month_day_of_year(month: int) -> int:
+    """Day of year of the middle of ``month`` (the paper evaluates mid-month)."""
+    if month not in _MID_MONTH_DOY:
+        raise ValueError(f"month must be 1-12, got {month}")
+    return _MID_MONTH_DOY[month]
+
+
+def declination_deg(day_of_year: int) -> float:
+    """Solar declination [degrees] by Cooper's formula."""
+    return 23.45 * math.sin(math.radians(360.0 / 365.0 * (284 + day_of_year)))
+
+
+def hour_angle_deg(solar_time_hours: float) -> float:
+    """Hour angle [degrees]: 15 degrees per hour from solar noon."""
+    return 15.0 * (solar_time_hours - 12.0)
+
+
+def cos_zenith(latitude_deg: float, day_of_year: int, solar_time_hours: float) -> float:
+    """Cosine of the solar zenith angle (negative below the horizon)."""
+    phi = math.radians(latitude_deg)
+    delta = math.radians(declination_deg(day_of_year))
+    omega = math.radians(hour_angle_deg(solar_time_hours))
+    return math.sin(phi) * math.sin(delta) + math.cos(phi) * math.cos(delta) * math.cos(omega)
+
+
+def air_mass(cos_z: float) -> float:
+    """Relative optical air mass (Kasten-Young) for a given cos(zenith).
+
+    Returns ``inf`` when the sun is at or below the horizon.
+    """
+    if cos_z <= 0.0:
+        return math.inf
+    zenith_deg = math.degrees(math.acos(min(cos_z, 1.0)))
+    return 1.0 / (cos_z + 0.50572 * (96.07995 - zenith_deg) ** -1.6364)
+
+
+def cos_incidence_tilted(
+    latitude_deg: float,
+    tilt_deg: float,
+    day_of_year: int,
+    solar_time_hours: float,
+) -> float:
+    """Cosine of the angle of incidence on a south-facing panel tilted by
+    ``tilt_deg`` from horizontal (negative when the sun is behind the panel).
+
+    For an equator-facing panel this equals the zenith cosine evaluated at an
+    effective latitude of ``latitude - tilt``.
+    """
+    return cos_zenith(latitude_deg - tilt_deg, day_of_year, solar_time_hours)
+
+
+def clear_sky_poa(
+    latitude_deg: float,
+    day_of_year: int,
+    solar_time_hours: float,
+    tilt_deg: float | None = None,
+) -> float:
+    """Clear-sky plane-of-array irradiance [W/m^2] on a tilted panel.
+
+    Combines beam irradiance projected onto the panel (Meinel air-mass
+    attenuation) with an isotropic-sky diffuse term.  ``tilt_deg`` defaults
+    to the latitude — the standard fixed-tilt installation the paper's
+    BP3180N panel would use.
+    """
+    if tilt_deg is None:
+        tilt_deg = latitude_deg
+    cz = cos_zenith(latitude_deg, day_of_year, solar_time_hours)
+    if cz <= 0.0:
+        return 0.0  # sun below horizon
+    am = air_mass(cz)
+    dni = SOLAR_CONSTANT * (0.7 ** (am ** 0.678))
+    cos_aoi = cos_incidence_tilted(latitude_deg, tilt_deg, day_of_year, solar_time_hours)
+    beam = dni * max(cos_aoi, 0.0)
+    sky_view = (1.0 + math.cos(math.radians(tilt_deg))) / 2.0
+    diffuse = 0.07 * SOLAR_CONSTANT * cz * sky_view
+    return beam + diffuse
+
+
+def clear_sky_ghi(latitude_deg: float, day_of_year: int, solar_time_hours: float) -> float:
+    """Clear-sky global horizontal irradiance [W/m^2].
+
+    Meinel's empirical attenuation: ``GHI = S * 0.7^(AM^0.678) * cos(z)``,
+    with ~5% added back as diffuse irradiance.  Accurate to the level the
+    power-management experiments need (the paper's controller only reacts to
+    the shape of G(t)).
+    """
+    cz = cos_zenith(latitude_deg, day_of_year, solar_time_hours)
+    if cz <= 0.0:
+        return 0.0
+    am = air_mass(cz)
+    direct = SOLAR_CONSTANT * (0.7 ** (am ** 0.678)) * cz
+    diffuse = 0.05 * SOLAR_CONSTANT * cz
+    return direct + diffuse

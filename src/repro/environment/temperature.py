@@ -1,0 +1,49 @@
+"""Diurnal ambient temperature model.
+
+Ambient temperature follows the classic sinusoidal diurnal cycle: minimum
+shortly after sunrise (~6 am), maximum mid-afternoon (~3 pm).  Cloud cover
+damps the afternoon peak slightly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["diurnal_temperature"]
+
+#: Hour of daily minimum temperature.
+_T_MIN_HOUR = 6.0
+#: Hour of daily maximum temperature.
+_T_MAX_HOUR = 15.0
+#: Fraction of the diurnal amplitude removed under full overcast.
+_CLOUD_DAMPING = 0.3
+
+
+def diurnal_temperature(
+    minutes: np.ndarray,
+    t_min_c: float,
+    t_max_c: float,
+    mean_clearness: float = 1.0,
+) -> np.ndarray:
+    """Ambient temperature [C] at each sample time.
+
+    Args:
+        minutes: Sample times [minutes since midnight].
+        t_min_c: Daily minimum temperature (at ~6 am).
+        t_max_c: Daily maximum temperature (at ~3 pm).
+        mean_clearness: Mean clearness of the day in [0, 1]; overcast days
+            see a damped afternoon peak.
+
+    Returns:
+        Temperature array, same shape as ``minutes``.
+    """
+    if t_max_c < t_min_c:
+        raise ValueError(f"t_max_c ({t_max_c}) must be >= t_min_c ({t_min_c})")
+    amplitude = (t_max_c - t_min_c) / 2.0
+    amplitude *= 1.0 - _CLOUD_DAMPING * (1.0 - float(np.clip(mean_clearness, 0.0, 1.0)))
+    mean = (t_max_c + t_min_c) / 2.0
+    hours = minutes / 60.0
+    # Sinusoid with minimum at _T_MIN_HOUR and maximum at _T_MAX_HOUR.
+    period = 2.0 * (_T_MAX_HOUR - _T_MIN_HOUR)
+    phase = np.pi * (hours - _T_MIN_HOUR) / (period / 2.0)
+    return mean - amplitude * np.cos(phase)

@@ -1,0 +1,85 @@
+"""Container for a day-long meteorological trace at fixed sampling cadence.
+
+Plays the role of one day of NREL MIDC measurements: irradiance and ambient
+temperature, sampled each minute over the paper's daytime window
+(7:30 am - 5:30 pm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EnvironmentTrace", "DAYTIME_START_MIN", "DAYTIME_END_MIN"]
+
+#: Paper's daytime evaluation window: 7:30 am, in minutes since midnight.
+DAYTIME_START_MIN = 7 * 60 + 30
+#: Paper's daytime evaluation window: 5:30 pm, in minutes since midnight.
+DAYTIME_END_MIN = 17 * 60 + 30
+
+
+@dataclass(frozen=True)
+class EnvironmentTrace:
+    """A sampled (irradiance, ambient temperature) day trace.
+
+    Attributes:
+        minutes: Sample times [minutes since midnight], strictly increasing,
+            uniformly spaced.
+        irradiance: Global horizontal irradiance [W/m^2] per sample.
+        ambient_c: Ambient temperature [C] per sample.
+        label: Human-readable provenance, e.g. ``"PFCI Jan (seed 42)"``.
+    """
+
+    minutes: np.ndarray
+    irradiance: np.ndarray
+    ambient_c: np.ndarray
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        n = len(self.minutes)
+        if n < 2:
+            raise ValueError("a trace needs at least two samples")
+        if len(self.irradiance) != n or len(self.ambient_c) != n:
+            raise ValueError(
+                f"length mismatch: {n} times, {len(self.irradiance)} irradiance, "
+                f"{len(self.ambient_c)} temperature samples"
+            )
+        steps = np.diff(self.minutes)
+        if not np.all(steps > 0):
+            raise ValueError("sample times must be strictly increasing")
+        if float(np.min(self.irradiance)) < 0.0:
+            raise ValueError("irradiance must be non-negative")
+
+    @property
+    def step_minutes(self) -> float:
+        """Sampling interval [minutes]."""
+        return float(self.minutes[1] - self.minutes[0])
+
+    @property
+    def duration_minutes(self) -> float:
+        """Span of the trace [minutes]."""
+        return float(self.minutes[-1] - self.minutes[0])
+
+    def sample(self, minute: float) -> tuple[float, float]:
+        """Linearly interpolated (irradiance, ambient_c) at ``minute``.
+
+        Raises:
+            ValueError: If ``minute`` lies outside the trace.
+        """
+        if minute < self.minutes[0] or minute > self.minutes[-1]:
+            raise ValueError(
+                f"minute {minute} outside trace [{self.minutes[0]}, {self.minutes[-1]}]"
+            )
+        g = float(np.interp(minute, self.minutes, self.irradiance))
+        t = float(np.interp(minute, self.minutes, self.ambient_c))
+        return g, t
+
+    def daily_insolation_kwh_m2(self) -> float:
+        """Integrated irradiance over the trace [kWh/m^2]."""
+        hours = self.minutes / 60.0
+        return float(np.trapezoid(self.irradiance, hours)) / 1000.0
+
+    def peak_irradiance(self) -> float:
+        """Maximum irradiance sample [W/m^2]."""
+        return float(np.max(self.irradiance))

@@ -1,0 +1,84 @@
+"""Seeded stochastic cloud fields (the weather component of irradiance).
+
+Clear-sky irradiance is deterministic; weather multiplies it by a *clearness
+series* in (0, 1].  A clearness series is composed of:
+
+  * a base clearness level (per station/month regime),
+  * discrete cloud events — Poisson arrivals with lognormal-ish durations and
+    depths, smoothed at their edges so passages ramp rather than step,
+  * fast small-amplitude jitter (an AR(1) process) giving the "irregular"
+    texture of patterns like Phoenix's July monsoon sky.
+
+Everything is driven by a caller-supplied ``numpy.random.Generator``, so a
+given (station, month, seed) always reproduces the same day.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.environment.locations import CloudRegime
+
+__all__ = ["clearness_series"]
+
+#: Floor on clearness: even heavy overcast passes some diffuse light.
+_MIN_CLEARNESS = 0.05
+#: Edge-smoothing time constant of cloud events [minutes].
+_EDGE_MINUTES = 3.0
+#: AR(1) pole of the fast jitter component.
+_JITTER_POLE = 0.85
+
+
+def _cloud_event_profile(
+    minutes: np.ndarray, center: float, duration: float, depth: float
+) -> np.ndarray:
+    """Attenuation profile of one cloud passage: a smoothed boxcar.
+
+    Returns the per-sample fractional attenuation (0 = no effect,
+    ``depth`` = full effect) of an event centered at ``center`` lasting
+    ``duration`` minutes, with logistic-smoothed edges.
+    """
+    half = duration / 2.0
+    rising = 1.0 / (1.0 + np.exp(-(minutes - (center - half)) / _EDGE_MINUTES))
+    falling = 1.0 / (1.0 + np.exp((minutes - (center + half)) / _EDGE_MINUTES))
+    return depth * rising * falling
+
+
+def clearness_series(
+    minutes: np.ndarray,
+    regime: CloudRegime,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Generate a clearness multiplier series for the given sample times.
+
+    Args:
+        minutes: Sample times [minutes since midnight], uniformly spaced.
+        regime: The station/month cloud regime.
+        rng: Seeded random generator (sole source of randomness).
+
+    Returns:
+        Array of clearness values in ``[0.05, 1.0]``, same shape as
+        ``minutes``.
+    """
+    span_hours = float(minutes[-1] - minutes[0]) / 60.0
+    clearness = np.full_like(minutes, regime.base_clearness, dtype=float)
+
+    # Discrete cloud events: Poisson count over the window.
+    n_events = rng.poisson(regime.events_per_hour * span_hours)
+    for _ in range(n_events):
+        center = rng.uniform(minutes[0], minutes[-1])
+        duration = rng.gamma(shape=2.0, scale=regime.event_minutes / 2.0)
+        depth = float(np.clip(rng.normal(regime.event_depth, 0.15), 0.0, 0.95))
+        clearness *= 1.0 - _cloud_event_profile(minutes, center, duration, depth)
+
+    # Fast jitter: AR(1) noise scaled by the regime volatility.
+    if regime.volatility > 0.0:
+        noise = np.empty_like(clearness)
+        state = 0.0
+        innovations = rng.normal(0.0, regime.volatility, size=len(clearness))
+        for i, eps in enumerate(innovations):
+            state = _JITTER_POLE * state + eps
+            noise[i] = state
+        clearness *= 1.0 + noise
+
+    return np.clip(clearness, _MIN_CLEARNESS, 1.0)

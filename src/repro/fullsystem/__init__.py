@@ -1,0 +1,28 @@
+"""Full-system extension: memory/disk/NIC load adaptation (paper Section 8)."""
+
+from repro.fullsystem.component import TunableComponent
+from repro.fullsystem.disk import DRPMDisk
+from repro.fullsystem.memory import DRAMSystem, MemoryState, ddr2_4gb
+from repro.fullsystem.nic import LinkRate, NetworkInterface
+from repro.fullsystem.simulation import (
+    FullSystemDayResult,
+    default_server,
+    run_day_fullsystem,
+)
+from repro.fullsystem.system import DEFAULT_WEIGHTS, FullSystemLoad, SystemTuner
+
+__all__ = [
+    "TunableComponent",
+    "DRAMSystem",
+    "MemoryState",
+    "ddr2_4gb",
+    "DRPMDisk",
+    "NetworkInterface",
+    "LinkRate",
+    "FullSystemLoad",
+    "SystemTuner",
+    "DEFAULT_WEIGHTS",
+    "FullSystemDayResult",
+    "run_day_fullsystem",
+    "default_server",
+]

@@ -1,0 +1,88 @@
+"""Common interface for tunable full-system components (paper Section 8).
+
+The paper's future work extends load adaptation beyond the processor to
+"other hardware components such as memory, disk and network interface".
+Each component exposes the same contract the cores do: an ordered ladder of
+operating *levels*, each with a power draw and a service-rate (throughput
+proxy), so the throughput-power-ratio machinery generalizes directly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["TunableComponent"]
+
+
+class TunableComponent(ABC):
+    """A device with an ordered power/performance level ladder.
+
+    Level 0 is the lowest-power state; higher levels serve faster.  The
+    *service* unit is component-specific (GB/s for memory, MB/s for disk,
+    Mb/s for the NIC); the system tuner normalizes by each component's
+    weight when trading them off.
+    """
+
+    name: str = "component"
+
+    @property
+    @abstractmethod
+    def n_levels(self) -> int:
+        """Number of operating levels."""
+
+    @property
+    @abstractmethod
+    def level(self) -> int:
+        """Current operating level."""
+
+    @abstractmethod
+    def set_level(self, level: int) -> None:
+        """Move to an operating level (raises IndexError out of range)."""
+
+    @abstractmethod
+    def power_at_level(self, level: int) -> float:
+        """Power draw [W] at a level."""
+
+    @abstractmethod
+    def service_at_level(self, level: int) -> float:
+        """Service rate (component-specific units) at a level."""
+
+    # ------------------------------------------------------------------
+    # Derived helpers shared by all components
+    # ------------------------------------------------------------------
+    def _check(self, level: int) -> int:
+        if not 0 <= level < self.n_levels:
+            raise IndexError(
+                f"{self.name}: level {level} out of range [0, {self.n_levels - 1}]"
+            )
+        return level
+
+    @property
+    def power(self) -> float:
+        """Power draw [W] at the current level."""
+        return self.power_at_level(self.level)
+
+    @property
+    def service(self) -> float:
+        """Service rate at the current level."""
+        return self.service_at_level(self.level)
+
+    def upgrade_ratio(self) -> float | None:
+        """Service gained per watt for one level up (None at the top)."""
+        if self.level >= self.n_levels - 1:
+            return None
+        d_service = self.service_at_level(self.level + 1) - self.service
+        d_power = self.power_at_level(self.level + 1) - self.power
+        if d_power <= 0.0:
+            return None
+        return d_service / d_power
+
+    def downgrade_ratio(self) -> float | None:
+        """Service lost per watt for one level down (None at the bottom)."""
+        if self.level <= 0:
+            return None
+        d_service = self.service - self.service_at_level(self.level - 1)
+        d_power = self.power - self.power_at_level(self.level - 1)
+        if d_power <= 0.0:
+            return None
+        return d_service / d_power

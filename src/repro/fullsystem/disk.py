@@ -1,0 +1,77 @@
+"""DRPM-style disk with dynamic rotation-speed control (paper ref [17]).
+
+Gurumurthi et al.'s DRPM lets server disks serve requests at multiple
+rotational speeds.  Spindle power grows roughly with the cube of RPM
+(windage dominates); sustained transfer rate grows linearly with RPM.
+This is precisely the storage knob the paper suggests coupling to the MPP
+tracker (Section 4.3's closing remark).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fullsystem.component import TunableComponent
+
+__all__ = ["DRPMDisk"]
+
+
+class DRPMDisk(TunableComponent):
+    """A multi-speed (DRPM) disk drive.
+
+    Args:
+        rpm_levels: Ascending rotational speeds [RPM].
+        power_at_max_w: Spindle+electronics power at the top speed [W].
+        idle_electronics_w: Speed-independent electronics power [W].
+        transfer_at_max_mbs: Sustained transfer rate at top speed [MB/s].
+        demand_mbs: Workload's requested IO rate [MB/s].
+    """
+
+    name = "disk"
+
+    def __init__(
+        self,
+        rpm_levels: tuple[int, ...] = (3600, 5400, 7200, 10000, 12000, 15000),
+        power_at_max_w: float = 13.0,
+        idle_electronics_w: float = 2.5,
+        transfer_at_max_mbs: float = 120.0,
+        demand_mbs: float = 80.0,
+    ) -> None:
+        if len(rpm_levels) < 2:
+            raise ValueError("a DRPM disk needs at least two speeds")
+        if list(rpm_levels) != sorted(rpm_levels):
+            raise ValueError("rpm_levels must be ascending")
+        if power_at_max_w <= idle_electronics_w:
+            raise ValueError("top-speed power must exceed idle electronics power")
+        self.rpm_levels = rpm_levels
+        self.power_at_max_w = power_at_max_w
+        self.idle_electronics_w = idle_electronics_w
+        self.transfer_at_max_mbs = transfer_at_max_mbs
+        self.demand_mbs = demand_mbs
+        self._level = len(rpm_levels) - 1
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.rpm_levels)
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    def set_level(self, level: int) -> None:
+        self._level = self._check(level)
+
+    def rpm_at_level(self, level: int) -> int:
+        """Rotational speed [RPM] at a level."""
+        return self.rpm_levels[self._check(level)]
+
+    def power_at_level(self, level: int) -> float:
+        """Electronics plus cubic-in-RPM spindle power [W]."""
+        rpm_ratio = self.rpm_at_level(level) / self.rpm_levels[-1]
+        spindle_max = self.power_at_max_w - self.idle_electronics_w
+        return self.idle_electronics_w + spindle_max * float(np.power(rpm_ratio, 3))
+
+    def service_at_level(self, level: int) -> float:
+        """Served IO rate [MB/s]: demand capped by the speed's capability."""
+        rpm_ratio = self.rpm_at_level(level) / self.rpm_levels[-1]
+        return min(self.demand_mbs, self.transfer_at_max_mbs * rpm_ratio)

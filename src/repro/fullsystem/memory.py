@@ -1,0 +1,98 @@
+"""DRAM subsystem with power-state laddering.
+
+Models a DDR-class memory system as a ladder from self-refresh (data
+retained, no service) through power-down to full-bandwidth active modes
+with increasing numbers of open ranks.  Power splits into a per-level
+background component plus an activity component proportional to served
+bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fullsystem.component import TunableComponent
+
+__all__ = ["MemoryState", "DRAMSystem", "ddr2_4gb"]
+
+
+@dataclass(frozen=True)
+class MemoryState:
+    """One memory power state.
+
+    Attributes:
+        name: State label.
+        background_w: Background power at this state [W].
+        peak_bandwidth_gbs: Achievable bandwidth [GB/s] (0 in retention
+            states).
+    """
+
+    name: str
+    background_w: float
+    peak_bandwidth_gbs: float
+
+    def __post_init__(self) -> None:
+        if self.background_w < 0 or self.peak_bandwidth_gbs < 0:
+            raise ValueError(f"negative parameter in memory state {self.name}")
+
+
+def ddr2_4gb() -> list[MemoryState]:
+    """A 4 GB DDR2-class ladder contemporary with the paper's 90 nm chip."""
+    return [
+        MemoryState("self-refresh", 0.8, 0.0),
+        MemoryState("power-down", 2.0, 1.0),
+        MemoryState("active-1rank", 5.0, 3.2),
+        MemoryState("active-2rank", 8.0, 6.4),
+        MemoryState("active-4rank", 12.0, 12.8),
+    ]
+
+
+class DRAMSystem(TunableComponent):
+    """A DRAM system on the power-state ladder.
+
+    Args:
+        states: Ordered states, lowest power first.
+        energy_per_gb_j: Activity energy per gigabyte transferred [J/GB].
+        demand_gbs: Bandwidth the workload asks for [GB/s]; service is the
+            min of demand and the state's peak.
+    """
+
+    name = "memory"
+
+    def __init__(
+        self,
+        states: list[MemoryState] | None = None,
+        energy_per_gb_j: float = 0.5,
+        demand_gbs: float = 8.0,
+    ) -> None:
+        self.states = states or ddr2_4gb()
+        if len(self.states) < 2:
+            raise ValueError("memory needs at least two power states")
+        if energy_per_gb_j < 0:
+            raise ValueError(f"energy_per_gb_j must be >= 0, got {energy_per_gb_j}")
+        if demand_gbs < 0:
+            raise ValueError(f"demand_gbs must be >= 0, got {demand_gbs}")
+        self.energy_per_gb_j = energy_per_gb_j
+        self.demand_gbs = demand_gbs
+        self._level = len(self.states) - 1
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.states)
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    def set_level(self, level: int) -> None:
+        self._level = self._check(level)
+
+    def service_at_level(self, level: int) -> float:
+        """Served bandwidth [GB/s]: demand capped by the state's peak."""
+        state = self.states[self._check(level)]
+        return min(self.demand_gbs, state.peak_bandwidth_gbs)
+
+    def power_at_level(self, level: int) -> float:
+        """Background plus activity power [W] at a level."""
+        state = self.states[self._check(level)]
+        return state.background_w + self.energy_per_gb_j * self.service_at_level(level)

@@ -1,0 +1,82 @@
+"""Network interface with link-rate scaling.
+
+Ethernet PHYs negotiate discrete link rates with strongly rate-dependent
+power (a 1 GbE PHY burns several times a 100 Mb/s link).  The NIC is the
+smallest knob in the full-system ladder but rounds out the paper's
+Section 8 component list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fullsystem.component import TunableComponent
+
+__all__ = ["LinkRate", "NetworkInterface"]
+
+
+@dataclass(frozen=True)
+class LinkRate:
+    """One negotiated link rate.
+
+    Attributes:
+        mbps: Link speed [Mb/s].
+        power_w: NIC power at this rate [W].
+    """
+
+    mbps: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.mbps <= 0 or self.power_w < 0:
+            raise ValueError(f"invalid link rate {self}")
+
+
+class NetworkInterface(TunableComponent):
+    """A rate-scalable NIC.
+
+    Args:
+        rates: Ascending link rates.
+        demand_mbps: Offered network load [Mb/s].
+    """
+
+    name = "nic"
+
+    def __init__(
+        self,
+        rates: tuple[LinkRate, ...] = (
+            LinkRate(10.0, 0.3),
+            LinkRate(100.0, 0.7),
+            LinkRate(1000.0, 2.2),
+        ),
+        demand_mbps: float = 400.0,
+    ) -> None:
+        if len(rates) < 2:
+            raise ValueError("a NIC needs at least two link rates")
+        speeds = [r.mbps for r in rates]
+        if speeds != sorted(speeds):
+            raise ValueError("link rates must be ascending")
+        if demand_mbps < 0:
+            raise ValueError(f"demand_mbps must be >= 0, got {demand_mbps}")
+        self.rates = rates
+        self.demand_mbps = demand_mbps
+        self._level = len(rates) - 1
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.rates)
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    def set_level(self, level: int) -> None:
+        self._level = self._check(level)
+
+    def power_at_level(self, level: int) -> float:
+        """NIC power [W] at a link rate."""
+        return self.rates[self._check(level)].power_w
+
+    def service_at_level(self, level: int) -> float:
+        """Served traffic [Mb/s]: offered load capped by the link rate."""
+        return min(self.demand_mbps, self.rates[self._check(level)].mbps)

@@ -1,0 +1,198 @@
+"""Day-long full-system solar simulation (the Section 8 scenario).
+
+Like :func:`repro.core.simulation.run_day`, but the PV array powers the
+*whole server* — chip, memory, disk, and NIC — and the controller's load
+knob is the cross-component :class:`~repro.fullsystem.system.SystemTuner`.
+The array defaults to two parallel BP3180N modules: a server draws roughly
+twice what its processor alone does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SolarCoreConfig
+from repro.core.controller import SolarCoreController
+from repro.environment.irradiance import generate_trace
+from repro.environment.locations import Location
+from repro.environment.trace import EnvironmentTrace
+from repro.fullsystem.disk import DRPMDisk
+from repro.fullsystem.memory import DRAMSystem
+from repro.fullsystem.nic import NetworkInterface
+from repro.fullsystem.system import FullSystemLoad, SystemTuner
+from repro.multicore.chip import MultiCoreChip
+from repro.power.converter import DCDCConverter
+from repro.power.psu import AutomaticTransferSwitch, PowerSource
+from repro.pv.array import PVArray
+from repro.pv.mpp import find_mpp
+from repro.workloads.mixes import WorkloadMix, mix as mix_by_name
+
+__all__ = ["FullSystemDayResult", "run_day_fullsystem", "default_server"]
+
+
+def default_server(workload: WorkloadMix) -> FullSystemLoad:
+    """A server built from the default chip, memory, disk, and NIC."""
+    return FullSystemLoad(
+        chip=MultiCoreChip(workload),
+        components=[DRAMSystem(), DRPMDisk(), NetworkInterface()],
+    )
+
+
+@dataclass(frozen=True)
+class FullSystemDayResult:
+    """Measurements of one full-system solar day.
+
+    Attributes:
+        mix_name: Workload mix on the chip.
+        location_code: Station code.
+        month: Calendar month.
+        minutes: Sample times.
+        mpp_w: Panel MPP power per step [W].
+        consumed_w: Server power drawn from the panel per step [W].
+        utility_w: Server power drawn from the grid per step [W].
+        chip_throughput_gips: Chip throughput per step.
+        system_utility: Weighted normalized system service per step.
+        on_solar: Whether the server ran from the panel per step.
+    """
+
+    mix_name: str
+    location_code: str
+    month: int
+    minutes: np.ndarray
+    mpp_w: np.ndarray
+    consumed_w: np.ndarray
+    utility_w: np.ndarray
+    chip_throughput_gips: np.ndarray
+    system_utility: np.ndarray
+    on_solar: np.ndarray
+
+    @property
+    def step_minutes(self) -> float:
+        """Simulation step [minutes]."""
+        return float(self.minutes[1] - self.minutes[0])
+
+    @property
+    def energy_utilization(self) -> float:
+        """Solar energy consumed / theoretical maximum supply."""
+        available = float(np.sum(self.mpp_w))
+        if available <= 0.0:
+            return 0.0
+        return float(np.sum(self.consumed_w[self.on_solar])) / available
+
+    @property
+    def effective_duration_fraction(self) -> float:
+        """Fraction of daytime the server ran from the panel."""
+        return float(np.mean(self.on_solar))
+
+    @property
+    def mean_system_utility(self) -> float:
+        """Average weighted service level over the day."""
+        return float(np.mean(self.system_utility))
+
+
+def run_day_fullsystem(
+    workload: WorkloadMix | str,
+    location: Location,
+    month: int,
+    config: SolarCoreConfig | None = None,
+    array: PVArray | None = None,
+    trace: EnvironmentTrace | None = None,
+    seed: int | None = None,
+    server: FullSystemLoad | None = None,
+) -> FullSystemDayResult:
+    """Simulate one day of a fully solar-powered server.
+
+    Args:
+        workload: Chip workload mix (name or object).
+        location: Station to simulate.
+        month: Calendar month.
+        config: Controller/simulation parameters.
+        array: PV array; defaults to 2 parallel BP3180N modules (server
+            scale).
+        trace: Pre-generated environment trace.
+        seed: Environment seed when ``trace`` is not given.
+        server: Pre-built server (defaults to chip + DRAM + DRPM disk + NIC).
+
+    Returns:
+        A :class:`FullSystemDayResult`.
+    """
+    cfg = config or SolarCoreConfig()
+    workload = _resolve(workload)
+    array = array or PVArray(modules_parallel=2)
+    if trace is None:
+        trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
+
+    system = server or default_server(workload)
+    system.chip.set_all_levels(system.chip.table.min_level)
+    for component in system.components:
+        component.set_level(0)
+
+    converter = DCDCConverter()
+    controller = SolarCoreController(array, converter, system, SystemTuner(), cfg)
+    ats = AutomaticTransferSwitch(cfg.ats_margin)
+
+    minutes, mpps, consumed, utility, throughput, utilities, on_solar = (
+        [], [], [], [], [], [], []
+    )
+    last_track = -float("inf")
+    prev_source = PowerSource.UTILITY
+    dt = cfg.step_minutes
+
+    for i in range(len(trace.minutes) - 1):
+        minute = float(trace.minutes[i])
+        irradiance = float(trace.irradiance[i])
+        ambient = float(trace.ambient_c[i])
+        cell_temp = array.cell_temperature_from_ambient(irradiance, ambient)
+        mpp = find_mpp(array, irradiance, cell_temp)
+
+        source = ats.update(mpp.power, system.floor_power_at(minute, cfg.enable_pcpg))
+        if source is PowerSource.SOLAR:
+            if prev_source is not PowerSource.SOLAR:
+                system.chip.ungate_all()
+                system.chip.set_all_levels(system.chip.table.min_level)
+                for component in system.components:
+                    component.set_level(0)
+                last_track = -float("inf")
+            if minute - last_track >= cfg.tracking_interval_min:
+                controller.track(irradiance, cell_temp, minute)
+                last_track = minute
+            drawn = min(system.total_power_at(minute), mpp.power)
+            grid = 0.0
+        else:
+            system.chip.ungate_all()
+            system.chip.set_all_levels(system.chip.table.max_level)
+            for component in system.components:
+                component.set_level(component.n_levels - 1)
+            drawn = 0.0
+            grid = system.total_power_at(minute)
+
+        system.chip.advance(minute, dt)
+        minutes.append(minute)
+        mpps.append(mpp.power)
+        consumed.append(drawn)
+        utility.append(grid)
+        throughput.append(system.chip.total_throughput_at(minute))
+        utilities.append(system.utility_at(minute))
+        on_solar.append(source is PowerSource.SOLAR)
+        prev_source = source
+
+    return FullSystemDayResult(
+        mix_name=workload.name,
+        location_code=location.code,
+        month=month,
+        minutes=np.array(minutes),
+        mpp_w=np.array(mpps),
+        consumed_w=np.array(consumed),
+        utility_w=np.array(utility),
+        chip_throughput_gips=np.array(throughput),
+        system_utility=np.array(utilities),
+        on_solar=np.array(on_solar, dtype=bool),
+    )
+
+
+def _resolve(workload: WorkloadMix | str) -> WorkloadMix:
+    if isinstance(workload, str):
+        return mix_by_name(workload)
+    return workload

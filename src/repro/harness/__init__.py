@@ -1,0 +1,78 @@
+"""Experiment harness: cached runner, per-figure experiments, reporting."""
+
+from repro.harness.experiments import (
+    BATTERY_BOUNDS,
+    DEFAULT_BUDGETS_W,
+    POLICIES,
+    TrackingTrace,
+    fig01_fixed_load_utilization,
+    fig04_cell_curves,
+    fig06_module_irradiance_curves,
+    fig07_module_temperature_curves,
+    fig13_14_tracking,
+    fig15_duration_vs_threshold,
+    fig16_energy_vs_threshold,
+    fig17_ptp_vs_threshold,
+    fig18_energy_utilization,
+    fig19_effective_duration,
+    fig20_utilization_vs_duration,
+    fig21_normalized_ptp,
+    table7_tracking_error,
+)
+from repro.harness.reporting import (
+    format_series,
+    format_table,
+    render_fig18,
+    render_fig21_summary,
+    render_table7,
+    sparkline,
+)
+from repro.harness.export import day_to_csv, day_to_json, table_to_csv
+from repro.harness.paper_summary import (
+    HeadlineClaim,
+    render_headlines,
+    reproduce_headlines,
+)
+from repro.harness.runner import SimulationRunner, default_runner
+from repro.harness.validation import (
+    ValidationCase,
+    ValidationReport,
+    validate_mppt,
+)
+
+__all__ = [
+    "ValidationCase",
+    "ValidationReport",
+    "validate_mppt",
+    "HeadlineClaim",
+    "reproduce_headlines",
+    "render_headlines",
+    "day_to_csv",
+    "day_to_json",
+    "table_to_csv",
+    "SimulationRunner",
+    "default_runner",
+    "POLICIES",
+    "BATTERY_BOUNDS",
+    "DEFAULT_BUDGETS_W",
+    "TrackingTrace",
+    "fig01_fixed_load_utilization",
+    "fig04_cell_curves",
+    "fig06_module_irradiance_curves",
+    "fig07_module_temperature_curves",
+    "fig13_14_tracking",
+    "table7_tracking_error",
+    "fig15_duration_vs_threshold",
+    "fig16_energy_vs_threshold",
+    "fig17_ptp_vs_threshold",
+    "fig18_energy_utilization",
+    "fig19_effective_duration",
+    "fig20_utilization_vs_duration",
+    "fig21_normalized_ptp",
+    "format_table",
+    "format_series",
+    "render_table7",
+    "render_fig18",
+    "render_fig21_summary",
+    "sparkline",
+]

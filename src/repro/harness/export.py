@@ -1,0 +1,114 @@
+"""Export simulation results to CSV/JSON for external analysis.
+
+The repository's own reporting is ASCII; anyone regenerating the paper's
+figures in a plotting tool needs the raw series.  ``day_to_csv`` dumps a
+:class:`~repro.core.simulation.DayResult`'s time series; ``table_to_csv``
+flattens the nested dict structures the experiment functions return;
+``day_to_json`` serializes the full result including scalar metrics.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections.abc import Mapping
+from pathlib import Path
+
+from repro.core.simulation import DayResult
+
+__all__ = ["day_to_csv", "day_to_json", "table_to_csv"]
+
+
+def day_to_csv(day: DayResult, destination: str | Path | io.TextIOBase) -> None:
+    """Write a day's time series as CSV.
+
+    Columns: minute, mpp_w, consumed_w, throughput_gips, on_solar.
+    """
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="") as handle:
+            day_to_csv(day, handle)
+        return
+    writer = csv.writer(destination)
+    writer.writerow(["minute", "mpp_w", "consumed_w", "throughput_gips", "on_solar"])
+    for i in range(len(day.minutes)):
+        writer.writerow([
+            f"{day.minutes[i]:.1f}",
+            f"{day.mpp_w[i]:.3f}",
+            f"{day.consumed_w[i]:.3f}",
+            f"{day.throughput_gips[i]:.4f}",
+            int(day.on_solar[i]),
+        ])
+
+
+def day_to_json(day: DayResult, destination: str | Path | io.TextIOBase | None = None) -> str:
+    """Serialize a day result (series + derived metrics) as JSON.
+
+    Returns the JSON text; also writes it when a destination is given.
+    """
+    payload = {
+        "mix": day.mix_name,
+        "location": day.location_code,
+        "month": day.month,
+        "policy": day.policy,
+        "metrics": {
+            "energy_utilization": day.energy_utilization,
+            "effective_duration_fraction": day.effective_duration_fraction,
+            "mean_tracking_error": day.mean_tracking_error,
+            "ptp_ginst": day.ptp,
+            "solar_available_wh": day.solar_available_wh,
+            "solar_used_wh": day.solar_used_wh,
+            "utility_wh": day.utility_wh,
+            "tracking_events": day.tracking_events,
+            "dvfs_transitions": day.dvfs_transitions,
+        },
+        "series": {
+            "minute": [float(v) for v in day.minutes],
+            "mpp_w": [round(float(v), 3) for v in day.mpp_w],
+            "consumed_w": [round(float(v), 3) for v in day.consumed_w],
+            "throughput_gips": [round(float(v), 4) for v in day.throughput_gips],
+            "on_solar": [bool(v) for v in day.on_solar],
+        },
+    }
+    text = json.dumps(payload, indent=2)
+    if destination is not None:
+        if isinstance(destination, (str, Path)):
+            Path(destination).write_text(text)
+        else:
+            destination.write(text)
+    return text
+
+
+def table_to_csv(
+    table: Mapping,
+    destination: str | Path | io.TextIOBase,
+    key_names: tuple[str, ...] = ("key",),
+) -> None:
+    """Flatten a nested experiment table into CSV rows.
+
+    Keys that are tuples are split across the ``key_names`` columns; values
+    that are mappings become one column per entry, otherwise a single
+    ``value`` column.
+    """
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="") as handle:
+            table_to_csv(table, handle, key_names)
+        return
+    writer = csv.writer(destination)
+    first_value = next(iter(table.values()), None)
+    if isinstance(first_value, Mapping):
+        value_columns = list(first_value.keys())
+    else:
+        value_columns = ["value"]
+    writer.writerow(list(key_names) + [str(c) for c in value_columns])
+    for key, value in table.items():
+        key_cells = list(key) if isinstance(key, tuple) else [key]
+        if len(key_cells) != len(key_names):
+            raise ValueError(
+                f"key {key!r} has {len(key_cells)} parts, expected {len(key_names)}"
+            )
+        if isinstance(value, Mapping):
+            cells = [value[c] for c in value_columns]
+        else:
+            cells = [value]
+        writer.writerow([str(c) for c in key_cells] + [f"{v}" for v in cells])

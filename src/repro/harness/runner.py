@@ -1,0 +1,100 @@
+"""Cached execution of day simulations for the experiment harness.
+
+Most figures slice the same underlying grid of day simulations
+(location x month x mix x policy).  ``SimulationRunner`` memoizes each day
+run so the whole benchmark suite pays for every distinct simulation exactly
+once per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.core.config import SolarCoreConfig
+from repro.core.simulation import (
+    BatteryDayResult,
+    DayResult,
+    run_day,
+    run_day_battery,
+    run_day_fixed,
+)
+from repro.environment.locations import Location, location_by_code
+
+__all__ = ["SimulationRunner", "default_runner"]
+
+
+def _config_key(config: SolarCoreConfig) -> tuple:
+    return tuple(getattr(config, f.name) for f in fields(config))
+
+
+class SimulationRunner:
+    """Runs and memoizes day simulations.
+
+    Args:
+        config: Simulation configuration shared by every run.
+    """
+
+    def __init__(self, config: SolarCoreConfig | None = None) -> None:
+        self.config = config or SolarCoreConfig()
+        self._days: dict[tuple, DayResult] = {}
+        self._battery: dict[tuple, BatteryDayResult] = {}
+
+    def _resolve(self, location: Location | str) -> Location:
+        if isinstance(location, str):
+            return location_by_code(location)
+        return location
+
+    def day(
+        self,
+        mix_name: str,
+        location: Location | str,
+        month: int,
+        policy: str = "MPPT&Opt",
+    ) -> DayResult:
+        """A (cached) SolarCore day simulation."""
+        loc = self._resolve(location)
+        key = ("mppt", mix_name, loc.code, month, policy, _config_key(self.config))
+        if key not in self._days:
+            self._days[key] = run_day(mix_name, loc, month, policy, config=self.config)
+        return self._days[key]
+
+    def fixed_day(
+        self,
+        mix_name: str,
+        location: Location | str,
+        month: int,
+        budget_w: float,
+    ) -> DayResult:
+        """A (cached) Fixed-Power day simulation."""
+        loc = self._resolve(location)
+        key = ("fixed", mix_name, loc.code, month, budget_w, _config_key(self.config))
+        if key not in self._days:
+            self._days[key] = run_day_fixed(
+                mix_name, loc, month, budget_w, config=self.config
+            )
+        return self._days[key]
+
+    def battery_day(
+        self,
+        mix_name: str,
+        location: Location | str,
+        month: int,
+        derating: float,
+    ) -> BatteryDayResult:
+        """A (cached) battery-baseline day simulation."""
+        loc = self._resolve(location)
+        key = ("battery", mix_name, loc.code, month, derating, _config_key(self.config))
+        if key not in self._battery:
+            self._battery[key] = run_day_battery(
+                mix_name, loc, month, derating, config=self.config
+            )
+        return self._battery[key]
+
+    @property
+    def cached_runs(self) -> int:
+        """Number of distinct simulations held in the cache."""
+        return len(self._days) + len(self._battery)
+
+
+#: Process-wide runner shared by the benchmark suite.
+default_runner = SimulationRunner()

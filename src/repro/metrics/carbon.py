@@ -1,0 +1,103 @@
+"""Carbon-footprint accounting (the paper's motivating metric).
+
+The paper's abstract frames SolarCore as "the first step on maximally
+reducing the carbon footprint of computing systems through the usage of
+renewable energy sources".  This module quantifies that step: every
+solar-powered watt-hour displaces a grid watt-hour whose carbon intensity
+depends on the regional generation mix.
+
+Intensities are 2009-era US eGRID-style subregion averages [kg CO2 / kWh],
+matching the paper's timeframe.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.simulation import DayResult
+
+__all__ = ["GRID_INTENSITY_KG_PER_KWH", "CarbonReport", "carbon_report"]
+
+#: Grid carbon intensity per station region [kg CO2 / kWh], ~2009 eGRID.
+GRID_INTENSITY_KG_PER_KWH = {
+    "PFCI": 0.53,  # AZ: AZNM subregion (gas/nuclear/coal mix)
+    "BMS": 0.87,   # CO: RMPA subregion (coal-heavy)
+    "ECSU": 0.51,  # NC: SRVC subregion
+    "ORNL": 0.61,  # TN: SRTV subregion
+}
+
+#: Fallback intensity when a station is not in the table [kg CO2 / kWh].
+DEFAULT_INTENSITY = 0.60
+
+
+@dataclass(frozen=True)
+class CarbonReport:
+    """Carbon accounting over a set of simulated days.
+
+    Attributes:
+        solar_kwh: Renewable energy the chip consumed [kWh].
+        utility_kwh: Grid energy the chip consumed [kWh].
+        avoided_kg: CO2 displaced by the solar share [kg].
+        emitted_kg: CO2 emitted by the grid share [kg].
+    """
+
+    solar_kwh: float
+    utility_kwh: float
+    avoided_kg: float
+    emitted_kg: float
+
+    @property
+    def green_fraction(self) -> float:
+        """Solar share of the chip's total energy."""
+        total = self.solar_kwh + self.utility_kwh
+        if total <= 0.0:
+            return 0.0
+        return self.solar_kwh / total
+
+    @property
+    def reduction_fraction(self) -> float:
+        """Fraction of the all-grid footprint avoided."""
+        baseline = self.avoided_kg + self.emitted_kg
+        if baseline <= 0.0:
+            return 0.0
+        return self.avoided_kg / baseline
+
+
+def carbon_report(
+    results: Iterable[DayResult],
+    intensity_kg_per_kwh: float | None = None,
+) -> CarbonReport:
+    """Account the carbon impact of a set of day simulations.
+
+    Args:
+        results: Day results (possibly spanning stations).
+        intensity_kg_per_kwh: Override grid intensity; by default each
+            day uses its station's regional intensity.
+
+    Returns:
+        The aggregated :class:`CarbonReport`.
+    """
+    solar_kwh = utility_kwh = avoided = emitted = 0.0
+    seen_any = False
+    for day in results:
+        seen_any = True
+        intensity = (
+            intensity_kg_per_kwh
+            if intensity_kg_per_kwh is not None
+            else GRID_INTENSITY_KG_PER_KWH.get(day.location_code, DEFAULT_INTENSITY)
+        )
+        day_solar = day.solar_used_wh / 1000.0
+        day_utility = day.utility_wh / 1000.0
+        solar_kwh += day_solar
+        utility_kwh += day_utility
+        avoided += day_solar * intensity
+        emitted += day_utility * intensity
+    if not seen_any:
+        raise ValueError("no results to account")
+    return CarbonReport(
+        solar_kwh=solar_kwh,
+        utility_kwh=utility_kwh,
+        avoided_kg=avoided,
+        emitted_kg=emitted,
+    )

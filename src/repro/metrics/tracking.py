@@ -1,0 +1,46 @@
+"""MPP tracking accuracy metrics (paper Section 6.1, Table 7).
+
+The relative tracking error in a tracking period is ``|P - B| / B`` where
+``P`` is the actual load power and ``B`` the maximal power budget (the MPP
+power).  Table 7 reports one value per (location, month, workload).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.simulation import DayResult
+
+__all__ = ["relative_tracking_error", "tracking_error_table"]
+
+
+def relative_tracking_error(result: DayResult) -> float:
+    """Mean relative tracking error of one simulated day."""
+    return result.mean_tracking_error
+
+
+def tracking_error_table(
+    results: Iterable[DayResult],
+) -> dict[tuple[str, int, str], float]:
+    """Build Table 7: (location, month, mix) -> mean relative error."""
+    table: dict[tuple[str, int, str], float] = {}
+    for result in results:
+        key = (result.location_code, result.month, result.mix_name)
+        if key in table:
+            raise ValueError(f"duplicate day result for {key}")
+        table[key] = relative_tracking_error(result)
+    return table
+
+
+def summarize_errors(errors: Iterable[float]) -> dict[str, float]:
+    """Mean/min/max summary of a collection of tracking errors."""
+    arr = np.asarray(list(errors), dtype=float)
+    if len(arr) == 0:
+        raise ValueError("no errors to summarize")
+    return {
+        "mean": float(np.mean(arr)),
+        "min": float(np.min(arr)),
+        "max": float(np.max(arr)),
+    }

@@ -1,0 +1,13 @@
+"""Conventional MPPT algorithms (hill climbers on the converter alone)."""
+
+from repro.mppt.base import MPPTAlgorithm, TrackerRun, run_tracker
+from repro.mppt.incremental_conductance import IncrementalConductance
+from repro.mppt.perturb_observe import PerturbObserve
+
+__all__ = [
+    "MPPTAlgorithm",
+    "TrackerRun",
+    "run_tracker",
+    "PerturbObserve",
+    "IncrementalConductance",
+]

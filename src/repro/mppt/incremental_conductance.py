@@ -1,0 +1,60 @@
+"""Incremental-conductance MPPT (paper reference [33], Esram & Chapman).
+
+Uses the MPP condition ``dP/dV = 0``, i.e. ``dI/dV = -I/V``: when the
+incremental conductance exceeds the negative instantaneous conductance the
+operating point is left of the MPP (raise the PV voltage), and vice versa.
+Unlike P&O it can detect arrival at the MPP and hold still, removing the
+steady-state oscillation.
+"""
+
+from __future__ import annotations
+
+from repro.mppt.base import MPPTAlgorithm
+from repro.power.converter import DCDCConverter
+from repro.power.operating_point import OperatingPoint
+
+__all__ = ["IncrementalConductance"]
+
+
+class IncrementalConductance(MPPTAlgorithm):
+    """Incremental conductance on the transfer ratio.
+
+    Raising ``k`` raises the PV-side voltage (the load reflects as
+    ``k^2 * R``), so "move right" maps to ``step_up``.
+    """
+
+    name = "IncCond"
+
+    def __init__(self, converter: DCDCConverter, tolerance: float = 0.02) -> None:
+        super().__init__(converter)
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+        self.tolerance = tolerance
+        self._last: OperatingPoint | None = None
+
+    def reset(self) -> None:
+        self._last = None
+
+    def step(self, point: OperatingPoint) -> None:
+        if self._last is None or point.pv_voltage == self._last.pv_voltage:
+            # No voltage increment to differentiate against: probe upward.
+            self.converter.step_up()
+            self._last = point
+            return
+
+        dv = point.pv_voltage - self._last.pv_voltage
+        di = point.pv_current - self._last.pv_current
+        incremental = di / dv
+        instantaneous = (
+            -point.pv_current / point.pv_voltage if point.pv_voltage > 0 else 0.0
+        )
+        # At the MPP, incremental == -I/V; tolerance sets the dead zone.
+        error = incremental - instantaneous
+        scale = abs(instantaneous) if instantaneous != 0.0 else 1.0
+        if abs(error) <= self.tolerance * scale:
+            pass  # holding at the MPP
+        elif error > 0:
+            self.converter.step_up()  # left of MPP: move right
+        else:
+            self.converter.step_down()  # right of MPP: move left
+        self._last = point

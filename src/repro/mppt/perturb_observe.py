@@ -1,0 +1,40 @@
+"""Perturb-and-observe MPPT (paper reference [32], Femia et al.).
+
+The classic hill climber: perturb ``k`` by one step, observe the drawn
+power; keep the direction if power rose, reverse if it fell.  At steady
+state the operating point oscillates around the MPP with an amplitude set
+by ``delta_k`` — the well-known accuracy/agility trade-off.
+"""
+
+from __future__ import annotations
+
+from repro.mppt.base import MPPTAlgorithm
+from repro.power.converter import DCDCConverter
+from repro.power.operating_point import OperatingPoint
+
+__all__ = ["PerturbObserve"]
+
+
+class PerturbObserve(MPPTAlgorithm):
+    """P&O hill climbing on the transfer ratio."""
+
+    name = "P&O"
+
+    def __init__(self, converter: DCDCConverter) -> None:
+        super().__init__(converter)
+        self._last_power: float | None = None
+        self._direction = 1  # +1 = step k up, -1 = step k down
+
+    def reset(self) -> None:
+        self._last_power = None
+        self._direction = 1
+
+    def step(self, point: OperatingPoint) -> None:
+        power = point.pv_power
+        if self._last_power is not None and power < self._last_power:
+            self._direction = -self._direction
+        self._last_power = power
+        if self._direction > 0:
+            self.converter.step_up()
+        else:
+            self.converter.step_down()

@@ -1,0 +1,184 @@
+"""The 8-core chip: aggregate power/throughput and the electrical load view.
+
+The chip is the DC load of the direct-coupled PV system.  Its electrical
+characteristic at the converter output is modeled as the effective resistance
+``R = Vrail^2 / P(w)`` where ``w`` is the vector of per-core DVFS states —
+raising frequencies lowers the impedance and draws more current, exactly the
+load-line behaviour of the paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.multicore.core import Core
+from repro.multicore.dvfs import DVFSTable, default_dvfs_table
+from repro.multicore.power_model import CorePowerModel
+from repro.workloads.mixes import WorkloadMix
+
+__all__ = ["MultiCoreChip", "NOMINAL_RAIL_V"]
+
+#: Nominal PSU rail voltage feeding the processor VRMs [V] (paper Section 4.1).
+NOMINAL_RAIL_V = 12.0
+
+
+class MultiCoreChip:
+    """An N-core chip running a multi-programmed workload mix.
+
+    Args:
+        workload: Benchmark-per-core assignment (Table 5 mix).
+        table: DVFS table shared by all cores (defaults to the paper's
+            6-level SpeedStep-like table).
+        leakage_ref_w: Per-core leakage at the top voltage [W].
+        uncore_power_w: Constant chip power [W] outside the cores' DVFS
+            domains — L2 caches, clock distribution, I/O, and uncore
+            leakage.  Drawn whenever the chip is powered; substantial at
+            the paper's 90 nm node, and the reason low-power-budget
+            operation is less efficient per instruction than full speed.
+        seed: Base seed for the per-core phase traces.
+    """
+
+    def __init__(
+        self,
+        workload: WorkloadMix,
+        table: DVFSTable | None = None,
+        leakage_ref_w: float = 1.0,
+        uncore_power_w: float = 45.0,
+        seed: int | None = None,
+    ) -> None:
+        if uncore_power_w < 0:
+            raise ValueError(f"uncore_power_w must be >= 0, got {uncore_power_w}")
+        self.workload = workload
+        self.uncore_power_w = uncore_power_w
+        self.power_model = CorePowerModel(
+            table=table or default_dvfs_table(), leakage_ref_w=leakage_ref_w
+        )
+        if seed is None:
+            seed = zlib.crc32(f"chip:{workload.name}".encode())
+        self.cores = [
+            Core(i, bench, self.power_model, seed=seed + i)
+            for i, bench in enumerate(workload.benchmarks)
+        ]
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores."""
+        return len(self.cores)
+
+    @property
+    def table(self) -> DVFSTable:
+        """The shared DVFS table."""
+        return self.power_model.table
+
+    @property
+    def levels(self) -> tuple[int, ...]:
+        """Current per-core DVFS levels."""
+        return tuple(core.level for core in self.cores)
+
+    def set_levels(self, levels: tuple[int, ...] | list[int]) -> None:
+        """Set every core's DVFS level at once."""
+        if len(levels) != self.n_cores:
+            raise ValueError(
+                f"expected {self.n_cores} levels, got {len(levels)}"
+            )
+        for core, level in zip(self.cores, levels):
+            core.set_level(level)
+
+    def set_all_levels(self, level: int) -> None:
+        """Set every core to the same DVFS level."""
+        for core in self.cores:
+            core.set_level(level)
+
+    # ------------------------------------------------------------------
+    # Aggregate observables
+    # ------------------------------------------------------------------
+    def total_power_at(self, minute: float) -> float:
+        """Chip power [W] at a time instant (cores + uncore)."""
+        return self.uncore_power_w + sum(core.power_at(minute) for core in self.cores)
+
+    def total_throughput_at(self, minute: float) -> float:
+        """Chip throughput [GIPS] at a time instant."""
+        return sum(core.throughput_at(minute) for core in self.cores)
+
+    def min_power_at(self, minute: float) -> float:
+        """Chip power [W] with every active core at the lowest level.
+
+        This is the floor the load can reach without power gating — the
+        reference for the direct-coupled system's power-transfer threshold.
+        """
+        return self.uncore_power_w + sum(
+            core.power_at_level(core.table.min_level, minute)
+            for core in self.cores
+            if not core.gated
+        )
+
+    def floor_power_at(self, minute: float, with_gating: bool = True) -> float:
+        """The minimum sustainable chip power [W].
+
+        With per-core power gating (PCPG) the floor is a single core — the
+        cheapest one — at the bottom DVFS level; without gating it is every
+        core at the bottom level (:meth:`min_power_at`).
+        """
+        if not with_gating:
+            return self.min_power_at(minute)
+        return self.uncore_power_w + min(
+            core.power_at_level(core.table.min_level, minute) for core in self.cores
+        )
+
+    def active_cores(self) -> list[Core]:
+        """The cores that are not power-gated."""
+        return [core for core in self.cores if not core.gated]
+
+    def ungate_all(self) -> None:
+        """Bring every core back online (levels are preserved)."""
+        for core in self.cores:
+            core.ungate()
+
+    def max_power_at(self, minute: float) -> float:
+        """Chip power [W] with every active core at the highest level."""
+        return self.uncore_power_w + sum(
+            core.power_at_level(core.table.max_level, minute)
+            for core in self.cores
+            if not core.gated
+        )
+
+    # ------------------------------------------------------------------
+    # Electrical load view
+    # ------------------------------------------------------------------
+    def effective_resistance(self, minute: float, rail_v: float = NOMINAL_RAIL_V) -> float:
+        """DC resistance [ohm] the chip presents at the converter output.
+
+        ``R = Vrail^2 / P``; returns ``inf`` if the chip draws no power
+        (all cores gated).
+        """
+        if rail_v <= 0:
+            raise ValueError(f"rail_v must be positive, got {rail_v}")
+        power = self.total_power_at(minute)
+        if power <= 0.0:
+            return float("inf")
+        return rail_v * rail_v / power
+
+    # ------------------------------------------------------------------
+    # Progress accounting
+    # ------------------------------------------------------------------
+    def advance(self, minute: float, dt_minutes: float) -> float:
+        """Retire instructions on every core over ``[minute, minute + dt)``.
+
+        Returns total giga-instructions retired in the interval.
+        """
+        return sum(core.advance(minute, dt_minutes) for core in self.cores)
+
+    @property
+    def retired_ginst(self) -> float:
+        """Total giga-instructions retired by all cores so far."""
+        return sum(core.retired_ginst for core in self.cores)
+
+    @property
+    def total_transitions(self) -> int:
+        """DVFS transitions performed across all cores."""
+        return sum(core.transitions for core in self.cores)
+
+    @property
+    def total_transition_volts(self) -> float:
+        """Cumulative DVFS voltage swing across all cores [V]."""
+        return sum(core.transition_volts for core in self.cores)

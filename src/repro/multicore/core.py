@@ -1,0 +1,151 @@
+"""A single core: DVFS state + workload phase behaviour + power model.
+
+Each core runs one program (trace-driven phase IPC), sits at one DVFS level,
+and can be power-gated (PCPG).  The core exposes both its *actual*
+power/throughput at a time instant and *predictions* for neighbouring DVFS
+levels — the observables the SolarCore controller derives from performance
+counters and I/V sensors when computing throughput-power ratios.
+"""
+
+from __future__ import annotations
+
+from repro.multicore.dvfs import DVFSTable
+from repro.multicore.power_model import CorePowerModel
+from repro.workloads.benchmarks import Benchmark
+from repro.workloads.phases import PhaseTrace
+
+__all__ = ["Core"]
+
+
+class Core:
+    """One core of the multi-core chip.
+
+    Args:
+        core_id: Index of this core on the chip.
+        bench: The program this core runs.
+        power_model: Shared chip power model.
+        seed: Seed for the program's phase trace.
+        initial_level: Starting DVFS level (defaults to the top level).
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        bench: Benchmark,
+        power_model: CorePowerModel,
+        seed: int | None = None,
+        initial_level: int | None = None,
+    ) -> None:
+        self.core_id = core_id
+        self.bench = bench
+        self.power_model = power_model
+        self.phase_trace = PhaseTrace(bench, seed=seed)
+        table = power_model.table
+        self._level = table.max_level if initial_level is None else initial_level
+        table[self._level]  # validate
+        self._gated = False
+        self._retired_ginst = 0.0
+        self._transitions = 0
+        self._transition_volts = 0.0
+
+    # ------------------------------------------------------------------
+    # DVFS / gating state
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> DVFSTable:
+        """The chip's DVFS table."""
+        return self.power_model.table
+
+    @property
+    def level(self) -> int:
+        """Current DVFS level."""
+        return self._level
+
+    def set_level(self, level: int) -> None:
+        """Move the core to a DVFS level (validates the index).
+
+        Real transitions (level actually changes) are counted, along with
+        the cumulative voltage swing — the inputs to VRM overhead
+        accounting (:mod:`repro.multicore.vrm`).
+        """
+        self.table[level]  # raises IndexError when out of range
+        if level != self._level:
+            self._transitions += 1
+            self._transition_volts += abs(
+                self.table.voltage(level) - self.table.voltage(self._level)
+            )
+        self._level = level
+
+    @property
+    def transitions(self) -> int:
+        """Number of real DVFS transitions performed so far."""
+        return self._transitions
+
+    @property
+    def transition_volts(self) -> float:
+        """Cumulative voltage swing across all transitions [V]."""
+        return self._transition_volts
+
+    @property
+    def gated(self) -> bool:
+        """Whether the core is power-gated (PCPG)."""
+        return self._gated
+
+    def gate(self) -> None:
+        """Power-gate the core: zero power, zero throughput."""
+        self._gated = True
+
+    def ungate(self) -> None:
+        """Restore the core from the gated state (at its stored level)."""
+        self._gated = False
+
+    # ------------------------------------------------------------------
+    # Observables
+    # ------------------------------------------------------------------
+    def ipc_at(self, minute: float) -> float:
+        """Phase IPC of the program at an absolute time [minutes]."""
+        return self.phase_trace.ipc_at(minute)
+
+    def power_at(self, minute: float) -> float:
+        """Core power [W] at a time instant (zero when gated)."""
+        if self._gated:
+            return 0.0
+        return self.power_model.total_power(
+            self._level, self.bench.epi_nj, self.ipc_at(minute)
+        )
+
+    def throughput_at(self, minute: float) -> float:
+        """Core throughput [GIPS] at a time instant (zero when gated)."""
+        if self._gated:
+            return 0.0
+        return self.power_model.throughput_gips(self._level, self.ipc_at(minute))
+
+    def power_at_level(self, level: int, minute: float) -> float:
+        """Predicted core power [W] if the core ran at ``level`` now."""
+        return self.power_model.total_power(
+            level, self.bench.epi_nj, self.ipc_at(minute)
+        )
+
+    def throughput_at_level(self, level: int, minute: float) -> float:
+        """Predicted throughput [GIPS] if the core ran at ``level`` now."""
+        return self.power_model.throughput_gips(level, self.ipc_at(minute))
+
+    # ------------------------------------------------------------------
+    # Progress accounting
+    # ------------------------------------------------------------------
+    def advance(self, minute: float, dt_minutes: float) -> float:
+        """Retire instructions over ``[minute, minute + dt)``.
+
+        Returns the giga-instructions retired in the interval and adds them
+        to the core's running total.
+        """
+        if dt_minutes < 0:
+            raise ValueError(f"dt_minutes must be non-negative, got {dt_minutes}")
+        retired = self.throughput_at(minute) * dt_minutes * 60.0
+        self._retired_ginst += retired
+        return retired
+
+    @property
+    def retired_ginst(self) -> float:
+        """Total giga-instructions retired so far."""
+        return self._retired_ginst

@@ -1,0 +1,125 @@
+"""Per-core DVFS operating points and VID encoding (paper Section 5).
+
+The paper models Intel SpeedStep-like scaling: six frequency/voltage
+operating points from 2.5 GHz / 1.45 V down to 1.0 GHz / 0.95 V in
+300 MHz / 0.1 V steps, communicated to per-core on-chip VRMs through a
+Voltage Identification Digital (VID) code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OperatingPoint", "DVFSTable", "default_dvfs_table"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVFS operating point.
+
+    Attributes:
+        frequency_ghz: Core clock frequency [GHz].
+        voltage_v: Core supply voltage [V].
+    """
+
+    frequency_ghz: float
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.frequency_ghz}")
+        if self.voltage_v <= 0:
+            raise ValueError(f"voltage must be positive, got {self.voltage_v}")
+
+
+class DVFSTable:
+    """An ordered table of DVFS operating points, slowest first.
+
+    Level 0 is the lowest V/F point; level ``len(table) - 1`` is the highest.
+    The paper's assumption that voltage scales approximately linearly with
+    frequency holds for the default table.
+    """
+
+    def __init__(self, points: list[OperatingPoint]) -> None:
+        if len(points) < 2:
+            raise ValueError("a DVFS table needs at least two operating points")
+        freqs = [p.frequency_ghz for p in points]
+        volts = [p.voltage_v for p in points]
+        if sorted(freqs) != freqs or sorted(volts) != volts:
+            raise ValueError(
+                "operating points must be ordered ascending in both F and V"
+            )
+        if len(set(freqs)) != len(freqs):
+            raise ValueError("operating-point frequencies must be distinct")
+        self._points = tuple(points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __getitem__(self, level: int) -> OperatingPoint:
+        return self._points[self._check(level)]
+
+    def _check(self, level: int) -> int:
+        if not 0 <= level < len(self._points):
+            raise IndexError(
+                f"DVFS level {level} out of range [0, {len(self._points) - 1}]"
+            )
+        return level
+
+    @property
+    def min_level(self) -> int:
+        """Lowest (slowest) level index: always 0."""
+        return 0
+
+    @property
+    def max_level(self) -> int:
+        """Highest (fastest) level index."""
+        return len(self._points) - 1
+
+    def frequency(self, level: int) -> float:
+        """Frequency [GHz] at a level."""
+        return self[level].frequency_ghz
+
+    def voltage(self, level: int) -> float:
+        """Voltage [V] at a level."""
+        return self[level].voltage_v
+
+    @property
+    def max_voltage(self) -> float:
+        """The supply voltage of the top level [V] (power-model reference)."""
+        return self._points[-1].voltage_v
+
+    @property
+    def max_frequency(self) -> float:
+        """The frequency of the top level [GHz]."""
+        return self._points[-1].frequency_ghz
+
+    def vid_bits(self) -> int:
+        """Number of VID bits needed to encode every level."""
+        return max(1, int(np.ceil(np.log2(len(self._points)))))
+
+    def vid_of(self, level: int) -> int:
+        """VID code of a level (the level index itself, zero-based)."""
+        return self._check(level)
+
+    def level_of_vid(self, vid: int) -> int:
+        """Level index encoded by a VID code."""
+        return self._check(vid)
+
+
+def default_dvfs_table(n_levels: int = 6) -> DVFSTable:
+    """The paper's SpeedStep-like table, optionally refined to more levels.
+
+    With ``n_levels=6`` this is exactly the paper's configuration
+    (1.0-2.5 GHz / 0.95-1.45 V).  Other level counts interpolate the same
+    linear V(f) relationship — used by the DVFS-granularity ablation.
+    """
+    if n_levels < 2:
+        raise ValueError(f"n_levels must be >= 2, got {n_levels}")
+    freqs = np.linspace(1.0, 2.5, n_levels)
+    volts = np.linspace(0.95, 1.45, n_levels)
+    return DVFSTable(
+        [OperatingPoint(float(f), float(v)) for f, v in zip(freqs, volts)]
+    )

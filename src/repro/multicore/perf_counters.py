@@ -1,0 +1,54 @@
+"""Performance-counter profiling (the controller's view of the chip).
+
+At the start of each tracking period the SolarCore controller reads, per
+core, the committed-instruction counters and the I/V sensors, yielding the
+(IPC, power, throughput) triple per core.  ``profile_chip`` packages that
+snapshot; the TPR optimizer consumes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.multicore.chip import MultiCoreChip
+
+__all__ = ["CoreProfile", "profile_chip"]
+
+
+@dataclass(frozen=True)
+class CoreProfile:
+    """One core's profiling snapshot at a tracking-period boundary.
+
+    Attributes:
+        core_id: Core index.
+        level: DVFS level at sampling time.
+        ipc: Phase IPC observed through the counters.
+        power_w: Core power [W] observed through the I/V sensors.
+        throughput_gips: Core throughput [GIPS].
+        gated: Whether the core is power-gated.
+    """
+
+    core_id: int
+    level: int
+    ipc: float
+    power_w: float
+    throughput_gips: float
+    gated: bool
+
+
+def profile_chip(chip: MultiCoreChip, minute: float) -> list[CoreProfile]:
+    """Profile every core of ``chip`` at an instant.
+
+    Returns one :class:`CoreProfile` per core, in core order.
+    """
+    return [
+        CoreProfile(
+            core_id=core.core_id,
+            level=core.level,
+            ipc=core.ipc_at(minute),
+            power_w=core.power_at(minute),
+            throughput_gips=core.throughput_at(minute),
+            gated=core.gated,
+        )
+        for core in chip.cores
+    ]

@@ -1,0 +1,69 @@
+"""Core-level power estimation (the Wattch/CACTI substitute).
+
+The paper extends Wattch and CACTI to take (V, f) as inputs.  At the
+granularity the SolarCore controller observes (I/V sensors at 10-minute
+tracking periods), per-core power is captured by the standard
+activity-based model:
+
+    P_dynamic = EPI_ref * (V / Vmax)^2 * IPC * f        [switching energy]
+    P_leakage = P_leak_ref * (V / Vmax)^2               [subthreshold/gate]
+
+``EPI_ref`` is the benchmark's energy-per-instruction measured at the top
+operating point — exactly how the paper classifies workloads (Table 5).
+Since f scales ~linearly with V, total core power is ~cubic in V, matching
+the paper's ``P = c * V^3`` assumption (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.multicore.dvfs import DVFSTable
+
+__all__ = ["CorePowerModel"]
+
+#: Default per-core leakage at the top voltage [W].
+DEFAULT_LEAKAGE_W = 1.0
+
+
+@dataclass(frozen=True)
+class CorePowerModel:
+    """Maps (DVFS level, activity) to core power.
+
+    Attributes:
+        table: The DVFS operating-point table.
+        leakage_ref_w: Leakage power at the top voltage [W].
+    """
+
+    table: DVFSTable
+    leakage_ref_w: float = DEFAULT_LEAKAGE_W
+
+    def dynamic_power(self, level: int, epi_nj: float, ipc: float) -> float:
+        """Dynamic power [W] of a core running at ``level``.
+
+        Args:
+            level: DVFS level index.
+            epi_nj: Energy per instruction at the top operating point [nJ].
+            ipc: Instructions per cycle at the current program phase.
+        """
+        point = self.table[level]
+        v_scale = (point.voltage_v / self.table.max_voltage) ** 2
+        # nJ/inst * inst/cycle * Gcycles/s = W
+        return epi_nj * v_scale * ipc * point.frequency_ghz
+
+    def leakage_power(self, level: int) -> float:
+        """Leakage power [W] at a DVFS level (zero only if power-gated)."""
+        point = self.table[level]
+        return self.leakage_ref_w * (point.voltage_v / self.table.max_voltage) ** 2
+
+    def total_power(self, level: int, epi_nj: float, ipc: float) -> float:
+        """Total (dynamic + leakage) core power [W]."""
+        return self.dynamic_power(level, epi_nj, ipc) + self.leakage_power(level)
+
+    def throughput_gips(self, level: int, ipc: float) -> float:
+        """Core throughput [giga-instructions/s] at a level and phase IPC.
+
+        Voltage scaling leaves IPC unchanged (paper assumption 3); throughput
+        is proportional to frequency.
+        """
+        return ipc * self.table[level].frequency_ghz

@@ -1,0 +1,107 @@
+"""Core thermal model with leakage-temperature feedback.
+
+At 90 nm, subthreshold leakage roughly doubles every ~10-12 C of junction
+temperature — and junction temperature is itself driven by power through
+the package's thermal resistance.  The coupled fixed point
+
+    T_core = T_amb + R_th * P(T_core)
+    P(T)   = P_dyn + P_leak_ref * 2^((T - T_ref) / T_double)
+
+converges quickly by iteration (the loop gain is well below 1 for sane
+packages).  The model quantifies a SolarCore side benefit: running cores
+at supply-matched (reduced) V/F keeps them cooler, which suppresses
+leakage — a small positive feedback in favour of load matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ThermalParameters", "CoreThermalModel"]
+
+
+@dataclass(frozen=True)
+class ThermalParameters:
+    """Package/die thermal characteristics of one core.
+
+    Attributes:
+        r_th_c_per_w: Junction-to-ambient thermal resistance [C/W].
+        t_ref_c: Temperature at which the leakage reference is specified.
+        leak_doubling_c: Temperature rise that doubles leakage [C].
+        t_max_c: Thermal throttle limit [C].
+    """
+
+    r_th_c_per_w: float = 1.5
+    t_ref_c: float = 60.0
+    leak_doubling_c: float = 11.0
+    t_max_c: float = 95.0
+
+    def __post_init__(self) -> None:
+        if self.r_th_c_per_w <= 0:
+            raise ValueError(f"r_th must be positive, got {self.r_th_c_per_w}")
+        if self.leak_doubling_c <= 0:
+            raise ValueError(
+                f"leak_doubling_c must be positive, got {self.leak_doubling_c}"
+            )
+
+
+class CoreThermalModel:
+    """Steady-state junction temperature and leakage for one core."""
+
+    def __init__(self, params: ThermalParameters | None = None) -> None:
+        self.params = params or ThermalParameters()
+
+    def leakage_multiplier(self, t_core_c: float) -> float:
+        """Leakage scale factor relative to the reference temperature."""
+        p = self.params
+        return 2.0 ** ((t_core_c - p.t_ref_c) / p.leak_doubling_c)
+
+    def solve(
+        self,
+        dynamic_w: float,
+        leakage_ref_w: float,
+        ambient_c: float,
+        tolerance: float = 1e-6,
+        max_iterations: int = 100,
+    ) -> tuple[float, float]:
+        """Solve the coupled temperature/leakage fixed point.
+
+        Args:
+            dynamic_w: Temperature-independent (dynamic) core power [W].
+            leakage_ref_w: Leakage at the reference temperature [W]
+                (already voltage-scaled by the caller).
+            ambient_c: Ambient (heatsink inlet) temperature [C].
+            tolerance: Convergence tolerance on temperature [C].
+            max_iterations: Iteration bound.
+
+        Returns:
+            ``(t_core_c, leakage_w)`` at the fixed point.
+
+        Raises:
+            RuntimeError: If the fixed point fails to converge (thermal
+                runaway — loop gain >= 1).
+        """
+        if dynamic_w < 0 or leakage_ref_w < 0:
+            raise ValueError("powers must be non-negative")
+        p = self.params
+        t = ambient_c + p.r_th_c_per_w * (dynamic_w + leakage_ref_w)
+        try:
+            for _ in range(max_iterations):
+                leak = leakage_ref_w * self.leakage_multiplier(t)
+                t_new = ambient_c + p.r_th_c_per_w * (dynamic_w + leak)
+                if abs(t_new - t) < tolerance:
+                    return t_new, leakage_ref_w * self.leakage_multiplier(t_new)
+                t = t_new
+        except OverflowError:
+            raise RuntimeError(
+                "thermal fixed point failed to converge (temperature "
+                "diverged): check R_th / leakage for thermal runaway"
+            ) from None
+        raise RuntimeError(
+            f"thermal fixed point failed to converge (last T = {t:.1f} C): "
+            "check R_th / leakage for thermal runaway"
+        )
+
+    def is_throttled(self, t_core_c: float) -> bool:
+        """Whether the core exceeds the thermal throttle limit."""
+        return t_core_c > self.params.t_max_c

@@ -1,0 +1,155 @@
+"""On-chip per-core voltage regulator modules (paper Section 4.1, ref [13]).
+
+Each core's supply voltage is produced by an on-chip VRM and commanded
+through a VID code (paper: Intel Xeon's 6-bit VID, 0.8375-1.6 V in 32
+steps).  Two non-idealities matter to power management:
+
+* **Conversion efficiency** — on-chip switching regulators peak around
+  ~85-90 % near their design point and fall off at light load; the lost
+  power is drawn from the rail but never reaches the core.
+* **Transition cost** — a DVFS move takes time (VID handshake + ramp,
+  Kim et al. report microseconds for on-chip regulators vs tens of
+  microseconds off-chip) and wastes a small charge/discharge energy on the
+  output network, bounding how often load adaptation is worth invoking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.multicore.dvfs import DVFSTable
+
+__all__ = ["VRMParameters", "VoltageRegulator", "VRMBank"]
+
+
+@dataclass(frozen=True)
+class VRMParameters:
+    """Electrical characteristics of one on-chip VRM.
+
+    Attributes:
+        peak_efficiency: Conversion efficiency at the design load.
+        light_load_efficiency: Efficiency as load approaches zero.
+        design_load_w: Load at which efficiency peaks [W].
+        ramp_v_per_us: Output voltage slew rate [V/us].
+        vid_latency_us: VID handshake latency per transition [us].
+        transition_energy_mj_per_v: Energy dissipated per volt of output
+            swing [mJ/V] (output-network charge/discharge).
+    """
+
+    peak_efficiency: float = 0.88
+    light_load_efficiency: float = 0.70
+    design_load_w: float = 15.0
+    ramp_v_per_us: float = 0.01
+    vid_latency_us: float = 0.5
+    transition_energy_mj_per_v: float = 0.4
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.peak_efficiency <= 1.0:
+            raise ValueError(f"peak_efficiency must be in (0,1], got {self.peak_efficiency}")
+        if not 0.0 < self.light_load_efficiency <= self.peak_efficiency:
+            raise ValueError("light_load_efficiency must be in (0, peak]")
+        if self.design_load_w <= 0:
+            raise ValueError(f"design_load_w must be positive, got {self.design_load_w}")
+        if self.ramp_v_per_us <= 0:
+            raise ValueError(f"ramp_v_per_us must be positive, got {self.ramp_v_per_us}")
+
+
+class VoltageRegulator:
+    """One core's VRM: efficiency curve and transition accounting."""
+
+    def __init__(self, table: DVFSTable, params: VRMParameters | None = None) -> None:
+        self.table = table
+        self.params = params or VRMParameters()
+        self._transitions = 0
+        self._transition_energy_j = 0.0
+
+    @property
+    def transitions(self) -> int:
+        """DVFS transitions performed so far."""
+        return self._transitions
+
+    @property
+    def transition_energy_j(self) -> float:
+        """Cumulative energy dissipated in transitions [J]."""
+        return self._transition_energy_j
+
+    def efficiency(self, load_w: float) -> float:
+        """Conversion efficiency at a given core load.
+
+        Rises from the light-load floor toward the peak with a saturating
+        (1 - exp) profile around the design load.
+        """
+        if load_w < 0:
+            raise ValueError(f"load must be >= 0, got {load_w}")
+        import math
+
+        p = self.params
+        span = p.peak_efficiency - p.light_load_efficiency
+        return p.light_load_efficiency + span * (
+            1.0 - math.exp(-2.0 * load_w / p.design_load_w)
+        )
+
+    def input_power(self, core_load_w: float) -> float:
+        """Rail power needed to deliver ``core_load_w`` to the core [W]."""
+        if core_load_w <= 0.0:
+            return 0.0
+        return core_load_w / self.efficiency(core_load_w)
+
+    def transition(self, from_level: int, to_level: int) -> tuple[float, float]:
+        """Perform a DVFS transition; returns (latency_us, energy_j).
+
+        Latency covers the VID handshake plus the voltage ramp; energy is
+        the output-network charge/discharge for the voltage swing.
+        """
+        v_from = self.table.voltage(from_level)
+        v_to = self.table.voltage(to_level)
+        swing = abs(v_to - v_from)
+        latency_us = self.params.vid_latency_us + swing / self.params.ramp_v_per_us
+        energy_j = self.params.transition_energy_mj_per_v * swing * 1e-3
+        self._transitions += 1
+        self._transition_energy_j += energy_j
+        return latency_us, energy_j
+
+
+class VRMBank:
+    """The per-core VRM array of the chip (one regulator per core)."""
+
+    def __init__(
+        self,
+        n_cores: int,
+        table: DVFSTable,
+        params: VRMParameters | None = None,
+    ) -> None:
+        if n_cores < 1:
+            raise ValueError(f"n_cores must be >= 1, got {n_cores}")
+        self.regulators = [VoltageRegulator(table, params) for _ in range(n_cores)]
+
+    def __len__(self) -> int:
+        return len(self.regulators)
+
+    def __getitem__(self, core_id: int) -> VoltageRegulator:
+        return self.regulators[core_id]
+
+    def rail_power(self, core_loads_w: list[float]) -> float:
+        """Total rail power [W] to deliver the given per-core loads."""
+        if len(core_loads_w) != len(self.regulators):
+            raise ValueError(
+                f"expected {len(self.regulators)} loads, got {len(core_loads_w)}"
+            )
+        return sum(
+            vrm.input_power(load) for vrm, load in zip(self.regulators, core_loads_w)
+        )
+
+    @property
+    def total_transitions(self) -> int:
+        """Transitions across all regulators."""
+        return sum(vrm.transitions for vrm in self.regulators)
+
+    @property
+    def total_transition_energy_j(self) -> float:
+        """Transition energy across all regulators [J]."""
+        return sum(vrm.transition_energy_j for vrm in self.regulators)
+
+    def conversion_loss(self, core_loads_w: list[float]) -> float:
+        """Power lost in conversion [W] for the given per-core loads."""
+        return self.rail_power(core_loads_w) - sum(core_loads_w)

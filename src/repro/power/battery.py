@@ -1,0 +1,189 @@
+"""Battery-equipped PV baseline (paper Table 3 and Section 5).
+
+The strongest competitor to SolarCore is a battery-buffered system: an MPPT
+charge controller keeps the panel at its maximum power point, the battery
+absorbs supply variation, and the processor runs at full speed from a stable
+supply.  Its cost is the de-rating chain: MPPT conversion efficiency times
+battery round-trip efficiency.  The paper's three performance levels:
+
+    level      MPPT eff.  round-trip  overall de-rating
+    high        97 %        95 %        92 %
+    moderate    95 %        85 %        81 %   (typical)
+    low         93 %        75 %        70 %
+
+``BatteryEquippedSystem.harvestable_energy_wh`` gives the daily usable energy
+under a de-rating level.  ``Battery`` is a stateful storage element used by
+finer-grained simulations (charge/discharge with asymmetric losses,
+self-discharge, capacity limits).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.environment.trace import EnvironmentTrace
+from repro.pv.array import PVArray
+from repro.pv.mpp import find_mpp
+
+__all__ = ["DeratingLevel", "BATTERY_LEVELS", "Battery", "BatteryEquippedSystem"]
+
+
+@dataclass(frozen=True)
+class DeratingLevel:
+    """One row of the paper's Table 3.
+
+    Attributes:
+        name: Level label (``high``/``moderate``/``low``).
+        mppt_efficiency: MPPT charge-controller conversion efficiency.
+        battery_round_trip: Battery round-trip (charge*discharge) efficiency.
+    """
+
+    name: str
+    mppt_efficiency: float
+    battery_round_trip: float
+
+    @property
+    def overall(self) -> float:
+        """Overall de-rating factor (product of the chain)."""
+        return self.mppt_efficiency * self.battery_round_trip
+
+
+#: The paper's three battery-system performance levels (Table 3).
+BATTERY_LEVELS: dict[str, DeratingLevel] = {
+    "high": DeratingLevel("high", 0.97, 0.95),
+    "moderate": DeratingLevel("moderate", 0.95, 0.85),
+    "low": DeratingLevel("low", 0.93, 0.75),
+}
+
+
+class Battery:
+    """A stateful storage element with asymmetric charge/discharge losses.
+
+    Round-trip efficiency is split evenly (square root) between the charge
+    and discharge paths.  Self-discharge decays the state of charge
+    exponentially.
+
+    Args:
+        capacity_wh: Usable capacity [Wh].
+        round_trip_efficiency: Charge*discharge efficiency in (0, 1].
+        self_discharge_per_day: Fraction of stored energy lost per day.
+        initial_soc: Initial state of charge in [0, 1].
+    """
+
+    def __init__(
+        self,
+        capacity_wh: float,
+        round_trip_efficiency: float = 0.85,
+        self_discharge_per_day: float = 0.01,
+        initial_soc: float = 0.0,
+    ) -> None:
+        if capacity_wh <= 0:
+            raise ValueError(f"capacity_wh must be positive, got {capacity_wh}")
+        if not 0.0 < round_trip_efficiency <= 1.0:
+            raise ValueError(
+                f"round_trip_efficiency must be in (0, 1], got {round_trip_efficiency}"
+            )
+        if not 0.0 <= self_discharge_per_day < 1.0:
+            raise ValueError(
+                f"self_discharge_per_day must be in [0, 1), got {self_discharge_per_day}"
+            )
+        if not 0.0 <= initial_soc <= 1.0:
+            raise ValueError(f"initial_soc must be in [0, 1], got {initial_soc}")
+        self.capacity_wh = capacity_wh
+        self._one_way_efficiency = math.sqrt(round_trip_efficiency)
+        self.self_discharge_per_day = self_discharge_per_day
+        self._stored_wh = initial_soc * capacity_wh
+        self._charge_cycles_wh = 0.0
+
+    @property
+    def stored_wh(self) -> float:
+        """Currently stored energy [Wh]."""
+        return self._stored_wh
+
+    @property
+    def soc(self) -> float:
+        """State of charge in [0, 1]."""
+        return self._stored_wh / self.capacity_wh
+
+    @property
+    def throughput_wh(self) -> float:
+        """Cumulative energy pushed into the battery [Wh] (aging proxy)."""
+        return self._charge_cycles_wh
+
+    def charge(self, power_w: float, dt_minutes: float) -> float:
+        """Push ``power_w`` into the battery for ``dt_minutes``.
+
+        Returns the energy actually *stored* [Wh]; excess beyond capacity is
+        rejected (the charge controller curtails the panel).
+        """
+        if power_w < 0:
+            raise ValueError(f"power must be >= 0, got {power_w}")
+        offered_wh = power_w * dt_minutes / 60.0 * self._one_way_efficiency
+        accepted_wh = min(offered_wh, self.capacity_wh - self._stored_wh)
+        self._stored_wh += accepted_wh
+        self._charge_cycles_wh += accepted_wh
+        return accepted_wh
+
+    def discharge(self, power_w: float, dt_minutes: float) -> float:
+        """Draw ``power_w`` from the battery for ``dt_minutes``.
+
+        Returns the energy actually *delivered* to the load [Wh]; the battery
+        cannot deliver more than it stores.
+        """
+        if power_w < 0:
+            raise ValueError(f"power must be >= 0, got {power_w}")
+        requested_wh = power_w * dt_minutes / 60.0
+        deliverable_wh = self._stored_wh * self._one_way_efficiency
+        delivered_wh = min(requested_wh, deliverable_wh)
+        self._stored_wh -= delivered_wh / self._one_way_efficiency
+        return delivered_wh
+
+    def decay(self, dt_minutes: float) -> None:
+        """Apply self-discharge over an interval."""
+        if dt_minutes < 0:
+            raise ValueError(f"dt_minutes must be >= 0, got {dt_minutes}")
+        daily_keep = 1.0 - self.self_discharge_per_day
+        self._stored_wh *= daily_keep ** (dt_minutes / (24.0 * 60.0))
+
+
+class BatteryEquippedSystem:
+    """The paper's battery-based comparison system (Figure 2-C).
+
+    The MPPT charge controller tracks the panel's MPP perfectly; the chain
+    de-rating (Table 3) scales what the load ultimately receives.
+
+    Args:
+        array: The PV array.
+        level: De-rating level name (``high``/``moderate``/``low``) or a
+            custom :class:`DeratingLevel`.
+    """
+
+    def __init__(self, array: PVArray, level: str | DeratingLevel = "high") -> None:
+        self.array = array
+        if isinstance(level, str):
+            try:
+                level = BATTERY_LEVELS[level]
+            except KeyError:
+                raise KeyError(
+                    f"unknown battery level {level!r}; known: "
+                    f"{', '.join(BATTERY_LEVELS)}"
+                ) from None
+        self.level = level
+
+    def mpp_power_series(self, trace: EnvironmentTrace) -> np.ndarray:
+        """Panel MPP power [W] at every sample of a day trace."""
+        powers = np.empty(len(trace.minutes))
+        for i, (g, t_amb) in enumerate(zip(trace.irradiance, trace.ambient_c)):
+            t_cell = self.array.cell_temperature_from_ambient(float(g), float(t_amb))
+            powers[i] = find_mpp(self.array, float(g), t_cell).power
+        return powers
+
+    def harvestable_energy_wh(self, trace: EnvironmentTrace) -> float:
+        """Usable daily solar energy [Wh] after the de-rating chain."""
+        powers = self.mpp_power_series(trace)
+        hours = trace.minutes / 60.0
+        raw_wh = float(np.trapezoid(powers, hours))
+        return raw_wh * self.level.overall

@@ -1,0 +1,93 @@
+"""Tunable DC/DC converter (the power-conservative matching network).
+
+The paper models the converter as a PWM-based ideal transformer
+(Section 2.3): ``Vout = Vin / k`` and ``Iout = k * Iin`` with ``Pin = Pout``.
+The transfer ratio ``k`` is set by the controller in discrete steps
+(``delta_k``), mirroring PWM duty-cycle quantization.  An optional conversion
+efficiency below 1.0 models a non-ideal stage.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DCDCConverter"]
+
+
+class DCDCConverter:
+    """A PWM transformer with an adjustable transfer ratio ``k``.
+
+    Args:
+        k: Initial transfer ratio.
+        k_min: Lowest permitted ratio.
+        k_max: Highest permitted ratio.
+        delta_k: Tuning step used by ``step_up``/``step_down`` (the paper's
+            delta-k perturbation in MPPT step 2).
+        efficiency: Power conversion efficiency in (0, 1].
+    """
+
+    def __init__(
+        self,
+        k: float = 3.0,
+        k_min: float = 0.5,
+        k_max: float = 10.0,
+        delta_k: float = 0.05,
+        efficiency: float = 1.0,
+    ) -> None:
+        if k_min <= 0 or k_max <= k_min:
+            raise ValueError(f"need 0 < k_min < k_max, got [{k_min}, {k_max}]")
+        if delta_k <= 0:
+            raise ValueError(f"delta_k must be positive, got {delta_k}")
+        if not 0.0 < efficiency <= 1.0:
+            raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+        self.k_min = k_min
+        self.k_max = k_max
+        self.delta_k = delta_k
+        self.efficiency = efficiency
+        self._k = self._clamp(k)
+
+    def _clamp(self, k: float) -> float:
+        return min(max(k, self.k_min), self.k_max)
+
+    @property
+    def k(self) -> float:
+        """Current transfer ratio."""
+        return self._k
+
+    @k.setter
+    def k(self, value: float) -> None:
+        self._k = self._clamp(value)
+
+    def step_up(self, steps: int = 1) -> float:
+        """Raise ``k`` by ``steps * delta_k`` (clamped); returns the new k."""
+        self._k = self._clamp(self._k + steps * self.delta_k)
+        return self._k
+
+    def step_down(self, steps: int = 1) -> float:
+        """Lower ``k`` by ``steps * delta_k`` (clamped); returns the new k."""
+        self._k = self._clamp(self._k - steps * self.delta_k)
+        return self._k
+
+    # ------------------------------------------------------------------
+    # Electrical relations
+    # ------------------------------------------------------------------
+    def output_voltage(self, input_voltage: float) -> float:
+        """Converter output voltage [V] for a given input (PV) voltage."""
+        return input_voltage / self._k
+
+    def output_current(self, input_current: float) -> float:
+        """Converter output current [A] for a given input (PV) current."""
+        return input_current * self._k * self.efficiency
+
+    def input_voltage(self, output_voltage: float) -> float:
+        """PV-side voltage [V] corresponding to an output voltage."""
+        return output_voltage * self._k
+
+    def reflected_resistance(self, load_resistance: float) -> float:
+        """The load resistance as seen from the PV side [ohm].
+
+        ``Vin/Iin = (k*Vout) / (Iout/(k*eff)) = k^2 * eff * R``.
+        """
+        if load_resistance <= 0:
+            raise ValueError(
+                f"load_resistance must be positive, got {load_resistance}"
+            )
+        return self._k * self._k * self.efficiency * load_resistance

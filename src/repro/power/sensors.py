@@ -1,0 +1,78 @@
+"""Front-end I/V sensing (paper Figure 8).
+
+The SolarCore controller never sees the panel's true state — only the
+current/voltage sensors at the converter output.  ``IVSensor`` models an
+ADC-backed sensor pair with optional Gaussian noise and quantization; the
+default configuration is ideal (exact), matching the paper's simulations,
+while tests and ablations can inject realistic imperfections.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.power.operating_point import OperatingPoint
+
+__all__ = ["IVSensor", "SensorReading"]
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """One sampled (voltage, current) pair at the converter output.
+
+    Attributes:
+        voltage: Measured output voltage [V].
+        current: Measured output current [A].
+    """
+
+    voltage: float
+    current: float
+
+    @property
+    def power(self) -> float:
+        """Measured power [W]."""
+        return self.voltage * self.current
+
+
+class IVSensor:
+    """A voltage+current sensor pair with optional noise and quantization.
+
+    Args:
+        noise_fraction: Standard deviation of multiplicative Gaussian noise
+            (0 = ideal).
+        quantization_v: Voltage LSB [V] (0 = continuous).
+        quantization_a: Current LSB [A] (0 = continuous).
+        seed: RNG seed for the noise process.
+    """
+
+    def __init__(
+        self,
+        noise_fraction: float = 0.0,
+        quantization_v: float = 0.0,
+        quantization_a: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if noise_fraction < 0:
+            raise ValueError(f"noise_fraction must be >= 0, got {noise_fraction}")
+        if quantization_v < 0 or quantization_a < 0:
+            raise ValueError("quantization steps must be >= 0")
+        self.noise_fraction = noise_fraction
+        self.quantization_v = quantization_v
+        self.quantization_a = quantization_a
+        self._rng = np.random.default_rng(seed)
+
+    def _distort(self, value: float, lsb: float) -> float:
+        if self.noise_fraction > 0.0:
+            value *= 1.0 + float(self._rng.normal(0.0, self.noise_fraction))
+        if lsb > 0.0:
+            value = round(value / lsb) * lsb
+        return value
+
+    def read(self, point: OperatingPoint) -> SensorReading:
+        """Sample the converter-output side of an operating point."""
+        return SensorReading(
+            voltage=self._distort(point.output_voltage, self.quantization_v),
+            current=self._distort(point.output_current, self.quantization_a),
+        )

@@ -1,0 +1,24 @@
+"""Photovoltaic device models: cell, module, array, curves, and MPP solving."""
+
+from repro.pv.array import PVArray
+from repro.pv.cell import PVCell
+from repro.pv.curves import IVCurve, sample_iv_curve
+from repro.pv.module import PVModule
+from repro.pv.mpp import MaxPowerPoint, find_mpp
+from repro.pv.params import CellParameters, ModuleParameters, bp3180n
+from repro.pv.shading import ShadedSeriesString, find_global_mpp
+
+__all__ = [
+    "PVCell",
+    "PVModule",
+    "PVArray",
+    "IVCurve",
+    "sample_iv_curve",
+    "MaxPowerPoint",
+    "find_mpp",
+    "CellParameters",
+    "ModuleParameters",
+    "bp3180n",
+    "ShadedSeriesString",
+    "find_global_mpp",
+]

@@ -1,0 +1,88 @@
+"""PV array model: series/parallel interconnection of identical modules.
+
+The paper powers an 8-core processor (tens to ~150 W) from a BP3180N-class
+panel; an array of one module is the default configuration, but the class
+supports arbitrary series strings and parallel branches for larger loads.
+
+Like :class:`repro.pv.module.PVModule`, the terminal interface takes *cell*
+temperature; :meth:`PVArray.cell_temperature_from_ambient` converts from
+meteorological ambient temperature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pv.module import PVModule
+from repro.pv.params import ModuleParameters, bp3180n
+
+__all__ = ["PVArray"]
+
+
+class PVArray:
+    """A PV array of identical modules under uniform irradiance.
+
+    Args:
+        module_params: Parameters of each module (defaults to the BP3180N).
+        modules_series: Modules per series string.
+        modules_parallel: Number of parallel strings.
+    """
+
+    def __init__(
+        self,
+        module_params: ModuleParameters | None = None,
+        modules_series: int = 1,
+        modules_parallel: int = 1,
+    ) -> None:
+        if modules_series < 1:
+            raise ValueError(f"modules_series must be >= 1, got {modules_series}")
+        if modules_parallel < 1:
+            raise ValueError(f"modules_parallel must be >= 1, got {modules_parallel}")
+        self.module = PVModule(module_params or bp3180n())
+        self.modules_series = modules_series
+        self.modules_parallel = modules_parallel
+
+    def cell_temperature_from_ambient(
+        self, irradiance: float, ambient_c: float
+    ) -> float:
+        """Cell temperature [C] from ambient via the module's NOCT model."""
+        return self.module.cell_temperature_from_ambient(irradiance, ambient_c)
+
+    def current(self, voltage: float, irradiance: float, cell_temp_c: float) -> float:
+        """Array output current [A] at the given array terminal voltage."""
+        module_v = voltage / self.modules_series
+        return (
+            self.module.current(module_v, irradiance, cell_temp_c)
+            * self.modules_parallel
+        )
+
+    def voltage(self, current: float, irradiance: float, cell_temp_c: float) -> float:
+        """Array terminal voltage [V] at the given output current."""
+        module_i = current / self.modules_parallel
+        return (
+            self.module.voltage(module_i, irradiance, cell_temp_c)
+            * self.modules_series
+        )
+
+    def power(self, voltage: float, irradiance: float, cell_temp_c: float) -> float:
+        """Array output power [W] at the given array terminal voltage."""
+        return voltage * self.current(voltage, irradiance, cell_temp_c)
+
+    def currents(
+        self, voltages: np.ndarray, irradiance: float, cell_temp_c: float
+    ) -> np.ndarray:
+        """Vectorized :meth:`current` over an array of terminal voltages."""
+        return np.array(
+            [self.current(float(v), irradiance, cell_temp_c) for v in voltages]
+        )
+
+    def short_circuit_current(self, irradiance: float, cell_temp_c: float) -> float:
+        """Array ``Isc`` [A]."""
+        return self.current(0.0, irradiance, cell_temp_c)
+
+    def open_circuit_voltage(self, irradiance: float, cell_temp_c: float) -> float:
+        """Array ``Voc`` [V] (zero in darkness)."""
+        return (
+            self.module.open_circuit_voltage(irradiance, cell_temp_c)
+            * self.modules_series
+        )

@@ -1,0 +1,95 @@
+"""PV module model: series/parallel interconnection of identical cells.
+
+A module exposes the same terminal interface as a cell (current/voltage/
+power as functions of irradiance and *cell* temperature) with voltages scaled
+by the series cell count and currents by the parallel string count.  The
+paper's Figures 6 and 7 sweep module curves directly against temperature, so
+the public interface is in cell temperature; use
+:meth:`PVModule.cell_temperature_from_ambient` (NOCT model) to convert
+meteorological ambient temperature, as the day-long simulation does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pv.cell import PVCell
+from repro.pv.params import ModuleParameters
+
+__all__ = ["PVModule"]
+
+#: Irradiance [W/m^2] at which NOCT is specified.
+_NOCT_IRRADIANCE = 800.0
+#: Ambient temperature [C] at which NOCT is specified.
+_NOCT_AMBIENT_C = 20.0
+
+
+class PVModule:
+    """A photovoltaic module built from identical series/parallel cells.
+
+    Args:
+        params: Module datasheet parameters (see
+            :func:`repro.pv.params.bp3180n` for the paper's BP3180N).
+    """
+
+    def __init__(self, params: ModuleParameters) -> None:
+        self.params = params
+        self.cell = PVCell(params.cell)
+
+    # ------------------------------------------------------------------
+    # Thermal model
+    # ------------------------------------------------------------------
+    def cell_temperature_from_ambient(
+        self, irradiance: float, ambient_c: float
+    ) -> float:
+        """Cell temperature [C] from ambient temperature via the NOCT model.
+
+        ``Tcell = Tamb + (NOCT - 20) * G / 800`` — the standard linear
+        irradiance-driven heating approximation.
+        """
+        heating = (self.params.noct_c - _NOCT_AMBIENT_C) / _NOCT_IRRADIANCE
+        return ambient_c + heating * max(irradiance, 0.0)
+
+    # ------------------------------------------------------------------
+    # Terminal characteristics (module-level V and I, cell temperature)
+    # ------------------------------------------------------------------
+    def current(self, voltage: float, irradiance: float, cell_temp_c: float) -> float:
+        """Module output current [A] at the given module terminal voltage."""
+        cell_v = voltage / self.params.cells_series
+        return (
+            self.cell.current(cell_v, irradiance, cell_temp_c)
+            * self.params.cells_parallel
+        )
+
+    def voltage(self, current: float, irradiance: float, cell_temp_c: float) -> float:
+        """Module terminal voltage [V] at the given output current."""
+        cell_i = current / self.params.cells_parallel
+        return (
+            self.cell.voltage(cell_i, irradiance, cell_temp_c)
+            * self.params.cells_series
+        )
+
+    def power(self, voltage: float, irradiance: float, cell_temp_c: float) -> float:
+        """Module output power [W] at the given module terminal voltage."""
+        return voltage * self.current(voltage, irradiance, cell_temp_c)
+
+    def currents(
+        self, voltages: np.ndarray, irradiance: float, cell_temp_c: float
+    ) -> np.ndarray:
+        """Vectorized :meth:`current` over an array of module voltages."""
+        return np.array(
+            [self.current(float(v), irradiance, cell_temp_c) for v in voltages]
+        )
+
+    def short_circuit_current(self, irradiance: float, cell_temp_c: float) -> float:
+        """Module ``Isc`` [A]."""
+        return self.current(0.0, irradiance, cell_temp_c)
+
+    def open_circuit_voltage(self, irradiance: float, cell_temp_c: float) -> float:
+        """Module ``Voc`` [V] (zero in darkness)."""
+        if irradiance <= 0.0:
+            return 0.0
+        return (
+            self.cell.open_circuit_voltage(irradiance, cell_temp_c)
+            * self.params.cells_series
+        )

@@ -1,0 +1,128 @@
+"""Physical constants and parameter sets for photovoltaic device models.
+
+The cell model follows the paper's "moderate complexity" single-diode
+equivalent circuit (Section 2.1): a photocurrent source in parallel with one
+diode, plus a series resistance.  Shunt (parallel) resistance is neglected,
+as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+#: Standard Test Conditions irradiance [W/m^2].
+STC_IRRADIANCE = 1000.0
+#: Standard Test Conditions cell temperature [degrees Celsius].
+STC_TEMPERATURE_C = 25.0
+#: Silicon band gap [eV] used in the diode saturation-current law.
+SILICON_BANDGAP_EV = 1.12
+
+
+def celsius_to_kelvin(temperature_c: float) -> float:
+    """Convert a Celsius temperature to Kelvin."""
+    return temperature_c + 273.15
+
+
+@dataclass(frozen=True)
+class CellParameters:
+    """Electrical parameters of a single PV cell at STC.
+
+    Attributes:
+        isc_ref: Short-circuit current at STC [A].
+        voc_ref: Open-circuit voltage at STC [V].
+        ideality: Diode ideality factor ``n`` (1.0 for an ideal junction).
+        series_resistance: Series resistance ``Rs`` [ohm], modeling internal
+            conduction losses (paper Figure 3).
+        isc_temp_coeff: Temperature coefficient ``Ki`` of the short-circuit
+            current [A/K].
+        bandgap_ev: Semiconductor band gap [eV].
+    """
+
+    isc_ref: float
+    voc_ref: float
+    ideality: float = 1.3
+    series_resistance: float = 5.0e-3
+    isc_temp_coeff: float = 3.0e-3
+    bandgap_ev: float = SILICON_BANDGAP_EV
+
+    def __post_init__(self) -> None:
+        if self.isc_ref <= 0:
+            raise ValueError(f"isc_ref must be positive, got {self.isc_ref}")
+        if self.voc_ref <= 0:
+            raise ValueError(f"voc_ref must be positive, got {self.voc_ref}")
+        if self.ideality <= 0:
+            raise ValueError(f"ideality must be positive, got {self.ideality}")
+        if self.series_resistance < 0:
+            raise ValueError(
+                f"series_resistance must be non-negative, got {self.series_resistance}"
+            )
+
+    def thermal_voltage(self, temperature_c: float) -> float:
+        """Diode thermal voltage ``n*k*T/q`` [V] at the given cell temperature."""
+        t_kelvin = celsius_to_kelvin(temperature_c)
+        return self.ideality * BOLTZMANN * t_kelvin / ELEMENTARY_CHARGE
+
+
+@dataclass(frozen=True)
+class ModuleParameters:
+    """Datasheet-level parameters of a PV module.
+
+    A module is ``cells_series`` identical cells in series, ``cells_parallel``
+    strings in parallel.  The BP3180N module used in the paper (180 W
+    polycrystalline) is provided by :func:`bp3180n`.
+
+    Attributes:
+        name: Human-readable module name.
+        cell: Per-cell electrical parameters.
+        cells_series: Number of series-connected cells.
+        cells_parallel: Number of parallel strings.
+        noct_c: Nominal Operating Cell Temperature [C], used to derive cell
+            temperature from ambient temperature and irradiance.
+    """
+
+    name: str
+    cell: CellParameters
+    cells_series: int
+    cells_parallel: int = 1
+    noct_c: float = 47.0
+
+    def __post_init__(self) -> None:
+        if self.cells_series < 1:
+            raise ValueError(f"cells_series must be >= 1, got {self.cells_series}")
+        if self.cells_parallel < 1:
+            raise ValueError(f"cells_parallel must be >= 1, got {self.cells_parallel}")
+
+    @property
+    def voc_ref(self) -> float:
+        """Module open-circuit voltage at STC [V]."""
+        return self.cell.voc_ref * self.cells_series
+
+    @property
+    def isc_ref(self) -> float:
+        """Module short-circuit current at STC [A]."""
+        return self.cell.isc_ref * self.cells_parallel
+
+
+def bp3180n() -> ModuleParameters:
+    """The BP3180N 180 W polycrystalline module modeled in the paper (ref [11]).
+
+    Datasheet values: 72 series cells, Voc 43.6 V, Isc 5.4 A, Vmpp ~35.8 V,
+    Impp ~5.0 A, Pmax 180 W at STC.
+    """
+    return ModuleParameters(
+        name="BP3180N",
+        cell=CellParameters(
+            isc_ref=5.4,
+            voc_ref=43.6 / 72,
+            ideality=1.15,
+            series_resistance=5.5e-3,
+            isc_temp_coeff=3.5e-3 / 72,
+        ),
+        cells_series=72,
+        cells_parallel=1,
+        noct_c=47.0,
+    )

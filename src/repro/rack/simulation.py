@@ -1,0 +1,174 @@
+"""Day-long rack simulation: N chips on one solar farm.
+
+The rack coordinator tracks the farm's MPP (assumed ideal at this level —
+each chip's local behaviour was validated in :mod:`repro.core`), divides
+the budget by the configured policy, and each chip's local allocator
+spends its share via TPR-greedy level assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SolarCoreConfig
+from repro.core.fixed_power import allocate_budget
+from repro.environment.irradiance import generate_trace
+from repro.environment.locations import Location
+from repro.environment.trace import EnvironmentTrace
+from repro.multicore.chip import MultiCoreChip
+from repro.power.psu import AutomaticTransferSwitch, PowerSource
+from repro.pv.array import PVArray
+from repro.pv.mpp import find_mpp
+from repro.rack.coordinator import divide_budget
+from repro.workloads.mixes import mix as mix_by_name
+
+__all__ = ["RackDayResult", "run_day_rack"]
+
+
+@dataclass(frozen=True)
+class RackDayResult:
+    """Measurements of one rack day.
+
+    Attributes:
+        mix_names: Workload mix per chip.
+        location_code: Station code.
+        month: Calendar month.
+        policy: Budget-division policy.
+        minutes: Sample times.
+        mpp_w: Farm MPP power per step [W].
+        consumed_w: Rack power drawn from the farm per step [W].
+        throughput_gips: Rack throughput per step.
+        on_solar: Whether the rack ran from the farm per step.
+        retired_ginst: Instructions retired while solar-powered, per chip.
+    """
+
+    mix_names: tuple[str, ...]
+    location_code: str
+    month: int
+    policy: str
+    minutes: np.ndarray
+    mpp_w: np.ndarray
+    consumed_w: np.ndarray
+    throughput_gips: np.ndarray
+    on_solar: np.ndarray
+    retired_ginst: tuple[float, ...]
+
+    @property
+    def total_ptp(self) -> float:
+        """Rack-wide solar-powered instructions [Ginst]."""
+        return float(sum(self.retired_ginst))
+
+    @property
+    def energy_utilization(self) -> float:
+        """Consumed / available farm energy."""
+        available = float(np.sum(self.mpp_w))
+        if available <= 0.0:
+            return 0.0
+        return float(np.sum(self.consumed_w[self.on_solar])) / available
+
+    @property
+    def effective_duration_fraction(self) -> float:
+        """Fraction of daytime on solar."""
+        return float(np.mean(self.on_solar))
+
+
+def run_day_rack(
+    mix_names: tuple[str, ...],
+    location: Location,
+    month: int,
+    policy: str = "tpr",
+    config: SolarCoreConfig | None = None,
+    array: PVArray | None = None,
+    trace: EnvironmentTrace | None = None,
+    seed: int | None = None,
+) -> RackDayResult:
+    """Simulate one day of a rack of chips on a shared solar farm.
+
+    Args:
+        mix_names: One Table 5 mix per chip (rack size = len(mix_names)).
+        location: Station to simulate.
+        month: Calendar month.
+        policy: Budget-division policy (``equal``/``proportional``/``tpr``).
+        config: Simulation configuration.
+        array: The farm; defaults to one BP3180N string per chip, two in
+            parallel (a chip plus its share of rack overhead).
+        trace: Pre-generated environment trace.
+        seed: Environment seed when ``trace`` is not given.
+    """
+    if not mix_names:
+        raise ValueError("a rack needs at least one chip")
+    cfg = config or SolarCoreConfig()
+    array = array or PVArray(modules_parallel=len(mix_names))
+    if trace is None:
+        trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
+
+    chips = [
+        MultiCoreChip(mix_by_name(name), seed=1000 + 17 * i)
+        for i, name in enumerate(mix_names)
+    ]
+    ats = AutomaticTransferSwitch(cfg.ats_margin)
+    dt = cfg.step_minutes
+    last_alloc = -float("inf")
+
+    minutes, mpps, consumed, throughput, on_solar = [], [], [], [], []
+    retired = [0.0] * len(chips)
+
+    for i in range(len(trace.minutes) - 1):
+        minute = float(trace.minutes[i])
+        irradiance = float(trace.irradiance[i])
+        ambient = float(trace.ambient_c[i])
+        cell_temp = array.cell_temperature_from_ambient(irradiance, ambient)
+        mpp = find_mpp(array, irradiance, cell_temp)
+
+        rack_floor = sum(
+            chip.floor_power_at(minute, with_gating=cfg.enable_pcpg)
+            for chip in chips
+        )
+        source = ats.update(mpp.power, rack_floor)
+        if source is PowerSource.SOLAR:
+            if minute - last_alloc >= cfg.tracking_interval_min:
+                budget = mpp.power * (1.0 - cfg.power_margin)
+                shares = divide_budget(
+                    chips, budget, minute, policy, cfg.enable_pcpg
+                )
+                for chip, share in zip(chips, shares):
+                    if share > 0.0:
+                        allocate_budget(
+                            chip, share, minute, allow_gating=cfg.enable_pcpg
+                        )
+                last_alloc = minute
+            rack_power = sum(chip.total_power_at(minute) for chip in chips)
+            drawn = min(rack_power, mpp.power)
+            for j, chip in enumerate(chips):
+                retired[j] += chip.advance(minute, dt)
+            minutes.append(minute)
+            mpps.append(mpp.power)
+            consumed.append(drawn)
+            throughput.append(sum(c.total_throughput_at(minute) for c in chips))
+            on_solar.append(True)
+        else:
+            for chip in chips:
+                chip.ungate_all()
+                chip.set_all_levels(chip.table.max_level)
+                chip.advance(minute, dt)
+            minutes.append(minute)
+            mpps.append(mpp.power)
+            consumed.append(0.0)
+            throughput.append(sum(c.total_throughput_at(minute) for c in chips))
+            on_solar.append(False)
+            last_alloc = -float("inf")
+
+    return RackDayResult(
+        mix_names=tuple(mix_names),
+        location_code=location.code,
+        month=month,
+        policy=policy,
+        minutes=np.array(minutes),
+        mpp_w=np.array(mpps),
+        consumed_w=np.array(consumed),
+        throughput_gips=np.array(throughput),
+        on_solar=np.array(on_solar, dtype=bool),
+        retired_ginst=tuple(retired),
+    )

@@ -1,0 +1,24 @@
+"""Workload substrate: SPEC2000-class benchmarks, phase traces, and mixes."""
+
+from repro.workloads.benchmarks import (
+    BENCHMARKS,
+    EPI_CLASSES,
+    Benchmark,
+    benchmark,
+    epi_class_of,
+)
+from repro.workloads.mixes import ALL_MIX_NAMES, MIXES, WorkloadMix, mix
+from repro.workloads.phases import PhaseTrace
+
+__all__ = [
+    "Benchmark",
+    "benchmark",
+    "BENCHMARKS",
+    "EPI_CLASSES",
+    "epi_class_of",
+    "PhaseTrace",
+    "WorkloadMix",
+    "mix",
+    "MIXES",
+    "ALL_MIX_NAMES",
+]

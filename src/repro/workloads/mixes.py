@@ -1,0 +1,76 @@
+"""The multi-programmed workload mixes of the paper's Table 5.
+
+Each mix assigns one benchmark per core of the 8-core chip:
+
+    H1  art x8                          H2  art x2, apsi x2, bzip x2, gzip x2
+    M1  gcc x8                          M2  gcc x2, mcf x2, gap x2, vpr x2
+    L1  mesa x8                         L2  mesa x2, equake x2, lucas x2, swim x2
+    HM1 bzip x4, gcc x4                 HM2 bzip, gzip, art, apsi, gcc, mcf, gap, vpr
+    ML1 gcc x4, mesa x4                 ML2 gcc, mcf, gap, vpr, mesa, equake, lucas, swim
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.benchmarks import Benchmark, benchmark
+
+__all__ = ["WorkloadMix", "MIXES", "mix", "ALL_MIX_NAMES"]
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A named assignment of benchmarks to cores.
+
+    Attributes:
+        name: Mix identifier from Table 5 (e.g. ``"HM2"``).
+        benchmarks: One benchmark per core, in core order.
+    """
+
+    name: str
+    benchmarks: tuple[Benchmark, ...]
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores the mix targets."""
+        return len(self.benchmarks)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Whether every core runs the same benchmark."""
+        return len({b.name for b in self.benchmarks}) == 1
+
+
+def _make(name: str, *bench_names: str) -> WorkloadMix:
+    return WorkloadMix(name, tuple(benchmark(b) for b in bench_names))
+
+
+MIXES: dict[str, WorkloadMix] = {
+    m.name: m
+    for m in (
+        _make("H1", *["art"] * 8),
+        _make("H2", "art", "art", "apsi", "apsi", "bzip", "bzip", "gzip", "gzip"),
+        _make("M1", *["gcc"] * 8),
+        _make("M2", "gcc", "gcc", "mcf", "mcf", "gap", "gap", "vpr", "vpr"),
+        _make("L1", *["mesa"] * 8),
+        _make("L2", "mesa", "mesa", "equake", "equake", "lucas", "lucas", "swim", "swim"),
+        _make("HM1", "bzip", "bzip", "bzip", "bzip", "gcc", "gcc", "gcc", "gcc"),
+        _make("HM2", "bzip", "gzip", "art", "apsi", "gcc", "mcf", "gap", "vpr"),
+        _make("ML1", "gcc", "gcc", "gcc", "gcc", "mesa", "mesa", "mesa", "mesa"),
+        _make("ML2", "gcc", "mcf", "gap", "vpr", "mesa", "equake", "lucas", "swim"),
+    )
+}
+
+#: Mix names in the paper's presentation order.
+ALL_MIX_NAMES = ("H1", "H2", "M1", "M2", "L1", "L2", "HM1", "HM2", "ML1", "ML2")
+
+
+def mix(name: str) -> WorkloadMix:
+    """Look up a workload mix by Table 5 name (case-insensitive)."""
+    key = name.upper()
+    try:
+        return MIXES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown mix {name!r}; known: {', '.join(ALL_MIX_NAMES)}"
+        ) from None

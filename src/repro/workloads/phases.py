@@ -1,0 +1,76 @@
+"""Phase-level IPC traces: the trace-driven substitute for cycle simulation.
+
+Real programs execute as a sequence of phases with distinct IPC; the
+SolarCore controller samples IPC through performance counters at each
+tracking period.  ``PhaseTrace`` generates a deterministic piecewise-constant
+IPC signal per (benchmark, seed): phase durations are exponential around the
+benchmark's mean phase length and phase IPCs wander around the base IPC with
+the benchmark's variability amplitude.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.workloads.benchmarks import Benchmark
+
+__all__ = ["PhaseTrace"]
+
+#: Hard floor on phase IPC, as a fraction of base IPC.
+_MIN_IPC_FRACTION = 0.2
+
+
+class PhaseTrace:
+    """Deterministic piecewise-constant IPC as a function of time.
+
+    Args:
+        bench: The benchmark whose phase behaviour to generate.
+        duration_minutes: Time span the trace must cover.
+        seed: RNG seed; defaults to a stable hash of the benchmark name.
+    """
+
+    def __init__(
+        self,
+        bench: Benchmark,
+        duration_minutes: float = 600.0,
+        seed: int | None = None,
+    ) -> None:
+        if duration_minutes <= 0:
+            raise ValueError(f"duration must be positive, got {duration_minutes}")
+        if seed is None:
+            seed = zlib.crc32(f"phase:{bench.name}".encode())
+        self.bench = bench
+        rng = np.random.default_rng(seed)
+
+        boundaries = [0.0]
+        ipcs = []
+        # AR(1) wander of per-phase IPC around the base value.
+        deviation = 0.0
+        while boundaries[-1] < duration_minutes:
+            boundaries.append(
+                boundaries[-1] + float(rng.exponential(bench.phase_minutes))
+            )
+            deviation = 0.6 * deviation + rng.normal(0.0, bench.ipc_variability)
+            factor = float(np.clip(1.0 + deviation, _MIN_IPC_FRACTION, 2.0))
+            ipcs.append(bench.base_ipc * factor)
+        self._boundaries = np.array(boundaries)
+        self._ipcs = np.array(ipcs)
+
+    def ipc_at(self, minute: float) -> float:
+        """Phase IPC at an absolute time [minutes from trace start].
+
+        Times beyond the generated span clamp to the final phase (programs
+        re-run from representative intervals, as in the paper's methodology).
+        """
+        if minute < 0:
+            raise ValueError(f"minute must be non-negative, got {minute}")
+        idx = int(np.searchsorted(self._boundaries, minute, side="right")) - 1
+        idx = min(idx, len(self._ipcs) - 1)
+        return float(self._ipcs[idx])
+
+    @property
+    def n_phases(self) -> int:
+        """Number of generated phases."""
+        return len(self._ipcs)

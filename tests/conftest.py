@@ -1,0 +1,42 @@
+"""Shared fixtures for the SolarCore reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SolarCoreConfig
+from repro.multicore.chip import MultiCoreChip
+from repro.pv.array import PVArray
+from repro.pv.module import PVModule
+from repro.pv.params import bp3180n
+from repro.workloads.mixes import mix
+
+
+@pytest.fixture
+def module() -> PVModule:
+    """A BP3180N module."""
+    return PVModule(bp3180n())
+
+
+@pytest.fixture
+def array() -> PVArray:
+    """A single-module BP3180N array."""
+    return PVArray()
+
+
+@pytest.fixture
+def chip_hm2() -> MultiCoreChip:
+    """An 8-core chip running the heterogeneous HM2 mix."""
+    return MultiCoreChip(mix("HM2"))
+
+
+@pytest.fixture
+def chip_h1() -> MultiCoreChip:
+    """An 8-core chip running the homogeneous high-EPI H1 mix."""
+    return MultiCoreChip(mix("H1"))
+
+
+@pytest.fixture
+def fast_config() -> SolarCoreConfig:
+    """A coarse-step configuration for fast day simulations in tests."""
+    return SolarCoreConfig(step_minutes=5.0)

@@ -1,0 +1,34 @@
+"""Unit tests for SolarCoreConfig validation."""
+
+import pytest
+
+from repro.core.config import SolarCoreConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = SolarCoreConfig()
+        assert cfg.rail_voltage == 12.0
+        assert cfg.tracking_interval_min == 10.0
+        assert cfg.supply_change_fraction is None
+        assert cfg.enable_pcpg
+
+    def test_frozen(self):
+        cfg = SolarCoreConfig()
+        with pytest.raises(AttributeError):
+            cfg.rail_voltage = 5.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"rail_voltage": 0.0},
+        {"rail_tolerance_v": 0.0},
+        {"tracking_interval_min": 0.0},
+        {"power_margin": -0.1},
+        {"power_margin": 0.5},
+        {"step_minutes": 0.0},
+        {"max_track_iterations": 0},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SolarCoreConfig(**kwargs)

@@ -1,0 +1,78 @@
+"""Unit tests for the Fixed-Power budget allocator."""
+
+import pytest
+
+from repro.core.fixed_power import allocate_budget, lp_allocation_bound
+from repro.multicore.chip import MultiCoreChip
+from repro.workloads.mixes import mix
+
+
+@pytest.fixture
+def chip():
+    return MultiCoreChip(mix("HM2"))
+
+
+class TestAllocateBudget:
+    def test_respects_budget(self, chip):
+        power = allocate_budget(chip, 100.0, 10.0)
+        assert power <= 100.0
+        assert chip.total_power_at(10.0) == pytest.approx(power)
+
+    def test_greedy_fills_headroom(self, chip):
+        """No single remaining upgrade may still fit under the budget."""
+        budget = 100.0
+        power = allocate_budget(chip, budget, 10.0)
+        for core in chip.cores:
+            if core.level < chip.table.max_level:
+                delta = (
+                    core.power_at_level(core.level + 1, 10.0) - core.power_at(10.0)
+                )
+                assert power + delta > budget
+
+    def test_large_budget_maxes_all_cores(self, chip):
+        allocate_budget(chip, 1000.0, 10.0)
+        assert chip.levels == (chip.table.max_level,) * 8
+
+    def test_small_budget_gates_cores(self, chip):
+        floor_all = chip.min_power_at(10.0)
+        power = allocate_budget(chip, floor_all - 5.0, 10.0, allow_gating=True)
+        assert power <= floor_all - 5.0
+        assert len(chip.active_cores()) < 8
+
+    def test_infeasible_budget_raises(self, chip):
+        with pytest.raises(ValueError, match="below the chip's floor"):
+            allocate_budget(chip, 10.0, 10.0, allow_gating=True)
+
+    def test_no_gating_raises_below_floor(self, chip):
+        floor_all = chip.min_power_at(10.0)
+        with pytest.raises(ValueError):
+            allocate_budget(chip, floor_all - 5.0, 10.0, allow_gating=False)
+
+    def test_higher_budget_higher_throughput(self, chip):
+        allocate_budget(chip, 90.0, 10.0)
+        t_low = chip.total_throughput_at(10.0)
+        allocate_budget(chip, 140.0, 10.0)
+        t_high = chip.total_throughput_at(10.0)
+        assert t_high > t_low
+
+
+class TestLPBound:
+    def test_upper_bounds_greedy(self, chip):
+        for budget in (90.0, 110.0, 140.0):
+            bound = lp_allocation_bound(chip, budget, 10.0)
+            allocate_budget(chip, budget, 10.0)
+            greedy = chip.total_throughput_at(10.0)
+            assert greedy <= bound + 1e-6
+
+    def test_greedy_near_optimal(self, chip):
+        """The TPR-greedy discrete allocation sits within a few percent of
+        the LP relaxation (the paper's ref [15] approach)."""
+        budget = 120.0
+        bound = lp_allocation_bound(chip, budget, 10.0)
+        allocate_budget(chip, budget, 10.0)
+        assert chip.total_throughput_at(10.0) >= 0.93 * bound
+
+    def test_lp_does_not_mutate_chip(self, chip):
+        chip.set_all_levels(3)
+        lp_allocation_bound(chip, 100.0, 10.0)
+        assert chip.levels == (3,) * 8

@@ -1,0 +1,99 @@
+"""Unit tests for the supply forecaster."""
+
+import pytest
+
+from repro.core.forecast import SupplyPredictor
+
+
+class TestObservation:
+    def test_window_bounded(self):
+        predictor = SupplyPredictor(window=5)
+        for minute in range(20):
+            predictor.observe(float(minute), 100.0)
+        assert predictor.n_samples == 5
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            SupplyPredictor().observe(0.0, -1.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"window": 2},
+        {"volatility_weight": -1.0},
+    ])
+    def test_rejects_invalid_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            SupplyPredictor(**kwargs)
+
+
+class TestPrediction:
+    def test_none_until_warm(self):
+        predictor = SupplyPredictor()
+        predictor.observe(0.0, 100.0)
+        predictor.observe(1.0, 100.0)
+        assert predictor.predicted_drop_fraction(10.0) is None
+
+    def test_steady_supply_predicts_no_drop(self):
+        predictor = SupplyPredictor(volatility_weight=1.0)
+        for minute in range(10):
+            predictor.observe(float(minute), 100.0)
+        assert predictor.predicted_drop_fraction(10.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_falling_supply_predicts_drop(self):
+        predictor = SupplyPredictor()
+        for minute in range(10):
+            predictor.observe(float(minute), 100.0 - 2.0 * minute)
+        # Slope -2 W/min over a 10-min horizon: ~20 W off ~82 W current.
+        drop = predictor.predicted_drop_fraction(10.0)
+        assert drop == pytest.approx(20.0 / 82.0, rel=0.1)
+
+    def test_rising_supply_predicts_no_trend_drop(self):
+        predictor = SupplyPredictor(volatility_weight=0.0)
+        for minute in range(10):
+            predictor.observe(float(minute), 50.0 + 3.0 * minute)
+        assert predictor.predicted_drop_fraction(10.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_volatility_adds_to_drop(self):
+        calm = SupplyPredictor()
+        noisy = SupplyPredictor()
+        values = [100, 100, 100, 100, 100, 100]
+        jitter = [100, 70, 115, 80, 120, 75]
+        for minute, (a, b) in enumerate(zip(values, jitter)):
+            calm.observe(float(minute), float(a))
+            noisy.observe(float(minute), float(b))
+        assert noisy.predicted_drop_fraction(10.0) > calm.predicted_drop_fraction(10.0)
+
+    def test_dead_panel_full_drop(self):
+        predictor = SupplyPredictor()
+        for minute in range(5):
+            predictor.observe(float(minute), max(0.0, 10.0 - 5.0 * minute))
+        assert predictor.predicted_drop_fraction(10.0) == 1.0
+
+
+class TestAdaptiveMargin:
+    def test_clamped_to_bounds(self):
+        predictor = SupplyPredictor()
+        for minute in range(10):
+            predictor.observe(float(minute), 100.0 - 9.0 * minute)  # crashing
+        margin = predictor.adaptive_margin(10.0, floor=0.01, ceiling=0.05)
+        assert margin == 0.05
+
+    def test_calm_day_hits_floor(self):
+        predictor = SupplyPredictor()
+        for minute in range(10):
+            predictor.observe(float(minute), 100.0)
+        assert predictor.adaptive_margin(10.0, 0.01, 0.05) == 0.01
+
+    def test_cold_start_is_conservative(self):
+        predictor = SupplyPredictor()
+        assert predictor.adaptive_margin(10.0, 0.01, 0.05) == 0.05
+
+    def test_reset_clears(self):
+        predictor = SupplyPredictor()
+        for minute in range(10):
+            predictor.observe(float(minute), 100.0)
+        predictor.reset()
+        assert predictor.n_samples == 0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            SupplyPredictor().adaptive_margin(10.0, floor=0.1, ceiling=0.05)

@@ -1,0 +1,157 @@
+"""Unit tests for the IC / RR / Opt load-adaptation policies."""
+
+import pytest
+
+from repro.core.load_tuning import (
+    TUNER_NAMES,
+    IndividualCoreTuner,
+    OptTuner,
+    RoundRobinTuner,
+    make_tuner,
+)
+from repro.multicore.chip import MultiCoreChip
+from repro.workloads.mixes import mix
+
+
+@pytest.fixture
+def chip():
+    chip = MultiCoreChip(mix("HM2"))
+    chip.set_all_levels(0)
+    return chip
+
+
+class TestFactory:
+    def test_names(self):
+        assert TUNER_NAMES == ("MPPT&IC", "MPPT&RR", "MPPT&Opt")
+
+    def test_case_insensitive(self):
+        assert isinstance(make_tuner("mppt&opt"), OptTuner)
+        assert isinstance(make_tuner("MPPT&RR"), RoundRobinTuner)
+        assert isinstance(make_tuner("MPPT&ic"), IndividualCoreTuner)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_tuner("MPPT&XX")
+
+
+class TestSingleStepContract:
+    """Every increase/decrease moves exactly one core by one level (or one
+    gate transition)."""
+
+    @pytest.mark.parametrize("name", TUNER_NAMES)
+    def test_increase_moves_one_step(self, chip, name):
+        tuner = make_tuner(name)
+        before = chip.levels
+        assert tuner.increase(chip, 5.0)
+        after = chip.levels
+        diffs = [b - a for a, b in zip(before, after)]
+        assert sorted(diffs) == [0] * 7 + [1]
+
+    @pytest.mark.parametrize("name", TUNER_NAMES)
+    def test_decrease_moves_one_step(self, chip, name):
+        chip.set_all_levels(3)
+        tuner = make_tuner(name)
+        before = chip.levels
+        assert tuner.decrease(chip, 5.0)
+        diffs = [a - b for a, b in zip(before, chip.levels)]
+        assert sorted(diffs) == [0] * 7 + [1]
+
+    @pytest.mark.parametrize("name", TUNER_NAMES)
+    def test_increase_false_when_saturated(self, chip, name):
+        chip.set_all_levels(chip.table.max_level)
+        assert not make_tuner(name, allow_gating=False).increase(chip, 5.0)
+
+    @pytest.mark.parametrize("name", TUNER_NAMES)
+    def test_decrease_false_at_floor_without_gating(self, chip, name):
+        assert not make_tuner(name, allow_gating=False).decrease(chip, 5.0)
+
+
+class TestGatingBehaviour:
+    @pytest.mark.parametrize("name", TUNER_NAMES)
+    def test_decrease_gates_below_floor(self, chip, name):
+        tuner = make_tuner(name, allow_gating=True)
+        assert tuner.decrease(chip, 5.0)
+        assert len(chip.active_cores()) == 7
+
+    @pytest.mark.parametrize("name", TUNER_NAMES)
+    def test_never_gates_last_core(self, chip, name):
+        tuner = make_tuner(name, allow_gating=True)
+        for _ in range(7):
+            assert tuner.decrease(chip, 5.0)
+        assert not tuner.decrease(chip, 5.0)
+        assert len(chip.active_cores()) == 1
+
+    @pytest.mark.parametrize("name", TUNER_NAMES)
+    def test_increase_ungates_parked_cores(self, chip, name):
+        tuner = make_tuner(name, allow_gating=True)
+        chip.cores[5].gate()
+        # Raise until every knob is exhausted: the gated core must have come
+        # back online along the way (IC only ungates after the active cores
+        # saturate; RR/Opt revive it much sooner).
+        while tuner.increase(chip, 5.0):
+            pass
+        assert not chip.cores[5].gated
+
+
+class TestOptPolicy:
+    def test_increase_targets_best_tpr(self, chip):
+        from repro.core.tpr import upgrade_tpr
+
+        tprs = {c.core_id: upgrade_tpr(c, 5.0) for c in chip.cores}
+        best_id = max(tprs, key=lambda cid: tprs[cid])
+        OptTuner().increase(chip, 5.0)
+        assert chip.cores[best_id].level == 1
+
+    def test_decrease_targets_worst_tpr(self, chip):
+        from repro.core.tpr import downgrade_tpr
+
+        chip.set_all_levels(3)
+        tprs = {c.core_id: downgrade_tpr(c, 5.0) for c in chip.cores}
+        worst_id = min(tprs, key=lambda cid: tprs[cid])
+        OptTuner().decrease(chip, 5.0)
+        assert chip.cores[worst_id].level == 2
+
+    def test_repeated_increases_favor_moderate_epi_cores(self, chip):
+        """In HM2, the moderate-EPI cores (4-7) should fill up first."""
+        tuner = OptTuner()
+        for _ in range(8):
+            tuner.increase(chip, 5.0)
+        moderate_levels = sum(chip.levels[4:])
+        high_levels = sum(chip.levels[:4])
+        assert moderate_levels > high_levels
+
+
+class TestRoundRobinPolicy:
+    def test_spreads_evenly(self, chip):
+        tuner = RoundRobinTuner()
+        for _ in range(16):
+            tuner.increase(chip, 5.0)
+        assert chip.levels == (2,) * 8
+
+    def test_skips_saturated(self, chip):
+        chip.cores[0].set_level(chip.table.max_level)
+        tuner = RoundRobinTuner()
+        for _ in range(7):
+            assert tuner.increase(chip, 5.0)
+        assert chip.levels[1:] == (1,) * 7
+
+
+class TestIndividualCorePolicy:
+    def test_concentrates_in_first_core(self, chip):
+        tuner = IndividualCoreTuner()
+        for _ in range(5):
+            tuner.increase(chip, 5.0)
+        assert chip.levels[0] == 5
+        assert chip.levels[1:] == (0,) * 7
+
+    def test_spills_to_next_core(self, chip):
+        tuner = IndividualCoreTuner()
+        for _ in range(7):
+            tuner.increase(chip, 5.0)
+        assert chip.levels[0] == 5
+        assert chip.levels[1] == 2
+
+    def test_decrease_from_tail(self, chip):
+        chip.set_all_levels(3)
+        IndividualCoreTuner().decrease(chip, 5.0)
+        assert chip.levels == (3,) * 7 + (2,)

@@ -1,0 +1,115 @@
+"""Unit tests for the day-long co-simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolarCoreConfig
+from repro.core.simulation import run_day, run_day_battery, run_day_fixed
+from repro.environment.locations import OAK_RIDGE_TN, PHOENIX_AZ
+
+
+@pytest.fixture(scope="module")
+def fast_cfg():
+    return SolarCoreConfig(step_minutes=5.0)
+
+
+@pytest.fixture(scope="module")
+def az_day(fast_cfg):
+    return run_day("HM2", PHOENIX_AZ, 7, "MPPT&Opt", config=fast_cfg)
+
+
+class TestRunDay:
+    def test_metadata(self, az_day):
+        assert az_day.mix_name == "HM2"
+        assert az_day.location_code == "PFCI"
+        assert az_day.month == 7
+        assert az_day.policy == "MPPT&Opt"
+
+    def test_series_cover_daytime(self, az_day, fast_cfg):
+        assert az_day.minutes[0] == 450.0
+        assert az_day.step_minutes == fast_cfg.step_minutes
+        assert len(az_day.minutes) == len(az_day.consumed_w)
+
+    def test_consumption_bounded_by_budget(self, az_day):
+        solar = az_day.on_solar
+        assert np.all(az_day.consumed_w[solar] <= az_day.mpp_w[solar] + 1e-6)
+
+    def test_no_solar_consumption_on_utility(self, az_day):
+        assert np.all(az_day.consumed_w[~az_day.on_solar] == 0.0)
+
+    def test_energy_utilization_in_range(self, az_day):
+        assert 0.5 < az_day.energy_utilization < 1.0
+
+    def test_ptp_counts_solar_instructions(self, az_day):
+        assert 0.0 < az_day.retired_ginst_solar <= az_day.retired_ginst_total
+
+    def test_tracking_events_happened(self, az_day):
+        assert az_day.tracking_events >= 10
+
+    def test_tracking_error_positive_but_small(self, az_day):
+        assert 0.0 < az_day.mean_tracking_error < 0.35
+
+    def test_deterministic(self, fast_cfg):
+        a = run_day("L1", PHOENIX_AZ, 1, "MPPT&Opt", config=fast_cfg)
+        b = run_day("L1", PHOENIX_AZ, 1, "MPPT&Opt", config=fast_cfg)
+        assert a.ptp == b.ptp
+        assert np.array_equal(a.consumed_w, b.consumed_w)
+
+    def test_unknown_policy_raises(self, fast_cfg):
+        with pytest.raises(KeyError):
+            run_day("H1", PHOENIX_AZ, 7, "MPPT&XYZ", config=fast_cfg)
+
+    def test_low_resource_site_uses_more_utility(self, fast_cfg):
+        az = run_day("HM2", PHOENIX_AZ, 7, "MPPT&Opt", config=fast_cfg)
+        tn = run_day("HM2", OAK_RIDGE_TN, 1, "MPPT&Opt", config=fast_cfg)
+        assert tn.effective_duration_fraction < az.effective_duration_fraction
+        assert tn.utility_wh > 0.0
+
+
+class TestRunDayFixed:
+    def test_budget_respected(self, fast_cfg):
+        day = run_day_fixed("HM2", PHOENIX_AZ, 7, 100.0, config=fast_cfg)
+        solar = day.on_solar
+        assert np.all(day.consumed_w[solar] <= 100.0 + 1e-6)
+
+    def test_only_runs_when_panel_covers_budget(self, fast_cfg):
+        day = run_day_fixed("HM2", PHOENIX_AZ, 7, 100.0, config=fast_cfg)
+        assert np.all(day.mpp_w[day.on_solar] >= 100.0)
+
+    def test_policy_label(self, fast_cfg):
+        day = run_day_fixed("HM2", PHOENIX_AZ, 7, 100.0, config=fast_cfg)
+        assert day.policy == "Fixed-100W"
+
+    def test_higher_threshold_shorter_duration(self, fast_cfg):
+        low = run_day_fixed("HM2", PHOENIX_AZ, 7, 75.0, config=fast_cfg)
+        high = run_day_fixed("HM2", PHOENIX_AZ, 7, 125.0, config=fast_cfg)
+        assert high.effective_duration_fraction < low.effective_duration_fraction
+
+    def test_infeasible_budget_never_solar(self, fast_cfg):
+        day = run_day_fixed("HM2", PHOENIX_AZ, 7, 20.0, config=fast_cfg)
+        assert day.effective_duration_fraction == 0.0
+
+
+class TestRunDayBattery:
+    def test_derating_scales_harvest(self, fast_cfg):
+        low = run_day_battery("H1", PHOENIX_AZ, 7, 0.81, config=fast_cfg)
+        high = run_day_battery("H1", PHOENIX_AZ, 7, 0.92, config=fast_cfg)
+        assert high.harvested_wh / low.harvested_wh == pytest.approx(0.92 / 0.81)
+
+    def test_ptp_increases_with_derating(self, fast_cfg):
+        low = run_day_battery("H1", PHOENIX_AZ, 7, 0.81, config=fast_cfg)
+        high = run_day_battery("H1", PHOENIX_AZ, 7, 0.92, config=fast_cfg)
+        assert high.ptp > low.ptp
+
+    def test_energy_accounting_consistent(self, fast_cfg):
+        day = run_day_battery("H1", PHOENIX_AZ, 7, 0.92, config=fast_cfg)
+        # Full-speed chip draws ~160-190 W; runtime = energy / power.
+        assert day.runtime_minutes == pytest.approx(
+            day.harvested_wh / 175.0 * 60.0, rel=0.2
+        )
+
+    def test_rejects_bad_derating(self, fast_cfg):
+        with pytest.raises(ValueError):
+            run_day_battery("H1", PHOENIX_AZ, 7, 0.0, config=fast_cfg)
+        with pytest.raises(ValueError):
+            run_day_battery("H1", PHOENIX_AZ, 7, 1.5, config=fast_cfg)

@@ -1,0 +1,109 @@
+"""Unit tests for throughput-power-ratio optimization."""
+
+import pytest
+
+from repro.core.tpr import (
+    best_downgrade_core,
+    best_upgrade_core,
+    build_allocation_table,
+    downgrade_tpr,
+    upgrade_tpr,
+)
+from repro.multicore.chip import MultiCoreChip
+from repro.workloads.mixes import mix
+
+
+@pytest.fixture
+def chip():
+    chip = MultiCoreChip(mix("HM2"))
+    chip.set_all_levels(2)
+    return chip
+
+
+class TestUpgradeTPR:
+    def test_none_at_top_level(self, chip):
+        chip.cores[0].set_level(chip.table.max_level)
+        assert upgrade_tpr(chip.cores[0], 5.0) is None
+
+    def test_none_when_gated(self, chip):
+        chip.cores[0].gate()
+        assert upgrade_tpr(chip.cores[0], 5.0) is None
+
+    def test_positive_for_active_core(self, chip):
+        assert upgrade_tpr(chip.cores[0], 5.0) > 0.0
+
+    def test_matches_finite_difference(self, chip):
+        core = chip.cores[0]
+        expected = (
+            core.throughput_at_level(3, 5.0) - core.throughput_at_level(2, 5.0)
+        ) / (core.power_at_level(3, 5.0) - core.power_at_level(2, 5.0))
+        assert upgrade_tpr(core, 5.0) == pytest.approx(expected)
+
+    def test_decreases_with_level(self, chip):
+        """Paper Section 6.4: performance return decreases toward high V/F."""
+        core = chip.cores[0]
+        tprs = []
+        for level in range(chip.table.max_level):
+            core.set_level(level)
+            tprs.append(upgrade_tpr(core, 5.0))
+        assert all(b < a for a, b in zip(tprs, tprs[1:]))
+
+    def test_low_epi_core_wins(self, chip):
+        """At equal levels, low-EPI programs buy more throughput per watt."""
+        gcc_core = chip.cores[4]  # gcc (moderate EPI)
+        art_core = chip.cores[2]  # art (high EPI)
+        assert upgrade_tpr(gcc_core, 5.0) > upgrade_tpr(art_core, 5.0)
+
+
+class TestDowngradeTPR:
+    def test_none_at_bottom_level(self, chip):
+        chip.cores[0].set_level(0)
+        assert downgrade_tpr(chip.cores[0], 5.0) is None
+
+    def test_matches_upgrade_from_below(self, chip):
+        core = chip.cores[0]
+        core.set_level(3)
+        down = downgrade_tpr(core, 5.0)
+        core.set_level(2)
+        up = upgrade_tpr(core, 5.0)
+        assert down == pytest.approx(up)
+
+
+class TestSelection:
+    def test_best_upgrade_maximizes(self, chip):
+        best = best_upgrade_core(chip, 5.0)
+        best_tpr = upgrade_tpr(best, 5.0)
+        for core in chip.cores:
+            tpr = upgrade_tpr(core, 5.0)
+            if tpr is not None:
+                assert tpr <= best_tpr
+
+    def test_best_downgrade_minimizes(self, chip):
+        best = best_downgrade_core(chip, 5.0)
+        best_tpr = downgrade_tpr(best, 5.0)
+        for core in chip.cores:
+            tpr = downgrade_tpr(core, 5.0)
+            if tpr is not None:
+                assert tpr >= best_tpr
+
+    def test_no_candidates_returns_none(self, chip):
+        chip.set_all_levels(chip.table.max_level)
+        assert best_upgrade_core(chip, 5.0) is None
+        chip.set_all_levels(0)
+        assert best_downgrade_core(chip, 5.0) is None
+
+
+class TestAllocationTable:
+    def test_sorted_descending_by_upgrade(self, chip):
+        table = build_allocation_table(chip, 5.0)
+        upgrades = [e.upgrade for e in table if e.upgrade is not None]
+        assert upgrades == sorted(upgrades, reverse=True)
+
+    def test_one_entry_per_core(self, chip):
+        table = build_allocation_table(chip, 5.0)
+        assert sorted(e.core_id for e in table) == list(range(8))
+
+    def test_saturated_cores_sort_last(self, chip):
+        chip.cores[3].set_level(chip.table.max_level)
+        table = build_allocation_table(chip, 5.0)
+        assert table[-1].core_id == 3

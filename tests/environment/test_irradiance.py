@@ -1,0 +1,79 @@
+"""Unit tests for the day-trace generator (the MIDC substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.environment.irradiance import default_seed, generate_trace
+from repro.environment.locations import ALL_LOCATIONS, PHOENIX_AZ, OAK_RIDGE_TN
+from repro.environment.trace import DAYTIME_END_MIN, DAYTIME_START_MIN
+
+
+class TestGenerateTrace:
+    def test_covers_daytime_window(self):
+        trace = generate_trace(PHOENIX_AZ, 7)
+        assert trace.minutes[0] == DAYTIME_START_MIN
+        assert trace.minutes[-1] == pytest.approx(DAYTIME_END_MIN)
+
+    def test_default_one_minute_cadence(self):
+        trace = generate_trace(PHOENIX_AZ, 7)
+        assert trace.step_minutes == 1.0
+        assert len(trace.minutes) == 601
+
+    def test_deterministic_default_seed(self):
+        a = generate_trace(PHOENIX_AZ, 1)
+        b = generate_trace(PHOENIX_AZ, 1)
+        assert np.array_equal(a.irradiance, b.irradiance)
+        assert np.array_equal(a.ambient_c, b.ambient_c)
+
+    def test_explicit_seed_changes_weather(self):
+        a = generate_trace(PHOENIX_AZ, 1, seed=1)
+        b = generate_trace(PHOENIX_AZ, 1, seed=2)
+        assert not np.array_equal(a.irradiance, b.irradiance)
+
+    def test_default_seed_distinct_per_station_month(self):
+        seeds = {
+            default_seed(loc, month)
+            for loc in ALL_LOCATIONS
+            for month in (1, 4, 7, 10)
+        }
+        assert len(seeds) == 16
+
+    def test_rejects_unknown_month(self):
+        with pytest.raises(ValueError, match="regime"):
+            generate_trace(PHOENIX_AZ, 3)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError, match="step_minutes"):
+            generate_trace(PHOENIX_AZ, 7, step_minutes=0.0)
+
+    def test_custom_step_minutes(self):
+        trace = generate_trace(PHOENIX_AZ, 7, step_minutes=5.0)
+        assert trace.step_minutes == 5.0
+
+    def test_summer_noon_irradiance_realistic(self):
+        trace = generate_trace(PHOENIX_AZ, 7)
+        assert 700.0 < trace.peak_irradiance() < 1150.0
+
+    def test_resource_ordering_matches_table2(self):
+        """Averaged over the evaluated months, station insolation follows
+        the paper's Table 2 resource classes."""
+        means = []
+        for loc in ALL_LOCATIONS:
+            vals = [
+                generate_trace(loc, m).daily_insolation_kwh_m2()
+                for m in (1, 4, 7, 10)
+            ]
+            means.append(float(np.mean(vals)))
+        assert means[0] > means[1] > means[3]  # AZ > CO > TN
+        assert means[2] > means[3]  # NC > TN
+
+    def test_oak_ridge_is_low_resource(self):
+        vals = [
+            generate_trace(OAK_RIDGE_TN, m).daily_insolation_kwh_m2()
+            for m in (1, 4, 7, 10)
+        ]
+        assert float(np.mean(vals)) < 4.0
+
+    def test_label_mentions_station(self):
+        trace = generate_trace(PHOENIX_AZ, 7)
+        assert "PFCI" in trace.label

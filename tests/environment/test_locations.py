@@ -1,0 +1,54 @@
+"""Unit tests for the MIDC station definitions."""
+
+import pytest
+
+from repro.environment.locations import (
+    ALL_LOCATIONS,
+    EVALUATED_MONTHS,
+    CloudRegime,
+    Location,
+    location_by_code,
+)
+
+
+class TestCloudRegime:
+    def test_rejects_bad_clearness(self):
+        with pytest.raises(ValueError):
+            CloudRegime(0.0, 1.0, 0.5, 20.0, 0.05)
+        with pytest.raises(ValueError):
+            CloudRegime(1.5, 1.0, 0.5, 20.0, 0.05)
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            CloudRegime(0.9, 1.0, 1.5, 20.0, 0.05)
+
+
+class TestLocations:
+    def test_four_stations(self):
+        assert len(ALL_LOCATIONS) == 4
+        assert [loc.code for loc in ALL_LOCATIONS] == ["PFCI", "BMS", "ECSU", "ORNL"]
+
+    def test_every_station_covers_evaluated_months(self):
+        for loc in ALL_LOCATIONS:
+            for month in EVALUATED_MONTHS:
+                assert month in loc.regimes
+                assert month in loc.temps_c
+
+    def test_potential_ordering_matches_table2(self):
+        potentials = [loc.potential for loc in ALL_LOCATIONS]
+        assert potentials == ["Excellent", "Good", "Moderate", "Low"]
+
+    def test_lookup_by_code_and_state(self):
+        assert location_by_code("PFCI").name == "Phoenix, AZ"
+        assert location_by_code("az").code == "PFCI"
+        assert location_by_code("TN").code == "ORNL"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown station"):
+            location_by_code("XYZ")
+
+    def test_location_validation_rejects_missing_month(self):
+        loc = ALL_LOCATIONS[0]
+        partial = {m: r for m, r in loc.regimes.items() if m != 7}
+        with pytest.raises(ValueError, match="missing cloud regime"):
+            Location("X", "X", 30.0, "Low", partial, loc.temps_c)

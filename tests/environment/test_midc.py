@@ -1,0 +1,84 @@
+"""Unit tests for the NREL MIDC CSV loader."""
+
+import io
+
+import pytest
+
+from repro.environment.midc import MIDCFormatError, load_midc_csv
+
+GOOD_CSV = """DATE (MM/DD/YYYY),MST,Global Horizontal [W/m^2],Air Temperature [deg C]
+1/15/2009,7:30,102.4,3.2
+1/15/2009,7:31,105.1,3.3
+1/15/2009,7:32,108.0,3.4
+1/15/2009,12:00,655.0,11.8
+1/15/2009,17:30,88.2,9.1
+1/15/2009,18:30,0.0,8.0
+"""
+
+
+class TestLoadMIDC:
+    def test_loads_good_csv(self):
+        trace = load_midc_csv(io.StringIO(GOOD_CSV), label="ORNL 1/15")
+        assert trace.label == "ORNL 1/15"
+        assert trace.minutes[0] == 450.0
+        assert trace.irradiance[0] == pytest.approx(102.4)
+        assert trace.ambient_c[0] == pytest.approx(3.2)
+
+    def test_clips_to_daytime_window(self):
+        trace = load_midc_csv(io.StringIO(GOOD_CSV))
+        # The 18:30 row (minute 1110) is outside the 450-1050 window.
+        assert trace.minutes[-1] == 1050.0
+
+    def test_no_clip(self):
+        trace = load_midc_csv(io.StringIO(GOOD_CSV), clip_window=None)
+        assert trace.minutes[-1] == 1110.0
+
+    def test_negative_ghi_clamped(self):
+        csv_text = (
+            "MST,Global Horizontal [W/m^2],Air Temp [C]\n"
+            "7:30,-2.0,5.0\n7:40,50.0,5.5\n"
+        )
+        trace = load_midc_csv(io.StringIO(csv_text))
+        assert trace.irradiance[0] == 0.0
+
+    def test_loads_from_path(self, tmp_path):
+        path = tmp_path / "midc.csv"
+        path.write_text(GOOD_CSV)
+        trace = load_midc_csv(path)
+        assert len(trace.minutes) >= 2
+
+    def test_feeds_simulation(self):
+        from repro.core.config import SolarCoreConfig
+        from repro.core.simulation import run_day
+        from repro.environment.locations import OAK_RIDGE_TN
+
+        rows = ["MST,Global Horizontal [W/m^2],Air Temp [C]"]
+        for minute in range(450, 1051, 10):
+            rows.append(f"{minute // 60}:{minute % 60:02d},400.0,10.0")
+        trace = load_midc_csv(io.StringIO("\n".join(rows)))
+        day = run_day(
+            "L1", OAK_RIDGE_TN, 1, "MPPT&Opt",
+            config=SolarCoreConfig(step_minutes=10.0), trace=trace,
+        )
+        assert day.energy_utilization > 0.5
+
+    @pytest.mark.parametrize("text,match", [
+        ("", "empty"),
+        ("A,B,C\n1,2,3\n", "columns"),
+        ("MST,Global,Temp\nxx:yy,1,2\n1:00,3,4\n", "bad row"),
+        ("MST,Global,Temp\n7:30,1,2\n", "fewer than two"),
+        ("MST,Global,Temp\n25:00,1,2\n8:00,3,4\n", "bad row"),
+    ])
+    def test_rejects_malformed(self, text, match):
+        with pytest.raises(MIDCFormatError, match=match):
+            load_midc_csv(io.StringIO(text))
+
+    def test_rejects_empty_window(self):
+        csv_text = "MST,Global,Temp\n3:00,0,1\n4:00,0,1\n"
+        with pytest.raises(MIDCFormatError, match="window"):
+            load_midc_csv(io.StringIO(csv_text))
+
+    def test_skips_blank_lines(self):
+        csv_text = "MST,Global,Temp\n7:30,10,5\n\n8:30,20,6\n"
+        trace = load_midc_csv(io.StringIO(csv_text))
+        assert len(trace.minutes) == 2

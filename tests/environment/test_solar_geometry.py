@@ -1,0 +1,100 @@
+"""Unit tests for solar geometry and clear-sky irradiance."""
+
+import math
+
+import pytest
+
+from repro.environment.solar_geometry import (
+    air_mass,
+    clear_sky_ghi,
+    clear_sky_poa,
+    cos_incidence_tilted,
+    cos_zenith,
+    declination_deg,
+    hour_angle_deg,
+    mid_month_day_of_year,
+)
+
+
+class TestDeclination:
+    def test_summer_solstice_near_positive_max(self):
+        # Around June 21 (day 172) declination approaches +23.45.
+        assert declination_deg(172) == pytest.approx(23.45, abs=0.2)
+
+    def test_winter_solstice_near_negative_max(self):
+        assert declination_deg(355) == pytest.approx(-23.45, abs=0.2)
+
+    def test_equinox_near_zero(self):
+        assert abs(declination_deg(81)) < 1.5  # around March 22
+
+
+class TestHourAngle:
+    def test_zero_at_solar_noon(self):
+        assert hour_angle_deg(12.0) == 0.0
+
+    def test_fifteen_degrees_per_hour(self):
+        assert hour_angle_deg(13.0) == 15.0
+        assert hour_angle_deg(10.0) == -30.0
+
+
+class TestCosZenith:
+    def test_highest_at_noon(self):
+        noon = cos_zenith(33.45, 196, 12.0)
+        morning = cos_zenith(33.45, 196, 8.0)
+        assert noon > morning
+
+    def test_negative_at_night(self):
+        assert cos_zenith(33.45, 196, 0.0) < 0.0
+
+    def test_higher_latitude_lower_sun_in_winter(self):
+        low_lat = cos_zenith(25.0, 15, 12.0)
+        high_lat = cos_zenith(45.0, 15, 12.0)
+        assert low_lat > high_lat
+
+
+class TestAirMass:
+    def test_unity_at_zenith(self):
+        assert air_mass(1.0) == pytest.approx(1.0, rel=0.01)
+
+    def test_infinite_below_horizon(self):
+        assert air_mass(0.0) == math.inf
+        assert air_mass(-0.5) == math.inf
+
+    def test_increases_toward_horizon(self):
+        assert air_mass(0.2) > air_mass(0.8)
+
+
+class TestClearSky:
+    def test_zero_at_night(self):
+        assert clear_sky_ghi(33.45, 196, 2.0) == 0.0
+        assert clear_sky_poa(33.45, 196, 2.0) == 0.0
+
+    def test_summer_noon_ghi_plausible(self):
+        ghi = clear_sky_ghi(33.45, 196, 12.0)
+        assert 850.0 < ghi < 1100.0
+
+    def test_poa_beats_ghi_in_winter(self):
+        # Latitude tilt strongly boosts winter collection.
+        ghi = clear_sky_ghi(40.0, 15, 12.0)
+        poa = clear_sky_poa(40.0, 15, 12.0)
+        assert poa > ghi * 1.3
+
+    def test_tilt_defaults_to_latitude(self):
+        explicit = clear_sky_poa(33.45, 196, 12.0, tilt_deg=33.45)
+        default = clear_sky_poa(33.45, 196, 12.0)
+        assert default == pytest.approx(explicit)
+
+    def test_incidence_cosine_is_effective_latitude_zenith(self):
+        assert cos_incidence_tilted(40.0, 40.0, 105, 10.0) == pytest.approx(
+            cos_zenith(0.0, 105, 10.0)
+        )
+
+
+class TestMidMonthDay:
+    def test_known_months(self):
+        assert mid_month_day_of_year(1) == 15
+        assert mid_month_day_of_year(7) == 196
+
+    def test_rejects_invalid_month(self):
+        with pytest.raises(ValueError):
+            mid_month_day_of_year(13)

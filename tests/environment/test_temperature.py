@@ -1,0 +1,39 @@
+"""Unit tests for the diurnal temperature model."""
+
+import numpy as np
+import pytest
+
+from repro.environment.temperature import diurnal_temperature
+
+
+class TestDiurnalTemperature:
+    def test_minimum_at_six_am(self):
+        minutes = np.array([6 * 60.0])
+        t = diurnal_temperature(minutes, 5.0, 25.0)
+        assert t[0] == pytest.approx(5.0)
+
+    def test_maximum_at_three_pm(self):
+        minutes = np.array([15 * 60.0])
+        t = diurnal_temperature(minutes, 5.0, 25.0)
+        assert t[0] == pytest.approx(25.0)
+
+    def test_monotone_rise_through_morning(self):
+        minutes = np.arange(6 * 60.0, 15 * 60.0, 30.0)
+        t = diurnal_temperature(minutes, 5.0, 25.0)
+        assert all(b > a for a, b in zip(t, t[1:]))
+
+    def test_bounded_by_min_max(self):
+        minutes = np.arange(450.0, 1050.0, 1.0)
+        t = diurnal_temperature(minutes, -3.0, 17.0)
+        assert np.all(t >= -3.0 - 1e-9)
+        assert np.all(t <= 17.0 + 1e-9)
+
+    def test_cloud_damping_reduces_peak(self):
+        minutes = np.array([15 * 60.0])
+        clear = diurnal_temperature(minutes, 5.0, 25.0, mean_clearness=1.0)
+        overcast = diurnal_temperature(minutes, 5.0, 25.0, mean_clearness=0.0)
+        assert overcast[0] < clear[0]
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            diurnal_temperature(np.array([600.0]), 25.0, 5.0)

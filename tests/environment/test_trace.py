@@ -1,0 +1,74 @@
+"""Unit tests for the environment trace container."""
+
+import numpy as np
+import pytest
+
+from repro.environment.trace import (
+    DAYTIME_END_MIN,
+    DAYTIME_START_MIN,
+    EnvironmentTrace,
+)
+
+
+def make_trace(n=11):
+    minutes = np.linspace(0, 100, n)
+    irr = np.linspace(0, 500, n)
+    temp = np.full(n, 20.0)
+    return EnvironmentTrace(minutes, irr, temp, label="test")
+
+
+class TestValidation:
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError, match="two samples"):
+            EnvironmentTrace(np.array([0.0]), np.array([1.0]), np.array([20.0]))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            EnvironmentTrace(
+                np.array([0.0, 1.0]), np.array([1.0]), np.array([20.0, 20.0])
+            )
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            EnvironmentTrace(
+                np.array([0.0, 0.0]), np.array([1.0, 1.0]), np.array([20.0, 20.0])
+            )
+
+    def test_rejects_negative_irradiance(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            EnvironmentTrace(
+                np.array([0.0, 1.0]), np.array([-1.0, 1.0]), np.array([20.0, 20.0])
+            )
+
+
+class TestAccessors:
+    def test_step_and_duration(self):
+        trace = make_trace()
+        assert trace.step_minutes == pytest.approx(10.0)
+        assert trace.duration_minutes == pytest.approx(100.0)
+
+    def test_sample_interpolates(self):
+        trace = make_trace()
+        g, t = trace.sample(5.0)
+        assert g == pytest.approx(25.0)
+        assert t == pytest.approx(20.0)
+
+    def test_sample_outside_raises(self):
+        trace = make_trace()
+        with pytest.raises(ValueError, match="outside"):
+            trace.sample(-1.0)
+        with pytest.raises(ValueError, match="outside"):
+            trace.sample(101.0)
+
+    def test_daily_insolation(self):
+        # Constant 600 W/m^2 over 60 minutes = 0.6 kWh/m^2.
+        minutes = np.array([0.0, 30.0, 60.0])
+        trace = EnvironmentTrace(minutes, np.full(3, 600.0), np.full(3, 20.0))
+        assert trace.daily_insolation_kwh_m2() == pytest.approx(0.6)
+
+    def test_peak_irradiance(self):
+        assert make_trace().peak_irradiance() == pytest.approx(500.0)
+
+    def test_daytime_window_constants(self):
+        assert DAYTIME_START_MIN == 450
+        assert DAYTIME_END_MIN == 1050

@@ -1,0 +1,59 @@
+"""Unit tests for the stochastic cloud field generator."""
+
+import numpy as np
+import pytest
+
+from repro.environment.locations import CloudRegime
+from repro.environment.weather import clearness_series
+
+
+def minutes_axis():
+    return np.arange(450.0, 1050.0, 1.0)
+
+
+class TestClearnessSeries:
+    def test_bounded(self):
+        regime = CloudRegime(0.8, 2.0, 0.7, 30.0, 0.1)
+        rng = np.random.default_rng(7)
+        series = clearness_series(minutes_axis(), regime, rng)
+        assert np.all(series >= 0.05)
+        assert np.all(series <= 1.0)
+
+    def test_deterministic_for_seed(self):
+        regime = CloudRegime(0.9, 1.0, 0.5, 20.0, 0.05)
+        a = clearness_series(minutes_axis(), regime, np.random.default_rng(42))
+        b = clearness_series(minutes_axis(), regime, np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        regime = CloudRegime(0.9, 1.0, 0.5, 20.0, 0.05)
+        a = clearness_series(minutes_axis(), regime, np.random.default_rng(1))
+        b = clearness_series(minutes_axis(), regime, np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+
+    def test_clear_regime_stays_near_base(self):
+        regime = CloudRegime(0.99, 0.0, 0.3, 15.0, 0.0)
+        series = clearness_series(minutes_axis(), regime, np.random.default_rng(3))
+        assert np.all(series == pytest.approx(0.99))
+
+    def test_cloudier_regime_lower_mean(self):
+        clear = CloudRegime(0.95, 0.2, 0.4, 15.0, 0.02)
+        cloudy = CloudRegime(0.75, 2.0, 0.7, 35.0, 0.08)
+        mean_clear = np.mean(
+            clearness_series(minutes_axis(), clear, np.random.default_rng(5))
+        )
+        mean_cloudy = np.mean(
+            clearness_series(minutes_axis(), cloudy, np.random.default_rng(5))
+        )
+        assert mean_cloudy < mean_clear
+
+    def test_volatility_raises_variability(self):
+        calm = CloudRegime(0.9, 0.0, 0.5, 20.0, 0.0)
+        jittery = CloudRegime(0.9, 0.0, 0.5, 20.0, 0.1)
+        std_calm = np.std(
+            clearness_series(minutes_axis(), calm, np.random.default_rng(9))
+        )
+        std_jittery = np.std(
+            clearness_series(minutes_axis(), jittery, np.random.default_rng(9))
+        )
+        assert std_jittery > std_calm

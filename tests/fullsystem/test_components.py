@@ -1,0 +1,109 @@
+"""Unit tests for the full-system tunable components."""
+
+import pytest
+
+from repro.fullsystem.disk import DRPMDisk
+from repro.fullsystem.memory import DRAMSystem, MemoryState
+from repro.fullsystem.nic import LinkRate, NetworkInterface
+
+
+class TestMemory:
+    def test_default_ladder(self):
+        mem = DRAMSystem()
+        assert mem.n_levels == 5
+        assert mem.level == mem.n_levels - 1  # starts fully active
+
+    def test_power_monotone_in_level(self):
+        mem = DRAMSystem()
+        powers = [mem.power_at_level(i) for i in range(mem.n_levels)]
+        assert all(b > a for a, b in zip(powers, powers[1:]))
+
+    def test_service_capped_by_demand(self):
+        mem = DRAMSystem(demand_gbs=2.0)
+        assert mem.service_at_level(mem.n_levels - 1) == pytest.approx(2.0)
+
+    def test_self_refresh_serves_nothing(self):
+        mem = DRAMSystem()
+        assert mem.service_at_level(0) == 0.0
+
+    def test_activity_energy_added(self):
+        lazy = DRAMSystem(energy_per_gb_j=0.0)
+        busy = DRAMSystem(energy_per_gb_j=1.0)
+        top = lazy.n_levels - 1
+        assert busy.power_at_level(top) > lazy.power_at_level(top)
+
+    def test_rejects_single_state(self):
+        with pytest.raises(ValueError):
+            DRAMSystem(states=[MemoryState("only", 1.0, 1.0)])
+
+    def test_level_bounds(self):
+        mem = DRAMSystem()
+        with pytest.raises(IndexError):
+            mem.set_level(99)
+
+
+class TestDisk:
+    def test_cubic_spindle_power(self):
+        disk = DRPMDisk()
+        # Half speed -> spindle power falls by ~8x.
+        full = disk.power_at_level(disk.n_levels - 1) - disk.idle_electronics_w
+        half_rpm_ratio = disk.rpm_levels[1] / disk.rpm_levels[-1]
+        expected = full * half_rpm_ratio**3
+        measured = disk.power_at_level(1) - disk.idle_electronics_w
+        assert measured == pytest.approx(expected)
+
+    def test_transfer_scales_with_rpm(self):
+        disk = DRPMDisk(demand_mbs=1000.0)  # never capped by demand
+        services = [disk.service_at_level(i) for i in range(disk.n_levels)]
+        assert all(b > a for a, b in zip(services, services[1:]))
+
+    def test_service_capped_by_demand(self):
+        disk = DRPMDisk(demand_mbs=10.0)
+        assert disk.service_at_level(disk.n_levels - 1) == pytest.approx(10.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rpm_levels": (7200,)},
+        {"rpm_levels": (7200, 5400)},
+        {"power_at_max_w": 1.0, "idle_electronics_w": 2.0},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            DRPMDisk(**kwargs)
+
+
+class TestNIC:
+    def test_default_rates(self):
+        nic = NetworkInterface()
+        assert nic.n_levels == 3
+
+    def test_power_monotone(self):
+        nic = NetworkInterface()
+        powers = [nic.power_at_level(i) for i in range(nic.n_levels)]
+        assert all(b > a for a, b in zip(powers, powers[1:]))
+
+    def test_service_capped_by_link(self):
+        nic = NetworkInterface(demand_mbps=400.0)
+        assert nic.service_at_level(0) == pytest.approx(10.0)
+        assert nic.service_at_level(2) == pytest.approx(400.0)
+
+    def test_rejects_descending_rates(self):
+        with pytest.raises(ValueError):
+            NetworkInterface(rates=(LinkRate(1000, 2.0), LinkRate(100, 0.5)))
+
+
+class TestRatios:
+    def test_upgrade_ratio_none_at_top(self):
+        mem = DRAMSystem()
+        mem.set_level(mem.n_levels - 1)
+        assert mem.upgrade_ratio() is None
+
+    def test_downgrade_ratio_none_at_bottom(self):
+        mem = DRAMSystem()
+        mem.set_level(0)
+        assert mem.downgrade_ratio() is None
+
+    def test_ratios_positive_midrange(self):
+        disk = DRPMDisk()
+        disk.set_level(2)
+        assert disk.upgrade_ratio() > 0
+        assert disk.downgrade_ratio() > 0

@@ -1,0 +1,53 @@
+"""Integration tests for the full-system day simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolarCoreConfig
+from repro.environment.locations import OAK_RIDGE_TN, PHOENIX_AZ
+from repro.fullsystem.simulation import default_server, run_day_fullsystem
+from repro.workloads.mixes import mix
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SolarCoreConfig(step_minutes=5.0)
+
+
+@pytest.fixture(scope="module")
+def az_day(cfg):
+    return run_day_fullsystem("ML2", PHOENIX_AZ, 7, config=cfg)
+
+
+class TestFullSystemDay:
+    def test_consumption_bounded_by_budget(self, az_day):
+        solar = az_day.on_solar
+        assert np.all(az_day.consumed_w[solar] <= az_day.mpp_w[solar] + 1e-6)
+
+    def test_grid_power_zero_on_solar(self, az_day):
+        assert np.all(az_day.utility_w[az_day.on_solar] == 0.0)
+
+    def test_utilization_reasonable(self, az_day):
+        assert 0.5 < az_day.energy_utilization <= 1.0
+
+    def test_utility_metric_tracks_supply(self, az_day):
+        """System service level rises and falls with the solar budget."""
+        mask = az_day.on_solar
+        corr = np.corrcoef(az_day.mpp_w[mask], az_day.system_utility[mask])[0, 1]
+        assert corr > 0.5
+
+    def test_low_resource_site_worse(self, cfg):
+        az = run_day_fullsystem("ML2", PHOENIX_AZ, 7, config=cfg)
+        tn = run_day_fullsystem("ML2", OAK_RIDGE_TN, 1, config=cfg)
+        assert tn.effective_duration_fraction < az.effective_duration_fraction
+
+    def test_custom_server_used(self, cfg):
+        server = default_server(mix("ML2"))
+        day = run_day_fullsystem("ML2", PHOENIX_AZ, 7, config=cfg, server=server)
+        # The simulation drove the provided server object.
+        assert server.chip.retired_ginst > 0.0
+
+    def test_metadata(self, az_day):
+        assert az_day.mix_name == "ML2"
+        assert az_day.location_code == "PFCI"
+        assert az_day.step_minutes == 5.0

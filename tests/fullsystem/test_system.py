@@ -1,0 +1,106 @@
+"""Unit tests for full-system load coordination."""
+
+import pytest
+
+from repro.fullsystem.disk import DRPMDisk
+from repro.fullsystem.memory import DRAMSystem
+from repro.fullsystem.nic import NetworkInterface
+from repro.fullsystem.system import FullSystemLoad, SystemTuner
+from repro.multicore.chip import MultiCoreChip
+from repro.workloads.mixes import mix
+
+
+@pytest.fixture
+def system():
+    chip = MultiCoreChip(mix("ML2"))
+    chip.set_all_levels(0)
+    server = FullSystemLoad(
+        chip, [DRAMSystem(), DRPMDisk(), NetworkInterface()]
+    )
+    for component in server.components:
+        component.set_level(0)
+    return server
+
+
+class TestFullSystemLoad:
+    def test_total_power_sums_components(self, system):
+        expected = system.chip.total_power_at(0.0) + sum(
+            c.power for c in system.components
+        )
+        assert system.total_power_at(0.0) == pytest.approx(expected)
+
+    def test_floor_power(self, system):
+        floor = system.floor_power_at(0.0)
+        assert floor < system.total_power_at(0.0) + 1e-9
+        assert floor > system.chip.floor_power_at(0.0)
+
+    def test_effective_resistance(self, system):
+        r = system.effective_resistance(0.0)
+        assert r == pytest.approx(144.0 / system.total_power_at(0.0))
+
+    def test_duplicate_component_names_rejected(self):
+        chip = MultiCoreChip(mix("H1"))
+        with pytest.raises(ValueError, match="duplicate"):
+            FullSystemLoad(chip, [DRPMDisk(), DRPMDisk()])
+
+    def test_utility_increases_with_levels(self, system):
+        low = system.utility_at(0.0)
+        system.chip.set_all_levels(5)
+        for component in system.components:
+            component.set_level(component.n_levels - 1)
+        assert system.utility_at(0.0) > low
+
+    def test_utility_bounded_by_weight_sum(self, system):
+        system.chip.set_all_levels(5)
+        for component in system.components:
+            component.set_level(component.n_levels - 1)
+        assert system.utility_at(0.0) <= sum(system.weights.values()) + 1e-6
+
+
+class TestSystemTuner:
+    def test_increase_moves_exactly_one_knob(self, system):
+        tuner = SystemTuner()
+        chip_levels = system.chip.levels
+        comp_levels = [c.level for c in system.components]
+        assert tuner.increase(system, 0.0)
+        chip_moves = sum(
+            b - a for a, b in zip(chip_levels, system.chip.levels)
+        )
+        comp_moves = sum(
+            c.level - before
+            for c, before in zip(system.components, comp_levels)
+        )
+        assert chip_moves + comp_moves == 1
+
+    def test_repeated_increase_saturates(self, system):
+        tuner = SystemTuner()
+        moves = 0
+        while tuner.increase(system, 0.0):
+            moves += 1
+            assert moves < 200
+        assert system.chip.levels == (5,) * 8
+        assert all(c.level == c.n_levels - 1 for c in system.components)
+
+    def test_decrease_reverses(self, system):
+        tuner = SystemTuner()
+        for _ in range(5):
+            tuner.increase(system, 0.0)
+        p_high = system.total_power_at(0.0)
+        assert tuner.decrease(system, 0.0)
+        assert system.total_power_at(0.0) < p_high
+
+    def test_decrease_false_at_floor(self, system):
+        tuner = SystemTuner()
+        assert not tuner.decrease(system, 0.0)
+
+    def test_components_prioritized_over_last_core_steps(self, system):
+        """Waking platform components buys far more utility per watt than
+        pushing already-fast cores to their top level — the first increases
+        all land on components."""
+        tuner = SystemTuner()
+        system.chip.set_all_levels(4)
+        levels_before = system.chip.levels
+        for _ in range(3):
+            tuner.increase(system, 0.0)
+        assert system.chip.levels == levels_before  # no core moved yet
+        assert sum(c.level for c in system.components) == 3

@@ -1,0 +1,74 @@
+"""Unit tests for the per-figure experiment functions (small grids)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolarCoreConfig
+from repro.harness.experiments import (
+    fig01_fixed_load_utilization,
+    fig04_cell_curves,
+    fig06_module_irradiance_curves,
+    fig07_module_temperature_curves,
+    fig13_14_tracking,
+    fig19_effective_duration,
+    table7_tracking_error,
+)
+from repro.harness.runner import SimulationRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SimulationRunner(SolarCoreConfig(step_minutes=10.0))
+
+
+class TestFig01:
+    def test_mpp_match_at_reference(self):
+        rows = fig01_fixed_load_utilization()
+        assert rows[0][1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_paper_half_loss_at_400(self):
+        rows = dict(fig01_fixed_load_utilization())
+        assert rows[400.0] < 0.5  # the paper's ">50% energy loss"
+
+    def test_monotone_decline(self):
+        rows = fig01_fixed_load_utilization()
+        utils = [u for _, u in rows]
+        assert all(b < a for a, b in zip(utils, utils[1:]))
+
+
+class TestDeviceCurves:
+    def test_fig04_single_cell(self):
+        curve = fig04_cell_curves(n_points=50)
+        assert len(curve.voltage) == 50
+        assert curve.voc < 1.0  # a single cell
+
+    def test_fig06_isc_ordering(self):
+        curves = fig06_module_irradiance_curves(n_points=50)
+        iscs = [curves[g].isc for g in sorted(curves)]
+        assert all(b > a for a, b in zip(iscs, iscs[1:]))
+
+    def test_fig07_voc_ordering(self):
+        curves = fig07_module_temperature_curves(n_points=50)
+        vocs = [curves[t].voc for t in sorted(curves)]
+        assert all(b < a for a, b in zip(vocs, vocs[1:]))
+
+
+class TestTrackingExperiments:
+    def test_fig13_traces(self, runner):
+        traces = fig13_14_tracking(1, mixes=("L1",), runner=runner)
+        trace = traces["L1"]
+        assert len(trace.minutes) == len(trace.budget_w) == len(trace.actual_w)
+        assert np.all(trace.actual_w <= trace.budget_w + 1e-6)
+        assert 0.0 < trace.mean_error < 0.4
+
+    def test_table7_subset(self, runner):
+        table = table7_tracking_error(runner, mixes=("L1",), months=(7,))
+        assert len(table) == 4  # four stations
+        for row in table.values():
+            assert 0.0 < row["L1"] < 0.4
+
+    def test_fig19_duration_ordering(self, runner):
+        durations = fig19_effective_duration(runner)
+        az = np.mean([durations[("PFCI", m)] for m in (1, 4, 7, 10)])
+        tn = np.mean([durations[("ORNL", m)] for m in (1, 4, 7, 10)])
+        assert az > tn

@@ -1,0 +1,88 @@
+"""Small-grid tests of the heavier experiment functions (Figs 15-21)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolarCoreConfig
+from repro.environment.locations import OAK_RIDGE_TN, PHOENIX_AZ
+from repro.harness.experiments import (
+    fig15_duration_vs_threshold,
+    fig16_energy_vs_threshold,
+    fig17_ptp_vs_threshold,
+    fig18_energy_utilization,
+    fig20_utilization_vs_duration,
+    fig21_normalized_ptp,
+)
+from repro.harness.runner import SimulationRunner
+
+LOCS = (PHOENIX_AZ, OAK_RIDGE_TN)
+MONTHS = (7,)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SimulationRunner(SolarCoreConfig(step_minutes=10.0))
+
+
+class TestFig15:
+    def test_duration_monotone_non_increasing(self, runner):
+        curves = fig15_duration_vs_threshold(
+            budgets_w=(60.0, 100.0, 140.0),
+            runner=runner, locations=LOCS, months=MONTHS,
+        )
+        assert len(curves) == 2
+        for pts in curves.values():
+            durations = [d for _, d in pts]
+            assert all(b <= a + 1e-9 for a, b in zip(durations, durations[1:]))
+
+
+class TestFig16And17:
+    def test_fixed_never_beats_solarcore(self, runner):
+        for fn in (fig16_energy_vs_threshold, fig17_ptp_vs_threshold):
+            data = fn(
+                budgets_w=(75.0, 100.0), mixes=("HM2",),
+                runner=runner, locations=(PHOENIX_AZ,), months=MONTHS,
+            )
+            for per_month in data.values():
+                for pts in per_month.values():
+                    for _, ratio in pts:
+                        assert 0.0 <= ratio < 1.0
+
+
+class TestFig18:
+    def test_structure_and_ordering(self, runner):
+        data = fig18_energy_utilization(
+            runner=runner, mixes=("HM2",), months=MONTHS, locations=LOCS,
+        )
+        assert set(data) == {"PFCI", "ORNL"}
+        az = data["PFCI"]["HM2"]["MPPT&Opt"]
+        tn = data["ORNL"]["HM2"]["MPPT&Opt"]
+        assert az > tn
+
+
+class TestFig20:
+    def test_buckets_have_sane_values(self, runner):
+        data = fig20_utilization_vs_duration(
+            runner=runner, mixes=("HM2", "L1"), months=MONTHS, locations=LOCS,
+        )
+        values = [
+            v
+            for per_policy in data.values()
+            for v in per_policy.values()
+            if not math.isnan(v)
+        ]
+        assert values
+        assert all(0.0 < v <= 1.0 for v in values)
+
+
+class TestFig21:
+    def test_policy_ordering_and_battery_bound(self, runner):
+        data = fig21_normalized_ptp(
+            runner=runner, mixes=("HM2",), months=MONTHS, locations=(PHOENIX_AZ,),
+        )
+        row = data[("PFCI", 7, "HM2")]
+        assert row["Battery-L"] == 1.0
+        assert row["Battery-U"] == pytest.approx(0.92 / 0.81, rel=0.02)
+        assert row["MPPT&Opt"] >= row["MPPT&RR"] >= row["MPPT&IC"] * 0.99

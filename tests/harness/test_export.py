@@ -1,0 +1,91 @@
+"""Unit tests for CSV/JSON export."""
+
+import csv
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import DayResult
+from repro.harness.export import day_to_csv, day_to_json, table_to_csv
+
+
+@pytest.fixture
+def day():
+    n = 5
+    return DayResult(
+        mix_name="L1",
+        location_code="PFCI",
+        month=7,
+        policy="MPPT&Opt",
+        minutes=np.arange(450.0, 450.0 + n),
+        mpp_w=np.linspace(50, 90, n),
+        consumed_w=np.linspace(45, 85, n),
+        throughput_gips=np.full(n, 6.5),
+        on_solar=np.array([True, True, False, True, True]),
+        retired_ginst_solar=1000.0,
+        retired_ginst_total=1200.0,
+        utility_wh=30.0,
+        tracking_events=2,
+    )
+
+
+class TestDayToCSV:
+    def test_roundtrip(self, day):
+        buffer = io.StringIO()
+        day_to_csv(day, buffer)
+        rows = list(csv.reader(io.StringIO(buffer.getvalue())))
+        assert rows[0] == ["minute", "mpp_w", "consumed_w", "throughput_gips", "on_solar"]
+        assert len(rows) == 6
+        assert float(rows[1][1]) == pytest.approx(50.0)
+        assert rows[3][4] == "0"  # the utility-powered sample
+
+    def test_writes_to_path(self, day, tmp_path):
+        path = tmp_path / "day.csv"
+        day_to_csv(day, path)
+        assert path.read_text().startswith("minute,")
+
+
+class TestDayToJSON:
+    def test_structure(self, day):
+        payload = json.loads(day_to_json(day))
+        assert payload["mix"] == "L1"
+        assert payload["metrics"]["ptp_ginst"] == 1000.0
+        assert len(payload["series"]["minute"]) == 5
+        assert payload["series"]["on_solar"][2] is False
+
+    def test_metrics_match_properties(self, day):
+        payload = json.loads(day_to_json(day))
+        assert payload["metrics"]["energy_utilization"] == pytest.approx(
+            day.energy_utilization
+        )
+
+    def test_writes_to_path(self, day, tmp_path):
+        path = tmp_path / "day.json"
+        day_to_json(day, path)
+        assert json.loads(path.read_text())["location"] == "PFCI"
+
+
+class TestTableToCSV:
+    def test_nested_mapping(self):
+        table = {
+            ("PFCI", 1): {"H1": 0.10, "L1": 0.08},
+            ("ORNL", 7): {"H1": 0.13, "L1": 0.12},
+        }
+        buffer = io.StringIO()
+        table_to_csv(table, buffer, key_names=("site", "month"))
+        rows = list(csv.reader(io.StringIO(buffer.getvalue())))
+        assert rows[0] == ["site", "month", "H1", "L1"]
+        assert ["PFCI", "1", "0.1", "0.08"] in rows
+
+    def test_scalar_values(self):
+        table = {("PFCI", 7): 0.85}
+        buffer = io.StringIO()
+        table_to_csv(table, buffer, key_names=("site", "month"))
+        rows = list(csv.reader(io.StringIO(buffer.getvalue())))
+        assert rows[0] == ["site", "month", "value"]
+
+    def test_key_arity_checked(self):
+        with pytest.raises(ValueError, match="parts"):
+            table_to_csv({("a", "b"): 1.0}, io.StringIO(), key_names=("k",))

@@ -1,0 +1,41 @@
+"""Tests for the headline-claims capstone (small grid)."""
+
+import pytest
+
+from repro.core.config import SolarCoreConfig
+from repro.harness.paper_summary import render_headlines, reproduce_headlines
+from repro.harness.runner import SimulationRunner
+
+
+@pytest.fixture(scope="module")
+def claims():
+    runner = SimulationRunner(SolarCoreConfig(step_minutes=10.0))
+    return reproduce_headlines(runner, mixes=("L1", "HM2"), months=(7,))
+
+
+class TestReproduceHeadlines:
+    def test_seven_claims(self, claims):
+        assert len(claims) == 7
+
+    def test_fig1_claim_holds(self, claims):
+        fig1 = claims[0]
+        assert "Fig 1" in fig1.claim
+        assert fig1.holds
+
+    def test_policy_ordering_claims_hold(self, claims):
+        by_claim = {c.claim: c for c in claims}
+        assert by_claim["MPPT&Opt beats MPPT&RR (Fig 21)"].holds
+        assert by_claim["MPPT&Opt beats MPPT&IC (Fig 21)"].holds
+
+    def test_every_claim_has_both_sides(self, claims):
+        for claim in claims:
+            assert claim.paper_value
+            assert claim.measured
+
+
+class TestRenderHeadlines:
+    def test_card_renders(self, claims):
+        card = render_headlines(claims)
+        assert "paper" in card
+        assert "measured" in card
+        assert card.count("\n") >= len(claims)

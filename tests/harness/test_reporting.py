@@ -1,0 +1,62 @@
+"""Unit tests for ASCII reporting."""
+
+import pytest
+
+from repro.harness.reporting import (
+    format_series,
+    format_table,
+    render_table7,
+    sparkline,
+)
+
+
+class TestFormatTable:
+    def test_renders_headers_and_rows(self):
+        out = format_table(["a", "b"], [["1", "2"], ["3", "4"]])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert lines[2].split() == ["1", "2"]
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["1"]])
+
+    def test_pads_wide_cells(self):
+        out = format_table(["x"], [["wide-cell"]])
+        assert "wide-cell" in out
+
+
+class TestFormatSeries:
+    def test_label_and_points(self):
+        out = format_series("budget", [(50, 0.5), (100, 0.25)])
+        assert out.startswith("budget")
+        assert "50:0.50" in out
+        assert "100:0.25" in out
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_peak_is_densest_char(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[-1] == "@"
+
+    def test_downsamples_long_series(self):
+        line = sparkline(range(1000), width=50)
+        assert len(line) == 50
+
+    def test_all_zero(self):
+        assert set(sparkline([0.0, 0.0])) == {" "}
+
+
+class TestRenderTable7:
+    def test_renders_grid(self):
+        table = {
+            ("PFCI", 1): {"H1": 0.10, "L1": 0.08},
+            ("ORNL", 7): {"H1": 0.13, "L1": 0.12},
+        }
+        out = render_table7(table)
+        assert "PFCI" in out
+        assert "10.0%" in out
+        assert "H1" in out

@@ -1,0 +1,40 @@
+"""Unit tests for the caching simulation runner."""
+
+import pytest
+
+from repro.core.config import SolarCoreConfig
+from repro.harness.runner import SimulationRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SimulationRunner(SolarCoreConfig(step_minutes=10.0))
+
+
+class TestCaching:
+    def test_day_cached(self, runner):
+        a = runner.day("L1", "AZ", 7, "MPPT&Opt")
+        n = runner.cached_runs
+        b = runner.day("L1", "AZ", 7, "MPPT&Opt")
+        assert a is b
+        assert runner.cached_runs == n
+
+    def test_distinct_keys_distinct_runs(self, runner):
+        a = runner.day("L1", "AZ", 7, "MPPT&Opt")
+        b = runner.day("L1", "AZ", 7, "MPPT&RR")
+        assert a is not b
+
+    def test_fixed_cached(self, runner):
+        a = runner.fixed_day("L1", "AZ", 7, 100.0)
+        b = runner.fixed_day("L1", "AZ", 7, 100.0)
+        assert a is b
+
+    def test_battery_cached(self, runner):
+        a = runner.battery_day("L1", "AZ", 7, 0.81)
+        b = runner.battery_day("L1", "AZ", 7, 0.81)
+        assert a is b
+
+    def test_accepts_location_objects(self, runner):
+        from repro.environment.locations import PHOENIX_AZ
+
+        assert runner.day("L1", PHOENIX_AZ, 7) is runner.day("L1", "AZ", 7)

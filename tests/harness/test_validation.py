@@ -1,0 +1,69 @@
+"""The MPPT validation gate (the paper's Simulink-check equivalent)."""
+
+import pytest
+
+from repro.core.config import SolarCoreConfig
+from repro.harness.validation import ValidationCase, validate_mppt
+
+
+class TestValidateMPPT:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return validate_mppt(mixes=("L1", "HM2"), policies=("MPPT&Opt",))
+
+    def test_all_invariants_hold(self, report):
+        assert report.all_pass, [
+            (c.mix_name, c.irradiance, c.efficiency) for c in report.failures
+        ]
+
+    def test_case_count(self, report):
+        assert len(report.cases) == 2 * 7  # mixes x conditions
+
+    def test_mean_efficiency_in_margin_band(self, report):
+        # Margin 5% + quantization: mean lands ~88-96% of MPP.
+        assert 0.85 < report.mean_efficiency <= 1.0
+
+    def test_all_policies_validate(self):
+        report = validate_mppt(
+            mixes=("HM2",),
+            policies=("MPPT&IC", "MPPT&RR", "MPPT&Opt"),
+            conditions=((800.0, 45.0), (400.0, 30.0)),
+        )
+        assert report.all_pass
+
+
+class TestValidationCase:
+    def make_case(self, **overrides) -> ValidationCase:
+        defaults = dict(
+            mix_name="L1", policy="MPPT&Opt", irradiance=800.0, cell_temp_c=40.0,
+            mpp_power=100.0, tracked_power=93.0, rail_voltage=12.1,
+            saturated=False, floor_limited=False, retrack_drift=1.0,
+        )
+        defaults.update(overrides)
+        return ValidationCase(**defaults)
+
+    def test_good_case_passes(self):
+        assert self.make_case().passes(SolarCoreConfig())
+
+    def test_overdraw_fails(self):
+        assert not self.make_case(tracked_power=101.0).passes(SolarCoreConfig())
+
+    def test_deep_undershoot_fails(self):
+        assert not self.make_case(tracked_power=60.0).passes(SolarCoreConfig())
+
+    def test_saturated_undershoot_allowed(self):
+        case = self.make_case(tracked_power=60.0, saturated=True)
+        assert case.passes(SolarCoreConfig())
+
+    def test_floor_limited_low_rail_allowed(self):
+        case = self.make_case(
+            tracked_power=31.0, mpp_power=35.0, rail_voltage=9.6,
+            floor_limited=True,
+        )
+        assert case.passes(SolarCoreConfig())
+
+    def test_rail_excursion_fails(self):
+        assert not self.make_case(rail_voltage=17.0).passes(SolarCoreConfig())
+
+    def test_instability_fails(self):
+        assert not self.make_case(retrack_drift=30.0).passes(SolarCoreConfig())

@@ -1,0 +1,72 @@
+"""Integration tests: the full environment -> PV -> converter -> chip ->
+controller pipeline over simulated days."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolarCoreConfig
+from repro.core.simulation import run_day, run_day_fixed
+from repro.environment.irradiance import generate_trace
+from repro.environment.locations import ALL_LOCATIONS, PHOENIX_AZ
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SolarCoreConfig(step_minutes=5.0)
+
+
+class TestEnergyConservation:
+    def test_solar_energy_never_exceeds_supply(self, cfg):
+        for loc in ALL_LOCATIONS:
+            day = run_day("HM2", loc, 7, "MPPT&Opt", config=cfg)
+            assert day.solar_used_wh <= day.solar_available_wh + 1e-6
+
+    def test_utilization_equals_energy_ratio(self, cfg):
+        day = run_day("HM2", PHOENIX_AZ, 7, "MPPT&Opt", config=cfg)
+        assert day.energy_utilization == pytest.approx(
+            day.solar_used_wh / day.solar_available_wh
+        )
+
+    def test_utility_energy_positive_when_not_fully_solar(self, cfg):
+        day = run_day("HM2", ALL_LOCATIONS[3], 1, "MPPT&Opt", config=cfg)
+        if day.effective_duration_fraction < 1.0:
+            assert day.utility_wh > 0.0
+
+
+class TestSupplyFollowing:
+    def test_consumption_tracks_budget_shape(self, cfg):
+        """Consumed power correlates strongly with the MPP budget — the
+        essence of Figures 13/14."""
+        day = run_day("HM2", PHOENIX_AZ, 1, "MPPT&Opt", config=cfg)
+        mask = day.on_solar & (day.mpp_w > 0)
+        corr = np.corrcoef(day.mpp_w[mask], day.consumed_w[mask])[0, 1]
+        assert corr > 0.9
+
+    def test_morning_ramp_raises_consumption(self, cfg):
+        day = run_day("HM2", PHOENIX_AZ, 7, "MPPT&Opt", config=cfg)
+        solar_idx = np.flatnonzero(day.on_solar)
+        early = day.consumed_w[solar_idx[: len(solar_idx) // 4]].mean()
+        midday = day.consumed_w[solar_idx[len(solar_idx) // 3 : 2 * len(solar_idx) // 3]].mean()
+        assert midday > early
+
+
+class TestTraceInjection:
+    def test_custom_trace_used(self, cfg):
+        trace = generate_trace(PHOENIX_AZ, 7, seed=123, step_minutes=5.0)
+        day = run_day("L1", PHOENIX_AZ, 7, "MPPT&Opt", config=cfg, trace=trace)
+        assert len(day.minutes) == len(trace.minutes) - 1
+
+    def test_different_seeds_change_outcome(self, cfg):
+        a = run_day("L1", PHOENIX_AZ, 7, "MPPT&Opt", config=cfg, seed=1)
+        b = run_day("L1", PHOENIX_AZ, 7, "MPPT&Opt", config=cfg, seed=2)
+        assert a.ptp != b.ptp
+
+
+class TestFixedVsMppt:
+    def test_solarcore_beats_any_fixed_budget(self, cfg):
+        """Figure 17's headline: the best fixed budget trails SolarCore."""
+        solarcore = run_day("HM2", PHOENIX_AZ, 1, "MPPT&Opt", config=cfg)
+        for budget in (60.0, 75.0, 100.0, 125.0):
+            fixed = run_day_fixed("HM2", PHOENIX_AZ, 1, budget, config=cfg)
+            assert fixed.ptp < solarcore.ptp
+            assert fixed.solar_used_wh < solarcore.solar_used_wh

@@ -1,0 +1,114 @@
+"""Failure-injection integration tests: the system must degrade gracefully.
+
+Scenarios: total blackout mid-day (storm front), extreme sensor noise,
+sustained deep overcast, and a panel far too small for the chip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolarCoreConfig
+from repro.core.simulation import run_day
+from repro.environment.locations import PHOENIX_AZ
+from repro.environment.trace import EnvironmentTrace
+from repro.power.sensors import IVSensor
+from repro.pv.array import PVArray
+from repro.pv.params import CellParameters, ModuleParameters
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SolarCoreConfig(step_minutes=5.0)
+
+
+def trace_with_blackout() -> EnvironmentTrace:
+    """A clear day whose middle two hours lose all irradiance."""
+    minutes = np.arange(450.0, 1051.0, 5.0)
+    hump = 900.0 * np.sin(np.pi * (minutes - 450.0) / 600.0) ** 1.5
+    blackout = (minutes >= 700.0) & (minutes <= 820.0)
+    irradiance = np.where(blackout, 0.0, hump)
+    ambient = np.full_like(minutes, 25.0)
+    return EnvironmentTrace(minutes, irradiance, ambient, label="blackout")
+
+
+class TestBlackout:
+    def test_survives_total_blackout(self, cfg):
+        day = run_day(
+            "HM2", PHOENIX_AZ, 7, "MPPT&Opt", config=cfg,
+            trace=trace_with_blackout(),
+        )
+        # During the blackout the chip must be on the utility...
+        black = (day.minutes >= 700.0) & (day.minutes <= 820.0)
+        assert not day.on_solar[black].any()
+        # ...and must re-engage the panel afterwards.
+        after = day.minutes > 860.0
+        assert day.on_solar[after & (day.mpp_w > 80.0)].any()
+
+    def test_energy_accounting_stays_consistent(self, cfg):
+        day = run_day(
+            "HM2", PHOENIX_AZ, 7, "MPPT&Opt", config=cfg,
+            trace=trace_with_blackout(),
+        )
+        assert day.solar_used_wh <= day.solar_available_wh + 1e-6
+        assert day.utility_wh > 0.0
+
+
+class TestSensorFaults:
+    def test_noisy_sensor_still_productive(self, cfg):
+        day = run_day(
+            "HM2", PHOENIX_AZ, 7, "MPPT&Opt", config=cfg,
+            sensor=IVSensor(noise_fraction=0.05, seed=3),
+        )
+        assert day.energy_utilization > 0.5
+        assert np.all(day.consumed_w[day.on_solar] <= day.mpp_w[day.on_solar] + 1e-6)
+
+    def test_quantized_sensor_still_productive(self, cfg):
+        day = run_day(
+            "HM2", PHOENIX_AZ, 7, "MPPT&Opt", config=cfg,
+            sensor=IVSensor(quantization_v=0.2, quantization_a=0.2),
+        )
+        assert day.energy_utilization > 0.4
+
+    def test_burst_averaging_recovers_accuracy(self):
+        cfg_raw = SolarCoreConfig(step_minutes=5.0)
+        cfg_avg = SolarCoreConfig(step_minutes=5.0, sensor_averaging=8)
+        raw = run_day(
+            "HM2", PHOENIX_AZ, 7, "MPPT&Opt", config=cfg_raw,
+            sensor=IVSensor(noise_fraction=0.02, seed=3),
+        )
+        averaged = run_day(
+            "HM2", PHOENIX_AZ, 7, "MPPT&Opt", config=cfg_avg,
+            sensor=IVSensor(noise_fraction=0.02, seed=3),
+        )
+        assert averaged.mean_tracking_error < raw.mean_tracking_error
+        assert averaged.energy_utilization > raw.energy_utilization
+
+
+class TestUndersizedPanel:
+    def test_tiny_panel_falls_back_to_utility(self, cfg):
+        """A 20 W panel can never start the chip: all-utility day."""
+        tiny = ModuleParameters(
+            name="tiny",
+            cell=CellParameters(isc_ref=0.6, voc_ref=43.6 / 72),
+            cells_series=72,
+        )
+        day = run_day(
+            "HM2", PHOENIX_AZ, 7, "MPPT&Opt", config=cfg,
+            array=PVArray(tiny),
+        )
+        assert day.effective_duration_fraction == 0.0
+        assert day.utility_wh > 0.0
+        assert day.retired_ginst_total > 0.0  # chip still computes on grid
+
+
+class TestOversizedPanel:
+    def test_huge_array_saturates_cleanly(self, cfg):
+        """A 6-module array dwarfs the chip: it runs flat-out on solar."""
+        day = run_day(
+            "L1", PHOENIX_AZ, 7, "MPPT&Opt", config=cfg,
+            array=PVArray(modules_series=2, modules_parallel=3),
+        )
+        assert day.effective_duration_fraction > 0.9
+        # Utilization is low: the chip cannot absorb a 1 kW panel.
+        assert day.energy_utilization < 0.5
+        assert np.all(day.consumed_w <= day.mpp_w + 1e-6)

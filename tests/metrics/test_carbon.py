@@ -1,0 +1,73 @@
+"""Unit tests for carbon-footprint accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import DayResult
+from repro.metrics.carbon import (
+    GRID_INTENSITY_KG_PER_KWH,
+    carbon_report,
+)
+
+
+def fake_day(solar_wh: float, utility_wh: float, location="PFCI") -> DayResult:
+    n = 4
+    # consumed_w chosen so solar_used_wh matches the requested energy:
+    # n-steps of 1 minute each -> wh = sum(w)/60.
+    per_step_w = solar_wh * 60.0 / n
+    return DayResult(
+        mix_name="H1",
+        location_code=location,
+        month=1,
+        policy="test",
+        minutes=np.arange(n, dtype=float),
+        mpp_w=np.full(n, per_step_w + 1.0),
+        consumed_w=np.full(n, per_step_w),
+        throughput_gips=np.full(n, 5.0),
+        on_solar=np.full(n, True),
+        retired_ginst_solar=1.0,
+        retired_ginst_total=1.0,
+        utility_wh=utility_wh,
+    )
+
+
+class TestCarbonReport:
+    def test_energy_split(self):
+        report = carbon_report([fake_day(500.0, 250.0)])
+        assert report.solar_kwh == pytest.approx(0.5)
+        assert report.utility_kwh == pytest.approx(0.25)
+
+    def test_regional_intensity_applied(self):
+        az = carbon_report([fake_day(1000.0, 0.0, "PFCI")])
+        co = carbon_report([fake_day(1000.0, 0.0, "BMS")])
+        assert az.avoided_kg == pytest.approx(GRID_INTENSITY_KG_PER_KWH["PFCI"])
+        assert co.avoided_kg == pytest.approx(GRID_INTENSITY_KG_PER_KWH["BMS"])
+        # Coal-heavy Colorado grid: more carbon avoided per solar kWh.
+        assert co.avoided_kg > az.avoided_kg
+
+    def test_intensity_override(self):
+        report = carbon_report([fake_day(1000.0, 1000.0)], intensity_kg_per_kwh=0.5)
+        assert report.avoided_kg == pytest.approx(0.5)
+        assert report.emitted_kg == pytest.approx(0.5)
+
+    def test_fractions(self):
+        report = carbon_report([fake_day(750.0, 250.0)], intensity_kg_per_kwh=1.0)
+        assert report.green_fraction == pytest.approx(0.75)
+        assert report.reduction_fraction == pytest.approx(0.75)
+
+    def test_aggregates_multiple_days(self):
+        report = carbon_report(
+            [fake_day(500.0, 100.0), fake_day(300.0, 200.0)],
+            intensity_kg_per_kwh=1.0,
+        )
+        assert report.solar_kwh == pytest.approx(0.8)
+        assert report.utility_kwh == pytest.approx(0.3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            carbon_report([])
+
+    def test_all_grid_day(self):
+        report = carbon_report([fake_day(0.0, 500.0)])
+        assert report.green_fraction == 0.0
+        assert report.reduction_fraction == 0.0

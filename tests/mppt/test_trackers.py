@@ -1,0 +1,99 @@
+"""Unit tests for the conventional MPPT algorithms."""
+
+import pytest
+
+from repro.mppt.base import run_tracker
+from repro.mppt.incremental_conductance import IncrementalConductance
+from repro.mppt.perturb_observe import PerturbObserve
+from repro.power.converter import DCDCConverter
+from repro.power.operating_point import solve_operating_point
+from repro.pv.array import PVArray
+from repro.pv.mpp import find_mpp
+
+
+@pytest.fixture
+def array():
+    return PVArray()
+
+
+def converge(tracker, array, r, g, t, steps=60):
+    for _ in range(steps):
+        point = solve_operating_point(array, tracker.converter, r, g, t)
+        tracker.step(point)
+    return solve_operating_point(array, tracker.converter, r, g, t)
+
+
+class TestPerturbObserve:
+    def test_converges_near_mpp(self, array):
+        tracker = PerturbObserve(DCDCConverter(k=5.0, delta_k=0.05))
+        op = converge(tracker, array, 1.8, 800.0, 40.0)
+        mpp = find_mpp(array, 800.0, 40.0)
+        assert op.pv_power > 0.95 * mpp.power
+
+    def test_converges_from_below(self, array):
+        tracker = PerturbObserve(DCDCConverter(k=1.2, delta_k=0.05))
+        op = converge(tracker, array, 1.8, 800.0, 40.0)
+        mpp = find_mpp(array, 800.0, 40.0)
+        assert op.pv_power > 0.9 * mpp.power
+
+    def test_oscillates_at_steady_state(self, array):
+        tracker = PerturbObserve(DCDCConverter(k=3.0, delta_k=0.05))
+        converge(tracker, array, 1.8, 800.0, 40.0)
+        ks = []
+        for _ in range(8):
+            point = solve_operating_point(array, tracker.converter, 1.8, 800.0, 40.0)
+            tracker.step(point)
+            ks.append(tracker.converter.k)
+        assert len(set(round(k, 4) for k in ks)) > 1  # never holds still
+
+    def test_reset_clears_history(self, array):
+        tracker = PerturbObserve(DCDCConverter())
+        point = solve_operating_point(array, tracker.converter, 1.8, 800.0, 40.0)
+        tracker.step(point)
+        tracker.reset()
+        assert tracker._last_power is None
+
+
+class TestIncrementalConductance:
+    def test_converges_near_mpp(self, array):
+        tracker = IncrementalConductance(DCDCConverter(k=5.0, delta_k=0.05))
+        op = converge(tracker, array, 1.8, 800.0, 40.0)
+        mpp = find_mpp(array, 800.0, 40.0)
+        assert op.pv_power > 0.95 * mpp.power
+
+    def test_holds_within_dead_zone(self, array):
+        tracker = IncrementalConductance(
+            DCDCConverter(k=3.0, delta_k=0.05), tolerance=0.05
+        )
+        converge(tracker, array, 1.8, 800.0, 40.0, steps=80)
+        k_before = tracker.converter.k
+        for _ in range(6):
+            point = solve_operating_point(array, tracker.converter, 1.8, 800.0, 40.0)
+            tracker.step(point)
+        # IncCond's dead zone lets it settle (within one step of rest).
+        assert abs(tracker.converter.k - k_before) <= 2 * tracker.converter.delta_k
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            IncrementalConductance(DCDCConverter(), tolerance=-0.1)
+
+
+class TestRunTracker:
+    def test_tracking_efficiency_high_on_slow_profile(self, array):
+        profile = [(900.0, 45.0), (850.0, 44.0), (800.0, 43.0)]
+        tracker = PerturbObserve(DCDCConverter(k=3.0, delta_k=0.05))
+        run = run_tracker(tracker, array, 1.8, profile, steps_per_condition=30)
+        assert run.tracking_efficiency > 0.9
+
+    def test_powers_never_exceed_mpp(self, array):
+        profile = [(700.0, 40.0), (400.0, 30.0)]
+        tracker = IncrementalConductance(DCDCConverter(k=3.0))
+        run = run_tracker(tracker, array, 1.8, profile)
+        for p, m in zip(run.powers, run.mpp_powers):
+            assert p <= m + 1e-6
+
+    def test_run_length(self, array):
+        profile = [(700.0, 40.0), (400.0, 30.0)]
+        tracker = PerturbObserve(DCDCConverter())
+        run = run_tracker(tracker, array, 1.8, profile, steps_per_condition=10)
+        assert len(run.powers) == 20

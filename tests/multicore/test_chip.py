@@ -1,0 +1,114 @@
+"""Unit tests for the multi-core chip."""
+
+import pytest
+
+from repro.multicore.chip import NOMINAL_RAIL_V, MultiCoreChip
+from repro.workloads.mixes import mix
+
+
+class TestConstruction:
+    def test_eight_cores(self, chip_hm2: MultiCoreChip):
+        assert chip_hm2.n_cores == 8
+
+    def test_benchmarks_assigned_in_order(self, chip_hm2):
+        names = [core.bench.name for core in chip_hm2.cores]
+        assert names == ["bzip", "gzip", "art", "apsi", "gcc", "mcf", "gap", "vpr"]
+
+    def test_rejects_negative_uncore(self):
+        with pytest.raises(ValueError):
+            MultiCoreChip(mix("H1"), uncore_power_w=-1.0)
+
+
+class TestLevelManagement:
+    def test_set_all_levels(self, chip_hm2):
+        chip_hm2.set_all_levels(2)
+        assert chip_hm2.levels == (2,) * 8
+
+    def test_set_levels_vector(self, chip_hm2):
+        chip_hm2.set_levels([0, 1, 2, 3, 4, 5, 0, 1])
+        assert chip_hm2.levels == (0, 1, 2, 3, 4, 5, 0, 1)
+
+    def test_set_levels_length_checked(self, chip_hm2):
+        with pytest.raises(ValueError):
+            chip_hm2.set_levels([0, 1])
+
+
+class TestAggregates:
+    def test_total_power_includes_uncore(self, chip_hm2):
+        per_core = sum(core.power_at(0.0) for core in chip_hm2.cores)
+        assert chip_hm2.total_power_at(0.0) == pytest.approx(
+            per_core + chip_hm2.uncore_power_w
+        )
+
+    def test_power_ordering(self, chip_hm2):
+        assert (
+            chip_hm2.floor_power_at(0.0)
+            <= chip_hm2.min_power_at(0.0)
+            <= chip_hm2.max_power_at(0.0)
+        )
+
+    def test_floor_with_gating_is_one_core(self, chip_hm2):
+        cheapest = min(
+            core.power_at_level(0, 0.0) for core in chip_hm2.cores
+        )
+        assert chip_hm2.floor_power_at(0.0, with_gating=True) == pytest.approx(
+            chip_hm2.uncore_power_w + cheapest
+        )
+
+    def test_floor_without_gating_is_min_power(self, chip_hm2):
+        assert chip_hm2.floor_power_at(0.0, with_gating=False) == pytest.approx(
+            chip_hm2.min_power_at(0.0)
+        )
+
+    def test_gating_reduces_power_and_throughput(self, chip_hm2):
+        p_before = chip_hm2.total_power_at(0.0)
+        t_before = chip_hm2.total_throughput_at(0.0)
+        chip_hm2.cores[0].gate()
+        assert chip_hm2.total_power_at(0.0) < p_before
+        assert chip_hm2.total_throughput_at(0.0) < t_before
+
+    def test_ungate_all(self, chip_hm2):
+        for core in chip_hm2.cores[:4]:
+            core.gate()
+        chip_hm2.ungate_all()
+        assert len(chip_hm2.active_cores()) == 8
+
+
+class TestElectricalView:
+    def test_effective_resistance(self, chip_hm2):
+        r = chip_hm2.effective_resistance(0.0)
+        assert r == pytest.approx(
+            NOMINAL_RAIL_V**2 / chip_hm2.total_power_at(0.0)
+        )
+
+    def test_resistance_rejects_bad_rail(self, chip_hm2):
+        with pytest.raises(ValueError):
+            chip_hm2.effective_resistance(0.0, rail_v=0.0)
+
+    def test_raising_levels_lowers_impedance(self, chip_hm2):
+        """Paper Section 2.3: higher clock -> lower impedance."""
+        chip_hm2.set_all_levels(0)
+        r_low = chip_hm2.effective_resistance(0.0)
+        chip_hm2.set_all_levels(5)
+        r_high = chip_hm2.effective_resistance(0.0)
+        assert r_high < r_low
+
+
+class TestChipPowerCalibration:
+    """The chip must live in the BP3180N panel's power envelope."""
+
+    @pytest.mark.parametrize("mix_name", ["H1", "M1", "L1", "HM2", "ML2"])
+    def test_max_power_within_panel_reach(self, mix_name):
+        chip = MultiCoreChip(mix(mix_name))
+        pmax = chip.max_power_at(100.0)
+        assert 120.0 < pmax < 220.0
+
+    @pytest.mark.parametrize("mix_name", ["H1", "M1", "L1"])
+    def test_min_power_allows_morning_engagement(self, mix_name):
+        chip = MultiCoreChip(mix(mix_name))
+        assert chip.floor_power_at(100.0) < 60.0
+
+    def test_advance_totals_cores(self, chip_h1):
+        total = chip_h1.advance(0.0, 1.0)
+        assert total == pytest.approx(chip_h1.retired_ginst)
+        assert total > 0.0

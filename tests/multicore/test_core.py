@@ -1,0 +1,92 @@
+"""Unit tests for the single-core model."""
+
+import pytest
+
+from repro.multicore.core import Core
+from repro.multicore.dvfs import default_dvfs_table
+from repro.multicore.power_model import CorePowerModel
+from repro.workloads.benchmarks import benchmark
+
+
+@pytest.fixture
+def core():
+    model = CorePowerModel(table=default_dvfs_table())
+    return Core(0, benchmark("gcc"), model, seed=7)
+
+
+class TestDVFSState:
+    def test_starts_at_top_level(self, core):
+        assert core.level == core.table.max_level
+
+    def test_set_level_validates(self, core):
+        core.set_level(2)
+        assert core.level == 2
+        with pytest.raises(IndexError):
+            core.set_level(17)
+
+    def test_initial_level_override(self):
+        model = CorePowerModel(table=default_dvfs_table())
+        core = Core(0, benchmark("art"), model, initial_level=1)
+        assert core.level == 1
+
+
+class TestGating:
+    def test_gated_core_draws_nothing(self, core):
+        core.gate()
+        assert core.power_at(10.0) == 0.0
+        assert core.throughput_at(10.0) == 0.0
+
+    def test_ungate_restores(self, core):
+        level = core.level
+        core.gate()
+        core.ungate()
+        assert core.level == level
+        assert core.power_at(10.0) > 0.0
+
+
+class TestObservables:
+    def test_power_positive_when_active(self, core):
+        assert core.power_at(0.0) > 0.0
+
+    def test_predictions_match_actuals(self, core):
+        for level in range(len(core.table)):
+            core.set_level(level)
+            assert core.power_at_level(level, 5.0) == pytest.approx(core.power_at(5.0))
+            assert core.throughput_at_level(level, 5.0) == pytest.approx(
+                core.throughput_at(5.0)
+            )
+
+    def test_throughput_rises_with_level(self, core):
+        values = []
+        for level in range(len(core.table)):
+            core.set_level(level)
+            values.append(core.throughput_at(3.0))
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_power_rises_with_level(self, core):
+        values = []
+        for level in range(len(core.table)):
+            core.set_level(level)
+            values.append(core.power_at(3.0))
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+
+class TestProgress:
+    def test_advance_accumulates(self, core):
+        retired = core.advance(0.0, 1.0)
+        assert retired > 0.0
+        assert core.retired_ginst == pytest.approx(retired)
+        core.advance(1.0, 1.0)
+        assert core.retired_ginst > retired
+
+    def test_advance_matches_throughput(self, core):
+        expected = core.throughput_at(0.0) * 60.0  # GIPS * seconds
+        assert core.advance(0.0, 1.0) == pytest.approx(expected)
+
+    def test_gated_core_retires_nothing(self, core):
+        core.gate()
+        assert core.advance(0.0, 1.0) == 0.0
+
+    def test_rejects_negative_dt(self, core):
+        with pytest.raises(ValueError):
+            core.advance(0.0, -1.0)

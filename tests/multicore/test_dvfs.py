@@ -1,0 +1,79 @@
+"""Unit tests for the DVFS operating-point table."""
+
+import pytest
+
+from repro.multicore.dvfs import DVFSTable, OperatingPoint, default_dvfs_table
+
+
+class TestOperatingPoint:
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(0.0, 1.0)
+        with pytest.raises(ValueError):
+            OperatingPoint(1.0, 0.0)
+
+
+class TestDefaultTable:
+    def test_paper_configuration(self):
+        table = default_dvfs_table()
+        assert len(table) == 6
+        assert table.max_frequency == pytest.approx(2.5)
+        assert table.frequency(0) == pytest.approx(1.0)
+        assert table.max_voltage == pytest.approx(1.45)
+        assert table.voltage(0) == pytest.approx(0.95)
+
+    def test_300mhz_and_100mv_steps(self):
+        table = default_dvfs_table()
+        for level in range(5):
+            assert table.frequency(level + 1) - table.frequency(level) == pytest.approx(0.3)
+            assert table.voltage(level + 1) - table.voltage(level) == pytest.approx(0.1)
+
+    def test_voltage_linear_in_frequency(self):
+        """Paper assumption 1: V scales ~linearly with f."""
+        table = default_dvfs_table(12)
+        slopes = [
+            (table.voltage(i + 1) - table.voltage(i))
+            / (table.frequency(i + 1) - table.frequency(i))
+            for i in range(11)
+        ]
+        assert max(slopes) == pytest.approx(min(slopes))
+
+    def test_granularity_refinement(self):
+        table = default_dvfs_table(32)
+        assert len(table) == 32
+        assert table.frequency(0) == pytest.approx(1.0)
+        assert table.max_frequency == pytest.approx(2.5)
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ValueError):
+            default_dvfs_table(1)
+
+
+class TestTableValidation:
+    def test_rejects_unordered_points(self):
+        with pytest.raises(ValueError, match="ascending"):
+            DVFSTable([OperatingPoint(2.0, 1.2), OperatingPoint(1.0, 0.9)])
+
+    def test_rejects_duplicate_frequencies(self):
+        with pytest.raises(ValueError, match="distinct"):
+            DVFSTable([OperatingPoint(1.0, 0.9), OperatingPoint(1.0, 1.0)])
+
+    def test_level_bounds_checked(self):
+        table = default_dvfs_table()
+        with pytest.raises(IndexError):
+            table[6]
+        with pytest.raises(IndexError):
+            table[-1]
+
+
+class TestVID:
+    def test_six_levels_need_three_bits(self):
+        assert default_dvfs_table(6).vid_bits() == 3
+
+    def test_32_levels_need_five_bits(self):
+        assert default_dvfs_table(32).vid_bits() == 5
+
+    def test_vid_roundtrip(self):
+        table = default_dvfs_table()
+        for level in range(len(table)):
+            assert table.level_of_vid(table.vid_of(level)) == level

@@ -1,0 +1,27 @@
+"""Unit tests for performance-counter profiling."""
+
+import pytest
+
+from repro.multicore.perf_counters import profile_chip
+
+
+class TestProfileChip:
+    def test_one_profile_per_core(self, chip_hm2):
+        profiles = profile_chip(chip_hm2, 10.0)
+        assert len(profiles) == 8
+        assert [p.core_id for p in profiles] == list(range(8))
+
+    def test_profiles_match_core_state(self, chip_hm2):
+        chip_hm2.set_all_levels(3)
+        for profile, core in zip(profile_chip(chip_hm2, 5.0), chip_hm2.cores):
+            assert profile.level == 3
+            assert profile.ipc == pytest.approx(core.ipc_at(5.0))
+            assert profile.power_w == pytest.approx(core.power_at(5.0))
+            assert profile.throughput_gips == pytest.approx(core.throughput_at(5.0))
+
+    def test_gated_core_profile(self, chip_hm2):
+        chip_hm2.cores[2].gate()
+        profiles = profile_chip(chip_hm2, 5.0)
+        assert profiles[2].gated
+        assert profiles[2].power_w == 0.0
+        assert profiles[2].throughput_gips == 0.0

@@ -1,0 +1,74 @@
+"""Unit tests for the core power model (the Wattch/CACTI substitute)."""
+
+import pytest
+
+from repro.multicore.dvfs import default_dvfs_table
+from repro.multicore.power_model import CorePowerModel
+
+
+@pytest.fixture
+def model():
+    return CorePowerModel(table=default_dvfs_table(), leakage_ref_w=1.0)
+
+
+class TestDynamicPower:
+    def test_dimensional_sanity_at_top(self, model):
+        # 16.5 nJ * 0.42 IPC * 2.5 GHz = 17.3 W.
+        power = model.dynamic_power(5, epi_nj=16.5, ipc=0.42)
+        assert power == pytest.approx(16.5 * 0.42 * 2.5)
+
+    def test_scales_linearly_with_ipc(self, model):
+        assert model.dynamic_power(3, 10.0, 0.8) == pytest.approx(
+            2.0 * model.dynamic_power(3, 10.0, 0.4)
+        )
+
+    def test_scales_linearly_with_epi(self, model):
+        assert model.dynamic_power(3, 16.0, 0.5) == pytest.approx(
+            2.0 * model.dynamic_power(3, 8.0, 0.5)
+        )
+
+    def test_voltage_squared_scaling(self, model):
+        table = model.table
+        low = model.dynamic_power(0, 10.0, 0.5)
+        high = model.dynamic_power(5, 10.0, 0.5)
+        expected_ratio = (
+            (table.voltage(5) / table.voltage(0)) ** 2
+            * table.frequency(5)
+            / table.frequency(0)
+        )
+        assert high / low == pytest.approx(expected_ratio)
+
+    def test_approximately_cubic_in_voltage(self, model):
+        """Paper assumption 2: total core power ~ c * V^3."""
+        table = model.table
+        p0 = model.dynamic_power(0, 10.0, 0.5)
+        p5 = model.dynamic_power(5, 10.0, 0.5)
+        v_ratio_cubed = (table.voltage(5) / table.voltage(0)) ** 3
+        # Within 2x of the pure cubic (f is affine, not proportional, in V).
+        assert 0.5 < (p5 / p0) / v_ratio_cubed < 2.0
+
+
+class TestLeakage:
+    def test_reference_at_top_voltage(self, model):
+        assert model.leakage_power(5) == pytest.approx(1.0)
+
+    def test_scales_down_with_voltage(self, model):
+        assert model.leakage_power(0) < model.leakage_power(5)
+
+
+class TestThroughput:
+    def test_proportional_to_frequency(self, model):
+        t0 = model.throughput_gips(0, 1.0)
+        t5 = model.throughput_gips(5, 1.0)
+        assert t5 / t0 == pytest.approx(2.5)
+
+    def test_ipc_passthrough(self, model):
+        assert model.throughput_gips(5, 0.42) == pytest.approx(0.42 * 2.5)
+
+
+class TestTotalPower:
+    def test_total_is_sum(self, model):
+        total = model.total_power(3, 12.0, 0.6)
+        assert total == pytest.approx(
+            model.dynamic_power(3, 12.0, 0.6) + model.leakage_power(3)
+        )

@@ -1,0 +1,70 @@
+"""Unit tests for the core thermal model."""
+
+import pytest
+
+from repro.multicore.thermal import CoreThermalModel, ThermalParameters
+
+
+@pytest.fixture
+def model():
+    return CoreThermalModel()
+
+
+class TestLeakageMultiplier:
+    def test_unity_at_reference(self, model):
+        assert model.leakage_multiplier(model.params.t_ref_c) == pytest.approx(1.0)
+
+    def test_doubles_per_doubling_constant(self, model):
+        p = model.params
+        assert model.leakage_multiplier(p.t_ref_c + p.leak_doubling_c) == pytest.approx(2.0)
+
+    def test_halves_below(self, model):
+        p = model.params
+        assert model.leakage_multiplier(p.t_ref_c - p.leak_doubling_c) == pytest.approx(0.5)
+
+
+class TestFixedPoint:
+    def test_hotter_than_ambient(self, model):
+        t, _ = model.solve(dynamic_w=15.0, leakage_ref_w=1.0, ambient_c=35.0)
+        assert t > 35.0
+
+    def test_satisfies_balance(self, model):
+        t, leak = model.solve(dynamic_w=15.0, leakage_ref_w=1.0, ambient_c=35.0)
+        assert t == pytest.approx(
+            35.0 + model.params.r_th_c_per_w * (15.0 + leak), abs=1e-4
+        )
+
+    def test_leakage_grows_with_power(self, model):
+        _, leak_cool = model.solve(3.0, 1.0, 35.0)
+        _, leak_hot = model.solve(17.0, 1.0, 35.0)
+        assert leak_hot > leak_cool
+
+    def test_reduced_vf_runs_cooler(self, model):
+        """SolarCore's supply matching keeps cores cooler: the thermal
+        side benefit of running at mid V/F instead of peak."""
+        t_full, _ = model.solve(17.3, 1.0, 40.0)
+        t_matched, _ = model.solve(8.0, 0.7, 40.0)
+        assert t_matched < t_full
+
+    def test_zero_power_at_ambient(self, model):
+        t, leak = model.solve(0.0, 0.0, 25.0)
+        assert t == pytest.approx(25.0)
+        assert leak == 0.0
+
+    def test_thermal_runaway_detected(self):
+        # Absurd package: loop gain >= 1 must raise, not hang or lie.
+        model = CoreThermalModel(
+            ThermalParameters(r_th_c_per_w=50.0, leak_doubling_c=5.0)
+        )
+        with pytest.raises(RuntimeError, match="converge"):
+            model.solve(dynamic_w=20.0, leakage_ref_w=5.0, ambient_c=45.0)
+
+    def test_rejects_negative_power(self, model):
+        with pytest.raises(ValueError):
+            model.solve(-1.0, 0.0, 25.0)
+
+
+class TestThrottle:
+    def test_throttle_limit(self, model):
+        assert model.is_throttled(model.params.t_max_c + 1.0)
+        assert not model.is_throttled(model.params.t_max_c - 1.0)

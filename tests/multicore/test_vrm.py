@@ -1,0 +1,103 @@
+"""Unit tests for the on-chip VRM model."""
+
+import pytest
+
+from repro.multicore.dvfs import default_dvfs_table
+from repro.multicore.vrm import VRMBank, VRMParameters, VoltageRegulator
+
+
+@pytest.fixture
+def vrm():
+    return VoltageRegulator(default_dvfs_table())
+
+
+class TestEfficiency:
+    def test_bounded_between_floor_and_peak(self, vrm):
+        p = vrm.params
+        for load in (0.0, 1.0, 5.0, 15.0, 40.0):
+            eff = vrm.efficiency(load)
+            assert p.light_load_efficiency <= eff <= p.peak_efficiency
+
+    def test_monotone_in_load(self, vrm):
+        effs = [vrm.efficiency(w) for w in (0.5, 2.0, 8.0, 15.0, 30.0)]
+        assert all(b > a for a, b in zip(effs, effs[1:]))
+
+    def test_rejects_negative_load(self, vrm):
+        with pytest.raises(ValueError):
+            vrm.efficiency(-1.0)
+
+    def test_input_power_exceeds_load(self, vrm):
+        assert vrm.input_power(10.0) > 10.0
+
+    def test_zero_load_zero_input(self, vrm):
+        assert vrm.input_power(0.0) == 0.0
+
+
+class TestTransitions:
+    def test_latency_scales_with_swing(self, vrm):
+        short, _ = vrm.transition(2, 3)  # 0.1 V swing
+        long, _ = vrm.transition(0, 5)  # 0.5 V swing
+        assert long > short
+
+    def test_energy_scales_with_swing(self, vrm):
+        _, small = vrm.transition(2, 3)
+        _, big = vrm.transition(0, 5)
+        assert big == pytest.approx(5.0 * small)
+
+    def test_accounting(self, vrm):
+        vrm.transition(0, 5)
+        vrm.transition(5, 0)
+        assert vrm.transitions == 2
+        assert vrm.transition_energy_j > 0.0
+
+    def test_same_level_transition_costs_vid_only(self, vrm):
+        latency, energy = vrm.transition(3, 3)
+        assert latency == pytest.approx(vrm.params.vid_latency_us)
+        assert energy == 0.0
+
+
+class TestParameters:
+    @pytest.mark.parametrize("kwargs", [
+        {"peak_efficiency": 0.0},
+        {"peak_efficiency": 1.1},
+        {"light_load_efficiency": 0.95, "peak_efficiency": 0.9},
+        {"design_load_w": 0.0},
+        {"ramp_v_per_us": 0.0},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            VRMParameters(**kwargs)
+
+
+class TestBank:
+    def test_one_regulator_per_core(self):
+        bank = VRMBank(8, default_dvfs_table())
+        assert len(bank) == 8
+        assert bank[0] is not bank[1]
+
+    def test_rail_power_sums(self):
+        bank = VRMBank(2, default_dvfs_table())
+        loads = [10.0, 5.0]
+        expected = bank[0].input_power(10.0) + bank[1].input_power(5.0)
+        assert bank.rail_power(loads) == pytest.approx(expected)
+
+    def test_rail_power_length_checked(self):
+        bank = VRMBank(2, default_dvfs_table())
+        with pytest.raises(ValueError):
+            bank.rail_power([1.0])
+
+    def test_conversion_loss_positive(self):
+        bank = VRMBank(4, default_dvfs_table())
+        loss = bank.conversion_loss([10.0] * 4)
+        assert loss > 0.0
+
+    def test_aggregate_transition_accounting(self):
+        bank = VRMBank(3, default_dvfs_table())
+        bank[0].transition(0, 5)
+        bank[2].transition(1, 2)
+        assert bank.total_transitions == 2
+        assert bank.total_transition_energy_j > 0.0
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            VRMBank(0, default_dvfs_table())

@@ -1,0 +1,115 @@
+"""Unit tests for the battery storage element and battery-equipped baseline."""
+
+import math
+
+import pytest
+
+from repro.environment.irradiance import generate_trace
+from repro.environment.locations import PHOENIX_AZ
+from repro.power.battery import (
+    BATTERY_LEVELS,
+    Battery,
+    BatteryEquippedSystem,
+    DeratingLevel,
+)
+from repro.pv.array import PVArray
+
+
+class TestDeratingLevels:
+    def test_table3_values(self):
+        assert BATTERY_LEVELS["high"].overall == pytest.approx(0.97 * 0.95)
+        assert BATTERY_LEVELS["moderate"].overall == pytest.approx(0.95 * 0.85)
+        assert BATTERY_LEVELS["low"].overall == pytest.approx(0.93 * 0.75)
+
+    def test_table3_efficiency_ranges(self):
+        # Paper Table 3: 92% / 81% / 70% rounded.
+        assert round(BATTERY_LEVELS["high"].overall, 2) == 0.92
+        assert round(BATTERY_LEVELS["moderate"].overall, 2) == 0.81
+        assert round(BATTERY_LEVELS["low"].overall, 2) == 0.70
+
+
+class TestBattery:
+    def test_charge_respects_capacity(self):
+        battery = Battery(capacity_wh=10.0, round_trip_efficiency=1.0)
+        stored = battery.charge(60.0, 30.0)  # offers 30 Wh
+        assert stored == pytest.approx(10.0)
+        assert battery.soc == pytest.approx(1.0)
+
+    def test_charge_efficiency_loss(self):
+        battery = Battery(capacity_wh=100.0, round_trip_efficiency=0.81)
+        stored = battery.charge(60.0, 60.0)  # offers 60 Wh
+        assert stored == pytest.approx(60.0 * 0.9)
+
+    def test_round_trip_efficiency(self):
+        battery = Battery(capacity_wh=1000.0, round_trip_efficiency=0.81)
+        battery.charge(100.0, 60.0)  # 100 Wh in
+        delivered = battery.discharge(1000.0, 60.0)  # ask for everything
+        assert delivered == pytest.approx(100.0 * 0.81)
+
+    def test_discharge_limited_by_store(self):
+        battery = Battery(capacity_wh=100.0, round_trip_efficiency=1.0, initial_soc=0.1)
+        delivered = battery.discharge(1000.0, 60.0)
+        assert delivered == pytest.approx(10.0)
+        assert battery.stored_wh == pytest.approx(0.0, abs=1e-12)
+
+    def test_self_discharge_decay(self):
+        battery = Battery(
+            capacity_wh=100.0, self_discharge_per_day=0.10, initial_soc=1.0
+        )
+        battery.decay(24.0 * 60.0)
+        assert battery.stored_wh == pytest.approx(90.0)
+
+    def test_throughput_tracks_charging(self):
+        battery = Battery(capacity_wh=100.0, round_trip_efficiency=1.0)
+        battery.charge(60.0, 30.0)
+        battery.discharge(60.0, 10.0)
+        battery.charge(60.0, 30.0)
+        assert battery.throughput_wh == pytest.approx(60.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"capacity_wh": 0.0},
+        {"capacity_wh": 10.0, "round_trip_efficiency": 0.0},
+        {"capacity_wh": 10.0, "self_discharge_per_day": 1.0},
+        {"capacity_wh": 10.0, "initial_soc": 1.5},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            Battery(**kwargs)
+
+    def test_rejects_negative_flows(self):
+        battery = Battery(capacity_wh=10.0)
+        with pytest.raises(ValueError):
+            battery.charge(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            battery.discharge(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            battery.decay(-1.0)
+
+
+class TestBatteryEquippedSystem:
+    def test_level_lookup(self, array: PVArray):
+        system = BatteryEquippedSystem(array, "moderate")
+        assert system.level.name == "moderate"
+
+    def test_unknown_level_raises(self, array: PVArray):
+        with pytest.raises(KeyError, match="unknown battery level"):
+            BatteryEquippedSystem(array, "ultra")
+
+    def test_custom_level(self, array: PVArray):
+        level = DeratingLevel("custom", 0.99, 0.99)
+        system = BatteryEquippedSystem(array, level)
+        assert system.level.overall == pytest.approx(0.9801)
+
+    def test_harvest_scales_with_derating(self, array: PVArray):
+        trace = generate_trace(PHOENIX_AZ, 7, step_minutes=10.0)
+        high = BatteryEquippedSystem(array, "high").harvestable_energy_wh(trace)
+        low = BatteryEquippedSystem(array, "low").harvestable_energy_wh(trace)
+        assert high / low == pytest.approx(
+            BATTERY_LEVELS["high"].overall / BATTERY_LEVELS["low"].overall
+        )
+
+    def test_harvest_plausible_magnitude(self, array: PVArray):
+        trace = generate_trace(PHOENIX_AZ, 7, step_minutes=10.0)
+        wh = BatteryEquippedSystem(array, "high").harvestable_energy_wh(trace)
+        # A 180 W panel over a 10 h summer day: a few hundred Wh.
+        assert 300.0 < wh < 1800.0

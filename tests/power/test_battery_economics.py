@@ -1,0 +1,102 @@
+"""Unit tests for battery sizing, aging, and cost analysis."""
+
+import pytest
+
+from repro.power.battery_economics import (
+    BatteryCostAnalysis,
+    CycleLifeModel,
+    battery_cost_analysis,
+    required_capacity_wh,
+)
+
+
+class TestRequiredCapacity:
+    def test_ideal_battery(self):
+        # 100 W for 4 h with no de-ratings = 400 Wh.
+        capacity = required_capacity_wh(
+            100.0, 4.0, max_depth_of_discharge=1.0, round_trip_efficiency=1.0
+        )
+        assert capacity == pytest.approx(400.0)
+
+    def test_deratings_inflate_capacity(self):
+        ideal = required_capacity_wh(100.0, 4.0, 1.0, 1.0)
+        real = required_capacity_wh(100.0, 4.0, 0.8, 0.85)
+        assert real > ideal * 1.3
+
+    def test_scales_linearly_with_load_and_autonomy(self):
+        base = required_capacity_wh(100.0, 4.0)
+        assert required_capacity_wh(200.0, 4.0) == pytest.approx(2 * base)
+        assert required_capacity_wh(100.0, 8.0) == pytest.approx(2 * base)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"load_w": 0.0, "autonomy_hours": 4.0},
+        {"load_w": 100.0, "autonomy_hours": 0.0},
+        {"load_w": 100.0, "autonomy_hours": 4.0, "max_depth_of_discharge": 0.0},
+        {"load_w": 100.0, "autonomy_hours": 4.0, "round_trip_efficiency": 1.5},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            required_capacity_wh(**kwargs)
+
+
+class TestCycleLife:
+    def test_reference_point(self):
+        model = CycleLifeModel()
+        assert model.cycles_to_failure(0.8) == pytest.approx(500.0)
+
+    def test_shallow_cycles_last_longer(self):
+        model = CycleLifeModel()
+        assert model.cycles_to_failure(0.2) > 3 * model.cycles_to_failure(0.8)
+
+    def test_service_years_from_cycling(self):
+        model = CycleLifeModel(calendar_life_years=100.0)
+        years = model.service_years(0.8, cycles_per_day=1.0)
+        assert years == pytest.approx(500.0 / 365.0)
+
+    def test_calendar_bound(self):
+        model = CycleLifeModel(calendar_life_years=3.0)
+        # Very shallow cycling: calendar life dominates.
+        assert model.service_years(0.1) == pytest.approx(3.0)
+
+    def test_rejects_invalid_dod(self):
+        with pytest.raises(ValueError):
+            CycleLifeModel().cycles_to_failure(0.0)
+
+    def test_rejects_bad_cycle_rate(self):
+        with pytest.raises(ValueError):
+            CycleLifeModel().service_years(0.5, cycles_per_day=0.0)
+
+
+class TestCostAnalysis:
+    def test_buffer_sizing_dominates_large_harvest(self):
+        analysis = battery_cost_analysis(daily_buffer_wh=900.0, load_w=100.0)
+        assert analysis.capacity_wh == pytest.approx(900.0 / 0.8)
+
+    def test_autonomy_dominates_small_harvest(self):
+        analysis = battery_cost_analysis(daily_buffer_wh=50.0, load_w=150.0)
+        assert analysis.capacity_wh == pytest.approx(
+            required_capacity_wh(150.0, 4.0)
+        )
+
+    def test_capital_scales_with_capacity(self):
+        small = battery_cost_analysis(400.0, 100.0)
+        big = battery_cost_analysis(1200.0, 100.0)
+        assert big.capital_cost > small.capital_cost
+
+    def test_annualized_cost_positive_and_substantial(self):
+        """The paper's claim: storage is a recurring, material cost."""
+        analysis = battery_cost_analysis(daily_buffer_wh=900.0, load_w=120.0)
+        assert analysis.annualized_cost > 20.0  # dollars per year, recurring
+        assert analysis.service_years < 10.0  # replacements are inevitable
+
+    def test_deep_daily_cycling_shortens_life(self):
+        deep = battery_cost_analysis(900.0, 50.0, autonomy_hours=1.0)
+        shallow = battery_cost_analysis(100.0, 300.0, autonomy_hours=8.0)
+        assert deep.daily_cycle_dod > shallow.daily_cycle_dod
+        assert deep.service_years <= shallow.service_years
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            battery_cost_analysis(-1.0, 100.0)
+        with pytest.raises(ValueError):
+            battery_cost_analysis(500.0, 100.0, cost_per_kwh=0.0)

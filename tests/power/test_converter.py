@@ -1,0 +1,73 @@
+"""Unit tests for the DC/DC converter model."""
+
+import pytest
+
+from repro.power.converter import DCDCConverter
+
+
+class TestConstruction:
+    def test_defaults(self):
+        conv = DCDCConverter()
+        assert conv.k == 3.0
+        assert conv.efficiency == 1.0
+
+    def test_initial_k_clamped(self):
+        conv = DCDCConverter(k=100.0, k_max=10.0)
+        assert conv.k == 10.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"k_min": 0.0},
+        {"k_min": 5.0, "k_max": 2.0},
+        {"delta_k": 0.0},
+        {"efficiency": 0.0},
+        {"efficiency": 1.1},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            DCDCConverter(**kwargs)
+
+
+class TestTuning:
+    def test_step_up_down(self):
+        conv = DCDCConverter(k=3.0, delta_k=0.1)
+        assert conv.step_up() == pytest.approx(3.1)
+        assert conv.step_down(2) == pytest.approx(2.9)
+
+    def test_steps_clamp_at_bounds(self):
+        conv = DCDCConverter(k=0.55, k_min=0.5, delta_k=0.1)
+        assert conv.step_down(5) == 0.5
+        conv = DCDCConverter(k=9.95, k_max=10.0, delta_k=0.1)
+        assert conv.step_up(5) == 10.0
+
+    def test_setter_clamps(self):
+        conv = DCDCConverter()
+        conv.k = -1.0
+        assert conv.k == conv.k_min
+
+
+class TestElectricalRelations:
+    def test_ideal_transformer_conserves_power(self):
+        conv = DCDCConverter(k=2.5)
+        v_in, i_in = 36.0, 4.0
+        v_out = conv.output_voltage(v_in)
+        i_out = conv.output_current(i_in)
+        assert v_out * i_out == pytest.approx(v_in * i_in)
+
+    def test_transfer_relations(self):
+        conv = DCDCConverter(k=3.0)
+        assert conv.output_voltage(36.0) == pytest.approx(12.0)
+        assert conv.output_current(4.0) == pytest.approx(12.0)
+        assert conv.input_voltage(12.0) == pytest.approx(36.0)
+
+    def test_efficiency_scales_output_current(self):
+        conv = DCDCConverter(k=3.0, efficiency=0.9)
+        assert conv.output_current(4.0) == pytest.approx(4.0 * 3.0 * 0.9)
+
+    def test_reflected_resistance(self):
+        conv = DCDCConverter(k=3.0)
+        assert conv.reflected_resistance(1.44) == pytest.approx(9.0 * 1.44)
+
+    def test_reflected_resistance_rejects_non_positive(self):
+        conv = DCDCConverter()
+        with pytest.raises(ValueError):
+            conv.reflected_resistance(0.0)

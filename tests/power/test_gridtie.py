@@ -1,0 +1,60 @@
+"""Unit tests for the grid-tied (Figure 2-A) system."""
+
+import pytest
+
+from repro.core.config import SolarCoreConfig
+from repro.environment.locations import OAK_RIDGE_TN, PHOENIX_AZ
+from repro.power.gridtie import run_day_gridtie
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SolarCoreConfig(step_minutes=5.0)
+
+
+@pytest.fixture(scope="module")
+def az_day(cfg):
+    return run_day_gridtie("HM2", PHOENIX_AZ, 7, config=cfg)
+
+
+class TestGridTie:
+    def test_inverter_loss(self, az_day):
+        assert az_day.exported_ac_wh == pytest.approx(
+            0.95 * az_day.harvested_dc_wh
+        )
+        assert az_day.conversion_loss_wh > 0.0
+
+    def test_full_speed_all_day(self, az_day, cfg):
+        """The chip always runs at top level: PTP equals a full-speed day."""
+        from repro.multicore.chip import MultiCoreChip
+        from repro.workloads.mixes import mix
+
+        chip = MultiCoreChip(mix("HM2"))
+        chip.set_all_levels(chip.table.max_level)
+        minute = 450.0
+        while minute < 1050.0:
+            chip.advance(minute, cfg.step_minutes)
+            minute += cfg.step_minutes
+        assert az_day.ptp == pytest.approx(chip.retired_ginst, rel=1e-6)
+
+    def test_green_fraction_bounded(self, az_day):
+        assert 0.0 < az_day.green_fraction <= 1.0
+
+    def test_sunnier_site_greener(self, cfg):
+        az = run_day_gridtie("HM2", PHOENIX_AZ, 7, config=cfg)
+        tn = run_day_gridtie("HM2", OAK_RIDGE_TN, 1, config=cfg)
+        assert az.green_fraction > tn.green_fraction
+
+    def test_net_balance_sign(self, az_day):
+        assert az_day.net_metering_balance_wh == pytest.approx(
+            az_day.exported_ac_wh - az_day.consumed_ac_wh
+        )
+
+    @pytest.mark.parametrize("kwargs", [
+        {"inverter_efficiency": 0.0},
+        {"inverter_efficiency": 1.5},
+        {"psu_efficiency": 0.0},
+    ])
+    def test_rejects_invalid_efficiencies(self, cfg, kwargs):
+        with pytest.raises(ValueError):
+            run_day_gridtie("HM2", PHOENIX_AZ, 7, config=cfg, **kwargs)

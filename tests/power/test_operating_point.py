@@ -1,0 +1,66 @@
+"""Unit tests for the PV-converter-load operating-point solver."""
+
+import pytest
+
+from repro.power.converter import DCDCConverter
+from repro.power.operating_point import solve_operating_point
+from repro.pv.array import PVArray
+from repro.pv.mpp import find_mpp
+
+
+@pytest.fixture
+def converter():
+    return DCDCConverter(k=3.0)
+
+
+class TestSolveOperatingPoint:
+    def test_dark_panel_yields_zero(self, array: PVArray, converter):
+        op = solve_operating_point(array, converter, 1.44, 0.0, 25.0)
+        assert op.pv_power == 0.0
+        assert op.output_power == 0.0
+
+    def test_equilibrium_on_pv_curve(self, array, converter):
+        op = solve_operating_point(array, converter, 1.44, 800.0, 40.0)
+        assert op.pv_current == pytest.approx(
+            array.current(op.pv_voltage, 800.0, 40.0), abs=1e-6
+        )
+
+    def test_power_conservation(self, array, converter):
+        op = solve_operating_point(array, converter, 1.44, 800.0, 40.0)
+        assert op.output_power == pytest.approx(op.pv_power, rel=1e-9)
+
+    def test_load_line_satisfied(self, array, converter):
+        r = 2.0
+        op = solve_operating_point(array, converter, r, 800.0, 40.0)
+        assert op.output_current == pytest.approx(op.output_voltage / r, rel=1e-9)
+
+    def test_never_exceeds_mpp(self, array, converter):
+        mpp = find_mpp(array, 800.0, 40.0)
+        for r in (0.5, 1.0, 2.0, 5.0, 20.0):
+            op = solve_operating_point(array, converter, r, 800.0, 40.0)
+            assert op.pv_power <= mpp.power + 1e-6
+
+    def test_infinite_resistance_open_circuit(self, array, converter):
+        op = solve_operating_point(array, converter, float("inf"), 800.0, 40.0)
+        assert op.pv_current == 0.0
+        assert op.pv_voltage == pytest.approx(
+            array.open_circuit_voltage(800.0, 40.0)
+        )
+
+    def test_rejects_non_positive_resistance(self, array, converter):
+        with pytest.raises(ValueError):
+            solve_operating_point(array, converter, 0.0, 800.0, 40.0)
+
+    def test_lower_resistance_lower_voltage(self, array, converter):
+        heavy = solve_operating_point(array, converter, 0.5, 800.0, 40.0)
+        light = solve_operating_point(array, converter, 5.0, 800.0, 40.0)
+        assert heavy.pv_voltage < light.pv_voltage
+
+    def test_k_moves_operating_point(self, array):
+        """Paper Figure 5: tuning k slides the load line."""
+        r = 1.44
+        low_k = DCDCConverter(k=2.0)
+        high_k = DCDCConverter(k=3.5)
+        op_low = solve_operating_point(array, low_k, r, 1000.0, 45.0)
+        op_high = solve_operating_point(array, high_k, r, 1000.0, 45.0)
+        assert op_low.pv_voltage < op_high.pv_voltage

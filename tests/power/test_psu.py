@@ -1,0 +1,83 @@
+"""Unit tests for the ATS / PSU / energy ledger."""
+
+import pytest
+
+from repro.power.psu import (
+    AutomaticTransferSwitch,
+    EnergyLedger,
+    PowerSource,
+    PowerSupplyUnit,
+)
+
+
+class TestAutomaticTransferSwitch:
+    def test_starts_on_utility(self):
+        assert AutomaticTransferSwitch().source is PowerSource.UTILITY
+
+    def test_engages_solar_with_margin(self):
+        ats = AutomaticTransferSwitch(margin_fraction=0.1)
+        assert ats.update(100.0, 95.0) is PowerSource.UTILITY  # needs 104.5
+        assert ats.update(110.0, 95.0) is PowerSource.SOLAR
+
+    def test_releases_below_minimum(self):
+        ats = AutomaticTransferSwitch(margin_fraction=0.1)
+        ats.update(200.0, 100.0)
+        assert ats.source is PowerSource.SOLAR
+        assert ats.update(99.0, 100.0) is PowerSource.UTILITY
+
+    def test_hysteresis_prevents_chatter(self):
+        ats = AutomaticTransferSwitch(margin_fraction=0.1)
+        ats.update(200.0, 100.0)  # -> solar
+        # Supply in the hysteresis band [100, 110): stays on solar.
+        assert ats.update(105.0, 100.0) is PowerSource.SOLAR
+        # Back on utility, same band does not re-engage.
+        ats.update(50.0, 100.0)
+        assert ats.update(105.0, 100.0) is PowerSource.UTILITY
+
+    def test_switch_count(self):
+        ats = AutomaticTransferSwitch()
+        ats.update(200.0, 100.0)
+        ats.update(50.0, 100.0)
+        ats.update(200.0, 100.0)
+        assert ats.switch_count == 3
+
+    def test_rejects_negative_margin(self):
+        with pytest.raises(ValueError):
+            AutomaticTransferSwitch(margin_fraction=-0.1)
+
+
+class TestEnergyLedger:
+    def test_accumulates_per_source(self):
+        ledger = EnergyLedger()
+        ledger.add(PowerSource.SOLAR, 120.0, 30.0)  # 60 Wh
+        ledger.add(PowerSource.UTILITY, 60.0, 60.0)  # 60 Wh
+        assert ledger.solar_wh == pytest.approx(60.0)
+        assert ledger.utility_wh == pytest.approx(60.0)
+        assert ledger.total_wh == pytest.approx(120.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            EnergyLedger().add(PowerSource.SOLAR, -1.0, 10.0)
+
+
+class TestPowerSupplyUnit:
+    def test_delivery_books_energy(self):
+        psu = PowerSupplyUnit()
+        psu.ats.update(200.0, 100.0)  # engage solar
+        drawn = psu.deliver(120.0, 30.0)
+        assert drawn == pytest.approx(120.0)
+        assert psu.ledger.solar_wh == pytest.approx(60.0)
+
+    def test_rail_efficiency_increases_upstream_draw(self):
+        psu = PowerSupplyUnit(rail_efficiency=0.8)
+        drawn = psu.deliver(80.0, 60.0)
+        assert drawn == pytest.approx(100.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rail_voltage": 0.0},
+        {"rail_efficiency": 0.0},
+        {"rail_efficiency": 1.2},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            PowerSupplyUnit(**kwargs)

@@ -1,0 +1,44 @@
+"""Unit tests for the I/V sensor front-end."""
+
+import pytest
+
+from repro.power.operating_point import OperatingPoint
+from repro.power.sensors import IVSensor, SensorReading
+
+
+def point(v=12.0, i=8.0):
+    return OperatingPoint(36.0, i / 3.0, v, i)
+
+
+class TestIdealSensor:
+    def test_exact_passthrough(self):
+        reading = IVSensor().read(point())
+        assert reading.voltage == 12.0
+        assert reading.current == 8.0
+        assert reading.power == pytest.approx(96.0)
+
+
+class TestImperfectSensor:
+    def test_quantization(self):
+        sensor = IVSensor(quantization_v=0.5, quantization_a=0.25)
+        reading = sensor.read(point(v=12.3, i=8.1))
+        assert reading.voltage == pytest.approx(12.5)
+        assert reading.current == pytest.approx(8.0)
+
+    def test_noise_is_seeded(self):
+        a = IVSensor(noise_fraction=0.01, seed=1).read(point())
+        b = IVSensor(noise_fraction=0.01, seed=1).read(point())
+        assert a.voltage == b.voltage
+
+    def test_noise_perturbs(self):
+        reading = IVSensor(noise_fraction=0.05, seed=2).read(point())
+        assert reading.voltage != 12.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"noise_fraction": -0.1},
+        {"quantization_v": -0.1},
+        {"quantization_a": -0.1},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            IVSensor(**kwargs)

@@ -1,0 +1,45 @@
+"""Property-based tests for the meteorological substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.environment.irradiance import generate_trace
+from repro.environment.locations import ALL_LOCATIONS
+from repro.environment.solar_geometry import clear_sky_poa, mid_month_day_of_year
+
+locations = st.sampled_from(ALL_LOCATIONS)
+months = st.sampled_from((1, 4, 7, 10))
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+@given(location=locations, month=months, seed=seeds)
+@settings(max_examples=25, deadline=None)
+def test_trace_bounded_by_clear_sky(location, month, seed):
+    """Weather only ever attenuates: every sample <= clear-sky irradiance."""
+    trace = generate_trace(location, month, seed=seed, step_minutes=10.0)
+    doy = mid_month_day_of_year(month)
+    for minute, g in zip(trace.minutes, trace.irradiance):
+        ceiling = clear_sky_poa(location.latitude_deg, doy, minute / 60.0)
+        assert g <= ceiling + 1e-9
+
+
+@given(location=locations, month=months, seed=seeds)
+@settings(max_examples=25, deadline=None)
+def test_trace_physical_ranges(location, month, seed):
+    trace = generate_trace(location, month, seed=seed, step_minutes=10.0)
+    assert np.all(trace.irradiance >= 0.0)
+    assert np.all(trace.irradiance < 1400.0)  # below the solar constant
+    assert np.all(trace.ambient_c > -40.0)
+    assert np.all(trace.ambient_c < 55.0)
+    t_min, t_max = location.temps_c[month]
+    assert np.all(trace.ambient_c >= t_min - 1e-9)
+    assert np.all(trace.ambient_c <= t_max + 1e-9)
+
+
+@given(location=locations, month=months, seed=seeds)
+@settings(max_examples=15, deadline=None)
+def test_trace_deterministic_in_seed(location, month, seed):
+    a = generate_trace(location, month, seed=seed, step_minutes=10.0)
+    b = generate_trace(location, month, seed=seed, step_minutes=10.0)
+    assert np.array_equal(a.irradiance, b.irradiance)

@@ -1,0 +1,56 @@
+"""Property-based tests for the operating-point solver."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.converter import DCDCConverter
+from repro.power.operating_point import solve_operating_point
+from repro.pv.array import PVArray
+from repro.pv.mpp import find_mpp
+
+irradiances = st.floats(min_value=30.0, max_value=1200.0)
+temperatures = st.floats(min_value=-10.0, max_value=70.0)
+resistances = st.floats(min_value=0.2, max_value=50.0)
+ratios = st.floats(min_value=0.6, max_value=8.0)
+
+
+@given(g=irradiances, t=temperatures, r=resistances, k=ratios)
+@settings(max_examples=60)
+def test_equilibrium_is_consistent(g, t, r, k):
+    """The solved point lies on the PV curve, on the load line, conserves
+    power, and never exceeds the MPP."""
+    array = PVArray()
+    converter = DCDCConverter(k=k)
+    op = solve_operating_point(array, converter, r, g, t)
+
+    assert 0.0 < op.pv_voltage < array.open_circuit_voltage(g, t)
+    assert math.isclose(
+        op.pv_current, array.current(op.pv_voltage, g, t), rel_tol=1e-6, abs_tol=1e-9
+    )
+    assert math.isclose(
+        op.output_current, op.output_voltage / r, rel_tol=1e-6, abs_tol=1e-9
+    )
+    assert math.isclose(op.output_power, op.pv_power, rel_tol=1e-9, abs_tol=1e-9)
+    assert op.pv_power <= find_mpp(array, g, t).power * (1.0 + 1e-9)
+
+
+@given(g=irradiances, t=temperatures, r=resistances)
+@settings(max_examples=40)
+def test_output_voltage_monotone_in_k_on_stable_branch(g, t, r):
+    """On the stable (right-of-MPP) branch, raising k lowers the output
+    voltage — the direction convention the controller's step 2 relies on.
+    (On the collapsed branch the sign flips, which is exactly why the
+    controller re-anchors with ``_align_k_to_rail``.)"""
+    from hypothesis import assume
+
+    array = PVArray()
+    v_mpp = find_mpp(array, g, t).voltage
+    points = []
+    for k in (2.0, 3.0, 4.5, 7.0):
+        op = solve_operating_point(array, DCDCConverter(k=k), r, g, t)
+        points.append(op)
+    assume(all(op.pv_voltage >= v_mpp for op in points))
+    voltages = [op.output_voltage for op in points]
+    assert all(b < a for a, b in zip(voltages, voltages[1:]))

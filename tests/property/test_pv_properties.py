@@ -1,0 +1,83 @@
+"""Property-based tests for the PV device models (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pv.array import PVArray
+from repro.pv.cell import PVCell, lambertw_of_exp
+from repro.pv.mpp import find_mpp
+from repro.pv.params import CellParameters, bp3180n
+
+irradiances = st.floats(min_value=20.0, max_value=1200.0)
+temperatures = st.floats(min_value=-20.0, max_value=80.0)
+log_args = st.floats(min_value=-700.0, max_value=1e6)
+
+
+@given(y=log_args)
+def test_lambertw_satisfies_defining_equation(y):
+    w = lambertw_of_exp(y)
+    assert w > 0.0
+    assert math.isclose(w + math.log(w), y, rel_tol=1e-8, abs_tol=1e-8)
+
+
+@given(g=irradiances, t=temperatures)
+@settings(max_examples=40)
+def test_isc_exceeds_any_loaded_current(g, t):
+    cell = PVCell(bp3180n().cell)
+    isc = cell.short_circuit_current(g, t)
+    voc = cell.open_circuit_voltage(g, t)
+    for fraction in (0.25, 0.5, 0.75, 0.95):
+        assert cell.current(voc * fraction, g, t) <= isc + 1e-9
+
+
+@given(g=irradiances, t=temperatures)
+@settings(max_examples=40)
+def test_voltage_current_inverse_roundtrip(g, t):
+    cell = PVCell(bp3180n().cell)
+    voc = cell.open_circuit_voltage(g, t)
+    v = voc * 0.6
+    i = cell.current(v, g, t)
+    assert math.isclose(cell.voltage(i, g, t), v, rel_tol=1e-6, abs_tol=1e-9)
+
+
+@given(g=irradiances, t=temperatures)
+@settings(max_examples=30)
+def test_mpp_bounded_by_voc_isc_product(g, t):
+    """Pmax <= Voc * Isc (fill factor < 1), and Pmax > 0 under light."""
+    array = PVArray()
+    mpp = find_mpp(array, g, t)
+    voc = array.open_circuit_voltage(g, t)
+    isc = array.short_circuit_current(g, t)
+    assert 0.0 < mpp.power <= voc * isc
+
+
+@given(
+    g=irradiances,
+    t=temperatures,
+    fraction=st.floats(min_value=0.05, max_value=0.95),
+)
+@settings(max_examples=30)
+def test_power_below_mpp_everywhere(g, t, fraction):
+    array = PVArray()
+    mpp = find_mpp(array, g, t)
+    v = array.open_circuit_voltage(g, t) * fraction
+    assert array.power(v, g, t) <= mpp.power + 1e-6
+
+
+@given(
+    isc=st.floats(min_value=0.5, max_value=10.0),
+    voc=st.floats(min_value=0.4, max_value=0.8),
+    ideality=st.floats(min_value=1.0, max_value=2.0),
+)
+@settings(max_examples=30)
+def test_calibration_holds_for_arbitrary_cells(isc, voc, ideality):
+    """Any cell's model reproduces its own datasheet Isc/Voc at STC."""
+    cell = PVCell(
+        CellParameters(
+            isc_ref=isc, voc_ref=voc, ideality=ideality, series_resistance=1e-3
+        )
+    )
+    assert math.isclose(cell.open_circuit_voltage(1000.0, 25.0), voc, rel_tol=1e-5)
+    assert math.isclose(cell.short_circuit_current(1000.0, 25.0), isc, rel_tol=1e-2)

@@ -1,0 +1,56 @@
+"""Property-based tests for partially shaded series strings."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pv.shading import ShadedSeriesString, find_global_mpp
+
+factors = st.lists(
+    st.floats(min_value=0.15, max_value=1.0), min_size=1, max_size=4
+).map(tuple)
+irradiances = st.floats(min_value=100.0, max_value=1100.0)
+temperatures = st.floats(min_value=0.0, max_value=65.0)
+
+
+@given(f=factors, g=irradiances, t=temperatures)
+@settings(max_examples=25, deadline=None)
+def test_current_voltage_inverse_consistency(f, g, t):
+    """The V -> I -> V -> I roundtrip is stable.
+
+    The comparison is made in current space: in the current-source region
+    ``dV/dI`` is enormous, so voltage-space comparisons amplify solver
+    tolerance unfairly while current-space ones stay well conditioned.
+    """
+    string = ShadedSeriesString(f)
+    voc = string.open_circuit_voltage(g, t)
+    i_max = string.max_string_current(g, t)
+    for fraction in (0.3, 0.6, 0.9):
+        v = voc * fraction
+        i = string.current(v, g, t)
+        if 0.0 < i < i_max:
+            v_back = string.string_voltage(i, g, t)
+            i_back = string.current(v_back, g, t)
+            assert math.isclose(i_back, i, rel_tol=1e-6, abs_tol=1e-9)
+
+
+@given(f=factors, g=irradiances, t=temperatures)
+@settings(max_examples=25, deadline=None)
+def test_global_mpp_dominates_grid(f, g, t):
+    string = ShadedSeriesString(f)
+    gm = find_global_mpp(string, g, t, n_samples=60)
+    voc = string.open_circuit_voltage(g, t)
+    for fraction in (0.1, 0.3, 0.5, 0.7, 0.9):
+        assert string.power(voc * fraction, g, t) <= gm.power + 0.05 * gm.power + 1e-6
+
+
+@given(f=factors, g=irradiances, t=temperatures)
+@settings(max_examples=25, deadline=None)
+def test_shading_never_increases_power(f, g, t):
+    """A shaded string never out-produces the same string unshaded."""
+    shaded = ShadedSeriesString(f)
+    unshaded = ShadedSeriesString((1.0,) * len(f))
+    gm_shaded = find_global_mpp(shaded, g, t, n_samples=50)
+    gm_unshaded = find_global_mpp(unshaded, g, t, n_samples=50)
+    assert gm_shaded.power <= gm_unshaded.power * (1.0 + 1e-6)

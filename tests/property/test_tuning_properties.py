@@ -1,0 +1,70 @@
+"""Property-based tests for load tuning and budget allocation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fixed_power import allocate_budget
+from repro.core.load_tuning import make_tuner
+from repro.multicore.chip import MultiCoreChip
+from repro.workloads.mixes import ALL_MIX_NAMES, mix
+
+mix_names = st.sampled_from(ALL_MIX_NAMES)
+policies = st.sampled_from(("MPPT&IC", "MPPT&RR", "MPPT&Opt"))
+minutes = st.floats(min_value=0.0, max_value=599.0)
+
+
+@given(mix_name=mix_names, policy=policies, minute=minutes, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_increase_monotone_in_power_and_throughput(mix_name, policy, minute, data):
+    """Every accepted increase strictly raises chip power and throughput."""
+    chip = MultiCoreChip(mix(mix_name))
+    chip.set_all_levels(data.draw(st.integers(0, 4)))
+    tuner = make_tuner(policy)
+    p0, t0 = chip.total_power_at(minute), chip.total_throughput_at(minute)
+    if tuner.increase(chip, minute):
+        assert chip.total_power_at(minute) > p0
+        assert chip.total_throughput_at(minute) > t0
+
+
+@given(mix_name=mix_names, policy=policies, minute=minutes)
+@settings(max_examples=40, deadline=None)
+def test_decrease_monotone(mix_name, policy, minute):
+    chip = MultiCoreChip(mix(mix_name))
+    chip.set_all_levels(3)
+    tuner = make_tuner(policy)
+    p0, t0 = chip.total_power_at(minute), chip.total_throughput_at(minute)
+    assert tuner.decrease(chip, minute)
+    assert chip.total_power_at(minute) < p0
+    assert chip.total_throughput_at(minute) < t0
+
+
+@given(mix_name=mix_names, policy=policies, minute=minutes, steps=st.integers(1, 60))
+@settings(max_examples=30, deadline=None)
+def test_increase_decrease_sequences_stay_valid(mix_name, policy, minute, steps):
+    """Arbitrary tuning sequences keep levels in range and >= 1 active core."""
+    chip = MultiCoreChip(mix(mix_name))
+    chip.set_all_levels(2)
+    tuner = make_tuner(policy)
+    for i in range(steps):
+        if i % 3 == 0:
+            tuner.decrease(chip, minute)
+        else:
+            tuner.increase(chip, minute)
+        assert len(chip.active_cores()) >= 1
+        for core in chip.cores:
+            assert 0 <= core.level <= chip.table.max_level
+
+
+@given(
+    mix_name=mix_names,
+    budget=st.floats(min_value=55.0, max_value=250.0),
+    minute=minutes,
+)
+@settings(max_examples=40, deadline=None)
+def test_allocate_budget_never_exceeds(mix_name, budget, minute):
+    chip = MultiCoreChip(mix(mix_name))
+    if budget < chip.floor_power_at(minute):
+        return  # infeasible even with gating
+    power = allocate_budget(chip, budget, minute)
+    assert power <= budget + 1e-9
+    assert chip.total_power_at(minute) <= budget + 1e-9

@@ -1,0 +1,51 @@
+"""Unit tests for the PV array model."""
+
+import pytest
+
+from repro.pv.array import PVArray
+from repro.pv.mpp import find_mpp
+
+
+class TestArrayConstruction:
+    def test_defaults_to_single_bp3180n(self):
+        array = PVArray()
+        assert array.modules_series == 1
+        assert array.modules_parallel == 1
+        assert array.module.params.name == "BP3180N"
+
+    @pytest.mark.parametrize("series,parallel", [(0, 1), (1, 0)])
+    def test_rejects_invalid_counts(self, series, parallel):
+        with pytest.raises(ValueError):
+            PVArray(modules_series=series, modules_parallel=parallel)
+
+
+class TestArrayScaling:
+    def test_series_scales_voltage(self):
+        single = PVArray()
+        double = PVArray(modules_series=2)
+        assert double.open_circuit_voltage(1000.0, 25.0) == pytest.approx(
+            2.0 * single.open_circuit_voltage(1000.0, 25.0)
+        )
+
+    def test_parallel_scales_current(self):
+        single = PVArray()
+        double = PVArray(modules_parallel=2)
+        assert double.short_circuit_current(1000.0, 25.0) == pytest.approx(
+            2.0 * single.short_circuit_current(1000.0, 25.0)
+        )
+
+    def test_power_scales_with_module_count(self):
+        single_mpp = find_mpp(PVArray(), 1000.0, 25.0)
+        quad_mpp = find_mpp(PVArray(modules_series=2, modules_parallel=2), 1000.0, 25.0)
+        assert quad_mpp.power == pytest.approx(4.0 * single_mpp.power, rel=1e-6)
+
+    def test_voltage_inverse_roundtrip(self):
+        array = PVArray(modules_series=2)
+        i = array.current(60.0, 900.0, 35.0)
+        assert array.voltage(i, 900.0, 35.0) == pytest.approx(60.0, abs=1e-6)
+
+    def test_cell_temperature_passthrough(self):
+        array = PVArray()
+        assert array.cell_temperature_from_ambient(
+            800.0, 20.0
+        ) == array.module.cell_temperature_from_ambient(800.0, 20.0)

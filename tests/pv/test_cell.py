@@ -1,0 +1,113 @@
+"""Unit tests for the single-diode PV cell model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.pv.cell import PVCell, lambertw_of_exp
+from repro.pv.params import CellParameters, bp3180n
+
+
+@pytest.fixture
+def cell() -> PVCell:
+    return PVCell(bp3180n().cell)
+
+
+class TestLambertWOfExp:
+    @pytest.mark.parametrize("y", [-50.0, -5.0, -1.0, 0.0, 1.0, 5.0, 50.0, 400.0])
+    def test_matches_scipy(self, y):
+        from scipy.special import lambertw
+
+        expected = float(lambertw(math.exp(y)).real)
+        assert lambertw_of_exp(y) == pytest.approx(expected, rel=1e-10)
+
+    @pytest.mark.parametrize("y", [800.0, 5000.0, 1e6])
+    def test_overflow_region_satisfies_defining_equation(self, y):
+        w = lambertw_of_exp(y)
+        assert w + math.log(w) == pytest.approx(y, rel=1e-9)
+
+    def test_monotone_increasing(self):
+        ys = np.linspace(-10, 10, 100)
+        ws = [lambertw_of_exp(float(y)) for y in ys]
+        assert all(b > a for a, b in zip(ws, ws[1:]))
+
+
+class TestPhotocurrent:
+    def test_zero_in_darkness(self, cell):
+        assert cell.photocurrent(0.0, 25.0) == 0.0
+        assert cell.photocurrent(-5.0, 25.0) == 0.0
+
+    def test_proportional_to_irradiance(self, cell):
+        half = cell.photocurrent(500.0, 25.0)
+        full = cell.photocurrent(1000.0, 25.0)
+        assert full == pytest.approx(2.0 * half)
+
+    def test_stc_equals_isc_ref(self, cell):
+        assert cell.photocurrent(1000.0, 25.0) == pytest.approx(
+            cell.params.isc_ref, rel=1e-9
+        )
+
+    def test_increases_with_temperature(self, cell):
+        assert cell.photocurrent(1000.0, 50.0) > cell.photocurrent(1000.0, 25.0)
+
+
+class TestSaturationCurrent:
+    def test_strongly_increases_with_temperature(self, cell):
+        i0_25 = cell.saturation_current(25.0)
+        i0_50 = cell.saturation_current(50.0)
+        # Roughly doubles every ~10 C for silicon.
+        assert i0_50 / i0_25 > 5.0
+
+    def test_positive(self, cell):
+        assert cell.saturation_current(0.0) > 0.0
+
+
+class TestIVCharacteristic:
+    def test_calibrated_voc_at_stc(self, cell):
+        assert cell.open_circuit_voltage(1000.0, 25.0) == pytest.approx(
+            cell.params.voc_ref, rel=1e-6
+        )
+
+    def test_isc_close_to_photocurrent(self, cell):
+        isc = cell.short_circuit_current(1000.0, 25.0)
+        assert isc == pytest.approx(cell.params.isc_ref, rel=1e-3)
+
+    def test_current_decreases_with_voltage(self, cell):
+        voltages = np.linspace(0.0, cell.params.voc_ref, 50)
+        currents = cell.currents(voltages, 1000.0, 25.0)
+        assert all(b < a for a, b in zip(currents, currents[1:]))
+
+    def test_voltage_is_exact_inverse_of_current(self, cell):
+        for v in (0.1, 0.3, 0.5, 0.55):
+            i = cell.current(v, 1000.0, 25.0)
+            assert cell.voltage(i, 1000.0, 25.0) == pytest.approx(v, abs=1e-9)
+
+    def test_negative_current_beyond_voc(self, cell):
+        voc = cell.open_circuit_voltage(1000.0, 25.0)
+        assert cell.current(voc * 1.05, 1000.0, 25.0) < 0.0
+
+    def test_voltage_rejects_impossible_current(self, cell):
+        isc = cell.short_circuit_current(1000.0, 25.0)
+        with pytest.raises(ValueError, match="exceeds"):
+            cell.voltage(isc * 1.5, 1000.0, 25.0)
+
+    def test_voc_decreases_with_temperature(self, cell):
+        voc_cold = cell.open_circuit_voltage(1000.0, 0.0)
+        voc_hot = cell.open_circuit_voltage(1000.0, 75.0)
+        assert voc_hot < voc_cold
+
+    def test_dark_cell_produces_no_open_circuit_voltage(self, cell):
+        assert cell.open_circuit_voltage(0.0, 25.0) == 0.0
+
+    def test_power_at_landmarks_is_zero(self, cell):
+        voc = cell.open_circuit_voltage(1000.0, 25.0)
+        assert cell.power(0.0, 1000.0, 25.0) == 0.0
+        assert cell.power(voc, 1000.0, 25.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_zero_series_resistance_branch(self):
+        params = CellParameters(isc_ref=5.4, voc_ref=0.6, series_resistance=0.0)
+        cell = PVCell(params)
+        # With Rs = 0, I(V) is the pure diode equation.
+        assert cell.current(0.0, 1000.0, 25.0) == pytest.approx(5.4)
+        assert cell.open_circuit_voltage(1000.0, 25.0) == pytest.approx(0.6, rel=1e-6)

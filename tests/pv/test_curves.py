@@ -1,0 +1,81 @@
+"""Unit tests for I-V curve sampling."""
+
+import numpy as np
+import pytest
+
+from repro.pv.curves import sample_iv_curve
+from repro.pv.module import PVModule
+from repro.pv.params import bp3180n
+
+
+@pytest.fixture
+def curve(module: PVModule):
+    return sample_iv_curve(module, 1000.0, 25.0, n_points=100)
+
+
+class TestSampleIVCurve:
+    def test_spans_zero_to_voc(self, module, curve):
+        assert curve.voltage[0] == 0.0
+        assert curve.voltage[-1] == pytest.approx(
+            module.open_circuit_voltage(1000.0, 25.0)
+        )
+
+    def test_requested_point_count(self, curve):
+        assert len(curve.voltage) == 100
+        assert len(curve.current) == 100
+
+    def test_landmark_accessors(self, module, curve):
+        assert curve.isc == pytest.approx(module.short_circuit_current(1000.0, 25.0))
+        assert curve.voc == pytest.approx(module.open_circuit_voltage(1000.0, 25.0))
+
+    def test_currents_non_negative(self, curve):
+        assert np.all(curve.current >= 0.0)
+
+    def test_power_property(self, curve):
+        assert curve.power == pytest.approx(curve.voltage * curve.current)
+
+    def test_approximate_mpp_close_to_exact(self, module, curve):
+        from repro.pv.mpp import find_mpp
+
+        v, i, p = curve.approximate_mpp
+        exact = find_mpp(module, 1000.0, 25.0)
+        assert p == pytest.approx(exact.power, rel=0.01)
+        assert v == pytest.approx(exact.voltage, rel=0.05)
+
+    def test_rejects_dark_panel(self, module):
+        with pytest.raises(ValueError, match="irradiance"):
+            sample_iv_curve(module, 0.0, 25.0)
+
+    def test_rejects_too_few_points(self, module):
+        with pytest.raises(ValueError, match="n_points"):
+            sample_iv_curve(module, 1000.0, 25.0, n_points=1)
+
+    def test_metadata_recorded(self, curve):
+        assert curve.irradiance == 1000.0
+        assert curve.temperature_c == 25.0
+
+
+class TestCurveShapeVsConditions:
+    """The paper's Figures 6/7 qualitative behaviours."""
+
+    def test_higher_irradiance_raises_isc_and_mpp(self, module):
+        low = sample_iv_curve(module, 400.0, 25.0)
+        high = sample_iv_curve(module, 1000.0, 25.0)
+        assert high.isc > low.isc
+        assert high.approximate_mpp[2] > low.approximate_mpp[2]
+
+    def test_higher_temperature_lowers_voc_and_power(self, module):
+        cold = sample_iv_curve(module, 1000.0, 0.0)
+        hot = sample_iv_curve(module, 1000.0, 75.0)
+        assert hot.voc < cold.voc
+        assert hot.approximate_mpp[2] < cold.approximate_mpp[2]
+
+    def test_higher_temperature_raises_isc_slightly(self, module):
+        cold = sample_iv_curve(module, 1000.0, 0.0)
+        hot = sample_iv_curve(module, 1000.0, 75.0)
+        assert hot.isc > cold.isc
+
+    def test_mpp_voltage_shifts_left_with_temperature(self, module):
+        cold = sample_iv_curve(module, 1000.0, 0.0)
+        hot = sample_iv_curve(module, 1000.0, 75.0)
+        assert hot.approximate_mpp[0] < cold.approximate_mpp[0]

@@ -1,0 +1,68 @@
+"""Unit tests for the PV module model (BP3180N)."""
+
+import pytest
+
+from repro.pv.module import PVModule
+from repro.pv.params import bp3180n
+
+
+class TestThermalModel:
+    def test_no_heating_in_darkness(self, module: PVModule):
+        assert module.cell_temperature_from_ambient(0.0, 20.0) == 20.0
+
+    def test_noct_point(self, module: PVModule):
+        # At 800 W/m^2 and 20 C ambient the cell sits exactly at NOCT.
+        t = module.cell_temperature_from_ambient(800.0, 20.0)
+        assert t == pytest.approx(module.params.noct_c)
+
+    def test_heating_scales_with_irradiance(self, module: PVModule):
+        low = module.cell_temperature_from_ambient(200.0, 25.0)
+        high = module.cell_temperature_from_ambient(1000.0, 25.0)
+        assert high > low
+
+
+class TestModuleScaling:
+    def test_stc_datasheet_match(self, module: PVModule):
+        # BP3180N: Voc 43.6 V, Isc 5.4 A at STC.
+        assert module.open_circuit_voltage(1000.0, 25.0) == pytest.approx(43.6, rel=1e-3)
+        assert module.short_circuit_current(1000.0, 25.0) == pytest.approx(5.4, rel=1e-3)
+
+    def test_stc_max_power_near_180w(self, module: PVModule):
+        from repro.pv.mpp import find_mpp
+
+        mpp = find_mpp(module, 1000.0, 25.0)
+        assert mpp.power == pytest.approx(180.0, rel=0.02)
+        assert mpp.voltage == pytest.approx(35.8, rel=0.02)
+        assert mpp.current == pytest.approx(5.03, rel=0.02)
+
+    def test_voltage_inverse_roundtrip(self, module: PVModule):
+        i = module.current(30.0, 800.0, 40.0)
+        assert module.voltage(i, 800.0, 40.0) == pytest.approx(30.0, abs=1e-6)
+
+    def test_power_is_v_times_i(self, module: PVModule):
+        v = 30.0
+        assert module.power(v, 1000.0, 25.0) == pytest.approx(
+            v * module.current(v, 1000.0, 25.0)
+        )
+
+    def test_currents_vectorized_matches_scalar(self, module: PVModule):
+        import numpy as np
+
+        voltages = np.array([0.0, 10.0, 20.0, 30.0, 40.0])
+        vector = module.currents(voltages, 1000.0, 25.0)
+        scalar = [module.current(float(v), 1000.0, 25.0) for v in voltages]
+        assert vector == pytest.approx(scalar)
+
+    def test_dark_module_voc_zero(self, module: PVModule):
+        assert module.open_circuit_voltage(0.0, 25.0) == 0.0
+
+    def test_parallel_strings_scale_current(self):
+        params = bp3180n()
+        single = PVModule(params)
+        from dataclasses import replace
+
+        double = PVModule(replace(params, cells_parallel=2))
+        v = 20.0
+        assert double.current(v, 1000.0, 25.0) == pytest.approx(
+            2.0 * single.current(v, 1000.0, 25.0)
+        )

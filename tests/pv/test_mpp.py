@@ -1,0 +1,43 @@
+"""Unit tests for exact MPP solving."""
+
+import numpy as np
+import pytest
+
+from repro.pv.mpp import find_mpp
+from repro.pv.module import PVModule
+
+
+class TestFindMPP:
+    def test_dark_panel_yields_zero_mpp(self, module: PVModule):
+        mpp = find_mpp(module, 0.0, 25.0)
+        assert mpp.power == 0.0
+        assert mpp.voltage == 0.0
+        assert mpp.current == 0.0
+
+    def test_mpp_is_interior(self, module: PVModule):
+        mpp = find_mpp(module, 1000.0, 25.0)
+        voc = module.open_circuit_voltage(1000.0, 25.0)
+        assert 0.0 < mpp.voltage < voc
+
+    def test_mpp_power_consistent(self, module: PVModule):
+        mpp = find_mpp(module, 800.0, 40.0)
+        assert mpp.power == pytest.approx(mpp.voltage * mpp.current)
+
+    def test_mpp_dominates_grid_sample(self, module: PVModule):
+        mpp = find_mpp(module, 800.0, 40.0)
+        voc = module.open_circuit_voltage(800.0, 40.0)
+        for v in np.linspace(0.01, voc * 0.999, 200):
+            assert module.power(float(v), 800.0, 40.0) <= mpp.power + 1e-6
+
+    def test_mpp_power_monotone_in_irradiance(self, module: PVModule):
+        powers = [find_mpp(module, g, 25.0).power for g in (200, 400, 600, 800, 1000)]
+        assert all(b > a for a, b in zip(powers, powers[1:]))
+
+    def test_mpp_power_monotone_decreasing_in_temperature(self, module: PVModule):
+        powers = [find_mpp(module, 1000.0, t).power for t in (0, 25, 50, 75)]
+        assert all(b < a for a, b in zip(powers, powers[1:]))
+
+    def test_metadata_recorded(self, module: PVModule):
+        mpp = find_mpp(module, 650.0, 33.0)
+        assert mpp.irradiance == 650.0
+        assert mpp.temperature_c == 33.0

@@ -1,0 +1,73 @@
+"""Unit tests for PV parameter sets and validation."""
+
+import math
+
+import pytest
+
+from repro.pv.params import (
+    CellParameters,
+    ModuleParameters,
+    bp3180n,
+    celsius_to_kelvin,
+)
+
+
+class TestCellParameters:
+    def test_valid_construction(self):
+        p = CellParameters(isc_ref=5.0, voc_ref=0.6)
+        assert p.isc_ref == 5.0
+        assert p.voc_ref == 0.6
+
+    @pytest.mark.parametrize("field,value", [
+        ("isc_ref", 0.0),
+        ("isc_ref", -1.0),
+        ("voc_ref", 0.0),
+        ("ideality", 0.0),
+        ("series_resistance", -1e-3),
+    ])
+    def test_rejects_invalid(self, field, value):
+        kwargs = {"isc_ref": 5.0, "voc_ref": 0.6, field: value}
+        with pytest.raises(ValueError):
+            CellParameters(**kwargs)
+
+    def test_thermal_voltage_scales_with_temperature(self):
+        p = CellParameters(isc_ref=5.0, voc_ref=0.6, ideality=1.0)
+        vt25 = p.thermal_voltage(25.0)
+        vt75 = p.thermal_voltage(75.0)
+        assert vt75 > vt25
+        # kT/q at 25 C is ~25.7 mV for n=1.
+        assert vt25 == pytest.approx(0.0257, rel=0.01)
+
+    def test_thermal_voltage_scales_with_ideality(self):
+        base = CellParameters(isc_ref=5.0, voc_ref=0.6, ideality=1.0)
+        doubled = CellParameters(isc_ref=5.0, voc_ref=0.6, ideality=2.0)
+        assert doubled.thermal_voltage(25.0) == pytest.approx(
+            2.0 * base.thermal_voltage(25.0)
+        )
+
+
+class TestModuleParameters:
+    def test_bp3180n_datasheet_values(self):
+        params = bp3180n()
+        assert params.name == "BP3180N"
+        assert params.cells_series == 72
+        assert params.voc_ref == pytest.approx(43.6, rel=1e-6)
+        assert params.isc_ref == pytest.approx(5.4)
+
+    def test_module_scaling_properties(self):
+        cell = CellParameters(isc_ref=5.0, voc_ref=0.6)
+        params = ModuleParameters("X", cell, cells_series=10, cells_parallel=3)
+        assert params.voc_ref == pytest.approx(6.0)
+        assert params.isc_ref == pytest.approx(15.0)
+
+    @pytest.mark.parametrize("series,parallel", [(0, 1), (1, 0), (-1, 1)])
+    def test_rejects_invalid_counts(self, series, parallel):
+        cell = CellParameters(isc_ref=5.0, voc_ref=0.6)
+        with pytest.raises(ValueError):
+            ModuleParameters("X", cell, cells_series=series, cells_parallel=parallel)
+
+
+def test_celsius_to_kelvin():
+    assert celsius_to_kelvin(0.0) == pytest.approx(273.15)
+    assert celsius_to_kelvin(25.0) == pytest.approx(298.15)
+    assert celsius_to_kelvin(-273.15) == pytest.approx(0.0)

@@ -1,0 +1,66 @@
+"""Unit tests for rack budget division."""
+
+import pytest
+
+from repro.multicore.chip import MultiCoreChip
+from repro.rack.coordinator import DIVISION_POLICIES, divide_budget
+from repro.workloads.mixes import mix
+
+
+@pytest.fixture
+def chips():
+    return [
+        MultiCoreChip(mix("H1"), seed=1),
+        MultiCoreChip(mix("L1"), seed=2),
+        MultiCoreChip(mix("HM2"), seed=3),
+    ]
+
+
+class TestDivideBudget:
+    @pytest.mark.parametrize("policy", DIVISION_POLICIES)
+    def test_shares_sum_to_at_most_budget(self, chips, policy):
+        budget = 350.0
+        shares = divide_budget(chips, budget, 10.0, policy)
+        assert sum(shares) <= budget + 1e-6
+
+    @pytest.mark.parametrize("policy", DIVISION_POLICIES)
+    def test_shares_cover_floors(self, chips, policy):
+        budget = 350.0
+        shares = divide_budget(chips, budget, 10.0, policy)
+        for chip, share in zip(chips, shares):
+            assert share >= chip.floor_power_at(10.0) - 1e-6
+
+    def test_budget_below_floors_returns_zeros(self, chips):
+        shares = divide_budget(chips, 50.0, 10.0, "equal")
+        assert shares == [0.0, 0.0, 0.0]
+
+    def test_equal_policy_splits_surplus_evenly(self, chips):
+        budget = 400.0
+        shares = divide_budget(chips, budget, 10.0, "equal")
+        floors = [c.floor_power_at(10.0) for c in chips]
+        surpluses = [s - f for s, f in zip(shares, floors)]
+        assert max(surpluses) - min(surpluses) < 1e-6
+
+    def test_tpr_policy_favors_efficient_chip(self, chips):
+        """At a constrained budget, the low-EPI chip (index 1) gets the
+        largest share beyond its floor."""
+        budget = 300.0
+        shares = divide_budget(chips, budget, 10.0, "tpr")
+        floors = [c.floor_power_at(10.0) for c in chips]
+        surpluses = [s - f for s, f in zip(shares, floors)]
+        assert surpluses[1] == max(surpluses)
+
+    def test_tpr_division_does_not_mutate_chips(self, chips):
+        for chip in chips:
+            chip.set_all_levels(3)
+        levels_before = [chip.levels for chip in chips]
+        divide_budget(chips, 300.0, 10.0, "tpr")
+        assert [chip.levels for chip in chips] == levels_before
+
+    def test_unknown_policy_raises(self, chips):
+        with pytest.raises(KeyError):
+            divide_budget(chips, 300.0, 10.0, "random")
+
+    def test_empty_rack_raises(self):
+        with pytest.raises(ValueError):
+            divide_budget([], 300.0, 10.0)

@@ -1,0 +1,51 @@
+"""Integration tests for the rack day simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolarCoreConfig
+from repro.environment.locations import OAK_RIDGE_TN, PHOENIX_AZ
+from repro.rack.simulation import run_day_rack
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SolarCoreConfig(step_minutes=5.0)
+
+
+@pytest.fixture(scope="module")
+def rack_day(cfg):
+    return run_day_rack(("H1", "L1", "ML2"), PHOENIX_AZ, 7, "tpr", config=cfg)
+
+
+class TestRackDay:
+    def test_consumption_bounded_by_farm(self, rack_day):
+        solar = rack_day.on_solar
+        assert np.all(rack_day.consumed_w[solar] <= rack_day.mpp_w[solar] + 1e-6)
+
+    def test_per_chip_accounting(self, rack_day):
+        assert len(rack_day.retired_ginst) == 3
+        assert all(r > 0 for r in rack_day.retired_ginst)
+        assert rack_day.total_ptp == pytest.approx(sum(rack_day.retired_ginst))
+
+    def test_utilization_plausible(self, rack_day):
+        assert 0.5 < rack_day.energy_utilization <= 1.0
+
+    def test_tpr_beats_equal_division(self, cfg):
+        mixes = ("H1", "L1", "ML2")
+        equal = run_day_rack(mixes, PHOENIX_AZ, 7, "equal", config=cfg)
+        tpr = run_day_rack(mixes, PHOENIX_AZ, 7, "tpr", config=cfg)
+        assert tpr.total_ptp > equal.total_ptp
+
+    def test_low_sun_site_falls_back(self, cfg):
+        day = run_day_rack(("H1", "L1"), OAK_RIDGE_TN, 1, "tpr", config=cfg)
+        assert day.effective_duration_fraction < 1.0
+
+    def test_empty_rack_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            run_day_rack((), PHOENIX_AZ, 7, config=cfg)
+
+    def test_metadata(self, rack_day):
+        assert rack_day.mix_names == ("H1", "L1", "ML2")
+        assert rack_day.policy == "tpr"
+        assert rack_day.location_code == "PFCI"

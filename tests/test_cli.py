@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.mix == "HM2"
+        assert args.site == "AZ"
+        assert args.policy == "MPPT&Opt"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "PFCI" in out
+        assert "HM2" in out
+        assert "MPPT&Opt" in out
+
+    def test_panel(self, capsys):
+        assert main(["panel", "--irradiance", "800", "--temperature", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Pmax" in out
+        assert "BP3180N" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "--site", "AZ", "--month", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "kWh/m^2" in out
+
+    def test_trace_unknown_site(self):
+        with pytest.raises(KeyError):
+            main(["trace", "--site", "XX"])
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_fig01(self, capsys):
+        assert main(["experiment", "fig01"]) == 0
+        assert "irradiance" in capsys.readouterr().out
+
+    def test_panel_shading(self, capsys):
+        assert main(["panel", "--shading", "1.0,0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "global MPP" in out
+        assert "2-module string" in out
+
+
+class TestSlowCommands:
+    """Commands that run full-resolution day simulations."""
+
+    def test_simulate_and_export(self, capsys, tmp_path):
+        csv_path = tmp_path / "day.csv"
+        json_path = tmp_path / "day.json"
+        assert main([
+            "simulate", "--mix", "L1", "--site", "AZ", "--month", "7",
+            "--export-csv", str(csv_path), "--export-json", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out
+        assert csv_path.read_text().startswith("minute,")
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert payload["mix"] == "L1"
+
+    def test_simulate_fixed_budget(self, capsys):
+        assert main([
+            "simulate", "--mix", "L1", "--site", "AZ", "--month", "7",
+            "--fixed-budget", "100",
+        ]) == 0
+        assert "Fixed-100W" in capsys.readouterr().out
+
+    def test_simulate_battery(self, capsys):
+        assert main([
+            "simulate", "--mix", "L1", "--site", "AZ", "--month", "7",
+            "--battery-derating", "0.92",
+        ]) == 0
+        assert "battery system" in capsys.readouterr().out
+
+    def test_rack(self, capsys):
+        assert main([
+            "rack", "--mixes", "H1", "L1", "--site", "AZ", "--month", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rack PTP" in out
+        assert "chip H1" in out
+
+    def test_campaign(self, capsys):
+        assert main([
+            "campaign", "--mix", "L1", "--sites", "AZ", "--months", "7",
+            "--days", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "carbon" in out
+        assert "overall utilization" in out

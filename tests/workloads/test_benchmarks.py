@@ -1,0 +1,61 @@
+"""Unit tests for the SPEC2000-class benchmark definitions."""
+
+import pytest
+
+from repro.workloads.benchmarks import (
+    BENCHMARKS,
+    EPI_CLASSES,
+    Benchmark,
+    benchmark,
+    epi_class_of,
+)
+
+
+class TestEPIClassification:
+    def test_thresholds(self):
+        assert epi_class_of(15.0) == "high"
+        assert epi_class_of(14.9) == "moderate"
+        assert epi_class_of(8.1) == "moderate"
+        assert epi_class_of(8.0) == "low"
+
+    def test_paper_groupings(self):
+        for cls, names in EPI_CLASSES.items():
+            for name in names:
+                assert benchmark(name).epi_class == cls, name
+
+
+class TestBenchmarkSet:
+    def test_twelve_benchmarks(self):
+        assert len(BENCHMARKS) == 12
+
+    def test_lookup_by_name(self):
+        assert benchmark("art").name == "art"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            benchmark("doom")
+
+    def test_high_epi_swing_more_than_low(self):
+        high_var = min(benchmark(n).ipc_variability for n in EPI_CLASSES["high"])
+        low_var = max(benchmark(n).ipc_variability for n in EPI_CLASSES["low"])
+        assert high_var > low_var
+
+    def test_low_epi_benchmarks_more_efficient(self):
+        """Throughput per watt at max V/F ranks low < moderate < high EPI."""
+
+        def perf_per_watt(name: str) -> float:
+            b = benchmark(name)
+            return (b.base_ipc * 2.5) / (b.epi_nj * b.base_ipc * 2.5)
+
+        assert perf_per_watt("mesa") > perf_per_watt("gcc") > perf_per_watt("art")
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"epi_nj": 0.0, "base_ipc": 1.0, "ipc_variability": 0.1},
+        {"epi_nj": 10.0, "base_ipc": 0.0, "ipc_variability": 0.1},
+        {"epi_nj": 10.0, "base_ipc": 1.0, "ipc_variability": 1.0},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            Benchmark("x", **kwargs)

@@ -1,0 +1,47 @@
+"""Unit tests for EPI measurement (the Table 5 methodology closure)."""
+
+import pytest
+
+from repro.multicore.dvfs import default_dvfs_table
+from repro.multicore.power_model import CorePowerModel
+from repro.workloads.benchmarks import BENCHMARKS, EPI_CLASSES, benchmark
+from repro.workloads.characterization import characterize, measure_epi
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CorePowerModel(table=default_dvfs_table())
+
+
+class TestMeasureEPI:
+    def test_measured_epi_matches_configured(self, model):
+        """The measurement loop recovers the configured EPI: energy and
+        instructions both integrate the same phase trace, so the quotient
+        is exact regardless of phase behaviour."""
+        for name in ("art", "gcc", "swim"):
+            measurement = measure_epi(benchmark(name), model)
+            assert measurement.epi_nj == pytest.approx(
+                benchmark(name).epi_nj, rel=1e-9
+            )
+
+    def test_mean_ipc_near_base(self, model):
+        measurement = measure_epi(benchmark("gcc"), model, interval_minutes=400.0)
+        assert measurement.mean_ipc == pytest.approx(
+            benchmark("gcc").base_ipc, rel=0.25
+        )
+
+    def test_rejects_bad_interval(self, model):
+        with pytest.raises(ValueError):
+            measure_epi(benchmark("gcc"), model, interval_minutes=0.0)
+
+
+class TestCharacterize:
+    def test_reproduces_table5_classes(self, model):
+        """Measured classification equals the paper's Table 5 groupings."""
+        measurements = characterize(model)
+        for cls, names in EPI_CLASSES.items():
+            for name in names:
+                assert measurements[name].epi_class == cls, name
+
+    def test_covers_all_benchmarks(self, model):
+        assert set(characterize(model)) == set(BENCHMARKS)

@@ -1,0 +1,51 @@
+"""Unit tests for the Table 5 multi-programmed mixes."""
+
+import pytest
+
+from repro.workloads.benchmarks import EPI_CLASSES
+from repro.workloads.mixes import ALL_MIX_NAMES, MIXES, mix
+
+
+class TestMixDefinitions:
+    def test_ten_mixes(self):
+        assert len(MIXES) == 10
+        assert set(ALL_MIX_NAMES) == set(MIXES)
+
+    def test_every_mix_has_eight_cores(self):
+        for name in ALL_MIX_NAMES:
+            assert mix(name).n_cores == 8
+
+    def test_homogeneous_mixes(self):
+        assert mix("H1").is_homogeneous
+        assert mix("M1").is_homogeneous
+        assert mix("L1").is_homogeneous
+        assert not mix("H2").is_homogeneous
+        assert not mix("HM2").is_homogeneous
+
+    def test_h1_is_art_times_8(self):
+        assert [b.name for b in mix("H1").benchmarks] == ["art"] * 8
+
+    def test_hm2_composition(self):
+        names = [b.name for b in mix("HM2").benchmarks]
+        assert names == ["bzip", "gzip", "art", "apsi", "gcc", "mcf", "gap", "vpr"]
+
+    def test_ml2_composition(self):
+        names = [b.name for b in mix("ML2").benchmarks]
+        assert names == ["gcc", "mcf", "gap", "vpr", "mesa", "equake", "lucas", "swim"]
+
+    def test_class_pure_mixes_use_their_class(self):
+        for prefix, cls in (("H", "high"), ("M", "moderate"), ("L", "low")):
+            for variant in ("1", "2"):
+                for bench in mix(prefix + variant).benchmarks:
+                    assert bench.epi_class == cls
+
+    def test_hm1_is_half_high_half_moderate(self):
+        classes = [b.epi_class for b in mix("HM1").benchmarks]
+        assert classes == ["high"] * 4 + ["moderate"] * 4
+
+    def test_lookup_case_insensitive(self):
+        assert mix("hm2").name == "HM2"
+
+    def test_unknown_mix_raises(self):
+        with pytest.raises(KeyError, match="unknown mix"):
+            mix("XL9")

@@ -1,0 +1,65 @@
+"""Unit tests for the phase-level IPC trace generator."""
+
+import pytest
+
+from repro.workloads.benchmarks import benchmark
+from repro.workloads.phases import PhaseTrace
+
+
+class TestPhaseTrace:
+    def test_deterministic_for_seed(self):
+        a = PhaseTrace(benchmark("art"), seed=5)
+        b = PhaseTrace(benchmark("art"), seed=5)
+        for minute in (0.0, 17.0, 123.0, 599.0):
+            assert a.ipc_at(minute) == b.ipc_at(minute)
+
+    def test_default_seed_stable_per_benchmark(self):
+        a = PhaseTrace(benchmark("gcc"))
+        b = PhaseTrace(benchmark("gcc"))
+        assert a.ipc_at(42.0) == b.ipc_at(42.0)
+
+    def test_different_seeds_differ(self):
+        a = PhaseTrace(benchmark("art"), seed=1)
+        b = PhaseTrace(benchmark("art"), seed=2)
+        samples_a = [a.ipc_at(m) for m in range(0, 600, 20)]
+        samples_b = [b.ipc_at(m) for m in range(0, 600, 20)]
+        assert samples_a != samples_b
+
+    def test_ipc_positive_and_bounded(self):
+        trace = PhaseTrace(benchmark("art"), seed=3)
+        base = benchmark("art").base_ipc
+        for minute in range(0, 600, 5):
+            ipc = trace.ipc_at(float(minute))
+            assert 0.2 * base <= ipc <= 2.0 * base
+
+    def test_piecewise_constant_within_phase(self):
+        trace = PhaseTrace(benchmark("swim"), seed=9)
+        # Sample very close together: overwhelmingly the same phase.
+        assert trace.ipc_at(100.0) == trace.ipc_at(100.001)
+
+    def test_clamps_beyond_duration(self):
+        trace = PhaseTrace(benchmark("gcc"), duration_minutes=50.0, seed=1)
+        assert trace.ipc_at(1e6) == trace.ipc_at(49.999) or trace.ipc_at(1e6) > 0
+
+    def test_rejects_negative_time(self):
+        trace = PhaseTrace(benchmark("gcc"), seed=1)
+        with pytest.raises(ValueError):
+            trace.ipc_at(-1.0)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            PhaseTrace(benchmark("gcc"), duration_minutes=0.0)
+
+    def test_variability_drives_spread(self):
+        import numpy as np
+
+        art = PhaseTrace(benchmark("art"), seed=4)  # variability 0.28
+        mesa = PhaseTrace(benchmark("mesa"), seed=4)  # variability 0.08
+        art_vals = np.array([art.ipc_at(float(m)) for m in range(0, 600, 2)])
+        mesa_vals = np.array([mesa.ipc_at(float(m)) for m in range(0, 600, 2)])
+        assert (art_vals.std() / art_vals.mean()) > (
+            mesa_vals.std() / mesa_vals.mean()
+        )
+
+    def test_phase_count_positive(self):
+        assert PhaseTrace(benchmark("gcc"), seed=1).n_phases > 10
