@@ -1,0 +1,62 @@
+"""Telemetry overhead guard: the disabled hub must stay effectively free.
+
+The observability layer's contract is that an uninstalled (null) hub costs
+one attribute check per instrumentation site.  This benchmark times the
+same day simulation with the null hub and with a fully enabled hub (ring
+buffer sink, metrics, spans) and asserts the disabled path is not paying
+for instrumentation it did not ask for.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.core.config import SolarCoreConfig
+from repro.core.simulation import run_day
+from repro.environment.locations import PHOENIX_AZ
+from repro.telemetry import RingBufferSink, Telemetry, telemetry_session
+
+CFG = SolarCoreConfig()  # full 1-minute cadence: the real hot path
+
+
+def _time_run(repeats=3, telemetry_on=False):
+    best = float("inf")
+    for _ in range(repeats):
+        if telemetry_on:
+            with telemetry_session(Telemetry(sinks=[RingBufferSink()])):
+                start = time.perf_counter()
+                run_day("HM2", PHOENIX_AZ, 7, config=CFG)
+                best = min(best, time.perf_counter() - start)
+        else:
+            start = time.perf_counter()
+            run_day("HM2", PHOENIX_AZ, 7, config=CFG)
+            best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_telemetry_overhead(benchmark, out_dir):
+    disabled = benchmark.pedantic(_time_run, rounds=1, iterations=1)
+    enabled = _time_run(telemetry_on=True)
+
+    ratio = enabled / disabled
+    emit(
+        out_dir,
+        "telemetry_overhead",
+        "\n".join(
+            [
+                f"disabled (null hub) best-of-3: {disabled * 1e3:.1f} ms",
+                f"enabled (full hub)  best-of-3: {enabled * 1e3:.1f} ms",
+                f"enabled/disabled ratio: {ratio:.3f}",
+            ]
+        ),
+    )
+
+    # The disabled path must not be slower than the instrumented one
+    # beyond timing noise: if it is, a hot path stopped guarding on
+    # ``tel.enabled`` and is doing telemetry work unconditionally.
+    assert disabled <= enabled * 1.05, (
+        f"null-hub run ({disabled:.3f}s) slower than enabled run "
+        f"({enabled:.3f}s); a hot path lost its enabled-guard"
+    )
+    # And turning everything on must stay cheap in absolute terms.
+    assert ratio < 1.5, f"enabled telemetry costs {ratio:.2f}x"

@@ -6,8 +6,21 @@ Commands:
     panel       characterize the BP3180N panel at a condition
     trace       summarize a synthetic weather day
     simulate    run one day under a policy (or fixed budget / battery)
+    rack        simulate a rack of chips on a shared solar farm
     campaign    multi-realization campaign with carbon accounting
     experiment  regenerate one of the paper's figures/tables
+
+Observability flags (available on every command):
+
+    --log-level LEVEL   stdlib logging threshold for the repro package
+    --trace FILE        write a JSONL telemetry trace of structured events
+    --telemetry         enable metrics/spans without writing a trace file
+
+With ``--trace`` or ``--telemetry``, ``simulate``/``rack``/``campaign``/
+``experiment`` print a post-run summary of counters, histograms, and span
+timings.  Example::
+
+    repro simulate --mix mixed --location PFCI --month 6 --trace /tmp/t.jsonl
 """
 
 from __future__ import annotations
@@ -18,6 +31,9 @@ import sys
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+#: Commands that print a telemetry summary table after running.
+_SUMMARY_COMMANDS = frozenset({"simulate", "rack", "campaign", "experiment"})
 
 
 # ----------------------------------------------------------------------
@@ -140,6 +156,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"  utility backup    {day.utility_wh:8.1f} Wh")
     print(f"  solar duration    {day.effective_duration_fraction:8.1%}")
     print(f"  tracking error    {day.mean_tracking_error:8.1%}")
+    print(f"  tracking_events   {day.tracking_events:8d}")
+    print(f"  dvfs transitions  {day.dvfs_transitions:8d}")
     print(f"  PTP               {day.ptp:8.0f} Ginst")
     return 0
 
@@ -228,24 +246,44 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SolarCore (HPCA 2011) reproduction toolkit",
     )
+
+    # Observability flags shared by every subcommand, e.g.
+    #   repro simulate --mix mixed --location PFCI --month 6 --trace t.jsonl
+    common = argparse.ArgumentParser(add_help=False)
+    obs = common.add_argument_group("observability")
+    obs.add_argument("--log-level", default=None,
+                     metavar="LEVEL",
+                     help="stdlib logging threshold for the repro package "
+                          "(debug/info/warning/error)")
+    obs.add_argument("--trace", default=None, metavar="FILE",
+                     help="write structured telemetry events to FILE as JSONL "
+                          "(implies --telemetry)")
+    obs.add_argument("--telemetry", action="store_true",
+                     help="collect metrics/spans and print a post-run summary")
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="show stations, mixes, and policies")
+    sub.add_parser("list", help="show stations, mixes, and policies",
+                   parents=[common])
 
-    panel = sub.add_parser("panel", help="characterize the BP3180N panel")
+    panel = sub.add_parser("panel", help="characterize the BP3180N panel",
+                           parents=[common])
     panel.add_argument("--irradiance", type=float, default=1000.0)
     panel.add_argument("--temperature", type=float, default=25.0)
     panel.add_argument("--shading", default=None,
                        help="comma-separated per-module factors, e.g. 1.0,0.4")
 
-    trace = sub.add_parser("trace", help="summarize a synthetic weather day")
-    trace.add_argument("--site", default="AZ")
+    trace = sub.add_parser("trace", help="summarize a synthetic weather day",
+                           parents=[common])
+    trace.add_argument("--site", "--location", dest="site", default="AZ")
     trace.add_argument("--month", type=int, default=7)
     trace.add_argument("--seed", type=int, default=None)
 
-    simulate = sub.add_parser("simulate", help="run one day simulation")
+    simulate = sub.add_parser("simulate", help="run one day simulation",
+                              parents=[common])
     simulate.add_argument("--mix", default="HM2")
-    simulate.add_argument("--site", default="AZ")
+    simulate.add_argument("--site", "--location", dest="site", default="AZ",
+                          help="station code (PFCI/BMS/ECSU/ORNL or AZ/CO/NC/TN)")
     simulate.add_argument("--month", type=int, default=7)
     simulate.add_argument("--policy", default="MPPT&Opt")
     simulate.add_argument("--fixed-budget", type=float, default=None,
@@ -257,21 +295,25 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--export-json", default=None,
                           help="write series + metrics to a JSON file")
 
-    rack = sub.add_parser("rack", help="simulate a rack on a shared farm")
+    rack = sub.add_parser("rack", help="simulate a rack on a shared farm",
+                          parents=[common])
     rack.add_argument("--mixes", nargs="+", default=["H1", "L1", "HM2", "ML2"])
-    rack.add_argument("--site", default="AZ")
+    rack.add_argument("--site", "--location", dest="site", default="AZ")
     rack.add_argument("--month", type=int, default=7)
     rack.add_argument("--policy", default="tpr",
                       choices=["equal", "proportional", "tpr"])
 
-    campaign = sub.add_parser("campaign", help="multi-day campaign + carbon")
+    campaign = sub.add_parser("campaign", help="multi-day campaign + carbon",
+                              parents=[common])
     campaign.add_argument("--mix", default="HM2")
-    campaign.add_argument("--sites", nargs="+", default=["AZ", "TN"])
+    campaign.add_argument("--sites", "--locations", dest="sites", nargs="+",
+                          default=["AZ", "TN"])
     campaign.add_argument("--months", nargs="+", type=int, default=[1, 7])
     campaign.add_argument("--days", type=int, default=3)
     campaign.add_argument("--policy", default="MPPT&Opt")
 
-    experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
+    experiment = sub.add_parser("experiment", help="regenerate a paper artifact",
+                                parents=[common])
     experiment.add_argument("name", help=f"one of: {', '.join(sorted(_EXPERIMENTS))}")
 
     return parser
@@ -307,4 +349,40 @@ _HANDLERS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+
+    if args.log_level is not None:
+        from repro.telemetry import configure_logging
+
+        try:
+            configure_logging(args.log_level)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if not (args.trace or args.telemetry):
+        return _HANDLERS[args.command](args)
+
+    # Telemetry requested: install a hub for the duration of the command,
+    # stream events to the JSONL trace if asked, and print the summary.
+    from repro import telemetry
+
+    hub = telemetry.Telemetry()
+    if args.trace:
+        try:
+            hub.add_sink(telemetry.JsonlSink(args.trace))
+        except OSError as exc:
+            print(f"error: cannot open trace file: {exc}", file=sys.stderr)
+            return 2
+    previous = telemetry.set_telemetry(hub)
+    try:
+        code = _HANDLERS[args.command](args)
+    finally:
+        telemetry.set_telemetry(previous)
+        hub.close()
+    if args.trace:
+        print(f"wrote telemetry trace {args.trace}")
+    if args.command in _SUMMARY_COMMANDS:
+        summary = telemetry.render_summary(hub)
+        if summary:
+            print(f"\n{summary}")
+    return code

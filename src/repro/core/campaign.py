@@ -9,6 +9,7 @@ seeded day each paper figure shows.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -18,8 +19,11 @@ from repro.core.simulation import DayResult, run_day
 from repro.environment.irradiance import default_seed
 from repro.environment.locations import Location
 from repro.metrics.carbon import CarbonReport, carbon_report
+from repro.telemetry import hub as telemetry_hub
 
 __all__ = ["CampaignCell", "CampaignResult", "run_campaign"]
+
+log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -124,21 +128,29 @@ def run_campaign(
     """
     if days_per_cell < 1:
         raise ValueError(f"days_per_cell must be >= 1, got {days_per_cell}")
+    tel = telemetry_hub.current()
     cells = []
-    for location in locations:
-        for month in months:
-            days = tuple(
-                run_day(
-                    mix_name,
-                    location,
-                    month,
-                    policy,
-                    config=config,
-                    seed=default_seed(location, month) + base_seed + i,
+    with tel.span(
+        "run_campaign", mix=mix_name, policy=policy, days_per_cell=days_per_cell
+    ):
+        for location in locations:
+            for month in months:
+                days = tuple(
+                    run_day(
+                        mix_name,
+                        location,
+                        month,
+                        policy,
+                        config=config,
+                        seed=default_seed(location, month) + base_seed + i,
+                    )
+                    for i in range(days_per_cell)
                 )
-                for i in range(days_per_cell)
-            )
-            cells.append(CampaignCell(location.code, month, days))
+                cells.append(CampaignCell(location.code, month, days))
+                log.info(
+                    "campaign cell %s m%d: %d day(s) simulated",
+                    location.code, month, days_per_cell,
+                )
     return CampaignResult(
         mix_name=mix_name,
         policy=policy,

@@ -20,6 +20,7 @@ trade-off).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from scipy.optimize import brentq
@@ -32,8 +33,13 @@ from repro.power.operating_point import OperatingPoint, solve_operating_point
 from repro.power.sensors import IVSensor, SensorReading
 from repro.pv.curves import PVDevice
 from repro.pv.mpp import find_mpp
+from repro.telemetry import hub as telemetry_hub
+from repro.telemetry.events import LoadTuningEvent
+from repro.telemetry.metrics import DEFAULT_ITERATION_BUCKETS
 
 __all__ = ["SolarCoreController", "TrackingResult"]
+
+log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -79,6 +85,7 @@ class SolarCoreController:
         tuner: LoadTuner,
         config: SolarCoreConfig | None = None,
         sensor: IVSensor | None = None,
+        telemetry=None,
     ) -> None:
         self.array = array
         self.converter = converter
@@ -86,9 +93,32 @@ class SolarCoreController:
         self.tuner = tuner
         self.config = config or SolarCoreConfig()
         self.sensor = sensor or IVSensor()
+        self.telemetry = telemetry
         #: Per-event margin override set by an adaptive-margin supervisor
         #: (None = use ``config.power_margin``).
         self.margin_override: float | None = None
+        # Load-tuning tallies for the current tracking event.
+        self._raises = 0
+        self._sheds = 0
+
+    @property
+    def _tel(self):
+        return (
+            self.telemetry if self.telemetry is not None else telemetry_hub.current()
+        )
+
+    # -- counted load-tuning moves -------------------------------------
+    def _raise_load(self, minute: float) -> bool:
+        moved = self.tuner.increase(self.chip, minute)
+        if moved:
+            self._raises += 1
+        return moved
+
+    def _shed_load(self, minute: float) -> bool:
+        moved = self.tuner.decrease(self.chip, minute)
+        if moved:
+            self._sheds += 1
+        return moved
 
     # ------------------------------------------------------------------
     # Electrical helpers
@@ -145,6 +175,9 @@ class SolarCoreController:
         def surplus(v: float) -> float:
             return v * self.array.current(v, irradiance, cell_temp_c) - target_power
 
+        tel = self._tel
+        if tel.enabled:
+            tel.count("controller.align_solves")
         # surplus(Vmpp) >= 0 by construction and surplus(Voc) < 0.
         v_right = float(brentq(surplus, mpp.voltage, voc, xtol=1e-6))
         quantum = self.converter.delta_k
@@ -165,9 +198,7 @@ class SolarCoreController:
                 break
             # Rail high -> panel has headroom -> draw more (raise load).
             moved = (
-                self.tuner.increase(self.chip, minute)
-                if error > 0
-                else self.tuner.decrease(self.chip, minute)
+                self._raise_load(minute) if error > 0 else self._shed_load(minute)
             )
             if not moved:
                 break
@@ -176,9 +207,9 @@ class SolarCoreController:
             if abs(new_error) >= abs(error):
                 # The DVFS quantum overshot the band; undo and settle.
                 if error > 0:
-                    self.tuner.decrease(self.chip, minute)
+                    self._shed_load(minute)
                 else:
-                    self.tuner.increase(self.chip, minute)
+                    self._raise_load(minute)
                 op = self.solve(irradiance, cell_temp_c, minute)
                 break
             op = new_op
@@ -205,6 +236,42 @@ class SolarCoreController:
         if irradiance <= 0.0:
             return TrackingResult(0, 0.0, 0.0, 0.0, self.converter.k, False)
 
+        tel = self._tel
+        self._raises = 0
+        self._sheds = 0
+        with tel.span("controller.track"):
+            result = self._track_event(irradiance, cell_temp_c, minute, cfg, margin)
+        if tel.enabled:
+            tel.observe(
+                "controller.track_iterations",
+                result.iterations,
+                DEFAULT_ITERATION_BUCKETS,
+            )
+            tel.count("controller.load_raises", self._raises)
+            tel.count("controller.load_sheds", self._sheds)
+            tel.emit(
+                LoadTuningEvent(
+                    minute=minute,
+                    policy=self.tuner.name,
+                    raises=self._raises,
+                    sheds=self._sheds,
+                )
+            )
+        log.debug(
+            "track @ m%.0f: %d iterations, %.1f W (best %.1f W), rail %.2f V",
+            minute, result.iterations, result.power_w, result.best_power_w,
+            result.rail_voltage,
+        )
+        return result
+
+    def _track_event(
+        self,
+        irradiance: float,
+        cell_temp_c: float,
+        minute: float,
+        cfg: SolarCoreConfig,
+        margin: float,
+    ) -> TrackingResult:
         # Step 1: normalize the rail.  A coarse k alignment first keeps the
         # load knob within reach of the acceptance band at dawn/dusk.
         self._align_k_to_rail(irradiance, cell_temp_c, minute)
@@ -229,7 +296,7 @@ class SolarCoreController:
             # DVFS quantum is coarser than the remaining error.
             raised_any = False
             while self._read(op).voltage > cfg.rail_voltage:
-                if not self.tuner.increase(self.chip, minute):
+                if not self._raise_load(minute):
                     load_saturated = True
                     break
                 candidate = self.solve(irradiance, cell_temp_c, minute)
@@ -237,7 +304,7 @@ class SolarCoreController:
                     self._read(candidate).voltage
                     < cfg.rail_voltage - cfg.rail_tolerance_v
                 ):
-                    self.tuner.decrease(self.chip, minute)
+                    self._shed_load(minute)
                     op = self.solve(irradiance, cell_temp_c, minute)
                     break
                 raised_any = True
@@ -254,7 +321,7 @@ class SolarCoreController:
                 target = best_power * (1.0 - margin)
                 while (
                     self._read(op).power > target
-                    and self.tuner.decrease(self.chip, minute)
+                    and self._shed_load(minute)
                 ):
                     op = self.solve(irradiance, cell_temp_c, minute)
                 break
@@ -282,7 +349,7 @@ class SolarCoreController:
         while (
             not load_saturated
             and self.chip.total_power_at(minute) > margin_target
-            and self.tuner.decrease(self.chip, minute)
+            and self._shed_load(minute)
         ):
             pass
         op = self.solve(irradiance, cell_temp_c, minute)

@@ -14,6 +14,7 @@ Two entry points:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,9 +34,18 @@ from repro.power.psu import AutomaticTransferSwitch, PowerSource
 from repro.power.sensors import IVSensor
 from repro.pv.array import PVArray
 from repro.pv.mpp import find_mpp
+from repro.telemetry import hub as telemetry_hub
+from repro.telemetry.events import (
+    BatteryEvent,
+    DVFSAllocationEvent,
+    SupplySwitchEvent,
+    TrackingEvent,
+)
 from repro.workloads.mixes import WorkloadMix, mix as mix_by_name
 
 __all__ = ["DayResult", "BatteryDayResult", "run_day", "run_day_fixed", "run_day_battery"]
+
+log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -209,6 +219,7 @@ def run_day(
     seed: int | None = None,
     dvfs_table: DVFSTable | None = None,
     sensor: IVSensor | None = None,
+    telemetry=None,
 ) -> DayResult:
     """Simulate one day under a SolarCore MPPT policy.
 
@@ -227,21 +238,50 @@ def run_day(
             the granularity ablation passes refined tables).
         sensor: Front-end I/V sensor model (ideal by default; the
             robustness study injects noise/quantization here).
+        telemetry: Telemetry hub override (default: the process-wide hub).
 
     Returns:
         The day's :class:`DayResult`.
     """
+    tel = telemetry if telemetry is not None else telemetry_hub.current()
     cfg = config or SolarCoreConfig()
     workload = _resolve_mix(workload)
     array = array or PVArray()
     if trace is None:
         trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
 
+    with tel.span(
+        "run_day",
+        mix=workload.name,
+        location=location.code,
+        month=month,
+        policy=policy,
+    ):
+        return _run_day_inner(
+            workload, location, month, policy, cfg, array, trace,
+            dvfs_table, sensor, tel,
+        )
+
+
+def _run_day_inner(
+    workload: WorkloadMix,
+    location: Location,
+    month: int,
+    policy: str,
+    cfg: SolarCoreConfig,
+    array: PVArray,
+    trace: EnvironmentTrace,
+    dvfs_table: DVFSTable | None,
+    sensor: IVSensor | None,
+    tel,
+) -> DayResult:
     chip = MultiCoreChip(workload, table=dvfs_table)
     chip.set_all_levels(chip.table.min_level)
     converter = DCDCConverter()
     tuner = make_tuner(policy, allow_gating=cfg.enable_pcpg)
-    controller = SolarCoreController(array, converter, chip, tuner, cfg, sensor)
+    controller = SolarCoreController(
+        array, converter, chip, tuner, cfg, sensor, telemetry=tel
+    )
     ats = AutomaticTransferSwitch(cfg.ats_margin)
     predictor = SupplyPredictor() if cfg.adaptive_margin else None
 
@@ -262,9 +302,18 @@ def run_day(
         cell_temp = array.cell_temperature_from_ambient(irradiance, ambient)
         mpp = find_mpp(array, irradiance, cell_temp)
 
-        source = ats.update(
-            mpp.power, chip.floor_power_at(minute, with_gating=cfg.enable_pcpg)
-        )
+        floor_w = chip.floor_power_at(minute, with_gating=cfg.enable_pcpg)
+        source = ats.update(mpp.power, floor_w)
+        if source is not prev_source and tel.enabled:
+            tel.count("sim.supply_switches")
+            tel.emit(
+                SupplySwitchEvent(
+                    minute=minute,
+                    source=source.value,
+                    available_solar_w=mpp.power,
+                    load_floor_w=floor_w,
+                )
+            )
         if source is PowerSource.SOLAR:
             if prev_source is not PowerSource.SOLAR:
                 # Soft-start: engage the panel at the minimum load.
@@ -298,9 +347,34 @@ def run_day(
                         allocate_budget(
                             chip, target, minute, allow_gating=cfg.enable_pcpg
                         )
+                        if tel.enabled:
+                            tel.count("sim.budget_allocations")
+                            tel.emit(
+                                DVFSAllocationEvent(
+                                    minute=minute,
+                                    budget_w=target,
+                                    allocated_w=chip.total_power_at(minute),
+                                )
+                            )
                 tracking_events += 1
                 last_track_minute = minute
                 last_track_mpp = mpp.power
+                if tel.enabled:
+                    tel.count("sim.tracking_events")
+                    tel.emit(
+                        TrackingEvent(
+                            minute=minute,
+                            mix=workload.name,
+                            policy=tuner.name,
+                            iterations=result.iterations,
+                            power_w=result.power_w,
+                            best_power_w=result.best_power_w,
+                            mpp_w=mpp.power,
+                            rail_voltage=result.rail_voltage,
+                            load_saturated=result.load_saturated,
+                            triggered_by="supply-change" if supply_changed else "periodic",
+                        )
+                    )
             # Between tracking events the converter's fast inner loop servos
             # k to hold the rail at nominal, so the chip draws exactly its
             # DVFS-determined demand — bounded by what the panel can give.
@@ -322,7 +396,16 @@ def run_day(
             )
         prev_source = source
 
-    return _finish(series, chip, workload, location, month, tuner.name, tracking_events)
+    if tel.enabled:
+        tel.count("sim.days")
+        tel.count("sim.dvfs_transitions", chip.total_transitions)
+    day = _finish(series, chip, workload, location, month, tuner.name, tracking_events)
+    log.debug(
+        "run_day %s @ %s m%d (%s): %d tracking events, utilization %.1f%%",
+        workload.name, location.code, month, tuner.name,
+        tracking_events, 100.0 * day.energy_utilization,
+    )
+    return day
 
 
 def run_day_fixed(
@@ -334,6 +417,7 @@ def run_day_fixed(
     array: PVArray | None = None,
     trace: EnvironmentTrace | None = None,
     seed: int | None = None,
+    telemetry=None,
 ) -> DayResult:
     """Simulate one day under the Fixed-Power baseline.
 
@@ -344,12 +428,35 @@ def run_day_fixed(
 
     Args/returns: as :func:`run_day`, plus ``budget_w`` [W].
     """
+    tel = telemetry if telemetry is not None else telemetry_hub.current()
     cfg = config or SolarCoreConfig()
     workload = _resolve_mix(workload)
     array = array or PVArray()
     if trace is None:
         trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
 
+    with tel.span(
+        "run_day_fixed",
+        mix=workload.name,
+        location=location.code,
+        month=month,
+        budget_w=budget_w,
+    ):
+        return _run_day_fixed_inner(
+            workload, location, month, budget_w, cfg, array, trace, tel
+        )
+
+
+def _run_day_fixed_inner(
+    workload: WorkloadMix,
+    location: Location,
+    month: int,
+    budget_w: float,
+    cfg: SolarCoreConfig,
+    array: PVArray,
+    trace: EnvironmentTrace,
+    tel,
+) -> DayResult:
     chip = MultiCoreChip(workload)
 
     series = _DaySeries()
@@ -373,6 +480,15 @@ def run_day_fixed(
             if minute - last_alloc_minute >= cfg.tracking_interval_min:
                 allocate_budget(chip, budget_w, minute, allow_gating=cfg.enable_pcpg)
                 last_alloc_minute = minute
+                if tel.enabled:
+                    tel.count("sim.budget_allocations")
+                    tel.emit(
+                        DVFSAllocationEvent(
+                            minute=minute,
+                            budget_w=budget_w,
+                            allocated_w=chip.total_power_at(minute),
+                        )
+                    )
             consumed = min(chip.total_power_at(minute), budget_w)
             retired = chip.advance(minute, dt)
             series.retired_solar += retired
@@ -390,6 +506,9 @@ def run_day_fixed(
             )
             last_alloc_minute = -float("inf")
 
+    if tel.enabled:
+        tel.count("sim.days")
+        tel.count("sim.dvfs_transitions", chip.total_transitions)
     return _finish(
         series, chip, workload, location, month, f"Fixed-{budget_w:.0f}W", 0
     )
@@ -428,6 +547,7 @@ def run_day_battery(
     array: PVArray | None = None,
     trace: EnvironmentTrace | None = None,
     seed: int | None = None,
+    telemetry=None,
 ) -> BatteryDayResult:
     """Simulate one day on the battery-equipped MPPT baseline.
 
@@ -442,12 +562,35 @@ def run_day_battery(
     """
     if not 0.0 < derating <= 1.0:
         raise ValueError(f"derating must be in (0, 1], got {derating}")
+    tel = telemetry if telemetry is not None else telemetry_hub.current()
     cfg = config or SolarCoreConfig()
     workload = _resolve_mix(workload)
     array = array or PVArray()
     if trace is None:
         trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
 
+    with tel.span(
+        "run_day_battery",
+        mix=workload.name,
+        location=location.code,
+        month=month,
+        derating=derating,
+    ):
+        return _run_day_battery_inner(
+            workload, location, month, derating, cfg, array, trace, tel
+        )
+
+
+def _run_day_battery_inner(
+    workload: WorkloadMix,
+    location: Location,
+    month: int,
+    derating: float,
+    cfg: SolarCoreConfig,
+    array: PVArray,
+    trace: EnvironmentTrace,
+    tel,
+) -> BatteryDayResult:
     # Harvest: MPP power integrated over the day, then de-rated.
     dt = cfg.step_minutes
     harvested_wh = 0.0
@@ -457,6 +600,15 @@ def run_day_battery(
         cell_temp = array.cell_temperature_from_ambient(irradiance, ambient)
         harvested_wh += find_mpp(array, irradiance, cell_temp).power * dt / 60.0
     harvested_wh *= derating
+    if tel.enabled:
+        tel.emit(
+            BatteryEvent(
+                minute=float(trace.minutes[0]),
+                phase="harvested",
+                energy_wh=harvested_wh,
+                derating=derating,
+            )
+        )
 
     # Spend: full speed from a stable supply until the energy runs out.
     chip = MultiCoreChip(workload)
@@ -477,6 +629,13 @@ def run_day_battery(
         remaining_wh -= step_wh
         minute += dt
 
+    if tel.enabled:
+        tel.count("sim.days")
+        tel.emit(
+            BatteryEvent(
+                minute=minute, phase="depleted", energy_wh=0.0, derating=derating
+            )
+        )
     return BatteryDayResult(
         mix_name=workload.name,
         location_code=location.code,

@@ -40,18 +40,17 @@ def generate_trace(
 
     Args:
         location: Station (see :mod:`repro.environment.locations`).
-        month: Calendar month; the paper evaluates {1, 4, 7, 10}.
+        month: Calendar month 1-12.  The paper's anchors {1, 4, 7, 10} use
+            their calibrated cloud regimes; other months interpolate
+            between the adjacent anchors (see ``Location.regime_for``).
         seed: RNG seed; defaults to a stable hash of (station, month).
         step_minutes: Sampling cadence [minutes].
 
     Returns:
         An :class:`EnvironmentTrace` spanning 7:30 am - 5:30 pm.
     """
-    if month not in location.regimes:
-        raise ValueError(
-            f"{location.code} has no regime for month {month}; "
-            f"evaluated months: {sorted(location.regimes)}"
-        )
+    if not 1 <= month <= 12:
+        raise ValueError(f"month must be 1-12, got {month}")
     if step_minutes <= 0:
         raise ValueError(f"step_minutes must be positive, got {step_minutes}")
     if seed is None:
@@ -66,10 +65,10 @@ def generate_trace(
             for m in minutes
         ]
     )
-    clearness = clearness_series(minutes, location.regimes[month], rng)
+    clearness = clearness_series(minutes, location.regime_for(month), rng)
     irradiance = clear_sky * clearness
 
-    t_min, t_max = location.temps_c[month]
+    t_min, t_max = location.temps_for(month)
     ambient = diurnal_temperature(minutes, t_min, t_max, float(np.mean(clearness)))
 
     return EnvironmentTrace(

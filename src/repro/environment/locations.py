@@ -18,13 +18,13 @@ from dataclasses import dataclass
 __all__ = [
     "CloudRegime",
     "Location",
+    "EVALUATED_MONTHS",
     "PHOENIX_AZ",
     "GOLDEN_CO",
     "ELIZABETH_CITY_NC",
     "OAK_RIDGE_TN",
     "ALL_LOCATIONS",
     "location_by_code",
-    "EVALUATED_MONTHS",
 ]
 
 #: The mid-month days evaluated in the paper (Jan/Apr/Jul/Oct 2009).
@@ -85,6 +85,51 @@ class Location:
                 raise ValueError(f"{self.code}: missing cloud regime for month {month}")
             if month not in self.temps_c:
                 raise ValueError(f"{self.code}: missing temperatures for month {month}")
+
+    def regime_for(self, month: int) -> CloudRegime:
+        """The cloud regime of any calendar month.
+
+        Anchor months (the paper's Table 2 calibration) return their
+        calibrated regime verbatim; other months interpolate each regime
+        parameter between the cyclically adjacent anchors, so ``month=6``
+        at Phoenix blends the April and (monsoon) July regimes.
+        """
+        if month in self.regimes:
+            return self.regimes[month]
+        lo, hi, t = _bracketing_anchors(month, sorted(self.regimes))
+        a, b = self.regimes[lo], self.regimes[hi]
+        return CloudRegime(
+            base_clearness=_lerp(a.base_clearness, b.base_clearness, t),
+            events_per_hour=_lerp(a.events_per_hour, b.events_per_hour, t),
+            event_depth=_lerp(a.event_depth, b.event_depth, t),
+            event_minutes=_lerp(a.event_minutes, b.event_minutes, t),
+            volatility=_lerp(a.volatility, b.volatility, t),
+        )
+
+    def temps_for(self, month: int) -> tuple[float, float]:
+        """(daily min, daily max) ambient temperature [C] for any month."""
+        if month in self.temps_c:
+            return self.temps_c[month]
+        lo, hi, t = _bracketing_anchors(month, sorted(self.temps_c))
+        (lo_min, lo_max), (hi_min, hi_max) = self.temps_c[lo], self.temps_c[hi]
+        return (_lerp(lo_min, hi_min, t), _lerp(lo_max, hi_max, t))
+
+
+def _lerp(a: float, b: float, t: float) -> float:
+    return a + (b - a) * t
+
+
+def _bracketing_anchors(month: int, anchors: list[int]) -> tuple[int, int, float]:
+    """The anchor months cyclically surrounding ``month`` and the blend
+    fraction between them (0 = at the earlier anchor)."""
+    if not 1 <= month <= 12:
+        raise ValueError(f"month must be 1-12, got {month}")
+    lo = max((a for a in anchors if a < month), default=anchors[-1])
+    hi = min((a for a in anchors if a > month), default=anchors[0])
+    # Distances measured forward around the 12-month cycle.
+    gap = (hi - lo) % 12 or 12
+    offset = (month - lo) % 12
+    return lo, hi, offset / gap
 
 
 PHOENIX_AZ = Location(

@@ -4,10 +4,16 @@ Most figures slice the same underlying grid of day simulations
 (location x month x mix x policy).  ``SimulationRunner`` memoizes each day
 run so the whole benchmark suite pays for every distinct simulation exactly
 once per process.
+
+Because memoized results are handed to *every* caller, their numpy arrays
+are frozen (``writeable = False``) before caching: a benchmark that
+normalizes a series in place would otherwise silently corrupt the result
+every later caller sees.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import fields
 
 from repro.core.config import SolarCoreConfig
@@ -19,12 +25,40 @@ from repro.core.simulation import (
     run_day_fixed,
 )
 from repro.environment.locations import Location, location_by_code
+from repro.telemetry import hub as telemetry_hub
 
 __all__ = ["SimulationRunner", "default_runner"]
 
+log = logging.getLogger(__name__)
+
 
 def _config_key(config: SolarCoreConfig) -> tuple:
-    return tuple(getattr(config, f.name) for f in fields(config))
+    """A hashable cache key over every config field.
+
+    Fails loudly — naming the offending field — if a future
+    :class:`SolarCoreConfig` gains an unhashable field, instead of raising
+    a bare ``unhashable type`` deep inside a dict lookup.
+    """
+    key = []
+    for f in fields(config):
+        value = getattr(config, f.name)
+        try:
+            hash(value)
+        except TypeError as exc:
+            raise TypeError(
+                f"SolarCoreConfig.{f.name} is not hashable "
+                f"({type(value).__name__}: {value!r}); "
+                "make the field hashable or exclude it from the cache key"
+            ) from exc
+        key.append(value)
+    return tuple(key)
+
+
+def _freeze(day: DayResult) -> DayResult:
+    """Mark a cached result's arrays read-only (callers share them)."""
+    for name in ("minutes", "mpp_w", "consumed_w", "throughput_gips", "on_solar"):
+        getattr(day, name).flags.writeable = False
+    return day
 
 
 class SimulationRunner:
@@ -38,11 +72,22 @@ class SimulationRunner:
         self.config = config or SolarCoreConfig()
         self._days: dict[tuple, DayResult] = {}
         self._battery: dict[tuple, BatteryDayResult] = {}
+        self._hits = 0
+        self._misses = 0
 
     def _resolve(self, location: Location | str) -> Location:
         if isinstance(location, str):
             return location_by_code(location)
         return location
+
+    def _note(self, hit: bool) -> None:
+        if hit:
+            self._hits += 1
+        else:
+            self._misses += 1
+        tel = telemetry_hub.current()
+        if tel.enabled:
+            tel.count("runner.cache_hits" if hit else "runner.cache_misses")
 
     def day(
         self,
@@ -54,9 +99,14 @@ class SimulationRunner:
         """A (cached) SolarCore day simulation."""
         loc = self._resolve(location)
         key = ("mppt", mix_name, loc.code, month, policy, _config_key(self.config))
-        if key not in self._days:
-            self._days[key] = run_day(mix_name, loc, month, policy, config=self.config)
-        return self._days[key]
+        cached = self._days.get(key)
+        self._note(cached is not None)
+        if cached is None:
+            log.debug("cache miss: day %s", key[:5])
+            cached = self._days[key] = _freeze(
+                run_day(mix_name, loc, month, policy, config=self.config)
+            )
+        return cached
 
     def fixed_day(
         self,
@@ -68,11 +118,14 @@ class SimulationRunner:
         """A (cached) Fixed-Power day simulation."""
         loc = self._resolve(location)
         key = ("fixed", mix_name, loc.code, month, budget_w, _config_key(self.config))
-        if key not in self._days:
-            self._days[key] = run_day_fixed(
-                mix_name, loc, month, budget_w, config=self.config
+        cached = self._days.get(key)
+        self._note(cached is not None)
+        if cached is None:
+            log.debug("cache miss: fixed day %s", key[:5])
+            cached = self._days[key] = _freeze(
+                run_day_fixed(mix_name, loc, month, budget_w, config=self.config)
             )
-        return self._days[key]
+        return cached
 
     def battery_day(
         self,
@@ -84,16 +137,34 @@ class SimulationRunner:
         """A (cached) battery-baseline day simulation."""
         loc = self._resolve(location)
         key = ("battery", mix_name, loc.code, month, derating, _config_key(self.config))
-        if key not in self._battery:
-            self._battery[key] = run_day_battery(
+        cached = self._battery.get(key)
+        self._note(cached is not None)
+        if cached is None:
+            log.debug("cache miss: battery day %s", key[:5])
+            cached = self._battery[key] = run_day_battery(
                 mix_name, loc, month, derating, config=self.config
             )
-        return self._battery[key]
+        return cached
 
     @property
     def cached_runs(self) -> int:
         """Number of distinct simulations held in the cache."""
         return len(self._days) + len(self._battery)
+
+    def stats(self) -> dict[str, float]:
+        """Cache effectiveness counters.
+
+        Returns:
+            ``hits``, ``misses``, ``cached_runs``, and ``hit_rate`` (0.0
+            when the runner has not been asked for anything yet).
+        """
+        lookups = self._hits + self._misses
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "cached_runs": self.cached_runs,
+            "hit_rate": self._hits / lookups if lookups else 0.0,
+        }
 
 
 #: Process-wide runner shared by the benchmark suite.

@@ -10,14 +10,18 @@ into processor performance.
 
 from __future__ import annotations
 
+import logging
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 from repro.power.converter import DCDCConverter
 from repro.power.operating_point import OperatingPoint, solve_operating_point
 from repro.pv.curves import PVDevice
+from repro.telemetry import hub as telemetry_hub
 
 __all__ = ["MPPTAlgorithm", "TrackerRun", "run_tracker"]
+
+log = logging.getLogger(__name__)
 
 
 class MPPTAlgorithm(ABC):
@@ -84,18 +88,27 @@ def run_tracker(
     """
     from repro.pv.mpp import find_mpp
 
+    tel = telemetry_hub.current()
     powers: list[float] = []
     mpp_powers: list[float] = []
-    for irradiance, temp in profile:
-        mpp_power = find_mpp(device, irradiance, temp).power
-        for _ in range(steps_per_condition):
-            point = solve_operating_point(
-                device, tracker.converter, load_resistance, irradiance, temp
-            )
-            tracker.step(point)
-            after = solve_operating_point(
-                device, tracker.converter, load_resistance, irradiance, temp
-            )
-            powers.append(after.pv_power)
-            mpp_powers.append(mpp_power)
-    return TrackerRun(tracker.name, powers, mpp_powers)
+    with tel.span("mppt.run_tracker", tracker=tracker.name):
+        for irradiance, temp in profile:
+            mpp_power = find_mpp(device, irradiance, temp).power
+            for _ in range(steps_per_condition):
+                point = solve_operating_point(
+                    device, tracker.converter, load_resistance, irradiance, temp
+                )
+                tracker.step(point)
+                after = solve_operating_point(
+                    device, tracker.converter, load_resistance, irradiance, temp
+                )
+                powers.append(after.pv_power)
+                mpp_powers.append(mpp_power)
+        if tel.enabled:
+            tel.count("mppt.steps", len(powers))
+    run = TrackerRun(tracker.name, powers, mpp_powers)
+    log.debug(
+        "run_tracker %s: %d steps, tracking efficiency %.1f%%",
+        tracker.name, len(powers), 100.0 * run.tracking_efficiency,
+    )
+    return run

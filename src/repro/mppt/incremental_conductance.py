@@ -9,11 +9,16 @@ steady-state oscillation.
 
 from __future__ import annotations
 
+import logging
+
 from repro.mppt.base import MPPTAlgorithm
 from repro.power.converter import DCDCConverter
 from repro.power.operating_point import OperatingPoint
+from repro.telemetry import hub as telemetry_hub
 
 __all__ = ["IncrementalConductance"]
+
+log = logging.getLogger(__name__)
 
 
 class IncrementalConductance(MPPTAlgorithm):
@@ -52,7 +57,10 @@ class IncrementalConductance(MPPTAlgorithm):
         error = incremental - instantaneous
         scale = abs(instantaneous) if instantaneous != 0.0 else 1.0
         if abs(error) <= self.tolerance * scale:
-            pass  # holding at the MPP
+            # Holding at the MPP — the behaviour that distinguishes IncCond.
+            tel = telemetry_hub.current()
+            if tel.enabled:
+                tel.count("mppt.ic_holds")
         elif error > 0:
             self.converter.step_up()  # left of MPP: move right
         else:

@@ -8,11 +8,16 @@ by ``delta_k`` — the well-known accuracy/agility trade-off.
 
 from __future__ import annotations
 
+import logging
+
 from repro.mppt.base import MPPTAlgorithm
 from repro.power.converter import DCDCConverter
 from repro.power.operating_point import OperatingPoint
+from repro.telemetry import hub as telemetry_hub
 
 __all__ = ["PerturbObserve"]
+
+log = logging.getLogger(__name__)
 
 
 class PerturbObserve(MPPTAlgorithm):
@@ -33,6 +38,9 @@ class PerturbObserve(MPPTAlgorithm):
         power = point.pv_power
         if self._last_power is not None and power < self._last_power:
             self._direction = -self._direction
+            tel = telemetry_hub.current()
+            if tel.enabled:
+                tel.count("mppt.po_reversals")
         self._last_power = power
         if self._direction > 0:
             self.converter.step_up()

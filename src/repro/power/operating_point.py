@@ -14,14 +14,18 @@ increasing, so the equilibrium is unique; Brent's method brackets it on
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from scipy.optimize import brentq
 
 from repro.power.converter import DCDCConverter
 from repro.pv.curves import PVDevice
+from repro.telemetry import hub as telemetry_hub
 
 __all__ = ["OperatingPoint", "solve_operating_point"]
+
+log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -80,6 +84,10 @@ def solve_operating_point(
     voc = device.open_circuit_voltage(irradiance, cell_temp_c)
     if load_resistance == float("inf"):
         return OperatingPoint(voc, 0.0, converter.output_voltage(voc), 0.0)
+
+    tel = telemetry_hub.current()
+    if tel.enabled:
+        tel.count("power.brentq_solves")
 
     reflected = converter.reflected_resistance(load_resistance)
 

@@ -10,10 +10,13 @@ utility.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from enum import Enum
 
 __all__ = ["PowerSource", "AutomaticTransferSwitch", "PowerSupplyUnit", "EnergyLedger"]
+
+log = logging.getLogger(__name__)
 
 
 class PowerSource(Enum):
@@ -67,9 +70,17 @@ class AutomaticTransferSwitch:
         if self._source is PowerSource.UTILITY and available_solar_w >= engage_at:
             self._source = PowerSource.SOLAR
             self._switch_count += 1
+            log.debug(
+                "ATS -> solar (available %.1f W >= engage %.1f W)",
+                available_solar_w, engage_at,
+            )
         elif self._source is PowerSource.SOLAR and available_solar_w < min_load_w:
             self._source = PowerSource.UTILITY
             self._switch_count += 1
+            log.debug(
+                "ATS -> utility (available %.1f W < floor %.1f W)",
+                available_solar_w, min_load_w,
+            )
         return self._source
 
 

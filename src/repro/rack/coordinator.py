@@ -18,10 +18,16 @@ Division policies mirror the paper's per-core ones, one level up:
 
 from __future__ import annotations
 
+import logging
+
 from repro.core.tpr import upgrade_tpr
 from repro.multicore.chip import MultiCoreChip
+from repro.telemetry import hub as telemetry_hub
+from repro.telemetry.events import RackDivisionEvent
 
 __all__ = ["divide_budget", "DIVISION_POLICIES"]
+
+log = logging.getLogger(__name__)
 
 DIVISION_POLICIES = ("equal", "proportional", "tpr")
 
@@ -56,6 +62,29 @@ def divide_budget(
         raise KeyError(
             f"unknown division policy {policy!r}; known: {DIVISION_POLICIES}"
         )
+    tel = telemetry_hub.current()
+    with tel.span("rack.divide_budget", policy=policy):
+        shares = _divide(chips, budget_w, minute, policy, allow_gating)
+    if tel.enabled:
+        tel.count("rack.divisions")
+        tel.emit(
+            RackDivisionEvent(
+                minute=minute,
+                policy=policy,
+                budget_w=budget_w,
+                shares_w=tuple(shares),
+            )
+        )
+    return shares
+
+
+def _divide(
+    chips: list[MultiCoreChip],
+    budget_w: float,
+    minute: float,
+    policy: str,
+    allow_gating: bool,
+) -> list[float]:
     floors = _floors(chips, minute, allow_gating)
     if budget_w < sum(floors):
         return [0.0] * len(chips)

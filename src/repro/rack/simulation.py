@@ -22,6 +22,7 @@ from repro.power.psu import AutomaticTransferSwitch, PowerSource
 from repro.pv.array import PVArray
 from repro.pv.mpp import find_mpp
 from repro.rack.coordinator import divide_budget
+from repro.telemetry import hub as telemetry_hub
 from repro.workloads.mixes import mix as mix_by_name
 
 __all__ = ["RackDayResult", "run_day_rack"]
@@ -104,6 +105,26 @@ def run_day_rack(
     if trace is None:
         trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
 
+    tel = telemetry_hub.current()
+    with tel.span(
+        "run_day_rack",
+        chips=len(mix_names),
+        location=location.code,
+        month=month,
+        policy=policy,
+    ):
+        return _run_day_rack_inner(mix_names, location, month, policy, cfg, array, trace)
+
+
+def _run_day_rack_inner(
+    mix_names: tuple[str, ...],
+    location: Location,
+    month: int,
+    policy: str,
+    cfg: SolarCoreConfig,
+    array: PVArray,
+    trace: EnvironmentTrace,
+) -> RackDayResult:
     chips = [
         MultiCoreChip(mix_by_name(name), seed=1000 + 17 * i)
         for i, name in enumerate(mix_names)

@@ -1,0 +1,205 @@
+"""Typed telemetry event records.
+
+One frozen dataclass per thing the paper's evaluation reasons about:
+MPPT tracking events (Figure 9 iteration dynamics, Table 7 error),
+supply switches (ATS solar/utility transfers), load-tuning decisions
+(Table 6 policies), DVFS reallocation, and battery/rack transitions.
+Every record renders to a flat JSON-safe dict via :func:`event_to_dict`,
+keyed by a stable ``type`` tag so JSONL traces can be filtered with a
+one-line ``grep`` or re-hydrated with :func:`event_from_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+
+__all__ = [
+    "TelemetryEvent",
+    "TrackingEvent",
+    "SupplySwitchEvent",
+    "LoadTuningEvent",
+    "DVFSAllocationEvent",
+    "BatteryEvent",
+    "RackDivisionEvent",
+    "EVENT_TYPES",
+    "event_to_dict",
+    "event_from_dict",
+]
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """Base class for all structured telemetry records.
+
+    Attributes:
+        minute: Simulation time of the event [minutes since midnight];
+            -1.0 for events outside a simulated day.
+    """
+
+    minute: float
+
+    #: Stable tag written to the ``type`` field of serialized records.
+    type_tag = "event"
+
+
+@dataclass(frozen=True)
+class TrackingEvent(TelemetryEvent):
+    """One MPPT tracking event (paper Figure 9).
+
+    Attributes:
+        mix: Workload mix name.
+        policy: Load-tuning policy name.
+        iterations: Combined (k, w) iterations the event took.
+        power_w: Load power after the event [W].
+        best_power_w: The event's MPP estimate [W].
+        mpp_w: True model MPP at the event [W] (for tracking error).
+        rail_voltage: Rail voltage after the event [V].
+        load_saturated: Whether the chip ran out of DVFS/PCPG headroom.
+        triggered_by: ``"periodic"`` or ``"supply-change"``.
+    """
+
+    mix: str
+    policy: str
+    iterations: int
+    power_w: float
+    best_power_w: float
+    mpp_w: float
+    rail_voltage: float
+    load_saturated: bool
+    triggered_by: str = "periodic"
+
+    type_tag = "tracking"
+
+    @property
+    def tracking_error(self) -> float:
+        """Relative error of the controller's MPP estimate vs the model."""
+        if self.mpp_w <= 0.0:
+            return 0.0
+        return abs(self.best_power_w - self.mpp_w) / self.mpp_w
+
+
+@dataclass(frozen=True)
+class SupplySwitchEvent(TelemetryEvent):
+    """An automatic-transfer-switch transition.
+
+    Attributes:
+        source: The newly selected supply (``"solar"`` or ``"utility"``).
+        available_solar_w: Panel MPP power at the switch [W].
+        load_floor_w: Load minimum sustainable draw at the switch [W].
+    """
+
+    source: str
+    available_solar_w: float
+    load_floor_w: float
+
+    type_tag = "supply_switch"
+
+
+@dataclass(frozen=True)
+class LoadTuningEvent(TelemetryEvent):
+    """Aggregate load-tuning activity within one tracking event.
+
+    Attributes:
+        policy: Tuner name (Table 6).
+        raises: Single-level load increases performed.
+        sheds: Single-level load decreases performed.
+    """
+
+    policy: str
+    raises: int
+    sheds: int
+
+    type_tag = "load_tuning"
+
+
+@dataclass(frozen=True)
+class DVFSAllocationEvent(TelemetryEvent):
+    """A global budget (re)allocation of per-core DVFS levels.
+
+    Attributes:
+        budget_w: Power budget the allocator worked against [W].
+        allocated_w: Chip power after allocation [W].
+    """
+
+    budget_w: float
+    allocated_w: float
+
+    type_tag = "dvfs_allocation"
+
+
+@dataclass(frozen=True)
+class BatteryEvent(TelemetryEvent):
+    """Battery-baseline day bookkeeping (harvest or depletion).
+
+    Attributes:
+        phase: ``"harvested"`` or ``"depleted"``.
+        energy_wh: Stored energy at the event [Wh].
+        derating: De-rating chain factor in effect.
+    """
+
+    phase: str
+    energy_wh: float
+    derating: float
+
+    type_tag = "battery"
+
+
+@dataclass(frozen=True)
+class RackDivisionEvent(TelemetryEvent):
+    """One rack-coordinator budget division across chips.
+
+    Attributes:
+        policy: Division policy (equal/proportional/tpr).
+        budget_w: Rack budget divided [W].
+        shares_w: Per-chip shares [W].
+    """
+
+    policy: str
+    budget_w: float
+    shares_w: tuple[float, ...]
+
+    type_tag = "rack_division"
+
+
+#: type tag -> record class, for deserialization.
+EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
+    cls.type_tag: cls
+    for cls in (
+        TrackingEvent,
+        SupplySwitchEvent,
+        LoadTuningEvent,
+        DVFSAllocationEvent,
+        BatteryEvent,
+        RackDivisionEvent,
+    )
+}
+
+
+def event_to_dict(event: TelemetryEvent) -> dict:
+    """Serialize a record to a flat JSON-safe dict (lists for tuples)."""
+    payload = {"type": event.type_tag}
+    for key, value in asdict(event).items():
+        payload[key] = list(value) if isinstance(value, tuple) else value
+    return payload
+
+
+def event_from_dict(payload: dict) -> TelemetryEvent:
+    """Re-hydrate a record produced by :func:`event_to_dict`.
+
+    Raises:
+        KeyError: Unknown ``type`` tag.
+    """
+    tag = payload["type"]
+    try:
+        cls = EVENT_TYPES[tag]
+    except KeyError:
+        raise KeyError(
+            f"unknown event type {tag!r}; known: {sorted(EVENT_TYPES)}"
+        ) from None
+    kwargs = {}
+    for f in fields(cls):
+        value = payload[f.name]
+        if isinstance(value, list):
+            value = tuple(value)
+        kwargs[f.name] = value
+    return cls(**kwargs)

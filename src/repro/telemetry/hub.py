@@ -1,0 +1,234 @@
+"""The telemetry hub: one object tying registry, sinks, and spans together.
+
+Process-wide but injectable: instrumented code fetches the current hub via
+:func:`current` (or accepts one as a parameter) and guards every
+instrumentation site with the hub's ``enabled`` attribute, so the
+disabled-by-default :class:`NullTelemetry` costs exactly one attribute
+check on the hot paths.  :func:`set_telemetry` swaps the process-wide hub
+(the CLI does this when ``--trace``/``--telemetry`` is given);
+:func:`telemetry_session` scopes a hub to a ``with`` block for tests and
+library embedding.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.telemetry.events import TelemetryEvent
+from repro.telemetry.metrics import (
+    DEFAULT_DURATION_BUCKETS_S,
+    DEFAULT_ITERATION_BUCKETS,
+    MetricsRegistry,
+)
+from repro.telemetry.sinks import EventSink
+from repro.telemetry.spans import SpanTracker
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "current",
+    "set_telemetry",
+    "telemetry_session",
+]
+
+
+class Telemetry:
+    """An enabled telemetry hub.
+
+    Args:
+        sinks: Event sinks receiving every emitted record.
+        registry: Metrics registry (fresh one by default).
+        keep_span_records: Retain per-span records, not just aggregates.
+    """
+
+    #: Hot paths check this single attribute before doing any work.
+    enabled = True
+
+    def __init__(
+        self,
+        sinks: list[EventSink] | None = None,
+        registry: MetricsRegistry | None = None,
+        keep_span_records: bool = False,
+    ) -> None:
+        self.sinks: list[EventSink] = list(sinks or [])
+        self.registry = registry or MetricsRegistry()
+        self.spans = SpanTracker(keep_records=keep_span_records)
+
+    # -- event stream ---------------------------------------------------
+    def emit(self, event: TelemetryEvent) -> None:
+        """Fan one structured event out to every sink."""
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def add_sink(self, sink: EventSink) -> None:
+        """Attach another sink."""
+        self.sinks.append(sink)
+
+    # -- metrics --------------------------------------------------------
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment the counter ``name``."""
+        self.registry.counter(name).inc(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name``."""
+        self.registry.gauge(name).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] = DEFAULT_ITERATION_BUCKETS,
+    ) -> None:
+        """Record ``value`` into the histogram ``name``."""
+        self.registry.histogram(name, buckets).observe(value)
+
+    # -- spans ----------------------------------------------------------
+    def span(self, name: str, **attrs):
+        """A context manager timing the enclosed region.
+
+        The duration also lands in the ``span.<name>`` histogram, so span
+        percentiles show up next to plain metrics.
+        """
+        return _RecordingSpan(self, name, attrs)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Close every sink (idempotent)."""
+        for sink in self.sinks:
+            sink.close()
+
+    def snapshot(self) -> dict:
+        """Metrics + span aggregates as one plain-data dict."""
+        data = self.registry.snapshot()
+        data["spans"] = self.spans.snapshot()
+        return data
+
+
+class _RecordingSpan:
+    """Couples a tracker span with the span-duration histogram."""
+
+    __slots__ = ("_telemetry", "_span")
+
+    def __init__(self, telemetry: Telemetry, name: str, attrs: dict) -> None:
+        self._telemetry = telemetry
+        self._span = telemetry.spans.span(name, **attrs)
+
+    def __enter__(self):
+        self._span.__enter__()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracker = self._telemetry.spans
+        start = self._span._start
+        self._span.__exit__(exc_type, exc, tb)
+        duration = tracker.clock() - start
+        self._telemetry.registry.histogram(
+            f"span.{self._span.name}", DEFAULT_DURATION_BUCKETS_S
+        ).observe(duration)
+
+
+class _NullSpan:
+    """Shared no-op context manager; one instance serves every call."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def add_child_time(self, seconds: float) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """The disabled hub: every operation is a no-op.
+
+    ``enabled`` is False, so correctly guarded instrumentation never calls
+    these methods at all; they exist so unguarded calls stay harmless, and
+    :meth:`span` returns a shared singleton so even an unguarded
+    ``with telemetry.span(...)`` allocates nothing.
+    """
+
+    enabled = False
+
+    def emit(self, event: TelemetryEvent) -> None:
+        return None
+
+    def add_sink(self, sink: EventSink) -> None:
+        raise RuntimeError(
+            "cannot attach sinks to NullTelemetry; install a Telemetry hub "
+            "with repro.telemetry.set_telemetry(Telemetry(...))"
+        )
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float, buckets=()) -> None:
+        return None
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def close(self) -> None:
+        return None
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}, "spans": {}}
+
+
+#: The process-wide disabled hub (shared; never mutated).
+NULL_TELEMETRY = NullTelemetry()
+
+#: The process-wide current hub.  Module attribute, not a module-level
+#: ``from``-import target: hot paths read ``hub._current`` through
+#: :func:`current` or the module attribute so swaps take effect everywhere.
+_current: Telemetry | NullTelemetry = NULL_TELEMETRY
+
+
+def current() -> Telemetry | NullTelemetry:
+    """The process-wide telemetry hub (the null hub unless installed)."""
+    return _current
+
+
+def set_telemetry(telemetry: Telemetry | NullTelemetry | None) -> Telemetry | NullTelemetry:
+    """Install ``telemetry`` as the process-wide hub.
+
+    Args:
+        telemetry: The new hub, or None to restore the null hub.
+
+    Returns:
+        The previously installed hub (so callers can restore it).
+    """
+    global _current
+    previous = _current
+    _current = telemetry if telemetry is not None else NULL_TELEMETRY
+    return previous
+
+
+@contextlib.contextmanager
+def telemetry_session(telemetry: Telemetry | None = None, **kwargs):
+    """Scope a hub to a ``with`` block, restoring the previous one after.
+
+    Args:
+        telemetry: Hub to install; a fresh :class:`Telemetry` built from
+            ``kwargs`` when omitted.
+
+    Yields:
+        The installed hub.
+    """
+    hub = telemetry or Telemetry(**kwargs)
+    previous = set_telemetry(hub)
+    try:
+        yield hub
+    finally:
+        set_telemetry(previous)
+        hub.close()

@@ -1,0 +1,75 @@
+"""Stdlib-logging configuration for the repro package.
+
+Every ``repro`` module logs through ``logging.getLogger(__name__)`` and
+emits nothing until a handler is installed — the library stays silent when
+embedded.  :func:`configure_logging` is the one place that installs a
+handler: the CLI calls it from the global ``--log-level`` flag, scripts and
+notebooks call it directly.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["configure_logging", "parse_level"]
+
+#: Root logger of the whole package.
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+
+def parse_level(level: int | str) -> int:
+    """Resolve a numeric or symbolic (``"debug"``, ``"INFO"``) log level.
+
+    Raises:
+        ValueError: Unknown level name.
+    """
+    if isinstance(level, int):
+        return level
+    if level.isdigit():
+        return int(level)
+    resolved = logging.getLevelName(level.upper())
+    if not isinstance(resolved, int):
+        raise ValueError(
+            f"unknown log level {level!r}; use debug/info/warning/error/critical"
+        )
+    return resolved
+
+
+def configure_logging(
+    level: int | str = logging.WARNING,
+    stream=None,
+    fmt: str = _FORMAT,
+) -> logging.Logger:
+    """Install a stream handler on the ``repro`` logger hierarchy.
+
+    Idempotent: a handler previously installed by this function is
+    replaced, not duplicated, so tests and REPL sessions can call it
+    repeatedly with different levels.
+
+    Args:
+        level: Threshold for the ``repro`` hierarchy (name or number).
+        stream: Destination stream (default: stderr).
+        fmt: Log line format.
+
+    Returns:
+        The configured ``repro`` logger.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    resolved = parse_level(level)
+
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_telemetry_handler", False):
+            logger.removeHandler(handler)
+            handler.close()
+
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(fmt, datefmt=_DATE_FORMAT))
+    handler._repro_telemetry_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(resolved)
+    # Stop records from also reaching the (possibly configured) root logger.
+    logger.propagate = False
+    return logger

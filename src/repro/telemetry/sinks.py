@@ -1,0 +1,156 @@
+"""Pluggable event sinks: ring buffer, JSONL file, and stdlib logging.
+
+A sink receives every structured event the hub emits.  The three built-ins
+cover the three consumption patterns:
+
+* :class:`RingBufferSink` — bounded in-memory history for tests and
+  post-run analysis without touching disk;
+* :class:`JsonlSink` — one JSON object per line, the trace format the CLI's
+  ``--trace`` flag writes and external tooling reads back;
+* :class:`LoggingSink` — bridges events onto a stdlib logger so existing
+  log routing (``--log-level``, handlers) sees them as human-readable
+  lines.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from collections import deque
+from typing import IO, Iterable, Iterator, Protocol
+
+from repro.telemetry.events import TelemetryEvent, event_from_dict, event_to_dict
+
+__all__ = [
+    "EventSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "LoggingSink",
+    "read_jsonl_events",
+]
+
+
+class EventSink(Protocol):
+    """Anything that can receive structured telemetry events."""
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Handle one event."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+        ...
+
+
+class RingBufferSink:
+    """Keeps the last ``capacity`` events in memory.
+
+    Args:
+        capacity: Maximum retained events; older ones are dropped.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[TelemetryEvent] = deque(maxlen=capacity)
+        self.total_emitted = 0
+
+    def emit(self, event: TelemetryEvent) -> None:
+        self._events.append(event)
+        self.total_emitted += 1
+
+    def close(self) -> None:  # nothing to release
+        pass
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TelemetryEvent]:
+        return iter(self._events)
+
+    def events(self, type_tag: str | None = None) -> list[TelemetryEvent]:
+        """Retained events, optionally filtered by ``type_tag``."""
+        if type_tag is None:
+            return list(self._events)
+        return [e for e in self._events if e.type_tag == type_tag]
+
+    def clear(self) -> None:
+        """Drop retained events (``total_emitted`` keeps counting)."""
+        self._events.clear()
+
+
+class JsonlSink:
+    """Writes one JSON object per event to a file.
+
+    Args:
+        path_or_file: Destination path (opened for writing) or an already
+            open text file object (not closed by :meth:`close`).
+    """
+
+    def __init__(self, path_or_file: str | IO[str]) -> None:
+        if isinstance(path_or_file, str):
+            self._file: IO[str] = open(path_or_file, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = path_or_file
+            self._owns_file = False
+        self.path = path_or_file if isinstance(path_or_file, str) else None
+        self.written = 0
+
+    def emit(self, event: TelemetryEvent) -> None:
+        json.dump(event_to_dict(event), self._file, separators=(",", ":"))
+        self._file.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._file.closed:
+            return
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+
+class LoggingSink:
+    """Renders events as human-readable lines on a stdlib logger.
+
+    Args:
+        logger: Target logger (default ``repro.telemetry.events``).
+        level: Log level for emitted lines.
+    """
+
+    def __init__(
+        self, logger: logging.Logger | None = None, level: int = logging.INFO
+    ) -> None:
+        self.logger = logger or logging.getLogger("repro.telemetry.events")
+        self.level = level
+
+    def emit(self, event: TelemetryEvent) -> None:
+        if not self.logger.isEnabledFor(self.level):
+            return
+        payload = event_to_dict(event)
+        tag = payload.pop("type")
+        minute = payload.pop("minute", None)
+        detail = " ".join(f"{k}={v}" for k, v in payload.items())
+        prefix = f"[m={minute:.0f}] " if isinstance(minute, float) and minute >= 0 else ""
+        self.logger.log(self.level, "%s%s %s", prefix, tag, detail)
+
+    def close(self) -> None:  # logger lifecycle is not ours
+        pass
+
+
+def read_jsonl_events(path: str) -> Iterable[TelemetryEvent]:
+    """Read a JSONL trace back into typed event records.
+
+    Args:
+        path: File written by :class:`JsonlSink`.
+
+    Yields:
+        One :class:`~repro.telemetry.events.TelemetryEvent` per line;
+        blank lines are skipped.
+    """
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield event_from_dict(json.loads(line))

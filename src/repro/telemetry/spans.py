@@ -1,0 +1,181 @@
+"""Span-based wall-clock timing for the simulation hot paths.
+
+A span measures one named region (``run_day``, ``controller.track``,
+``rack.divide_budget``) with a monotonic clock, supports nesting (each span
+knows its parent, so a trace of ``run_day`` shows how much of it was spent
+inside tracking events), and folds every finished span into per-name
+aggregate statistics the post-run summary table prints.
+
+Spans are deliberately cheap: entering one appends to a stack and reads the
+clock; exiting reads the clock again and updates a running aggregate.  The
+full per-span record list is only kept when ``keep_records`` is set — day
+simulations open thousands of inner spans and the aggregates are what the
+ROADMAP's perf work needs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["SpanRecord", "SpanAggregate", "SpanTracker", "Span"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.
+
+    Attributes:
+        name: Span name.
+        duration_s: Wall-clock duration [s].
+        depth: Nesting depth at which the span ran (0 = top level).
+        parent: Enclosing span name, or None at top level.
+        attrs: Free-form attributes given at span entry.
+    """
+
+    name: str
+    duration_s: float
+    depth: int
+    parent: str | None
+    attrs: dict
+
+
+@dataclass
+class SpanAggregate:
+    """Running statistics for one span name.
+
+    Attributes:
+        name: Span name.
+        count: Finished spans under this name.
+        total_s: Summed duration [s].
+        min_s: Fastest span [s].
+        max_s: Slowest span [s].
+        self_total_s: Summed duration minus time spent in child spans [s].
+    """
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+    self_total_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        """Mean duration [s] (0 when no spans finished)."""
+        return self.total_s / self.count if self.count else 0.0
+
+
+class Span:
+    """Context manager measuring one region; created by :class:`SpanTracker`."""
+
+    __slots__ = ("tracker", "name", "attrs", "_start", "_child_s")
+
+    def __init__(self, tracker: SpanTracker, name: str, attrs: dict) -> None:
+        self.tracker = tracker
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+        self._child_s = 0.0
+
+    def __enter__(self) -> Span:
+        self.tracker._stack.append(self)
+        self._start = self.tracker.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = self.tracker.clock() - self._start
+        self.tracker._finish(self, duration)
+
+    def add_child_time(self, seconds: float) -> None:
+        """Book a child span's duration against this span's self time."""
+        self._child_s += seconds
+
+
+class SpanTracker:
+    """Owns the active span stack and per-name aggregates.
+
+    Args:
+        keep_records: Retain every finished :class:`SpanRecord` (tests and
+            deep profiling); aggregates are always kept.
+        clock: Monotonic time source in seconds (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        keep_records: bool = False,
+        clock=time.perf_counter,
+    ) -> None:
+        self.keep_records = keep_records
+        self.clock = clock
+        self.records: list[SpanRecord] = []
+        self.aggregates: dict[str, SpanAggregate] = {}
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attrs) -> Span:
+        """A new (not yet entered) span under ``name``."""
+        return Span(self, name, attrs)
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (number of open spans)."""
+        return len(self._stack)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def _finish(self, span: Span, duration_s: float) -> None:
+        popped = self._stack.pop()
+        if popped is not span:  # defensive: exits must nest properly
+            raise RuntimeError(
+                f"span stack corrupted: exiting {span.name!r} "
+                f"but innermost is {popped.name!r}"
+            )
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            parent.add_child_time(duration_s)
+
+        agg = self.aggregates.get(span.name)
+        if agg is None:
+            agg = self.aggregates[span.name] = SpanAggregate(span.name)
+        agg.count += 1
+        agg.total_s += duration_s
+        agg.self_total_s += max(0.0, duration_s - span._child_s)
+        if duration_s < agg.min_s:
+            agg.min_s = duration_s
+        if duration_s > agg.max_s:
+            agg.max_s = duration_s
+
+        if self.keep_records:
+            self.records.append(
+                SpanRecord(
+                    name=span.name,
+                    duration_s=duration_s,
+                    depth=len(self._stack),
+                    parent=parent.name if parent is not None else None,
+                    attrs=span.attrs,
+                )
+            )
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Aggregates as plain data, sorted by total time descending."""
+        ordered = sorted(
+            self.aggregates.values(), key=lambda a: a.total_s, reverse=True
+        )
+        return {
+            a.name: {
+                "count": a.count,
+                "total_s": a.total_s,
+                "self_s": a.self_total_s,
+                "mean_s": a.mean_s,
+                "max_s": a.max_s,
+            }
+            for a in ordered
+        }
+
+    def reset(self) -> None:
+        """Drop aggregates and records; open spans are unaffected."""
+        self.records.clear()
+        self.aggregates.clear()

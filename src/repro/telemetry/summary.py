@@ -1,0 +1,89 @@
+"""Post-run rendering of a telemetry snapshot as ASCII tables.
+
+The CLI prints this after ``simulate``/``campaign``/``experiment`` when
+telemetry is on, in the same fixed-width style as the paper-figure tables
+(:mod:`repro.harness.reporting`).
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.hub import NullTelemetry, Telemetry
+
+__all__ = ["render_summary", "format_duration"]
+
+
+def format_duration(seconds: float) -> str:
+    """Human-scale rendering of a duration: us/ms/s as appropriate."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds:.2f} s"
+
+
+def render_summary(telemetry: Telemetry | NullTelemetry) -> str:
+    """Render counters, gauges, histograms, and span timings as tables.
+
+    Returns an empty string for a disabled hub or one with no data, so
+    callers can ``print`` unconditionally.
+    """
+    if not telemetry.enabled:
+        return ""
+    # Imported here, not at module top: repro.harness pulls in the whole
+    # experiment stack (which itself imports telemetry) — a top-level
+    # import would be circular.
+    from repro.harness.reporting import format_table
+
+    snap = telemetry.snapshot()
+    sections: list[str] = []
+
+    counters = snap.get("counters", {})
+    gauges = snap.get("gauges", {})
+    if counters or gauges:
+        rows = [[name, f"{value:g}"] for name, value in counters.items()]
+        rows.extend([f"{name} (gauge)", f"{value:g}"] for name, value in gauges.items())
+        sections.append(
+            "telemetry counters\n" + format_table(["metric", "value"], rows)
+        )
+
+    histograms = {
+        name: stats
+        for name, stats in snap.get("histograms", {}).items()
+        if not name.startswith("span.") and stats["count"] > 0
+    }
+    if histograms:
+        rows = [
+            [
+                name,
+                f"{stats['count']:g}",
+                f"{stats['mean']:.2f}",
+                f"{stats['p50']:.2f}",
+                f"{stats['p95']:.2f}",
+                f"{stats['max']:.2f}",
+            ]
+            for name, stats in histograms.items()
+        ]
+        sections.append(
+            "telemetry distributions\n"
+            + format_table(["histogram", "n", "mean", "p50", "p95", "max"], rows)
+        )
+
+    spans = snap.get("spans", {})
+    if spans:
+        rows = [
+            [
+                name,
+                f"{stats['count']:g}",
+                format_duration(stats["total_s"]),
+                format_duration(stats["self_s"]),
+                format_duration(stats["mean_s"]),
+                format_duration(stats["max_s"]),
+            ]
+            for name, stats in spans.items()
+        ]
+        sections.append(
+            "span timings\n"
+            + format_table(["span", "n", "total", "self", "mean", "max"], rows)
+        )
+
+    return "\n\n".join(sections)

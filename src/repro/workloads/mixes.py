@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from repro.workloads.benchmarks import Benchmark, benchmark
 
-__all__ = ["WorkloadMix", "MIXES", "mix", "ALL_MIX_NAMES"]
+__all__ = ["WorkloadMix", "MIXES", "mix", "ALL_MIX_NAMES", "MIX_ALIASES"]
 
 
 @dataclass(frozen=True)
@@ -64,13 +64,23 @@ MIXES: dict[str, WorkloadMix] = {
 #: Mix names in the paper's presentation order.
 ALL_MIX_NAMES = ("H1", "H2", "M1", "M2", "L1", "L2", "HM1", "HM2", "ML1", "ML2")
 
+#: Convenience aliases accepted by :func:`mix` next to the Table 5 names.
+MIX_ALIASES = {
+    "MIXED": "HM2",  # the fully heterogeneous 8-benchmark mix
+    "HIGH": "H1",
+    "MEDIUM": "M1",
+    "LOW": "L1",
+}
+
 
 def mix(name: str) -> WorkloadMix:
-    """Look up a workload mix by Table 5 name (case-insensitive)."""
+    """Look up a workload mix by Table 5 name or alias (case-insensitive)."""
     key = name.upper()
+    key = MIX_ALIASES.get(key, key)
     try:
         return MIXES[key]
     except KeyError:
         raise KeyError(
-            f"unknown mix {name!r}; known: {', '.join(ALL_MIX_NAMES)}"
+            f"unknown mix {name!r}; known: {', '.join(ALL_MIX_NAMES)} "
+            f"(aliases: {', '.join(sorted(MIX_ALIASES))})"
         ) from None

@@ -39,8 +39,21 @@ class TestGenerateTrace:
         assert len(seeds) == 16
 
     def test_rejects_unknown_month(self):
-        with pytest.raises(ValueError, match="regime"):
-            generate_trace(PHOENIX_AZ, 3)
+        with pytest.raises(ValueError, match="month"):
+            generate_trace(PHOENIX_AZ, 13)
+        with pytest.raises(ValueError, match="month"):
+            generate_trace(PHOENIX_AZ, 0)
+
+    def test_non_anchor_month_interpolates(self):
+        trace = generate_trace(PHOENIX_AZ, 6)
+        assert trace.peak_irradiance() > 0.0
+        # June's regime blends the April and July anchors.
+        regime = PHOENIX_AZ.regime_for(6)
+        lo = min(PHOENIX_AZ.regimes[4].base_clearness,
+                 PHOENIX_AZ.regimes[7].base_clearness)
+        hi = max(PHOENIX_AZ.regimes[4].base_clearness,
+                 PHOENIX_AZ.regimes[7].base_clearness)
+        assert lo <= regime.base_clearness <= hi
 
     def test_rejects_bad_step(self):
         with pytest.raises(ValueError, match="step_minutes"):

@@ -1,9 +1,11 @@
 """Unit tests for the caching simulation runner."""
 
+import dataclasses
+
 import pytest
 
 from repro.core.config import SolarCoreConfig
-from repro.harness.runner import SimulationRunner
+from repro.harness.runner import SimulationRunner, _config_key
 
 
 @pytest.fixture(scope="module")
@@ -38,3 +40,63 @@ class TestCaching:
         from repro.environment.locations import PHOENIX_AZ
 
         assert runner.day("L1", PHOENIX_AZ, 7) is runner.day("L1", "AZ", 7)
+
+
+class TestSharedResultsAreReadOnly:
+    def test_cached_arrays_reject_writes(self, runner):
+        """Regression: a caller normalizing a cached series in place must
+        fail instead of corrupting the result every later caller sees."""
+        day = runner.day("L1", "AZ", 7, "MPPT&Opt")
+        for name in ("minutes", "mpp_w", "consumed_w", "throughput_gips", "on_solar"):
+            arr = getattr(day, name)
+            assert not arr.flags.writeable
+            with pytest.raises(ValueError, match="read-only"):
+                arr[0] = arr[0]
+
+    def test_fixed_day_arrays_frozen_too(self, runner):
+        day = runner.fixed_day("L1", "AZ", 7, 100.0)
+        assert not day.mpp_w.flags.writeable
+
+
+class TestStats:
+    def test_counts_hits_and_misses(self):
+        r = SimulationRunner(SolarCoreConfig(step_minutes=10.0))
+        assert r.stats() == {
+            "hits": 0, "misses": 0, "cached_runs": 0, "hit_rate": 0.0,
+        }
+        r.day("L1", "AZ", 7)
+        r.day("L1", "AZ", 7)
+        r.day("L1", "AZ", 7)
+        stats = r.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+        assert stats["cached_runs"] == 1
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+
+    def test_telemetry_counters_track_cache_traffic(self):
+        from repro.telemetry import telemetry_session
+
+        r = SimulationRunner(SolarCoreConfig(step_minutes=10.0))
+        with telemetry_session() as hub:
+            r.day("L1", "AZ", 7)
+            r.day("L1", "AZ", 7)
+            counters = hub.snapshot()["counters"]
+        assert counters["runner.cache_misses"] == 1
+        assert counters["runner.cache_hits"] == 1
+
+
+class TestConfigKey:
+    def test_distinct_configs_distinct_keys(self):
+        a = _config_key(SolarCoreConfig(step_minutes=1.0))
+        b = _config_key(SolarCoreConfig(step_minutes=5.0))
+        assert a != b
+        assert hash(a) != hash(b)
+
+    def test_unhashable_field_fails_loudly(self):
+        """Regression: an unhashable config field must raise a TypeError
+        naming the field, not a bare 'unhashable type' in a dict lookup."""
+        cfg = SolarCoreConfig()
+        bad = dataclasses.replace(cfg)
+        object.__setattr__(bad, "step_minutes", [1.0])  # frozen dataclass
+        with pytest.raises(TypeError, match="SolarCoreConfig.step_minutes"):
+            _config_key(bad)

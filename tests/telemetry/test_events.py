@@ -1,0 +1,98 @@
+"""Unit tests for typed event records and their dict round-trips."""
+
+import pytest
+
+from repro.telemetry.events import (
+    EVENT_TYPES,
+    BatteryEvent,
+    DVFSAllocationEvent,
+    LoadTuningEvent,
+    RackDivisionEvent,
+    SupplySwitchEvent,
+    TrackingEvent,
+    event_from_dict,
+    event_to_dict,
+)
+
+SAMPLES = [
+    TrackingEvent(
+        minute=300.0,
+        mix="HM2",
+        policy="coarse",
+        iterations=7,
+        power_w=180.0,
+        best_power_w=190.0,
+        mpp_w=200.0,
+        rail_voltage=11.8,
+        load_saturated=False,
+        triggered_by="supply-change",
+    ),
+    SupplySwitchEvent(
+        minute=421.0, source="solar", available_solar_w=150.0, load_floor_w=80.0
+    ),
+    LoadTuningEvent(minute=300.0, policy="coarse", raises=3, sheds=1),
+    DVFSAllocationEvent(minute=302.0, budget_w=175.0, allocated_w=172.5),
+    BatteryEvent(minute=-1.0, phase="harvested", energy_wh=812.0, derating=0.7),
+    RackDivisionEvent(
+        minute=300.0, policy="tpr", budget_w=600.0, shares_w=(200.0, 250.0, 150.0)
+    ),
+]
+
+
+class TestEventTypes:
+    def test_registry_covers_all_tags(self):
+        assert set(EVENT_TYPES) == {
+            "tracking",
+            "supply_switch",
+            "load_tuning",
+            "dvfs_allocation",
+            "battery",
+            "rack_division",
+        }
+
+    def test_tags_are_unique_per_class(self):
+        tags = [type(e).type_tag for e in SAMPLES]
+        assert len(tags) == len(set(tags))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.type_tag)
+    def test_to_dict_from_dict_is_identity(self, event):
+        payload = event_to_dict(event)
+        assert payload["type"] == event.type_tag
+        assert event_from_dict(payload) == event
+
+    def test_tuples_serialize_as_lists(self):
+        payload = event_to_dict(SAMPLES[-1])
+        assert payload["shares_w"] == [200.0, 250.0, 150.0]
+        restored = event_from_dict(payload)
+        assert restored.shares_w == (200.0, 250.0, 150.0)
+
+    def test_unknown_type_tag_raises(self):
+        with pytest.raises(KeyError, match="unknown event type"):
+            event_from_dict({"type": "nope", "minute": 0.0})
+
+
+class TestTrackingEvent:
+    def test_tracking_error(self):
+        event = SAMPLES[0]
+        assert event.tracking_error == pytest.approx(0.05)
+
+    def test_tracking_error_zero_mpp(self):
+        event = TrackingEvent(
+            minute=0.0,
+            mix="H1",
+            policy="coarse",
+            iterations=1,
+            power_w=0.0,
+            best_power_w=0.0,
+            mpp_w=0.0,
+            rail_voltage=12.0,
+            load_saturated=True,
+        )
+        assert event.tracking_error == 0.0
+        assert event.triggered_by == "periodic"
+
+    def test_records_are_frozen(self):
+        with pytest.raises(AttributeError):
+            SAMPLES[0].minute = 5.0

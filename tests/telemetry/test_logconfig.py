@@ -1,0 +1,42 @@
+"""Unit tests for logging configuration."""
+
+import io
+import logging
+
+import pytest
+
+from repro.telemetry.logconfig import ROOT_LOGGER_NAME, configure_logging, parse_level
+
+
+class TestParseLevel:
+    def test_names_case_insensitive(self):
+        assert parse_level("debug") == logging.DEBUG
+        assert parse_level("WARNING") == logging.WARNING
+
+    def test_numeric(self):
+        assert parse_level(15) == 15
+        assert parse_level("15") == 15  # the CLI passes strings
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            parse_level("banana")
+
+
+class TestConfigureLogging:
+    def test_installs_single_handler_idempotently(self):
+        logger = configure_logging("info", stream=io.StringIO())
+        configure_logging("debug", stream=io.StringIO())
+        ours = [
+            h for h in logger.handlers
+            if getattr(h, "_repro_telemetry_handler", False)
+        ]
+        assert len(ours) == 1
+        assert logger.level == logging.DEBUG
+        assert logger.propagate is False
+
+    def test_module_loggers_route_through_repro_root(self):
+        stream = io.StringIO()
+        configure_logging("debug", stream=stream)
+        logging.getLogger(f"{ROOT_LOGGER_NAME}.core.simulation").debug("hello")
+        assert "hello" in stream.getvalue()
+        assert "repro.core.simulation" in stream.getvalue()

@@ -1,0 +1,108 @@
+"""Unit tests for counters, gauges, and fixed-bucket histograms."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        g = Gauge("x")
+        g.set(3.0)
+        g.set(7.5)
+        assert g.value == 7.5
+        assert g.updates == 2
+
+
+class TestHistogram:
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram("h", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", buckets=())
+
+    def test_mean_min_max(self):
+        h = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(138.875)
+        assert h.min == 0.5
+        assert h.max == 500.0
+
+    def test_percentile_extremes_are_exact(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0, 8.0))
+        for v in (0.3, 1.5, 3.0, 7.0):
+            h.observe(v)
+        assert h.percentile(0) == 0.3
+        assert h.percentile(100) == 7.0
+
+    def test_percentile_interpolates_within_bucket(self):
+        # 100 samples uniform in (0, 10] with bucket bounds every 1.0:
+        # the interpolated p50 must land close to the true median.
+        h = Histogram("h", buckets=tuple(float(b) for b in range(1, 11)))
+        for i in range(1, 101):
+            h.observe(i / 10.0)
+        assert h.percentile(50) == pytest.approx(5.0, abs=0.5)
+        assert h.percentile(95) == pytest.approx(9.5, abs=0.5)
+
+    def test_percentile_overflow_bucket_reports_max(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(250.0)
+        h.observe(900.0)
+        assert h.percentile(99) == 900.0
+
+    def test_percentile_empty_and_bounds(self):
+        h = Histogram("h", buckets=(1.0,))
+        assert h.percentile(50) == 0.0
+        with pytest.raises(ValueError, match="percentile"):
+            h.percentile(101)
+
+    def test_snapshot(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        assert h.snapshot()["count"] == 0
+        h.observe(1.5)
+        snap = h.snapshot()
+        assert snap["count"] == 1
+        assert snap["max"] == 1.5
+
+
+class TestRegistry:
+    def test_lazy_creation_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3)
+        reg.gauge("level").set(2.0)
+        reg.histogram("lat", (1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"hits": 3}
+        assert snap["gauges"] == {"level": 2.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc()
+        reg.reset()
+        assert reg.snapshot()["counters"] == {}

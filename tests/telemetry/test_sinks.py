@@ -1,0 +1,123 @@
+"""Unit tests for the ring-buffer, JSONL, and logging sinks."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.telemetry.events import LoadTuningEvent, SupplySwitchEvent
+from repro.telemetry.sinks import (
+    JsonlSink,
+    LoggingSink,
+    RingBufferSink,
+    read_jsonl_events,
+)
+
+
+def _switch(minute, source="solar"):
+    return SupplySwitchEvent(
+        minute=float(minute), source=source, available_solar_w=100.0, load_floor_w=50.0
+    )
+
+
+class TestRingBufferSink:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            RingBufferSink(capacity=0)
+
+    def test_retains_and_counts(self):
+        sink = RingBufferSink(capacity=10)
+        for m in range(3):
+            sink.emit(_switch(m))
+        assert len(sink) == 3
+        assert sink.total_emitted == 3
+        assert [e.minute for e in sink] == [0.0, 1.0, 2.0]
+
+    def test_capacity_drops_oldest(self):
+        sink = RingBufferSink(capacity=2)
+        for m in range(5):
+            sink.emit(_switch(m))
+        assert len(sink) == 2
+        assert sink.total_emitted == 5
+        assert [e.minute for e in sink] == [3.0, 4.0]
+
+    def test_events_filters_by_tag(self):
+        sink = RingBufferSink()
+        sink.emit(_switch(1))
+        sink.emit(LoadTuningEvent(minute=2.0, policy="coarse", raises=1, sheds=0))
+        assert len(sink.events()) == 2
+        tuned = sink.events("load_tuning")
+        assert len(tuned) == 1
+        assert tuned[0].policy == "coarse"
+
+    def test_clear_keeps_total(self):
+        sink = RingBufferSink()
+        sink.emit(_switch(1))
+        sink.clear()
+        assert len(sink) == 0
+        assert sink.total_emitted == 1
+
+
+class TestJsonlSink:
+    def test_round_trip_via_path(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        events = [_switch(1), _switch(2, source="utility")]
+        sink = JsonlSink(path)
+        for event in events:
+            sink.emit(event)
+        sink.close()
+        assert sink.written == 2
+        assert list(read_jsonl_events(path)) == events
+
+    def test_lines_are_valid_compact_json(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path)
+        sink.emit(_switch(7))
+        sink.close()
+        lines = (tmp_path / "trace.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        payload = json.loads(lines[0])
+        assert payload["type"] == "supply_switch"
+        assert ": " not in lines[0]  # compact separators
+
+    def test_file_object_not_closed(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.emit(_switch(1))
+        sink.close()
+        assert not buf.closed
+        assert buf.getvalue().count("\n") == 1
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.close()
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit(_switch(1))
+        sink.close()
+        path.write_text(path.read_text() + "\n\n")
+        assert len(list(read_jsonl_events(str(path)))) == 1
+
+
+class TestLoggingSink:
+    def test_renders_human_readable_line(self, caplog):
+        logger = logging.getLogger("test.telemetry.sink")
+        sink = LoggingSink(logger=logger, level=logging.INFO)
+        with caplog.at_level(logging.INFO, logger="test.telemetry.sink"):
+            sink.emit(_switch(421))
+        assert len(caplog.records) == 1
+        message = caplog.records[0].getMessage()
+        assert "[m=421]" in message
+        assert "supply_switch" in message
+        assert "source=solar" in message
+
+    def test_skips_when_level_disabled(self, caplog):
+        logger = logging.getLogger("test.telemetry.sink.quiet")
+        sink = LoggingSink(logger=logger, level=logging.DEBUG)
+        with caplog.at_level(logging.INFO, logger="test.telemetry.sink.quiet"):
+            sink.emit(_switch(1))
+        assert caplog.records == []

@@ -1,0 +1,131 @@
+"""Unit tests for span timing, nesting, and aggregates (fake clock)."""
+
+import pytest
+
+from repro.telemetry.spans import SpanTracker
+
+
+class FakeClock:
+    """Deterministic monotonic clock advanced by the test."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+class TestSpanTiming:
+    def test_duration_from_clock(self, clock):
+        tracker = SpanTracker(clock=clock)
+        with tracker.span("work"):
+            clock.advance(2.5)
+        agg = tracker.aggregates["work"]
+        assert agg.count == 1
+        assert agg.total_s == pytest.approx(2.5)
+        assert agg.min_s == pytest.approx(2.5)
+        assert agg.max_s == pytest.approx(2.5)
+
+    def test_aggregate_accumulates(self, clock):
+        tracker = SpanTracker(clock=clock)
+        for seconds in (1.0, 3.0, 2.0):
+            with tracker.span("work"):
+                clock.advance(seconds)
+        agg = tracker.aggregates["work"]
+        assert agg.count == 3
+        assert agg.total_s == pytest.approx(6.0)
+        assert agg.mean_s == pytest.approx(2.0)
+        assert agg.min_s == pytest.approx(1.0)
+        assert agg.max_s == pytest.approx(3.0)
+
+    def test_real_clock_is_monotonic(self):
+        tracker = SpanTracker()
+        with tracker.span("outer"):
+            pass
+        assert tracker.aggregates["outer"].total_s >= 0.0
+
+
+class TestNesting:
+    def test_depth_and_current(self, clock):
+        tracker = SpanTracker(clock=clock)
+        assert tracker.depth == 0
+        assert tracker.current is None
+        with tracker.span("outer") as outer:
+            assert tracker.depth == 1
+            assert tracker.current is outer
+            with tracker.span("inner") as inner:
+                assert tracker.depth == 2
+                assert tracker.current is inner
+            assert tracker.depth == 1
+        assert tracker.depth == 0
+
+    def test_self_time_excludes_children(self, clock):
+        tracker = SpanTracker(clock=clock)
+        with tracker.span("outer"):
+            clock.advance(1.0)
+            with tracker.span("inner"):
+                clock.advance(4.0)
+            clock.advance(2.0)
+        outer = tracker.aggregates["outer"]
+        inner = tracker.aggregates["inner"]
+        assert outer.total_s == pytest.approx(7.0)
+        assert outer.self_total_s == pytest.approx(3.0)
+        assert inner.total_s == pytest.approx(4.0)
+        assert inner.self_total_s == pytest.approx(4.0)
+
+    def test_records_carry_parent_and_depth(self, clock):
+        tracker = SpanTracker(keep_records=True, clock=clock)
+        with tracker.span("outer", kind="day"):
+            with tracker.span("inner"):
+                clock.advance(1.0)
+        inner_rec, outer_rec = tracker.records
+        assert inner_rec.name == "inner"
+        assert inner_rec.parent == "outer"
+        assert inner_rec.depth == 1
+        assert outer_rec.parent is None
+        assert outer_rec.depth == 0
+        assert outer_rec.attrs == {"kind": "day"}
+
+    def test_records_not_kept_by_default(self, clock):
+        tracker = SpanTracker(clock=clock)
+        with tracker.span("outer"):
+            pass
+        assert tracker.records == []
+
+    def test_mismatched_exit_raises(self, clock):
+        tracker = SpanTracker(clock=clock)
+        outer = tracker.span("outer")
+        inner = tracker.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(RuntimeError, match="span stack corrupted"):
+            outer.__exit__(None, None, None)
+
+
+class TestSnapshot:
+    def test_sorted_by_total_descending(self, clock):
+        tracker = SpanTracker(clock=clock)
+        with tracker.span("fast"):
+            clock.advance(1.0)
+        with tracker.span("slow"):
+            clock.advance(9.0)
+        snap = tracker.snapshot()
+        assert list(snap) == ["slow", "fast"]
+        assert snap["slow"]["count"] == 1
+        assert snap["slow"]["total_s"] == pytest.approx(9.0)
+
+    def test_reset(self, clock):
+        tracker = SpanTracker(keep_records=True, clock=clock)
+        with tracker.span("work"):
+            clock.advance(1.0)
+        tracker.reset()
+        assert tracker.aggregates == {}
+        assert tracker.records == []

@@ -95,6 +95,43 @@ class TestSlowCommands:
         assert "rack PTP" in out
         assert "chip H1" in out
 
+    def test_simulate_with_trace(self, capsys, tmp_path):
+        trace_path = tmp_path / "day.jsonl"
+        assert main([
+            "simulate", "--mix", "mixed", "--location", "PFCI", "--month", "6",
+            "--trace", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tracking_events" in out
+        assert "telemetry counters" in out
+        assert "span timings" in out
+        assert str(trace_path) in out
+
+        from repro.telemetry import current, NULL_TELEMETRY, read_jsonl_events
+
+        # The hub is uninstalled once the command finishes.
+        assert current() is NULL_TELEMETRY
+        events = list(read_jsonl_events(str(trace_path)))
+        tracking = [e for e in events if e.type_tag == "tracking"]
+        reported = int(out.split("tracking_events")[1].split()[0])
+        assert len(tracking) == reported > 0
+
+    def test_simulate_telemetry_without_trace_file(self, capsys):
+        assert main([
+            "simulate", "--mix", "L1", "--site", "AZ", "--month", "7",
+            "--telemetry",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry counters" in out
+        assert "sim.tracking_events" in out
+
+    def test_log_level_flag(self, capsys):
+        assert main([
+            "simulate", "--mix", "L1", "--site", "AZ", "--month", "7",
+            "--log-level", "warning",
+        ]) == 0
+        assert "utilization" in capsys.readouterr().out
+
     def test_campaign(self, capsys):
         assert main([
             "campaign", "--mix", "L1", "--sites", "AZ", "--months", "7",
