@@ -1,0 +1,79 @@
+"""Parallel sweep speedup guard: serial vs process-pool wall-clock.
+
+Runs a fixed mini-grid (2 locations x 2 months x 2 mixes, full 1-minute
+resolution) serially and through the parallel engine, records both
+wall-clocks to ``benchmarks/out/parallel_speedup.txt``, and — on machines
+with enough cores for parallelism to physically exist — asserts the pool
+delivers a real speedup.  Byte-identical results are asserted
+unconditionally: the engine may never trade determinism for speed.
+
+``SOLARCORE_JOBS`` overrides the worker count (default 4).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import emit, sweep_jobs
+
+from repro.core.config import SolarCoreConfig
+from repro.harness.parallel import grid_tasks
+from repro.harness.runner import SimulationRunner
+
+CFG = SolarCoreConfig()  # full 1-minute cadence: the real sweep workload
+
+MINI_GRID = grid_tasks(("H1", "L1"), ("AZ", "TN"), (1, 7))
+
+#: Required speedup when the host can actually run the workers at once.
+MIN_SPEEDUP = 2.0
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def test_parallel_speedup(out_dir):
+    jobs = max(sweep_jobs(), 4) if "SOLARCORE_JOBS" not in os.environ else sweep_jobs()
+    cores = _available_cores()
+
+    start = time.perf_counter()
+    serial = SimulationRunner(CFG).prefetch(MINI_GRID)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = SimulationRunner(CFG, jobs=jobs).prefetch(MINI_GRID)
+    parallel_s = time.perf_counter() - start
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    enforced = cores >= 4 and jobs >= 4
+    emit(
+        out_dir,
+        "parallel_speedup",
+        "\n".join([
+            f"mini-grid: {len(MINI_GRID)} day simulations (1-minute steps)",
+            f"cores available: {cores}, jobs: {jobs}",
+            f"serial wall-clock:   {serial_s:8.2f} s",
+            f"parallel wall-clock: {parallel_s:8.2f} s",
+            f"speedup: {speedup:.2f}x"
+            + ("" if enforced else f"  (informational: <4 cores/jobs, "
+                                   f">={MIN_SPEEDUP:.0f}x not enforced)"),
+        ]),
+    )
+
+    # Determinism is non-negotiable regardless of core count.
+    for task in MINI_GRID:
+        a, b = serial[task], parallel[task]
+        assert a.mpp_w.tobytes() == b.mpp_w.tobytes(), task.describe()
+        assert a.consumed_w.tobytes() == b.consumed_w.tobytes(), task.describe()
+        assert a.retired_ginst_solar == b.retired_ginst_solar, task.describe()
+
+    if enforced:
+        assert speedup >= MIN_SPEEDUP, (
+            f"parallel sweep at {jobs} jobs on {cores} cores delivered only "
+            f"{speedup:.2f}x over serial (need >= {MIN_SPEEDUP}x); the pool "
+            "is serializing somewhere"
+        )

@@ -4,11 +4,19 @@ Every benchmark regenerates one table or figure of the paper at full
 resolution (1-minute steps, the complete evaluation grid unless noted).
 Results are cached in a session-wide runner — the grid is simulated once
 and sliced by every figure — and each bench writes the rows/series it
-reproduces to ``benchmarks/out/`` alongside printing them.
+reproduces to ``benchmarks/out/``.
+
+The session runner also rides the parallel sweep engine: set
+``SOLARCORE_JOBS=N`` to fan simulations out over N worker processes, and
+``SOLARCORE_CACHE_DIR=DIR`` to move the persistent result cache (default:
+``benchmarks/out/cache/``, content-addressed and invalidated whenever the
+``repro`` source changes, so re-running the suite only pays for
+simulations the current code has never done).
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -18,10 +26,22 @@ from repro.harness.runner import SimulationRunner
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 
+def sweep_jobs() -> int:
+    """Worker-process count for the benchmark suite (SOLARCORE_JOBS)."""
+    return max(1, int(os.environ.get("SOLARCORE_JOBS", "1")))
+
+
+def sweep_cache_dir() -> pathlib.Path:
+    """Persistent result-cache directory (SOLARCORE_CACHE_DIR)."""
+    return pathlib.Path(
+        os.environ.get("SOLARCORE_CACHE_DIR", str(OUT_DIR / "cache"))
+    )
+
+
 @pytest.fixture(scope="session")
 def runner() -> SimulationRunner:
     """Session-wide cache of full-resolution day simulations."""
-    return SimulationRunner()
+    return SimulationRunner(jobs=sweep_jobs(), cache_dir=sweep_cache_dir())
 
 
 @pytest.fixture(scope="session")

@@ -21,6 +21,14 @@ With ``--trace`` or ``--telemetry``, ``simulate``/``rack``/``campaign``/
 timings.  Example::
 
     repro simulate --mix mixed --location PFCI --month 6 --trace /tmp/t.jsonl
+
+``campaign`` and ``experiment`` additionally accept the parallel-sweep
+flags: ``--jobs N`` fans the day-simulation grid out across N worker
+processes, and ``--cache-dir DIR`` persists every result to a
+content-addressed disk cache (reused across runs, invalidated whenever
+the ``repro`` source changes)::
+
+    repro experiment fig18 --jobs 4 --cache-dir ~/.cache/solarcore
 """
 
 from __future__ import annotations
@@ -162,6 +170,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_runner(args: argparse.Namespace):
+    """The parallel/caching runner the sweep flags ask for, or None."""
+    if args.jobs <= 1 and args.cache_dir is None:
+        return None
+    from repro.harness.runner import SimulationRunner
+
+    return SimulationRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.core.campaign import run_campaign
     from repro.environment.locations import location_by_code
@@ -171,6 +188,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     campaign = run_campaign(
         args.mix, locations, tuple(args.months),
         days_per_cell=args.days, policy=args.policy,
+        runner=_sweep_runner(args),
     )
     rows = []
     for cell in campaign.cells:
@@ -204,10 +222,24 @@ _EXPERIMENTS = {
 }
 
 
+#: Per-experiment grid subsets the parallel engine prefetches
+#: (keyword overrides for ``experiments.standard_grid_tasks``).
+_EXPERIMENT_GRIDS = {
+    "table7": dict(policies=("MPPT&Opt",), budgets_w=(), deratings=()),
+    "fig18": dict(budgets_w=(), deratings=()),
+    "fig19": dict(mixes=("HM2",), policies=("MPPT&Opt",), budgets_w=(),
+                  deratings=()),
+    "fig21": dict(budgets_w=()),
+}
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.harness import experiments, reporting
 
     name = args.name.lower()
+    runner = _sweep_runner(args)
+    if runner is not None and name in _EXPERIMENT_GRIDS:
+        experiments.prefetch_standard_grid(runner, **_EXPERIMENT_GRIDS[name])
     if name == "fig01":
         rows = experiments.fig01_fixed_load_utilization()
         print(reporting.format_table(
@@ -215,20 +247,20 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             [[f"{g:.0f}", f"{u:.1%}"] for g, u in rows],
         ))
     elif name == "table7":
-        table = experiments.table7_tracking_error()
+        table = experiments.table7_tracking_error(runner=runner)
         print(reporting.render_table7(table))
     elif name == "fig18":
-        data = experiments.fig18_energy_utilization()
+        data = experiments.fig18_energy_utilization(runner=runner)
         print(reporting.render_fig18(data, experiments.BATTERY_BOUNDS))
     elif name == "fig19":
-        durations = experiments.fig19_effective_duration()
+        durations = experiments.fig19_effective_duration(runner=runner)
         rows = [
             [site, str(month), f"{frac:.1%}"]
             for (site, month), frac in sorted(durations.items())
         ]
         print(reporting.format_table(["site", "month", "solar duration"], rows))
     elif name == "fig21":
-        data = experiments.fig21_normalized_ptp()
+        data = experiments.fig21_normalized_ptp(runner=runner)
         print(reporting.render_fig21_summary(data))
     else:
         print(f"unknown experiment {args.name!r}; "
@@ -260,6 +292,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "(implies --telemetry)")
     obs.add_argument("--telemetry", action="store_true",
                      help="collect metrics/spans and print a post-run summary")
+
+    # Parallel-sweep flags for the grid-shaped commands, e.g.
+    #   repro experiment fig18 --jobs 4 --cache-dir ~/.cache/solarcore
+    sweep = argparse.ArgumentParser(add_help=False)
+    par = sweep.add_argument_group("parallel sweep")
+    par.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="fan day simulations out over N worker processes")
+    par.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="persist day results to a content-addressed disk "
+                          "cache under DIR (reused across runs; invalidated "
+                          "when the repro source changes)")
 
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -304,7 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["equal", "proportional", "tpr"])
 
     campaign = sub.add_parser("campaign", help="multi-day campaign + carbon",
-                              parents=[common])
+                              parents=[common, sweep])
     campaign.add_argument("--mix", default="HM2")
     campaign.add_argument("--sites", "--locations", dest="sites", nargs="+",
                           default=["AZ", "TN"])
@@ -313,7 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--policy", default="MPPT&Opt")
 
     experiment = sub.add_parser("experiment", help="regenerate a paper artifact",
-                                parents=[common])
+                                parents=[common, sweep])
     experiment.add_argument("name", help=f"one of: {', '.join(sorted(_EXPERIMENTS))}")
 
     return parser

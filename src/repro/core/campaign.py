@@ -98,6 +98,10 @@ class CampaignResult:
         return carbon_report(self.all_days)
 
 
+def _cell_seed(location: Location, month: int, base_seed: int, i: int) -> int:
+    return default_seed(location, month) + base_seed + i
+
+
 def run_campaign(
     mix_name: str,
     locations: list[Location],
@@ -106,6 +110,7 @@ def run_campaign(
     policy: str = "MPPT&Opt",
     config: SolarCoreConfig | None = None,
     base_seed: int = 0,
+    runner=None,
 ) -> CampaignResult:
     """Run a multi-realization campaign over a (station, month) grid.
 
@@ -122,17 +127,39 @@ def run_campaign(
         policy: Power-management policy for every day.
         config: Simulation configuration.
         base_seed: Offset for the realization seeds.
+        runner: A :class:`~repro.harness.runner.SimulationRunner` to run
+            the grid through — with ``jobs > 1`` the realizations fan out
+            across worker processes, and with ``cache_dir=`` they persist
+            to (and reload from) the disk cache.  The runner's config is
+            used; passing a conflicting ``config`` is an error.
 
     Returns:
         The :class:`CampaignResult`.
     """
     if days_per_cell < 1:
         raise ValueError(f"days_per_cell must be >= 1, got {days_per_cell}")
+    if runner is not None and config is not None and config != runner.config:
+        raise ValueError(
+            "run_campaign got both a runner and a conflicting config; "
+            "construct the runner with that config instead"
+        )
     tel = telemetry_hub.current()
     cells = []
     with tel.span(
         "run_campaign", mix=mix_name, policy=policy, days_per_cell=days_per_cell
     ):
+        if runner is not None:
+            from repro.harness.parallel import SweepTask
+
+            runner.prefetch(
+                SweepTask(
+                    "mppt", mix_name, location.code, month, policy=policy,
+                    seed=_cell_seed(location, month, base_seed, i),
+                )
+                for location in locations
+                for month in months
+                for i in range(days_per_cell)
+            )
         for location in locations:
             for month in months:
                 days = tuple(
@@ -142,7 +169,15 @@ def run_campaign(
                         month,
                         policy,
                         config=config,
-                        seed=default_seed(location, month) + base_seed + i,
+                        seed=_cell_seed(location, month, base_seed, i),
+                    )
+                    if runner is None
+                    else runner.day(
+                        mix_name,
+                        location,
+                        month,
+                        policy,
+                        seed=_cell_seed(location, month, base_seed, i),
                     )
                     for i in range(days_per_cell)
                 )

@@ -28,6 +28,7 @@ import numpy as np
 from scipy.optimize import brentq
 
 from repro.environment.locations import ALL_LOCATIONS, EVALUATED_MONTHS
+from repro.harness.parallel import SweepTask, grid_tasks
 from repro.harness.runner import SimulationRunner, default_runner
 from repro.metrics.utilization import DURATION_BUCKETS
 from repro.pv.array import PVArray
@@ -56,6 +57,8 @@ __all__ = [
     "BATTERY_BOUNDS",
     "POLICIES",
     "DEFAULT_BUDGETS_W",
+    "standard_grid_tasks",
+    "prefetch_standard_grid",
 ]
 
 #: The three MPPT load-adaptation policies, in Table 6 order.
@@ -67,6 +70,48 @@ BATTERY_BOUNDS = {"Battery-L": 0.81, "Battery-U": 0.92}
 #: Fixed power budgets swept in Figures 15-17 [W].  The paper sweeps
 #: 25-125 W; our chip's uncore floor shifts the feasible range upward.
 DEFAULT_BUDGETS_W = (50.0, 60.0, 75.0, 100.0, 125.0)
+
+
+# ----------------------------------------------------------------------
+# The evaluation grid, as sweep tasks (the parallel engine's unit)
+# ----------------------------------------------------------------------
+def standard_grid_tasks(
+    mixes: tuple[str, ...] = ALL_MIX_NAMES,
+    months: tuple[int, ...] = EVALUATED_MONTHS,
+    locations=ALL_LOCATIONS,
+    policies: tuple[str, ...] = POLICIES,
+    budgets_w: tuple[float, ...] = DEFAULT_BUDGETS_W,
+    deratings: tuple[float, ...] = tuple(BATTERY_BOUNDS.values()),
+) -> list[SweepTask]:
+    """Every day simulation the Section 6 figures slice, as sweep tasks.
+
+    The full default grid is what Figures 13-21 and Table 7 share: every
+    (location, month, mix) cell under each MPPT policy, each Fixed-Power
+    budget, and both battery bounds.  Narrow the keyword arguments to
+    build the subset one experiment needs.
+    """
+    return grid_tasks(
+        mixes, locations, months,
+        policies=policies, budgets_w=budgets_w, deratings=deratings,
+    )
+
+
+def prefetch_standard_grid(
+    runner: SimulationRunner | None = None, **grid_kwargs
+) -> SimulationRunner:
+    """Materialize (a subset of) the evaluation grid into ``runner``.
+
+    With ``runner.jobs > 1`` the missing cells fan out across worker
+    processes; afterwards every experiment function below is a pure
+    cache read.  Keyword arguments narrow the grid as in
+    :func:`standard_grid_tasks`.
+
+    Returns:
+        The (possibly default) runner, now holding the grid.
+    """
+    runner = runner or default_runner
+    runner.prefetch(standard_grid_tasks(**grid_kwargs))
+    return runner
 
 
 # ----------------------------------------------------------------------

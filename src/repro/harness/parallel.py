@@ -1,0 +1,464 @@
+"""Parallel sweep engine with a persistent, content-addressed result cache.
+
+The paper's entire evaluation (Figures 13-21, Table 7) is a grid of
+*independent* day simulations over (station x month x mix x policy).  This
+module fans that grid out across worker processes and persists every
+result to disk, keyed by the complete simulation identity:
+
+* :class:`SweepTask` — one cell of the grid, a picklable value object
+  naming the simulation kind (``mppt`` / ``fixed`` / ``battery``) and its
+  coordinates.  :meth:`SweepTask.cache_key` is the single key used by the
+  in-memory memo, the disk cache, and the worker protocol.
+* :class:`DiskResultCache` — a content-addressed on-disk cache.  Entries
+  are addressed by SHA-256 over (format version, code fingerprint, task
+  key, config key); writes are atomic (``os.replace`` of a same-directory
+  temp file); corrupt or mismatched entries are deleted with a warning and
+  recomputed — never returned.
+* :func:`run_parallel` — a ``ProcessPoolExecutor`` fan-out, chunked by
+  (location, month) cell so each worker amortizes its per-cell state.
+  Workers run under the null telemetry hub (no sinks of the parent leak
+  into children); when the parent's hub is enabled each worker instead
+  collects into a private hub and ships the counter/span snapshot back for
+  the parent's post-run summary.
+
+Determinism is a hard requirement: identical seeds yield byte-identical
+:class:`~repro.core.simulation.DayResult` arrays whether computed serially,
+in parallel, or read back from disk — enforced by the golden tests in
+``tests/harness/test_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, fields
+from functools import lru_cache
+from pathlib import Path
+
+from repro.core.config import SolarCoreConfig
+from repro.core.simulation import (
+    BatteryDayResult,
+    DayResult,
+    run_day,
+    run_day_battery,
+    run_day_fixed,
+)
+from repro.environment.locations import Location, location_by_code
+from repro.telemetry import hub as telemetry_hub
+from repro.telemetry.hub import Telemetry
+
+__all__ = [
+    "SweepTask",
+    "SweepError",
+    "DiskResultCache",
+    "compute_task",
+    "run_parallel",
+    "grid_tasks",
+    "config_key",
+    "code_fingerprint",
+    "CACHE_FORMAT_VERSION",
+]
+
+log = logging.getLogger(__name__)
+
+#: Bump to invalidate every existing disk-cache entry (layout changes,
+#: semantic fixes that do not show up in the source fingerprint, ...).
+CACHE_FORMAT_VERSION = 1
+
+#: Task kinds, mirroring the three day-simulation entry points.
+_KINDS = ("mppt", "fixed", "battery")
+
+
+def config_key(config: SolarCoreConfig) -> tuple:
+    """A hashable cache key over every config field.
+
+    Fails loudly — naming the offending field — if a future
+    :class:`SolarCoreConfig` gains an unhashable field, instead of raising
+    a bare ``unhashable type`` deep inside a dict lookup.
+    """
+    key = []
+    for f in fields(config):
+        value = getattr(config, f.name)
+        try:
+            hash(value)
+        except TypeError as exc:
+            raise TypeError(
+                f"SolarCoreConfig.{f.name} is not hashable "
+                f"({type(value).__name__}: {value!r}); "
+                "make the field hashable or exclude it from the cache key"
+            ) from exc
+        key.append(value)
+    return tuple(key)
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over every source file of the ``repro`` package.
+
+    Any code change — a fixed bug, a new config default, a retuned model —
+    changes the fingerprint and therefore invalidates every disk-cache
+    entry, so a stale cache can never masquerade as current results.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One cell of the day-simulation grid.
+
+    Attributes:
+        kind: ``mppt`` (policy day), ``fixed`` (Fixed-Power baseline), or
+            ``battery`` (battery-equipped baseline).
+        mix_name: Table 5 workload mix.
+        location_code: Station code (canonical, e.g. ``AZ``).
+        month: Calendar month.
+        policy: Load-adaptation policy (``mppt`` tasks).
+        budget_w: Power-transfer threshold [W] (``fixed`` tasks).
+        derating: Overall de-rating factor (``battery`` tasks).
+        seed: Weather-realization seed, or None for the standard seeded
+            trace of the (station, month).
+    """
+
+    kind: str
+    mix_name: str
+    location_code: str
+    month: int
+    policy: str = "MPPT&Opt"
+    budget_w: float | None = None
+    derating: float | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.kind == "fixed" and self.budget_w is None:
+            raise ValueError("fixed tasks require budget_w")
+        if self.kind == "battery" and self.derating is None:
+            raise ValueError("battery tasks require derating")
+        # Canonicalize station aliases ("AZ" -> "PFCI") so the same
+        # simulation always maps to the same cache key, however named.
+        object.__setattr__(
+            self, "location_code", location_by_code(self.location_code).code
+        )
+
+    @property
+    def param(self) -> str | float:
+        """The kind-specific knob: policy, budget, or derating."""
+        if self.kind == "fixed":
+            return self.budget_w
+        if self.kind == "battery":
+            return self.derating
+        return self.policy
+
+    @property
+    def cell(self) -> tuple[str, int]:
+        """The (location, month) cell the task belongs to."""
+        return (self.location_code, self.month)
+
+    def cache_key(self, cfg_key: tuple) -> tuple:
+        """The complete simulation identity, for memo and disk caches."""
+        return (
+            self.kind,
+            self.mix_name,
+            self.location_code,
+            self.month,
+            self.param,
+            self.seed,
+            cfg_key,
+        )
+
+    def describe(self) -> str:
+        """Human-readable coordinates for logs and error messages."""
+        text = (
+            f"kind={self.kind} mix={self.mix_name} "
+            f"location={self.location_code} month={self.month} "
+            f"param={self.param}"
+        )
+        if self.seed is not None:
+            text += f" seed={self.seed}"
+        return text
+
+
+class SweepError(RuntimeError):
+    """A sweep task failed; the message carries the failing coordinates."""
+
+
+def compute_task(
+    task: SweepTask, config: SolarCoreConfig
+) -> DayResult | BatteryDayResult:
+    """Run one task — the single execution path shared by the serial
+    runner and every worker process, so both compute identical results."""
+    loc: Location = location_by_code(task.location_code)
+    if task.kind == "mppt":
+        return run_day(
+            task.mix_name, loc, task.month, task.policy,
+            config=config, seed=task.seed,
+        )
+    if task.kind == "fixed":
+        return run_day_fixed(
+            task.mix_name, loc, task.month, task.budget_w,
+            config=config, seed=task.seed,
+        )
+    return run_day_battery(
+        task.mix_name, loc, task.month, task.derating,
+        config=config, seed=task.seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Persistent disk cache
+# ----------------------------------------------------------------------
+class DiskResultCache:
+    """Content-addressed on-disk cache of day-simulation results.
+
+    Entries live as ``<sha256>.pkl`` files under ``root``; the digest
+    covers the cache format version, the code fingerprint, and the full
+    task key, so a changed codebase or config addresses different files.
+    Writes are atomic (same-directory temp file + ``os.replace``), safe
+    under concurrent writers — the worst case is two processes computing
+    the same entry, and last-write-wins of identical bytes.
+
+    Args:
+        root: Cache directory (created on first store).
+        fingerprint: Code-fingerprint override (tests use this to model a
+            code change; defaults to :func:`code_fingerprint`).
+    """
+
+    def __init__(self, root: str | Path, fingerprint: str | None = None) -> None:
+        self.root = Path(root)
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: tuple) -> Path:
+        """The entry file a key addresses (exists only after a store)."""
+        digest = hashlib.sha256(
+            f"{CACHE_FORMAT_VERSION}|{self.fingerprint}|{key!r}".encode()
+        ).hexdigest()
+        return self.root / f"{digest}.pkl"
+
+    def load(self, key: tuple) -> DayResult | BatteryDayResult | None:
+        """The cached result for ``key``, or None.
+
+        A corrupt, truncated, or mismatched entry is deleted with a
+        warning and reported as a miss — silently returning garbage is
+        the one failure mode a result cache must not have.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        try:
+            entry = pickle.loads(raw)
+            if entry["format"] != CACHE_FORMAT_VERSION:
+                raise ValueError(f"cache format {entry['format']} != {CACHE_FORMAT_VERSION}")
+            if entry["fingerprint"] != self.fingerprint:
+                raise ValueError("code fingerprint mismatch")
+            if entry["key"] != key:
+                raise ValueError("stored key does not match its address")
+            result = entry["result"]
+        except Exception as exc:  # noqa: BLE001 — any decode failure recomputes
+            log.warning(
+                "corrupt disk-cache entry %s (%s: %s); deleting and recomputing",
+                path, type(exc).__name__, exc,
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: tuple, result: DayResult | BatteryDayResult) -> Path:
+        """Atomically persist ``result`` under ``key``; returns the path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        payload = pickle.dumps(
+            {
+                "format": CACHE_FORMAT_VERSION,
+                "fingerprint": self.fingerprint,
+                "key": key,
+                "result": result,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def stats(self) -> dict[str, float]:
+        """``hits`` / ``misses`` counters for this cache handle."""
+        return {"hits": self.hits, "misses": self.misses}
+
+
+# ----------------------------------------------------------------------
+# Process-pool fan-out
+# ----------------------------------------------------------------------
+def _chunk_by_cell(tasks: list[SweepTask]) -> list[list[SweepTask]]:
+    """Group tasks by (location, month) cell, preserving order."""
+    groups: dict[tuple[str, int], list[SweepTask]] = {}
+    for task in tasks:
+        groups.setdefault(task.cell, []).append(task)
+    return list(groups.values())
+
+
+def _worker_chunk(
+    tasks: list[SweepTask],
+    config: SolarCoreConfig,
+    collect_telemetry: bool,
+) -> tuple[list, dict | None]:
+    """Run one chunk inside a worker process.
+
+    The worker always detaches from any inherited parent hub (sinks must
+    not receive events from forked children); with ``collect_telemetry`` a
+    private hub gathers counters/spans and its snapshot rides back with
+    the results.
+    """
+    telemetry_hub.set_telemetry(None)
+    worker_hub = Telemetry() if collect_telemetry else None
+    if worker_hub is not None:
+        telemetry_hub.set_telemetry(worker_hub)
+    try:
+        results = []
+        for task in tasks:
+            try:
+                results.append(compute_task(task, config))
+            except Exception as exc:
+                raise SweepError(
+                    f"sweep task failed in worker: {task.describe()}: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+        snapshot = worker_hub.snapshot() if worker_hub is not None else None
+        return results, snapshot
+    finally:
+        telemetry_hub.set_telemetry(None)
+
+
+def run_parallel(
+    tasks: list[SweepTask],
+    config: SolarCoreConfig,
+    jobs: int,
+    collect_telemetry: bool = False,
+) -> tuple[dict[SweepTask, DayResult | BatteryDayResult], list[dict]]:
+    """Fan ``tasks`` out over a process pool, chunked by (location, month).
+
+    Args:
+        tasks: Grid cells to simulate (duplicates are computed once).
+        config: Simulation configuration shared by every task.
+        jobs: Worker processes (capped at the number of chunks).
+        collect_telemetry: Ship per-worker counter/span snapshots back.
+
+    Returns:
+        ``(results, snapshots)`` — results by task, plus one telemetry
+        snapshot per worker chunk when collection was requested.
+
+    Raises:
+        SweepError: A task failed; the message names its coordinates.
+    """
+    unique = list(dict.fromkeys(tasks))
+    chunks = _chunk_by_cell(unique)
+    if not chunks:
+        return {}, []
+    results: dict[SweepTask, DayResult | BatteryDayResult] = {}
+    snapshots: list[dict] = []
+    workers = max(1, min(jobs, len(chunks)))
+    log.info(
+        "parallel sweep: %d task(s) in %d cell chunk(s) over %d worker(s)",
+        len(unique), len(chunks), workers,
+    )
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(_worker_chunk, chunk, config, collect_telemetry): chunk
+            for chunk in chunks
+        }
+        for future in as_completed(futures):
+            chunk_results, snapshot = future.result()
+            for task, result in zip(futures[future], chunk_results):
+                results[task] = result
+            if snapshot is not None:
+                snapshots.append(snapshot)
+    return results, snapshots
+
+
+# ----------------------------------------------------------------------
+# Grid construction
+# ----------------------------------------------------------------------
+def grid_tasks(
+    mixes,
+    locations,
+    months,
+    policies=("MPPT&Opt",),
+    budgets_w=(),
+    deratings=(),
+    seeds=(None,),
+) -> list[SweepTask]:
+    """The task list for a (location x month x mix x policy) grid.
+
+    ``budgets_w`` adds a Fixed-Power task per budget and ``deratings`` a
+    battery task per factor, for the same (location, month, mix) cells;
+    ``seeds`` multiplies the grid by weather realization.
+
+    Args:
+        mixes: Mix names.
+        locations: Stations, as codes or :class:`Location` objects.
+        months: Calendar months.
+        policies: MPPT policies swept.
+        budgets_w: Fixed-Power thresholds swept [W].
+        deratings: Battery de-rating factors swept.
+        seeds: Weather seeds (None = the standard seeded trace).
+
+    Returns:
+        One :class:`SweepTask` per grid cell, ordered by (location, month)
+        so chunking keeps cells together.
+    """
+    codes = [
+        loc.code if isinstance(loc, Location) else location_by_code(loc).code
+        for loc in locations
+    ]
+    tasks = []
+    for code in codes:
+        for month in months:
+            for seed in seeds:
+                for mix_name in mixes:
+                    for policy in policies:
+                        tasks.append(SweepTask(
+                            "mppt", mix_name, code, month,
+                            policy=policy, seed=seed,
+                        ))
+                    for budget in budgets_w:
+                        tasks.append(SweepTask(
+                            "fixed", mix_name, code, month,
+                            budget_w=budget, seed=seed,
+                        ))
+                    for derating in deratings:
+                        tasks.append(SweepTask(
+                            "battery", mix_name, code, month,
+                            derating=derating, seed=seed,
+                        ))
+    return tasks

@@ -3,7 +3,13 @@
 Most figures slice the same underlying grid of day simulations
 (location x month x mix x policy).  ``SimulationRunner`` memoizes each day
 run so the whole benchmark suite pays for every distinct simulation exactly
-once per process.
+once per process — and, when constructed with ``cache_dir=``, exactly once
+per *codebase*: results persist to a content-addressed disk cache
+(:class:`~repro.harness.parallel.DiskResultCache`) keyed by the full
+simulation identity plus a source fingerprint, so every later process
+reads them back instead of recomputing.  With ``jobs=N`` the runner fans
+grid prefetches out across worker processes
+(:func:`~repro.harness.parallel.run_parallel`).
 
 Because memoized results are handed to *every* caller, their numpy arrays
 are frozen (``writeable = False``) before caching: a benchmark that
@@ -16,15 +22,18 @@ from __future__ import annotations
 import logging
 from dataclasses import fields
 
+import numpy as np
+
 from repro.core.config import SolarCoreConfig
-from repro.core.simulation import (
-    BatteryDayResult,
-    DayResult,
-    run_day,
-    run_day_battery,
-    run_day_fixed,
-)
+from repro.core.simulation import BatteryDayResult, DayResult
 from repro.environment.locations import Location, location_by_code
+from repro.harness.parallel import (
+    DiskResultCache,
+    SweepTask,
+    compute_task,
+    config_key as _config_key,
+    run_parallel,
+)
 from repro.telemetry import hub as telemetry_hub
 
 __all__ = ["SimulationRunner", "default_runner"]
@@ -32,33 +41,18 @@ __all__ = ["SimulationRunner", "default_runner"]
 log = logging.getLogger(__name__)
 
 
-def _config_key(config: SolarCoreConfig) -> tuple:
-    """A hashable cache key over every config field.
-
-    Fails loudly — naming the offending field — if a future
-    :class:`SolarCoreConfig` gains an unhashable field, instead of raising
-    a bare ``unhashable type`` deep inside a dict lookup.
+def _freeze(result):
+    """Mark every numpy array of a cached result read-only (callers share
+    them).  Covers :class:`DayResult` (policy and fixed-budget days) and
+    any array-carrying field a future :class:`BatteryDayResult` grows;
+    battery results are additionally frozen dataclasses, so their scalar
+    fields already reject mutation.
     """
-    key = []
-    for f in fields(config):
-        value = getattr(config, f.name)
-        try:
-            hash(value)
-        except TypeError as exc:
-            raise TypeError(
-                f"SolarCoreConfig.{f.name} is not hashable "
-                f"({type(value).__name__}: {value!r}); "
-                "make the field hashable or exclude it from the cache key"
-            ) from exc
-        key.append(value)
-    return tuple(key)
-
-
-def _freeze(day: DayResult) -> DayResult:
-    """Mark a cached result's arrays read-only (callers share them)."""
-    for name in ("minutes", "mpp_w", "consumed_w", "throughput_gips", "on_solar"):
-        getattr(day, name).flags.writeable = False
-    return day
+    for f in fields(result):
+        value = getattr(result, f.name)
+        if isinstance(value, np.ndarray):
+            value.flags.writeable = False
+    return result
 
 
 class SimulationRunner:
@@ -66,10 +60,24 @@ class SimulationRunner:
 
     Args:
         config: Simulation configuration shared by every run.
+        jobs: Worker processes used by :meth:`prefetch` (1 = serial).
+        cache_dir: Directory for the persistent result cache, or None to
+            keep results in memory only.
     """
 
-    def __init__(self, config: SolarCoreConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: SolarCoreConfig | None = None,
+        *,
+        jobs: int = 1,
+        cache_dir=None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.config = config or SolarCoreConfig()
+        self.jobs = jobs
+        self.disk = DiskResultCache(cache_dir) if cache_dir is not None else None
+        self._cfg_key = _config_key(self.config)
         self._days: dict[tuple, DayResult] = {}
         self._battery: dict[tuple, BatteryDayResult] = {}
         self._hits = 0
@@ -89,24 +97,56 @@ class SimulationRunner:
         if tel.enabled:
             tel.count("runner.cache_hits" if hit else "runner.cache_misses")
 
+    def _store_of(self, task: SweepTask) -> dict:
+        return self._battery if task.kind == "battery" else self._days
+
+    def _from_disk(self, task: SweepTask, key: tuple):
+        """Try the disk cache; freeze and memoize on a hit."""
+        if self.disk is None:
+            return None
+        result = self.disk.load(key)
+        tel = telemetry_hub.current()
+        if tel.enabled:
+            tel.count("runner.disk_hits" if result is not None else "runner.disk_misses")
+        if result is None:
+            return None
+        result = _freeze(result)
+        self._store_of(task)[key] = result
+        return result
+
+    def _get(self, task: SweepTask):
+        """Memory cache -> disk cache -> compute, memoizing at each tier."""
+        key = task.cache_key(self._cfg_key)
+        cached = self._store_of(task).get(key)
+        self._note(cached is not None)
+        if cached is not None:
+            return cached
+        result = self._from_disk(task, key)
+        if result is not None:
+            return result
+        log.debug("cache miss: %s", task.describe())
+        result = _freeze(compute_task(task, self.config))
+        self._store_of(task)[key] = result
+        if self.disk is not None:
+            self.disk.store(key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Single-simulation entry points
+    # ------------------------------------------------------------------
     def day(
         self,
         mix_name: str,
         location: Location | str,
         month: int,
         policy: str = "MPPT&Opt",
+        seed: int | None = None,
     ) -> DayResult:
         """A (cached) SolarCore day simulation."""
         loc = self._resolve(location)
-        key = ("mppt", mix_name, loc.code, month, policy, _config_key(self.config))
-        cached = self._days.get(key)
-        self._note(cached is not None)
-        if cached is None:
-            log.debug("cache miss: day %s", key[:5])
-            cached = self._days[key] = _freeze(
-                run_day(mix_name, loc, month, policy, config=self.config)
-            )
-        return cached
+        return self._get(SweepTask(
+            "mppt", mix_name, loc.code, month, policy=policy, seed=seed,
+        ))
 
     def fixed_day(
         self,
@@ -114,18 +154,13 @@ class SimulationRunner:
         location: Location | str,
         month: int,
         budget_w: float,
+        seed: int | None = None,
     ) -> DayResult:
         """A (cached) Fixed-Power day simulation."""
         loc = self._resolve(location)
-        key = ("fixed", mix_name, loc.code, month, budget_w, _config_key(self.config))
-        cached = self._days.get(key)
-        self._note(cached is not None)
-        if cached is None:
-            log.debug("cache miss: fixed day %s", key[:5])
-            cached = self._days[key] = _freeze(
-                run_day_fixed(mix_name, loc, month, budget_w, config=self.config)
-            )
-        return cached
+        return self._get(SweepTask(
+            "fixed", mix_name, loc.code, month, budget_w=budget_w, seed=seed,
+        ))
 
     def battery_day(
         self,
@@ -133,19 +168,66 @@ class SimulationRunner:
         location: Location | str,
         month: int,
         derating: float,
+        seed: int | None = None,
     ) -> BatteryDayResult:
         """A (cached) battery-baseline day simulation."""
         loc = self._resolve(location)
-        key = ("battery", mix_name, loc.code, month, derating, _config_key(self.config))
-        cached = self._battery.get(key)
-        self._note(cached is not None)
-        if cached is None:
-            log.debug("cache miss: battery day %s", key[:5])
-            cached = self._battery[key] = run_day_battery(
-                mix_name, loc, month, derating, config=self.config
-            )
-        return cached
+        return self._get(SweepTask(
+            "battery", mix_name, loc.code, month, derating=derating, seed=seed,
+        ))
 
+    # ------------------------------------------------------------------
+    # Grid prefetch (the parallel path)
+    # ------------------------------------------------------------------
+    def prefetch(self, tasks) -> dict[SweepTask, DayResult | BatteryDayResult]:
+        """Materialize every task, fanning misses out over ``jobs`` workers.
+
+        Memory- and disk-cached tasks are never re-run; the remainder is
+        chunked by (location, month) and computed by
+        :func:`~repro.harness.parallel.run_parallel` when ``jobs > 1``
+        (serially otherwise).  Per-worker telemetry snapshots are merged
+        into the parent hub, so the post-run summary covers worker-side
+        simulation counters and span totals.
+
+        Returns:
+            Every requested task's result (frozen, shared with later
+            callers of :meth:`day` / :meth:`fixed_day` /
+            :meth:`battery_day`).
+        """
+        tasks = list(dict.fromkeys(tasks))
+        missing = []
+        for task in tasks:
+            key = task.cache_key(self._cfg_key)
+            if key in self._store_of(task):
+                continue
+            if self._from_disk(task, key) is not None:
+                continue
+            missing.append(task)
+        if missing:
+            if self.jobs > 1:
+                tel = telemetry_hub.current()
+                results, snapshots = run_parallel(
+                    missing, self.config, self.jobs,
+                    collect_telemetry=tel.enabled,
+                )
+                for snapshot in snapshots:
+                    tel.merge_snapshot(snapshot)
+            else:
+                results = {
+                    task: compute_task(task, self.config) for task in missing
+                }
+            for task, result in results.items():
+                key = task.cache_key(self._cfg_key)
+                result = _freeze(result)
+                self._store_of(task)[key] = result
+                if self.disk is not None:
+                    self.disk.store(key, result)
+                self._note(False)
+        return {task: self._get(task) for task in tasks}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
     @property
     def cached_runs(self) -> int:
         """Number of distinct simulations held in the cache."""
@@ -156,15 +238,20 @@ class SimulationRunner:
 
         Returns:
             ``hits``, ``misses``, ``cached_runs``, and ``hit_rate`` (0.0
-            when the runner has not been asked for anything yet).
+            when the runner has not been asked for anything yet), plus
+            ``disk_hits`` / ``disk_misses`` when a disk cache is attached.
         """
         lookups = self._hits + self._misses
-        return {
+        stats = {
             "hits": self._hits,
             "misses": self._misses,
             "cached_runs": self.cached_runs,
             "hit_rate": self._hits / lookups if lookups else 0.0,
         }
+        if self.disk is not None:
+            stats["disk_hits"] = self.disk.hits
+            stats["disk_misses"] = self.disk.misses
+        return stats
 
 
 #: Process-wide runner shared by the benchmark suite.

@@ -92,6 +92,24 @@ class Telemetry:
         """
         return _RecordingSpan(self, name, attrs)
 
+    # -- cross-process aggregation --------------------------------------
+    def merge_snapshot(self, data: dict) -> None:
+        """Fold another hub's :meth:`snapshot` into this hub.
+
+        The parallel sweep engine runs each worker under a private hub
+        and ships the snapshot back; the parent merges so its post-run
+        summary covers worker-side work.  Counters add, gauges are
+        last-write-wins, and span aggregates fold via
+        :meth:`SpanTracker.merge`.  Histogram snapshots carry only
+        summary statistics (no bucket counts), so they cannot be merged
+        faithfully and are skipped.
+        """
+        for name, value in data.get("counters", {}).items():
+            self.count(name, value)
+        for name, value in data.get("gauges", {}).items():
+            self.gauge(name, value)
+        self.spans.merge(data.get("spans", {}))
+
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
         """Close every sink (idempotent)."""
@@ -177,6 +195,9 @@ class NullTelemetry:
 
     def span(self, name: str, **attrs) -> _NullSpan:
         return _NULL_SPAN
+
+    def merge_snapshot(self, data: dict) -> None:
+        return None
 
     def close(self) -> None:
         return None

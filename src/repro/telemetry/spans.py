@@ -159,6 +159,25 @@ class SpanTracker:
                 )
             )
 
+    def merge(self, snapshot: dict[str, dict[str, float]]) -> None:
+        """Fold another tracker's :meth:`snapshot` into this tracker.
+
+        Used by the parallel sweep engine: worker processes ship their
+        span aggregates back as plain data and the parent folds them in,
+        so the post-run summary covers worker-side simulation time.
+        Counts and totals add; ``max_s`` takes the maximum; per-span
+        minima are not part of a snapshot and are left untouched.
+        """
+        for name, data in snapshot.items():
+            agg = self.aggregates.get(name)
+            if agg is None:
+                agg = self.aggregates[name] = SpanAggregate(name)
+            agg.count += int(data["count"])
+            agg.total_s += data["total_s"]
+            agg.self_total_s += data["self_s"]
+            if data["max_s"] > agg.max_s:
+                agg.max_s = data["max_s"]
+
     def snapshot(self) -> dict[str, dict[str, float]]:
         """Aggregates as plain data, sorted by total time descending."""
         ordered = sorted(

@@ -54,8 +54,36 @@ class TestSharedResultsAreReadOnly:
                 arr[0] = arr[0]
 
     def test_fixed_day_arrays_frozen_too(self, runner):
+        """Regression: _freeze must cover fixed-budget runs — every array,
+        not just the plain policy-day fields."""
         day = runner.fixed_day("L1", "AZ", 7, 100.0)
-        assert not day.mpp_w.flags.writeable
+        for name in ("minutes", "mpp_w", "consumed_w", "throughput_gips", "on_solar"):
+            arr = getattr(day, name)
+            assert not arr.flags.writeable
+            with pytest.raises(ValueError, match="read-only"):
+                arr[0] = arr[0]
+
+    def test_cached_battery_results_reject_mutation(self, runner):
+        """Regression: cached battery results are shared too; mutating any
+        field of one must raise instead of corrupting later callers."""
+        day = runner.battery_day("L1", "AZ", 7, 0.81)
+        for f in dataclasses.fields(day):
+            with pytest.raises(dataclasses.FrozenInstanceError):
+                setattr(day, f.name, getattr(day, f.name))
+
+    def test_freeze_covers_every_array_field(self, runner):
+        """_freeze discovers arrays by field introspection, so a DayResult
+        gaining a new series stays covered without editing a name list."""
+        import numpy as np
+
+        day = runner.day("L1", "AZ", 7)
+        arrays = [
+            getattr(day, f.name)
+            for f in dataclasses.fields(day)
+            if isinstance(getattr(day, f.name), np.ndarray)
+        ]
+        assert arrays, "DayResult lost its array fields?"
+        assert all(not arr.flags.writeable for arr in arrays)
 
 
 class TestStats:
