@@ -2,8 +2,23 @@
 
 from repro.core.campaign import CampaignCell, CampaignResult, run_campaign
 from repro.core.config import SolarCoreConfig
+from repro.core.engine import (
+    DayEngine,
+    EnergyLedger,
+    SeriesRecorder,
+    StepContext,
+    StepSample,
+    SupplyPolicy,
+)
 from repro.core.forecast import SupplyPredictor
 from repro.core.controller import SolarCoreController, TrackingResult
+from repro.core.policies import (
+    BatteryPolicy,
+    BatteryRecorder,
+    DayResultRecorder,
+    FixedBudgetPolicy,
+    MPPTPolicy,
+)
 from repro.core.fixed_power import allocate_budget, lp_allocation_bound
 from repro.core.load_tuning import (
     TUNER_NAMES,
@@ -16,6 +31,9 @@ from repro.core.load_tuning import (
 from repro.core.simulation import (
     BatteryDayResult,
     DayResult,
+    battery_day_engine,
+    fixed_day_engine,
+    mppt_day_engine,
     run_day,
     run_day_battery,
     run_day_fixed,
@@ -52,6 +70,20 @@ __all__ = [
     "run_day",
     "run_day_fixed",
     "run_day_battery",
+    "mppt_day_engine",
+    "fixed_day_engine",
+    "battery_day_engine",
+    "DayEngine",
+    "EnergyLedger",
+    "SeriesRecorder",
+    "StepContext",
+    "StepSample",
+    "SupplyPolicy",
+    "MPPTPolicy",
+    "FixedBudgetPolicy",
+    "BatteryPolicy",
+    "DayResultRecorder",
+    "BatteryRecorder",
     "CampaignCell",
     "CampaignResult",
     "run_campaign",

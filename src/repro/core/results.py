@@ -1,0 +1,138 @@
+"""Day-simulation result dataclasses and their derived paper metrics.
+
+These are the public value objects returned by the ``run_day*`` entry
+points (and pickled by the disk result cache), kept free of simulation
+machinery so policies, recorders, and the harness can all import them
+without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DayResult", "BatteryDayResult"]
+
+
+@dataclass
+class DayResult:
+    """Everything measured over one simulated day.
+
+    Attributes:
+        mix_name: Workload mix identifier.
+        location_code: Station code.
+        month: Calendar month simulated.
+        policy: Power-management policy name.
+        minutes: Sample times [minutes since midnight].
+        mpp_w: Panel maximum (MPP) power at each step [W].
+        consumed_w: Power actually drawn by the chip at each step [W]
+            (zero while on the utility).
+        throughput_gips: Chip throughput at each step [GIPS].
+        on_solar: Whether the chip ran from the panel at each step.
+        retired_ginst_solar: Instructions retired while solar-powered [Ginst].
+        retired_ginst_total: Instructions retired over the whole day [Ginst].
+        utility_wh: Energy drawn from the grid [Wh].
+        tracking_events: Number of MPPT tracking events performed.
+        dvfs_transitions: Real per-core DVFS transitions over the day.
+        dvfs_transition_volts: Cumulative DVFS voltage swing [V] (the input
+            to VRM transition-overhead accounting).
+    """
+
+    mix_name: str
+    location_code: str
+    month: int
+    policy: str
+    minutes: np.ndarray
+    mpp_w: np.ndarray
+    consumed_w: np.ndarray
+    throughput_gips: np.ndarray
+    on_solar: np.ndarray
+    retired_ginst_solar: float
+    retired_ginst_total: float
+    utility_wh: float
+    tracking_events: int = 0
+    dvfs_transitions: int = 0
+    dvfs_transition_volts: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Derived metrics (paper Section 6 definitions)
+    # ------------------------------------------------------------------
+    @property
+    def step_minutes(self) -> float:
+        """Simulation step [minutes]."""
+        return float(self.minutes[1] - self.minutes[0])
+
+    @property
+    def solar_available_wh(self) -> float:
+        """Theoretical maximum solar supply: MPP power integrated [Wh]."""
+        return float(np.sum(self.mpp_w)) * self.step_minutes / 60.0
+
+    @property
+    def solar_used_wh(self) -> float:
+        """Solar energy the chip actually consumed [Wh]."""
+        return (
+            float(np.sum(self.consumed_w[self.on_solar])) * self.step_minutes / 60.0
+        )
+
+    @property
+    def energy_utilization(self) -> float:
+        """Consumed / theoretical-maximum solar energy (Figure 18)."""
+        available = self.solar_available_wh
+        if available <= 0.0:
+            return 0.0
+        return self.solar_used_wh / available
+
+    @property
+    def effective_duration_fraction(self) -> float:
+        """Fraction of daytime spent drawing from the panel (Figure 19)."""
+        return float(np.mean(self.on_solar))
+
+    @property
+    def ptp(self) -> float:
+        """Performance-time product: instructions committed while
+        solar-powered over the day [Ginst] (paper Section 4.3)."""
+        return self.retired_ginst_solar
+
+    @property
+    def tracking_errors(self) -> np.ndarray:
+        """Per-step relative tracking error ``|P - B| / B`` while on solar."""
+        mask = self.on_solar & (self.mpp_w > 0)
+        budget = self.mpp_w[mask]
+        actual = self.consumed_w[mask]
+        if len(budget) == 0:
+            return np.array([])
+        return np.abs(actual - budget) / budget
+
+    @property
+    def mean_tracking_error(self) -> float:
+        """Mean relative tracking error over the solar-powered steps
+        (Table 7)."""
+        errors = self.tracking_errors
+        if len(errors) == 0:
+            return 0.0
+        return float(np.mean(errors))
+
+
+@dataclass(frozen=True)
+class BatteryDayResult:
+    """Outcome of one day on the battery-equipped baseline (paper Fig 2-C).
+
+    Attributes:
+        mix_name: Workload mix identifier.
+        location_code: Station code.
+        month: Calendar month simulated.
+        derating: Overall de-rating factor applied to the harvest.
+        harvested_wh: Usable stored solar energy after de-rating [Wh].
+        runtime_minutes: How long the stored energy ran the chip at full
+            speed (may exceed daytime — the battery runs into the night).
+        ptp: Instructions committed from the stored solar energy [Ginst].
+    """
+
+    mix_name: str
+    location_code: str
+    month: int
+    derating: float
+    harvested_wh: float
+    runtime_minutes: float
+    ptp: float

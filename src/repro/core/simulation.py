@@ -1,210 +1,92 @@
 """Day-long co-simulation of panel, converter, chip, and controller.
 
-This is the experiment engine behind every figure in the paper's Section 6:
-it steps a meteorological day trace minute by minute, triggers MPP tracking
-events (periodic and supply-change driven), books energy against the solar
-and utility supplies, and accounts retired instructions for the
-performance-time product.
-
-Two entry points:
+This is the experiment surface behind every figure in the paper's
+Section 6.  The actual minute-stepping loop lives in
+:class:`repro.core.engine.DayEngine`; this module wires the three classic
+scenarios to it as :class:`~repro.core.engine.SupplyPolicy` plugins and
+keeps the stable public entry points:
 
 * :func:`run_day` — a SolarCore (MPPT) policy day: IC, RR, or Opt tuning.
 * :func:`run_day_fixed` — the Fixed-Power baseline under a budget/threshold.
+* :func:`run_day_battery` — the battery-equipped MPPT baseline.
+
+Each ``run_day*`` function also has a ``*_engine`` sibling returning the
+configured-but-unrun :class:`~repro.core.engine.DayEngine`, for callers
+that need the engine's energy ledger or want to compose policies directly.
 """
 
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
-
-import numpy as np
 
 from repro.core.config import SolarCoreConfig
-from repro.core.controller import SolarCoreController
-from repro.core.fixed_power import allocate_budget
-from repro.core.forecast import SupplyPredictor
-from repro.core.load_tuning import make_tuner
+from repro.core.engine import DayEngine
+from repro.core.policies import (
+    BatteryPolicy,
+    BatteryRecorder,
+    DayResultRecorder,
+    FixedBudgetPolicy,
+    MPPTPolicy,
+)
+from repro.core.results import BatteryDayResult, DayResult
 from repro.environment.irradiance import generate_trace
 from repro.environment.locations import Location
 from repro.environment.trace import EnvironmentTrace
-from repro.multicore.chip import MultiCoreChip
 from repro.multicore.dvfs import DVFSTable
-from repro.power.converter import DCDCConverter
-from repro.power.psu import AutomaticTransferSwitch, PowerSource
 from repro.power.sensors import IVSensor
 from repro.pv.array import PVArray
-from repro.pv.mpp import find_mpp
 from repro.telemetry import hub as telemetry_hub
-from repro.telemetry.events import (
-    BatteryEvent,
-    DVFSAllocationEvent,
-    SupplySwitchEvent,
-    TrackingEvent,
-)
-from repro.workloads.mixes import WorkloadMix, mix as mix_by_name
+from repro.workloads.mixes import WorkloadMix, resolve_mix
 
-__all__ = ["DayResult", "BatteryDayResult", "run_day", "run_day_fixed", "run_day_battery"]
+__all__ = [
+    "DayResult",
+    "BatteryDayResult",
+    "run_day",
+    "run_day_fixed",
+    "run_day_battery",
+    "mppt_day_engine",
+    "fixed_day_engine",
+    "battery_day_engine",
+]
 
 log = logging.getLogger(__name__)
 
 
-@dataclass
-class DayResult:
-    """Everything measured over one simulated day.
-
-    Attributes:
-        mix_name: Workload mix identifier.
-        location_code: Station code.
-        month: Calendar month simulated.
-        policy: Power-management policy name.
-        minutes: Sample times [minutes since midnight].
-        mpp_w: Panel maximum (MPP) power at each step [W].
-        consumed_w: Power actually drawn by the chip at each step [W]
-            (zero while on the utility).
-        throughput_gips: Chip throughput at each step [GIPS].
-        on_solar: Whether the chip ran from the panel at each step.
-        retired_ginst_solar: Instructions retired while solar-powered [Ginst].
-        retired_ginst_total: Instructions retired over the whole day [Ginst].
-        utility_wh: Energy drawn from the grid [Wh].
-        tracking_events: Number of MPPT tracking events performed.
-        dvfs_transitions: Real per-core DVFS transitions over the day.
-        dvfs_transition_volts: Cumulative DVFS voltage swing [V] (the input
-            to VRM transition-overhead accounting).
-    """
-
-    mix_name: str
-    location_code: str
-    month: int
-    policy: str
-    minutes: np.ndarray
-    mpp_w: np.ndarray
-    consumed_w: np.ndarray
-    throughput_gips: np.ndarray
-    on_solar: np.ndarray
-    retired_ginst_solar: float
-    retired_ginst_total: float
-    utility_wh: float
-    tracking_events: int = 0
-    dvfs_transitions: int = 0
-    dvfs_transition_volts: float = 0.0
-
-    # ------------------------------------------------------------------
-    # Derived metrics (paper Section 6 definitions)
-    # ------------------------------------------------------------------
-    @property
-    def step_minutes(self) -> float:
-        """Simulation step [minutes]."""
-        return float(self.minutes[1] - self.minutes[0])
-
-    @property
-    def solar_available_wh(self) -> float:
-        """Theoretical maximum solar supply: MPP power integrated [Wh]."""
-        return float(np.sum(self.mpp_w)) * self.step_minutes / 60.0
-
-    @property
-    def solar_used_wh(self) -> float:
-        """Solar energy the chip actually consumed [Wh]."""
-        return (
-            float(np.sum(self.consumed_w[self.on_solar])) * self.step_minutes / 60.0
-        )
-
-    @property
-    def energy_utilization(self) -> float:
-        """Consumed / theoretical-maximum solar energy (Figure 18)."""
-        available = self.solar_available_wh
-        if available <= 0.0:
-            return 0.0
-        return self.solar_used_wh / available
-
-    @property
-    def effective_duration_fraction(self) -> float:
-        """Fraction of daytime spent drawing from the panel (Figure 19)."""
-        return float(np.mean(self.on_solar))
-
-    @property
-    def ptp(self) -> float:
-        """Performance-time product: instructions committed while
-        solar-powered over the day [Ginst] (paper Section 4.3)."""
-        return self.retired_ginst_solar
-
-    @property
-    def tracking_errors(self) -> np.ndarray:
-        """Per-step relative tracking error ``|P - B| / B`` while on solar."""
-        mask = self.on_solar & (self.mpp_w > 0)
-        budget = self.mpp_w[mask]
-        actual = self.consumed_w[mask]
-        if len(budget) == 0:
-            return np.array([])
-        return np.abs(actual - budget) / budget
-
-    @property
-    def mean_tracking_error(self) -> float:
-        """Mean relative tracking error over the solar-powered steps
-        (Table 7)."""
-        errors = self.tracking_errors
-        if len(errors) == 0:
-            return 0.0
-        return float(np.mean(errors))
-
-
-@dataclass
-class _DaySeries:
-    """Mutable accumulators for one simulated day."""
-
-    minutes: list[float] = field(default_factory=list)
-    mpp_w: list[float] = field(default_factory=list)
-    consumed_w: list[float] = field(default_factory=list)
-    throughput: list[float] = field(default_factory=list)
-    on_solar: list[bool] = field(default_factory=list)
-    retired_solar: float = 0.0
-    utility_wh: float = 0.0
-
-    def record(
-        self,
-        minute: float,
-        mpp: float,
-        consumed: float,
-        throughput: float,
-        solar: bool,
-    ) -> None:
-        self.minutes.append(minute)
-        self.mpp_w.append(mpp)
-        self.consumed_w.append(consumed)
-        self.throughput.append(throughput)
-        self.on_solar.append(solar)
-
-
-def _resolve_mix(workload: WorkloadMix | str) -> WorkloadMix:
-    if isinstance(workload, str):
-        return mix_by_name(workload)
-    return workload
-
-
-def _finish(
-    series: _DaySeries,
-    chip: MultiCoreChip,
-    workload: WorkloadMix,
+def mppt_day_engine(
+    workload: WorkloadMix | str,
     location: Location,
     month: int,
-    policy: str,
-    tracking_events: int,
-) -> DayResult:
-    return DayResult(
-        mix_name=workload.name,
-        location_code=location.code,
-        month=month,
-        policy=policy,
-        minutes=np.array(series.minutes),
-        mpp_w=np.array(series.mpp_w),
-        consumed_w=np.array(series.consumed_w),
-        throughput_gips=np.array(series.throughput),
-        on_solar=np.array(series.on_solar, dtype=bool),
-        retired_ginst_solar=series.retired_solar,
-        retired_ginst_total=chip.retired_ginst,
-        utility_wh=series.utility_wh,
-        tracking_events=tracking_events,
-        dvfs_transitions=chip.total_transitions,
-        dvfs_transition_volts=chip.total_transition_volts,
+    policy: str = "MPPT&Opt",
+    config: SolarCoreConfig | None = None,
+    array: PVArray | None = None,
+    trace: EnvironmentTrace | None = None,
+    seed: int | None = None,
+    dvfs_table: DVFSTable | None = None,
+    sensor: IVSensor | None = None,
+    telemetry=None,
+) -> DayEngine:
+    """The configured :class:`DayEngine` behind :func:`run_day`."""
+    tel = telemetry if telemetry is not None else telemetry_hub.current()
+    cfg = config or SolarCoreConfig()
+    workload = resolve_mix(workload)
+    array = array or PVArray()
+    if trace is None:
+        trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
+    supply = MPPTPolicy(
+        workload, policy, cfg, array,
+        dvfs_table=dvfs_table, sensor=sensor, telemetry=tel,
+    )
+    return DayEngine(
+        array=array,
+        trace=trace,
+        config=cfg,
+        policy=supply,
+        recorder=DayResultRecorder(workload, location, month),
+        telemetry=tel,
+        span_name="run_day",
+        span_attrs=dict(
+            mix=workload.name, location=location.code, month=month, policy=policy
+        ),
     )
 
 
@@ -243,169 +125,51 @@ def run_day(
     Returns:
         The day's :class:`DayResult`.
     """
+    engine = mppt_day_engine(
+        workload, location, month, policy, config, array, trace, seed,
+        dvfs_table, sensor, telemetry,
+    )
+    day = engine.run()
+    log.debug(
+        "run_day %s @ %s m%d (%s): %d tracking events, utilization %.1f%%",
+        day.mix_name, day.location_code, day.month, day.policy,
+        day.tracking_events, 100.0 * day.energy_utilization,
+    )
+    return day
+
+
+def fixed_day_engine(
+    workload: WorkloadMix | str,
+    location: Location,
+    month: int,
+    budget_w: float,
+    config: SolarCoreConfig | None = None,
+    array: PVArray | None = None,
+    trace: EnvironmentTrace | None = None,
+    seed: int | None = None,
+    telemetry=None,
+) -> DayEngine:
+    """The configured :class:`DayEngine` behind :func:`run_day_fixed`."""
     tel = telemetry if telemetry is not None else telemetry_hub.current()
     cfg = config or SolarCoreConfig()
-    workload = _resolve_mix(workload)
+    workload = resolve_mix(workload)
     array = array or PVArray()
     if trace is None:
         trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
-
-    with tel.span(
-        "run_day",
-        mix=workload.name,
-        location=location.code,
-        month=month,
-        policy=policy,
-    ):
-        return _run_day_inner(
-            workload, location, month, policy, cfg, array, trace,
-            dvfs_table, sensor, tel,
-        )
-
-
-def _run_day_inner(
-    workload: WorkloadMix,
-    location: Location,
-    month: int,
-    policy: str,
-    cfg: SolarCoreConfig,
-    array: PVArray,
-    trace: EnvironmentTrace,
-    dvfs_table: DVFSTable | None,
-    sensor: IVSensor | None,
-    tel,
-) -> DayResult:
-    chip = MultiCoreChip(workload, table=dvfs_table)
-    chip.set_all_levels(chip.table.min_level)
-    converter = DCDCConverter()
-    tuner = make_tuner(policy, allow_gating=cfg.enable_pcpg)
-    controller = SolarCoreController(
-        array, converter, chip, tuner, cfg, sensor, telemetry=tel
+    supply = FixedBudgetPolicy(workload, budget_w, cfg, telemetry=tel)
+    return DayEngine(
+        array=array,
+        trace=trace,
+        config=cfg,
+        policy=supply,
+        recorder=DayResultRecorder(workload, location, month),
+        telemetry=tel,
+        span_name="run_day_fixed",
+        span_attrs=dict(
+            mix=workload.name, location=location.code, month=month,
+            budget_w=budget_w,
+        ),
     )
-    ats = AutomaticTransferSwitch(cfg.ats_margin)
-    predictor = SupplyPredictor() if cfg.adaptive_margin else None
-
-    series = _DaySeries()
-    dt = cfg.step_minutes
-    last_track_minute = -float("inf")
-    last_track_mpp = None
-    prev_source = PowerSource.UTILITY
-    tracking_events = 0
-    utility_level = (
-        chip.table.max_level if cfg.utility_level is None else cfg.utility_level
-    )
-
-    for i in range(len(trace.minutes) - 1):
-        minute = float(trace.minutes[i])
-        irradiance = float(trace.irradiance[i])
-        ambient = float(trace.ambient_c[i])
-        cell_temp = array.cell_temperature_from_ambient(irradiance, ambient)
-        mpp = find_mpp(array, irradiance, cell_temp)
-
-        floor_w = chip.floor_power_at(minute, with_gating=cfg.enable_pcpg)
-        source = ats.update(mpp.power, floor_w)
-        if source is not prev_source and tel.enabled:
-            tel.count("sim.supply_switches")
-            tel.emit(
-                SupplySwitchEvent(
-                    minute=minute,
-                    source=source.value,
-                    available_solar_w=mpp.power,
-                    load_floor_w=floor_w,
-                )
-            )
-        if source is PowerSource.SOLAR:
-            if prev_source is not PowerSource.SOLAR:
-                # Soft-start: engage the panel at the minimum load.
-                chip.ungate_all()
-                chip.set_all_levels(chip.table.min_level)
-                last_track_minute = -float("inf")
-                if predictor is not None:
-                    predictor.reset()
-            if predictor is not None:
-                predictor.observe(minute, mpp.power)
-            supply_changed = (
-                cfg.supply_change_fraction is not None
-                and last_track_mpp is not None
-                and last_track_mpp > 0
-                and abs(mpp.power - last_track_mpp) / last_track_mpp
-                > cfg.supply_change_fraction
-            )
-            if minute - last_track_minute >= cfg.tracking_interval_min or supply_changed:
-                if predictor is not None:
-                    controller.margin_override = predictor.adaptive_margin(
-                        cfg.tracking_interval_min,
-                        floor=cfg.adaptive_margin_floor,
-                        ceiling=cfg.power_margin,
-                    )
-                result = controller.track(irradiance, cell_temp, minute)
-                if cfg.realloc_after_track and not result.load_saturated:
-                    # Ref [15]-style global reallocation under the budget
-                    # the tracking event just discovered.
-                    target = result.best_power_w * (1.0 - cfg.power_margin)
-                    if target >= chip.floor_power_at(minute, cfg.enable_pcpg):
-                        allocate_budget(
-                            chip, target, minute, allow_gating=cfg.enable_pcpg
-                        )
-                        if tel.enabled:
-                            tel.count("sim.budget_allocations")
-                            tel.emit(
-                                DVFSAllocationEvent(
-                                    minute=minute,
-                                    budget_w=target,
-                                    allocated_w=chip.total_power_at(minute),
-                                )
-                            )
-                tracking_events += 1
-                last_track_minute = minute
-                last_track_mpp = mpp.power
-                if tel.enabled:
-                    tel.count("sim.tracking_events")
-                    tel.emit(
-                        TrackingEvent(
-                            minute=minute,
-                            mix=workload.name,
-                            policy=tuner.name,
-                            iterations=result.iterations,
-                            power_w=result.power_w,
-                            best_power_w=result.best_power_w,
-                            mpp_w=mpp.power,
-                            rail_voltage=result.rail_voltage,
-                            load_saturated=result.load_saturated,
-                            triggered_by="supply-change" if supply_changed else "periodic",
-                        )
-                    )
-            # Between tracking events the converter's fast inner loop servos
-            # k to hold the rail at nominal, so the chip draws exactly its
-            # DVFS-determined demand — bounded by what the panel can give.
-            consumed = min(chip.total_power_at(minute), mpp.power)
-            retired = chip.advance(minute, dt)
-            series.retired_solar += retired
-            series.record(
-                minute, mpp.power, consumed, chip.total_throughput_at(minute), True
-            )
-        else:
-            # Conventional CMP on grid power.
-            chip.ungate_all()
-            chip.set_all_levels(utility_level)
-            consumed = chip.total_power_at(minute)
-            series.utility_wh += consumed * dt / 60.0
-            chip.advance(minute, dt)
-            series.record(
-                minute, mpp.power, 0.0, chip.total_throughput_at(minute), False
-            )
-        prev_source = source
-
-    if tel.enabled:
-        tel.count("sim.days")
-        tel.count("sim.dvfs_transitions", chip.total_transitions)
-    day = _finish(series, chip, workload, location, month, tuner.name, tracking_events)
-    log.debug(
-        "run_day %s @ %s m%d (%s): %d tracking events, utilization %.1f%%",
-        workload.name, location.code, month, tuner.name,
-        tracking_events, 100.0 * day.energy_utilization,
-    )
-    return day
 
 
 def run_day_fixed(
@@ -428,114 +192,47 @@ def run_day_fixed(
 
     Args/returns: as :func:`run_day`, plus ``budget_w`` [W].
     """
+    engine = fixed_day_engine(
+        workload, location, month, budget_w, config, array, trace, seed,
+        telemetry,
+    )
+    return engine.run()
+
+
+def battery_day_engine(
+    workload: WorkloadMix | str,
+    location: Location,
+    month: int,
+    derating: float = 0.81,
+    config: SolarCoreConfig | None = None,
+    array: PVArray | None = None,
+    trace: EnvironmentTrace | None = None,
+    seed: int | None = None,
+    telemetry=None,
+) -> DayEngine:
+    """The configured :class:`DayEngine` behind :func:`run_day_battery`."""
+    if not 0.0 < derating <= 1.0:
+        raise ValueError(f"derating must be in (0, 1], got {derating}")
     tel = telemetry if telemetry is not None else telemetry_hub.current()
     cfg = config or SolarCoreConfig()
-    workload = _resolve_mix(workload)
+    workload = resolve_mix(workload)
     array = array or PVArray()
     if trace is None:
         trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
-
-    with tel.span(
-        "run_day_fixed",
-        mix=workload.name,
-        location=location.code,
-        month=month,
-        budget_w=budget_w,
-    ):
-        return _run_day_fixed_inner(
-            workload, location, month, budget_w, cfg, array, trace, tel
-        )
-
-
-def _run_day_fixed_inner(
-    workload: WorkloadMix,
-    location: Location,
-    month: int,
-    budget_w: float,
-    cfg: SolarCoreConfig,
-    array: PVArray,
-    trace: EnvironmentTrace,
-    tel,
-) -> DayResult:
-    chip = MultiCoreChip(workload)
-
-    series = _DaySeries()
-    dt = cfg.step_minutes
-    last_alloc_minute = -float("inf")
-    utility_level = (
-        chip.table.max_level if cfg.utility_level is None else cfg.utility_level
+    supply = BatteryPolicy(workload, location, month, derating, cfg, telemetry=tel)
+    return DayEngine(
+        array=array,
+        trace=trace,
+        config=cfg,
+        policy=supply,
+        recorder=BatteryRecorder(),
+        telemetry=tel,
+        span_name="run_day_battery",
+        span_attrs=dict(
+            mix=workload.name, location=location.code, month=month,
+            derating=derating,
+        ),
     )
-
-    for i in range(len(trace.minutes) - 1):
-        minute = float(trace.minutes[i])
-        irradiance = float(trace.irradiance[i])
-        ambient = float(trace.ambient_c[i])
-        cell_temp = array.cell_temperature_from_ambient(irradiance, ambient)
-        mpp = find_mpp(array, irradiance, cell_temp)
-
-        # Solar-eligible only when the panel covers the full fixed budget and
-        # the budget covers the chip's floor configuration.
-        floor_power = chip.floor_power_at(minute, with_gating=cfg.enable_pcpg)
-        if mpp.power >= budget_w and budget_w >= floor_power:
-            if minute - last_alloc_minute >= cfg.tracking_interval_min:
-                allocate_budget(chip, budget_w, minute, allow_gating=cfg.enable_pcpg)
-                last_alloc_minute = minute
-                if tel.enabled:
-                    tel.count("sim.budget_allocations")
-                    tel.emit(
-                        DVFSAllocationEvent(
-                            minute=minute,
-                            budget_w=budget_w,
-                            allocated_w=chip.total_power_at(minute),
-                        )
-                    )
-            consumed = min(chip.total_power_at(minute), budget_w)
-            retired = chip.advance(minute, dt)
-            series.retired_solar += retired
-            series.record(
-                minute, mpp.power, consumed, chip.total_throughput_at(minute), True
-            )
-        else:
-            chip.ungate_all()
-            chip.set_all_levels(utility_level)
-            consumed = chip.total_power_at(minute)
-            series.utility_wh += consumed * dt / 60.0
-            chip.advance(minute, dt)
-            series.record(
-                minute, mpp.power, 0.0, chip.total_throughput_at(minute), False
-            )
-            last_alloc_minute = -float("inf")
-
-    if tel.enabled:
-        tel.count("sim.days")
-        tel.count("sim.dvfs_transitions", chip.total_transitions)
-    return _finish(
-        series, chip, workload, location, month, f"Fixed-{budget_w:.0f}W", 0
-    )
-
-
-@dataclass(frozen=True)
-class BatteryDayResult:
-    """Outcome of one day on the battery-equipped baseline (paper Fig 2-C).
-
-    Attributes:
-        mix_name: Workload mix identifier.
-        location_code: Station code.
-        month: Calendar month simulated.
-        derating: Overall de-rating factor applied to the harvest.
-        harvested_wh: Usable stored solar energy after de-rating [Wh].
-        runtime_minutes: How long the stored energy ran the chip at full
-            speed (may exceed daytime — the battery runs into the night).
-        ptp: Instructions committed from the stored solar energy [Ginst].
-    """
-
-    mix_name: str
-    location_code: str
-    month: int
-    derating: float
-    harvested_wh: float
-    runtime_minutes: float
-    ptp: float
 
 
 def run_day_battery(
@@ -560,88 +257,8 @@ def run_day_battery(
 
     Args/returns: as :func:`run_day`, plus the de-rating factor.
     """
-    if not 0.0 < derating <= 1.0:
-        raise ValueError(f"derating must be in (0, 1], got {derating}")
-    tel = telemetry if telemetry is not None else telemetry_hub.current()
-    cfg = config or SolarCoreConfig()
-    workload = _resolve_mix(workload)
-    array = array or PVArray()
-    if trace is None:
-        trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
-
-    with tel.span(
-        "run_day_battery",
-        mix=workload.name,
-        location=location.code,
-        month=month,
-        derating=derating,
-    ):
-        return _run_day_battery_inner(
-            workload, location, month, derating, cfg, array, trace, tel
-        )
-
-
-def _run_day_battery_inner(
-    workload: WorkloadMix,
-    location: Location,
-    month: int,
-    derating: float,
-    cfg: SolarCoreConfig,
-    array: PVArray,
-    trace: EnvironmentTrace,
-    tel,
-) -> BatteryDayResult:
-    # Harvest: MPP power integrated over the day, then de-rated.
-    dt = cfg.step_minutes
-    harvested_wh = 0.0
-    for i in range(len(trace.minutes) - 1):
-        irradiance = float(trace.irradiance[i])
-        ambient = float(trace.ambient_c[i])
-        cell_temp = array.cell_temperature_from_ambient(irradiance, ambient)
-        harvested_wh += find_mpp(array, irradiance, cell_temp).power * dt / 60.0
-    harvested_wh *= derating
-    if tel.enabled:
-        tel.emit(
-            BatteryEvent(
-                minute=float(trace.minutes[0]),
-                phase="harvested",
-                energy_wh=harvested_wh,
-                derating=derating,
-            )
-        )
-
-    # Spend: full speed from a stable supply until the energy runs out.
-    chip = MultiCoreChip(workload)
-    chip.set_all_levels(chip.table.max_level)
-    remaining_wh = harvested_wh
-    minute = float(trace.minutes[0])
-    while remaining_wh > 0.0:
-        power = chip.total_power_at(minute)
-        step_wh = power * dt / 60.0
-        if step_wh >= remaining_wh:
-            # Partial final step: run the exact fraction the energy allows.
-            fraction = remaining_wh / step_wh
-            chip.advance(minute, dt * fraction)
-            minute += dt * fraction
-            remaining_wh = 0.0
-            break
-        chip.advance(minute, dt)
-        remaining_wh -= step_wh
-        minute += dt
-
-    if tel.enabled:
-        tel.count("sim.days")
-        tel.emit(
-            BatteryEvent(
-                minute=minute, phase="depleted", energy_wh=0.0, derating=derating
-            )
-        )
-    return BatteryDayResult(
-        mix_name=workload.name,
-        location_code=location.code,
-        month=month,
-        derating=derating,
-        harvested_wh=harvested_wh,
-        runtime_minutes=minute - float(trace.minutes[0]),
-        ptp=chip.retired_ginst,
+    engine = battery_day_engine(
+        workload, location, month, derating, config, array, trace, seed,
+        telemetry,
     )
+    return engine.run()

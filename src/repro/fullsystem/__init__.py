@@ -6,7 +6,9 @@ from repro.fullsystem.memory import DRAMSystem, MemoryState, ddr2_4gb
 from repro.fullsystem.nic import LinkRate, NetworkInterface
 from repro.fullsystem.simulation import (
     FullSystemDayResult,
+    FullSystemPolicy,
     default_server,
+    fullsystem_day_engine,
     run_day_fullsystem,
 )
 from repro.fullsystem.system import DEFAULT_WEIGHTS, FullSystemLoad, SystemTuner
@@ -23,6 +25,8 @@ __all__ = [
     "SystemTuner",
     "DEFAULT_WEIGHTS",
     "FullSystemDayResult",
+    "FullSystemPolicy",
     "run_day_fullsystem",
+    "fullsystem_day_engine",
     "default_server",
 ]

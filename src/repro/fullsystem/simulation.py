@@ -5,6 +5,11 @@ Like :func:`repro.core.simulation.run_day`, but the PV array powers the
 knob is the cross-component :class:`~repro.fullsystem.system.SystemTuner`.
 The array defaults to two parallel BP3180N modules: a server draws roughly
 twice what its processor alone does.
+
+The scenario is a :class:`~repro.core.engine.SupplyPolicy` plugin
+(:class:`FullSystemPolicy`) for the unified
+:class:`~repro.core.engine.DayEngine`; :func:`run_day_fullsystem` is the
+stable public shim.
 """
 
 from __future__ import annotations
@@ -15,6 +20,13 @@ import numpy as np
 
 from repro.core.config import SolarCoreConfig
 from repro.core.controller import SolarCoreController
+from repro.core.engine import (
+    DayEngine,
+    SeriesRecorder,
+    StepContext,
+    StepSample,
+    SupplyPolicy,
+)
 from repro.environment.irradiance import generate_trace
 from repro.environment.locations import Location
 from repro.environment.trace import EnvironmentTrace
@@ -24,12 +36,17 @@ from repro.fullsystem.nic import NetworkInterface
 from repro.fullsystem.system import FullSystemLoad, SystemTuner
 from repro.multicore.chip import MultiCoreChip
 from repro.power.converter import DCDCConverter
-from repro.power.psu import AutomaticTransferSwitch, PowerSource
 from repro.pv.array import PVArray
-from repro.pv.mpp import find_mpp
-from repro.workloads.mixes import WorkloadMix, mix as mix_by_name
+from repro.telemetry import hub as telemetry_hub
+from repro.workloads.mixes import WorkloadMix, resolve_mix
 
-__all__ = ["FullSystemDayResult", "run_day_fullsystem", "default_server"]
+__all__ = [
+    "FullSystemDayResult",
+    "FullSystemPolicy",
+    "run_day_fullsystem",
+    "fullsystem_day_engine",
+    "default_server",
+]
 
 
 def default_server(workload: WorkloadMix) -> FullSystemLoad:
@@ -92,6 +109,135 @@ class FullSystemDayResult:
         return float(np.mean(self.system_utility))
 
 
+class FullSystemPolicy(SupplyPolicy):
+    """Whole-server supply policy: MPPT with the cross-component tuner.
+
+    The load is a :class:`FullSystemLoad` (chip + memory + disk + NIC) and
+    tracking adjusts every component through the
+    :class:`~repro.fullsystem.system.SystemTuner`.
+    """
+
+    uses_ats = True
+    name = "FullSystem"
+
+    def __init__(
+        self,
+        system: FullSystemLoad,
+        cfg: SolarCoreConfig,
+        array: PVArray,
+    ) -> None:
+        self.system = system
+        self.cfg = cfg
+        system.chip.set_all_levels(system.chip.table.min_level)
+        for component in system.components:
+            component.set_level(0)
+        self.controller = SolarCoreController(
+            array, DCDCConverter(), system, SystemTuner(), cfg
+        )
+        self._last_track = -float("inf")
+
+    def floor_power(self, ctx: StepContext) -> float:
+        return self.system.floor_power_at(ctx.minute, self.cfg.enable_pcpg)
+
+    def enter_solar(self, ctx: StepContext) -> None:
+        system = self.system
+        system.chip.ungate_all()
+        system.chip.set_all_levels(system.chip.table.min_level)
+        for component in system.components:
+            component.set_level(0)
+        self._last_track = -float("inf")
+
+    def solar_step(self, ctx: StepContext) -> StepSample:
+        system = self.system
+        if ctx.minute - self._last_track >= self.cfg.tracking_interval_min:
+            self.controller.track(ctx.irradiance, ctx.cell_temp, ctx.minute)
+            self._last_track = ctx.minute
+        drawn = min(system.total_power_at(ctx.minute), ctx.mpp.power)
+        retired = system.chip.advance(ctx.minute, ctx.dt)
+        return StepSample(
+            consumed_w=drawn,
+            throughput_gips=system.chip.total_throughput_at(ctx.minute),
+            retired_ginst=retired,
+            system_utility=system.utility_at(ctx.minute),
+        )
+
+    def utility_step(self, ctx: StepContext) -> StepSample:
+        system = self.system
+        system.chip.ungate_all()
+        system.chip.set_all_levels(system.chip.table.max_level)
+        for component in system.components:
+            component.set_level(component.n_levels - 1)
+        grid = system.total_power_at(ctx.minute)
+        system.chip.advance(ctx.minute, ctx.dt)
+        return StepSample(
+            consumed_w=0.0,
+            throughput_gips=system.chip.total_throughput_at(ctx.minute),
+            utility_w=grid,
+            system_utility=system.utility_at(ctx.minute),
+        )
+
+
+class FullSystemRecorder(SeriesRecorder):
+    """Adds the grid-power and service-level series to the base recorder."""
+
+    def __init__(self, workload: WorkloadMix, location: Location, month: int) -> None:
+        super().__init__()
+        self.workload = workload
+        self.location = location
+        self.month = month
+        self.utility_w: list[float] = []
+        self.system_utility: list[float] = []
+
+    def record(self, ctx: StepContext, solar: bool, sample: StepSample) -> None:
+        super().record(ctx, solar, sample)
+        self.utility_w.append(sample.utility_w)
+        self.system_utility.append(sample.system_utility)
+
+    def build(self, engine: DayEngine) -> FullSystemDayResult:
+        return FullSystemDayResult(
+            mix_name=self.workload.name,
+            location_code=self.location.code,
+            month=self.month,
+            minutes=np.array(self.minutes),
+            mpp_w=np.array(self.mpp_w),
+            consumed_w=np.array(self.consumed_w),
+            utility_w=np.array(self.utility_w),
+            chip_throughput_gips=np.array(self.throughput),
+            system_utility=np.array(self.system_utility),
+            on_solar=np.array(self.on_solar, dtype=bool),
+        )
+
+
+def fullsystem_day_engine(
+    workload: WorkloadMix | str,
+    location: Location,
+    month: int,
+    config: SolarCoreConfig | None = None,
+    array: PVArray | None = None,
+    trace: EnvironmentTrace | None = None,
+    seed: int | None = None,
+    server: FullSystemLoad | None = None,
+) -> DayEngine:
+    """The configured :class:`DayEngine` behind :func:`run_day_fullsystem`."""
+    cfg = config or SolarCoreConfig()
+    workload = resolve_mix(workload)
+    array = array or PVArray(modules_parallel=2)
+    if trace is None:
+        trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
+    system = server or default_server(workload)
+    supply = FullSystemPolicy(system, cfg, array)
+    return DayEngine(
+        array=array,
+        trace=trace,
+        config=cfg,
+        policy=supply,
+        recorder=FullSystemRecorder(workload, location, month),
+        telemetry=telemetry_hub.current(),
+        span_name="run_day_fullsystem",
+        span_attrs=dict(mix=workload.name, location=location.code, month=month),
+    )
+
+
 def run_day_fullsystem(
     workload: WorkloadMix | str,
     location: Location,
@@ -118,81 +264,7 @@ def run_day_fullsystem(
     Returns:
         A :class:`FullSystemDayResult`.
     """
-    cfg = config or SolarCoreConfig()
-    workload = _resolve(workload)
-    array = array or PVArray(modules_parallel=2)
-    if trace is None:
-        trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
-
-    system = server or default_server(workload)
-    system.chip.set_all_levels(system.chip.table.min_level)
-    for component in system.components:
-        component.set_level(0)
-
-    converter = DCDCConverter()
-    controller = SolarCoreController(array, converter, system, SystemTuner(), cfg)
-    ats = AutomaticTransferSwitch(cfg.ats_margin)
-
-    minutes, mpps, consumed, utility, throughput, utilities, on_solar = (
-        [], [], [], [], [], [], []
+    engine = fullsystem_day_engine(
+        workload, location, month, config, array, trace, seed, server
     )
-    last_track = -float("inf")
-    prev_source = PowerSource.UTILITY
-    dt = cfg.step_minutes
-
-    for i in range(len(trace.minutes) - 1):
-        minute = float(trace.minutes[i])
-        irradiance = float(trace.irradiance[i])
-        ambient = float(trace.ambient_c[i])
-        cell_temp = array.cell_temperature_from_ambient(irradiance, ambient)
-        mpp = find_mpp(array, irradiance, cell_temp)
-
-        source = ats.update(mpp.power, system.floor_power_at(minute, cfg.enable_pcpg))
-        if source is PowerSource.SOLAR:
-            if prev_source is not PowerSource.SOLAR:
-                system.chip.ungate_all()
-                system.chip.set_all_levels(system.chip.table.min_level)
-                for component in system.components:
-                    component.set_level(0)
-                last_track = -float("inf")
-            if minute - last_track >= cfg.tracking_interval_min:
-                controller.track(irradiance, cell_temp, minute)
-                last_track = minute
-            drawn = min(system.total_power_at(minute), mpp.power)
-            grid = 0.0
-        else:
-            system.chip.ungate_all()
-            system.chip.set_all_levels(system.chip.table.max_level)
-            for component in system.components:
-                component.set_level(component.n_levels - 1)
-            drawn = 0.0
-            grid = system.total_power_at(minute)
-
-        system.chip.advance(minute, dt)
-        minutes.append(minute)
-        mpps.append(mpp.power)
-        consumed.append(drawn)
-        utility.append(grid)
-        throughput.append(system.chip.total_throughput_at(minute))
-        utilities.append(system.utility_at(minute))
-        on_solar.append(source is PowerSource.SOLAR)
-        prev_source = source
-
-    return FullSystemDayResult(
-        mix_name=workload.name,
-        location_code=location.code,
-        month=month,
-        minutes=np.array(minutes),
-        mpp_w=np.array(mpps),
-        consumed_w=np.array(consumed),
-        utility_w=np.array(utility),
-        chip_throughput_gips=np.array(throughput),
-        system_utility=np.array(utilities),
-        on_solar=np.array(on_solar, dtype=bool),
-    )
-
-
-def _resolve(workload: WorkloadMix | str) -> WorkloadMix:
-    if isinstance(workload, str):
-        return mix_by_name(workload)
-    return workload
+    return engine.run()

@@ -67,7 +67,13 @@ log = logging.getLogger(__name__)
 
 #: Bump to invalidate every existing disk-cache entry (layout changes,
 #: semantic fixes that do not show up in the source fingerprint, ...).
-CACHE_FORMAT_VERSION = 1
+#: v2: the unified DayEngine replaced the per-scenario day loops — caches
+#: written by the forked-loop implementations are purged on first open.
+CACHE_FORMAT_VERSION = 2
+
+#: Marker file recording which format a cache directory was written by.
+#: Directories without it (all pre-v2 caches) are treated as stale.
+_FORMAT_MARKER = "CACHE_FORMAT"
 
 #: Task kinds, mirroring the three day-simulation entry points.
 _KINDS = ("mppt", "fixed", "battery")
@@ -198,7 +204,12 @@ def compute_task(
     task: SweepTask, config: SolarCoreConfig
 ) -> DayResult | BatteryDayResult:
     """Run one task — the single execution path shared by the serial
-    runner and every worker process, so both compute identical results."""
+    runner and every worker process, so both compute identical results.
+
+    Every kind dispatches through the unified
+    :class:`repro.core.engine.DayEngine` via the public ``run_day*``
+    shims, so cached, serial, and parallel results all come from the
+    same stepping loop."""
     loc: Location = location_by_code(task.location_code)
     if task.kind == "mppt":
         return run_day(
@@ -240,6 +251,41 @@ class DiskResultCache:
         self.fingerprint = fingerprint or code_fingerprint()
         self.hits = 0
         self.misses = 0
+        self._ensure_format()
+
+    def _ensure_format(self) -> None:
+        """Purge entries written by an older cache format — loudly.
+
+        A format bump means the result layout or the simulation engine
+        changed in a way the per-entry addressing cannot express; serving
+        (or silently orphaning) old entries is not acceptable, so every
+        ``*.pkl`` under a stale or unmarked directory is deleted with a
+        warning and the directory is stamped with the current format.
+        """
+        marker = self.root / _FORMAT_MARKER
+        try:
+            stored: int | None = int(marker.read_text().strip())
+        except (FileNotFoundError, ValueError):
+            stored = None
+        if stored == CACHE_FORMAT_VERSION:
+            return
+        stale = sorted(self.root.glob("*.pkl"))
+        if stale:
+            log.warning(
+                "disk cache %s was written by format %s (current: %s); "
+                "deleting %d stale entry(ies) — they will be recomputed",
+                self.root,
+                "unknown" if stored is None else stored,
+                CACHE_FORMAT_VERSION,
+                len(stale),
+            )
+            for path in stale:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        self.root.mkdir(parents=True, exist_ok=True)
+        marker.write_text(f"{CACHE_FORMAT_VERSION}\n")
 
     def path_for(self, key: tuple) -> Path:
         """The entry file a key addresses (exists only after a store)."""

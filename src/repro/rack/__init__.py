@@ -1,11 +1,18 @@
 """Rack-scale extension: many chips sharing one solar farm."""
 
 from repro.rack.coordinator import DIVISION_POLICIES, divide_budget
-from repro.rack.simulation import RackDayResult, run_day_rack
+from repro.rack.simulation import (
+    RackDayResult,
+    RackPolicy,
+    rack_day_engine,
+    run_day_rack,
+)
 
 __all__ = [
     "divide_budget",
     "DIVISION_POLICIES",
     "RackDayResult",
+    "RackPolicy",
+    "rack_day_engine",
     "run_day_rack",
 ]

@@ -2,8 +2,13 @@
 
 The rack coordinator tracks the farm's MPP (assumed ideal at this level —
 each chip's local behaviour was validated in :mod:`repro.core`), divides
-the budget by the configured policy, and each chip's local allocator
-spends its share via TPR-greedy level assignment.
+the budget by the configured policy, and each chip's local (per-node)
+allocator spends its share via TPR-greedy level assignment.
+
+The scenario is a :class:`~repro.core.engine.SupplyPolicy` plugin
+(:class:`RackPolicy`) for the unified
+:class:`~repro.core.engine.DayEngine`; :func:`run_day_rack` is the stable
+public shim.
 """
 
 from __future__ import annotations
@@ -13,19 +18,24 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import SolarCoreConfig
+from repro.core.engine import (
+    DayEngine,
+    SeriesRecorder,
+    StepContext,
+    StepSample,
+    SupplyPolicy,
+)
 from repro.core.fixed_power import allocate_budget
 from repro.environment.irradiance import generate_trace
 from repro.environment.locations import Location
 from repro.environment.trace import EnvironmentTrace
 from repro.multicore.chip import MultiCoreChip
-from repro.power.psu import AutomaticTransferSwitch, PowerSource
 from repro.pv.array import PVArray
-from repro.pv.mpp import find_mpp
 from repro.rack.coordinator import divide_budget
 from repro.telemetry import hub as telemetry_hub
 from repro.workloads.mixes import mix as mix_by_name
 
-__all__ = ["RackDayResult", "run_day_rack"]
+__all__ = ["RackDayResult", "RackPolicy", "run_day_rack", "rack_day_engine"]
 
 
 @dataclass(frozen=True)
@@ -75,6 +85,147 @@ class RackDayResult:
         return float(np.mean(self.on_solar))
 
 
+class RackPolicy(SupplyPolicy):
+    """Coordinator over N per-node allocators sharing one solar farm.
+
+    At the tracking cadence the coordinator divides the farm budget by the
+    configured policy (``equal``/``proportional``/``tpr``); each chip's
+    local allocator then spends its share.  Off solar, every node runs at
+    full speed from the grid.
+    """
+
+    uses_ats = True
+
+    def __init__(
+        self,
+        mix_names: tuple[str, ...],
+        division_policy: str,
+        cfg: SolarCoreConfig,
+    ) -> None:
+        self.cfg = cfg
+        self.division_policy = division_policy
+        self.name = f"Rack-{division_policy}"
+        self.chips = [
+            MultiCoreChip(mix_by_name(name), seed=1000 + 17 * i)
+            for i, name in enumerate(mix_names)
+        ]
+        self.retired = [0.0] * len(self.chips)
+        self._last_alloc = -float("inf")
+
+    def floor_power(self, ctx: StepContext) -> float:
+        return sum(
+            chip.floor_power_at(ctx.minute, with_gating=self.cfg.enable_pcpg)
+            for chip in self.chips
+        )
+
+    def solar_step(self, ctx: StepContext) -> StepSample:
+        cfg = self.cfg
+        chips = self.chips
+        minute = ctx.minute
+        if minute - self._last_alloc >= cfg.tracking_interval_min:
+            budget = ctx.mpp.power * (1.0 - cfg.power_margin)
+            shares = divide_budget(
+                chips, budget, minute, self.division_policy, cfg.enable_pcpg
+            )
+            for chip, share in zip(chips, shares):
+                if share > 0.0:
+                    allocate_budget(
+                        chip, share, minute, allow_gating=cfg.enable_pcpg
+                    )
+            self._last_alloc = minute
+        rack_power = sum(chip.total_power_at(minute) for chip in chips)
+        drawn = min(rack_power, ctx.mpp.power)
+        retired_step = 0.0
+        for j, chip in enumerate(chips):
+            advanced = chip.advance(minute, ctx.dt)
+            self.retired[j] += advanced
+            retired_step += advanced
+        return StepSample(
+            consumed_w=drawn,
+            throughput_gips=sum(c.total_throughput_at(minute) for c in chips),
+            retired_ginst=retired_step,
+        )
+
+    def utility_step(self, ctx: StepContext) -> StepSample:
+        minute = ctx.minute
+        grid = 0.0
+        for chip in self.chips:
+            chip.ungate_all()
+            chip.set_all_levels(chip.table.max_level)
+            grid += chip.total_power_at(minute)
+            chip.advance(minute, ctx.dt)
+        self._last_alloc = -float("inf")
+        return StepSample(
+            consumed_w=0.0,
+            throughput_gips=sum(
+                c.total_throughput_at(minute) for c in self.chips
+            ),
+            utility_w=grid,
+        )
+
+
+class RackRecorder(SeriesRecorder):
+    """Builds :class:`RackDayResult` from the base series plus the
+    policy's per-node retirement accounting."""
+
+    def __init__(
+        self, mix_names: tuple[str, ...], location: Location, month: int,
+        division_policy: str,
+    ) -> None:
+        super().__init__()
+        self.mix_names = tuple(mix_names)
+        self.location = location
+        self.month = month
+        self.division_policy = division_policy
+
+    def build(self, engine: DayEngine) -> RackDayResult:
+        return RackDayResult(
+            mix_names=self.mix_names,
+            location_code=self.location.code,
+            month=self.month,
+            policy=self.division_policy,
+            minutes=np.array(self.minutes),
+            mpp_w=np.array(self.mpp_w),
+            consumed_w=np.array(self.consumed_w),
+            throughput_gips=np.array(self.throughput),
+            on_solar=np.array(self.on_solar, dtype=bool),
+            retired_ginst=tuple(engine.policy.retired),
+        )
+
+
+def rack_day_engine(
+    mix_names: tuple[str, ...],
+    location: Location,
+    month: int,
+    policy: str = "tpr",
+    config: SolarCoreConfig | None = None,
+    array: PVArray | None = None,
+    trace: EnvironmentTrace | None = None,
+    seed: int | None = None,
+) -> DayEngine:
+    """The configured :class:`DayEngine` behind :func:`run_day_rack`."""
+    if not mix_names:
+        raise ValueError("a rack needs at least one chip")
+    cfg = config or SolarCoreConfig()
+    array = array or PVArray(modules_parallel=len(mix_names))
+    if trace is None:
+        trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
+    supply = RackPolicy(tuple(mix_names), policy, cfg)
+    return DayEngine(
+        array=array,
+        trace=trace,
+        config=cfg,
+        policy=supply,
+        recorder=RackRecorder(tuple(mix_names), location, month, policy),
+        telemetry=telemetry_hub.current(),
+        span_name="run_day_rack",
+        span_attrs=dict(
+            chips=len(mix_names), location=location.code, month=month,
+            policy=policy,
+        ),
+    )
+
+
 def run_day_rack(
     mix_names: tuple[str, ...],
     location: Location,
@@ -98,98 +249,7 @@ def run_day_rack(
         trace: Pre-generated environment trace.
         seed: Environment seed when ``trace`` is not given.
     """
-    if not mix_names:
-        raise ValueError("a rack needs at least one chip")
-    cfg = config or SolarCoreConfig()
-    array = array or PVArray(modules_parallel=len(mix_names))
-    if trace is None:
-        trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
-
-    tel = telemetry_hub.current()
-    with tel.span(
-        "run_day_rack",
-        chips=len(mix_names),
-        location=location.code,
-        month=month,
-        policy=policy,
-    ):
-        return _run_day_rack_inner(mix_names, location, month, policy, cfg, array, trace)
-
-
-def _run_day_rack_inner(
-    mix_names: tuple[str, ...],
-    location: Location,
-    month: int,
-    policy: str,
-    cfg: SolarCoreConfig,
-    array: PVArray,
-    trace: EnvironmentTrace,
-) -> RackDayResult:
-    chips = [
-        MultiCoreChip(mix_by_name(name), seed=1000 + 17 * i)
-        for i, name in enumerate(mix_names)
-    ]
-    ats = AutomaticTransferSwitch(cfg.ats_margin)
-    dt = cfg.step_minutes
-    last_alloc = -float("inf")
-
-    minutes, mpps, consumed, throughput, on_solar = [], [], [], [], []
-    retired = [0.0] * len(chips)
-
-    for i in range(len(trace.minutes) - 1):
-        minute = float(trace.minutes[i])
-        irradiance = float(trace.irradiance[i])
-        ambient = float(trace.ambient_c[i])
-        cell_temp = array.cell_temperature_from_ambient(irradiance, ambient)
-        mpp = find_mpp(array, irradiance, cell_temp)
-
-        rack_floor = sum(
-            chip.floor_power_at(minute, with_gating=cfg.enable_pcpg)
-            for chip in chips
-        )
-        source = ats.update(mpp.power, rack_floor)
-        if source is PowerSource.SOLAR:
-            if minute - last_alloc >= cfg.tracking_interval_min:
-                budget = mpp.power * (1.0 - cfg.power_margin)
-                shares = divide_budget(
-                    chips, budget, minute, policy, cfg.enable_pcpg
-                )
-                for chip, share in zip(chips, shares):
-                    if share > 0.0:
-                        allocate_budget(
-                            chip, share, minute, allow_gating=cfg.enable_pcpg
-                        )
-                last_alloc = minute
-            rack_power = sum(chip.total_power_at(minute) for chip in chips)
-            drawn = min(rack_power, mpp.power)
-            for j, chip in enumerate(chips):
-                retired[j] += chip.advance(minute, dt)
-            minutes.append(minute)
-            mpps.append(mpp.power)
-            consumed.append(drawn)
-            throughput.append(sum(c.total_throughput_at(minute) for c in chips))
-            on_solar.append(True)
-        else:
-            for chip in chips:
-                chip.ungate_all()
-                chip.set_all_levels(chip.table.max_level)
-                chip.advance(minute, dt)
-            minutes.append(minute)
-            mpps.append(mpp.power)
-            consumed.append(0.0)
-            throughput.append(sum(c.total_throughput_at(minute) for c in chips))
-            on_solar.append(False)
-            last_alloc = -float("inf")
-
-    return RackDayResult(
-        mix_names=tuple(mix_names),
-        location_code=location.code,
-        month=month,
-        policy=policy,
-        minutes=np.array(minutes),
-        mpp_w=np.array(mpps),
-        consumed_w=np.array(consumed),
-        throughput_gips=np.array(throughput),
-        on_solar=np.array(on_solar, dtype=bool),
-        retired_ginst=tuple(retired),
+    engine = rack_day_engine(
+        mix_names, location, month, policy, config, array, trace, seed
     )
+    return engine.run()

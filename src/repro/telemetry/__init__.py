@@ -27,6 +27,7 @@ from repro.telemetry.events import (
     BatteryEvent,
     DVFSAllocationEvent,
     EVENT_TYPES,
+    EnergyBalanceEvent,
     LoadTuningEvent,
     RackDivisionEvent,
     SupplySwitchEvent,
@@ -76,6 +77,7 @@ __all__ = [
     "DVFSAllocationEvent",
     "BatteryEvent",
     "RackDivisionEvent",
+    "EnergyBalanceEvent",
     "EVENT_TYPES",
     "event_to_dict",
     "event_from_dict",

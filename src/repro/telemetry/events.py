@@ -21,6 +21,7 @@ __all__ = [
     "DVFSAllocationEvent",
     "BatteryEvent",
     "RackDivisionEvent",
+    "EnergyBalanceEvent",
     "EVENT_TYPES",
     "event_to_dict",
     "event_from_dict",
@@ -161,6 +162,27 @@ class RackDivisionEvent(TelemetryEvent):
     type_tag = "rack_division"
 
 
+@dataclass(frozen=True)
+class EnergyBalanceEvent(TelemetryEvent):
+    """End-of-day energy conservation summary from the engine's ledger.
+
+    Attributes:
+        policy: Supply policy that drove the day.
+        solar_wh: Energy the panel delivered to the load [Wh].
+        utility_wh: Energy the grid delivered to the load [Wh].
+        load_wh: Energy the load consumed [Wh].
+        residual_wh: Conservation residual (should be ~0) [Wh].
+    """
+
+    policy: str
+    solar_wh: float
+    utility_wh: float
+    load_wh: float
+    residual_wh: float
+
+    type_tag = "energy_balance"
+
+
 #: type tag -> record class, for deserialization.
 EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
     cls.type_tag: cls
@@ -171,6 +193,7 @@ EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
         DVFSAllocationEvent,
         BatteryEvent,
         RackDivisionEvent,
+        EnergyBalanceEvent,
     )
 }
 

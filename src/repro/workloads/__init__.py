@@ -7,7 +7,13 @@ from repro.workloads.benchmarks import (
     benchmark,
     epi_class_of,
 )
-from repro.workloads.mixes import ALL_MIX_NAMES, MIXES, WorkloadMix, mix
+from repro.workloads.mixes import (
+    ALL_MIX_NAMES,
+    MIXES,
+    WorkloadMix,
+    mix,
+    resolve_mix,
+)
 from repro.workloads.phases import PhaseTrace
 
 __all__ = [
@@ -19,6 +25,7 @@ __all__ = [
     "PhaseTrace",
     "WorkloadMix",
     "mix",
+    "resolve_mix",
     "MIXES",
     "ALL_MIX_NAMES",
 ]

@@ -84,3 +84,14 @@ def mix(name: str) -> WorkloadMix:
             f"unknown mix {name!r}; known: {', '.join(ALL_MIX_NAMES)} "
             f"(aliases: {', '.join(sorted(MIX_ALIASES))})"
         ) from None
+
+
+def resolve_mix(workload: "WorkloadMix | str") -> WorkloadMix:
+    """Normalize a mix given by name (or alias) to the mix object itself.
+
+    The single workload-resolution helper shared by every ``run_day*``
+    entry point.
+    """
+    if isinstance(workload, str):
+        return mix(workload)
+    return workload

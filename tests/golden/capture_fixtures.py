@@ -1,0 +1,121 @@
+"""Capture golden day-simulation fixtures for the equivalence suite.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/golden/capture_fixtures.py
+
+The resulting pickle pins the exact ``DayResult`` / ``BatteryDayResult`` /
+``FullSystemDayResult`` / ``RackDayResult`` values of every simulation kind
+over a small (mix, station, month) grid.  The committed fixture was captured
+from the *pre-refactor* forked-loop implementations (the seed path), so the
+unified :class:`repro.core.engine.DayEngine` is required to reproduce those
+results byte-identically.  Re-capture only for a deliberate, reviewed
+behaviour change — never to make a failing equivalence test pass.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+from pathlib import Path
+
+from repro.core.config import SolarCoreConfig
+from repro.core.simulation import run_day, run_day_battery, run_day_fixed
+from repro.environment.locations import location_by_code
+from repro.fullsystem.simulation import run_day_fullsystem
+from repro.rack.simulation import run_day_rack
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "golden_days.pkl"
+
+#: Named configurations the grid is captured under.  ``default`` is the
+#: plain fast-step config; ``featureful`` turns on every optional control
+#: path (supply-change triggers, adaptive margin, post-track reallocation)
+#: so the equivalence suite pins those branches too.
+CONFIGS: dict[str, SolarCoreConfig] = {
+    "default": SolarCoreConfig(step_minutes=5.0),
+    "featureful": SolarCoreConfig(
+        step_minutes=5.0,
+        supply_change_fraction=0.1,
+        adaptive_margin=True,
+        realloc_after_track=True,
+    ),
+}
+
+#: (mix, station, month, policy, config name) MPPT-policy cells.
+MPPT_CELLS = [
+    ("HM2", "AZ", 7, "MPPT&Opt", "default"),
+    ("HM2", "TN", 1, "MPPT&Opt", "default"),
+    ("L1", "AZ", 1, "MPPT&IC", "default"),
+    ("ML2", "CO", 4, "MPPT&RR", "default"),
+    ("HM2", "AZ", 7, "MPPT&Opt", "featureful"),
+    ("H1", "NC", 10, "MPPT&Opt", "featureful"),
+]
+
+#: (mix, station, month, budget W, config name) Fixed-Power cells.
+FIXED_CELLS = [
+    ("HM2", "AZ", 7, 100.0, "default"),
+    ("L1", "TN", 1, 75.0, "default"),
+]
+
+#: (mix, station, month, derating, config name) battery-baseline cells.
+BATTERY_CELLS = [
+    ("H1", "AZ", 7, 0.81, "default"),
+    ("L1", "TN", 1, 0.92, "default"),
+]
+
+#: (mix, station, month, config name) full-system cells.
+FULLSYSTEM_CELLS = [
+    ("ML2", "AZ", 7, "default"),
+    ("HM2", "TN", 1, "default"),
+]
+
+#: (mixes, station, month, division policy, config name) rack cells.
+RACK_CELLS = [
+    (("H1", "L1", "ML2"), "AZ", 7, "tpr", "default"),
+    (("H1", "L1"), "TN", 1, "equal", "default"),
+]
+
+
+def compute_all() -> dict:
+    """Every golden cell, keyed by its coordinates."""
+    results: dict = {}
+    for mix, site, month, policy, cfg in MPPT_CELLS:
+        key = ("mppt", mix, site, month, policy, cfg)
+        results[key] = run_day(
+            mix, location_by_code(site), month, policy, config=CONFIGS[cfg]
+        )
+    for mix, site, month, budget, cfg in FIXED_CELLS:
+        key = ("fixed", mix, site, month, budget, cfg)
+        results[key] = run_day_fixed(
+            mix, location_by_code(site), month, budget, config=CONFIGS[cfg]
+        )
+    for mix, site, month, derating, cfg in BATTERY_CELLS:
+        key = ("battery", mix, site, month, derating, cfg)
+        results[key] = run_day_battery(
+            mix, location_by_code(site), month, derating, config=CONFIGS[cfg]
+        )
+    for mix, site, month, cfg in FULLSYSTEM_CELLS:
+        key = ("fullsystem", mix, site, month, cfg)
+        results[key] = run_day_fullsystem(
+            mix, location_by_code(site), month, config=CONFIGS[cfg]
+        )
+    for mixes, site, month, policy, cfg in RACK_CELLS:
+        key = ("rack", mixes, site, month, policy, cfg)
+        results[key] = run_day_rack(
+            mixes, location_by_code(site), month, policy, config=CONFIGS[cfg]
+        )
+    return results
+
+
+def main() -> int:
+    results = compute_all()
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with open(FIXTURE_PATH, "wb") as handle:
+        pickle.dump(results, handle, protocol=4)
+    size_kb = FIXTURE_PATH.stat().st_size / 1024.0
+    print(f"captured {len(results)} golden cells -> {FIXTURE_PATH} ({size_kb:.0f} KiB)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,170 @@
+"""Golden equivalence suite for the unified :class:`DayEngine`.
+
+``tests/golden/fixtures/golden_days.pkl`` was captured from the
+*pre-refactor* forked-loop implementations (see ``capture_fixtures.py``).
+These tests recompute every fixture cell through the public ``run_day*``
+shims — which now all dispatch through the single engine loop — and
+assert **byte-identical** results: identical array bytes, dtypes, and
+shapes, and exactly equal scalars.  A second battery of tests pushes the
+MPPT/fixed/battery cells through :class:`SimulationRunner` with ``jobs=4``
+and a warm on-disk cache, pinning the parallel and persisted paths to the
+same golden bytes.
+
+If one of these tests fails, the engine changed numerical behaviour.  Fix
+the engine; never re-capture the fixture to make the suite pass.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import run_day, run_day_battery, run_day_fixed
+from repro.environment.locations import location_by_code
+from repro.fullsystem.simulation import run_day_fullsystem
+from repro.harness.parallel import SweepTask
+from repro.harness.runner import SimulationRunner
+from repro.rack.simulation import run_day_rack
+
+from tests.golden.capture_fixtures import (
+    BATTERY_CELLS,
+    CONFIGS,
+    FIXED_CELLS,
+    FIXTURE_PATH,
+    MPPT_CELLS,
+)
+
+
+def assert_bytes_identical(expected, actual, path: str = "") -> None:
+    """Recursive byte-identity over dataclass results.
+
+    Arrays must match in dtype, shape, and raw bytes; scalars and
+    aggregates must compare exactly equal (no tolerance).
+    """
+    assert type(expected) is type(actual), path or type(expected)
+    if isinstance(expected, np.ndarray):
+        assert expected.dtype == actual.dtype, path
+        assert expected.shape == actual.shape, path
+        assert expected.tobytes() == actual.tobytes(), path
+    elif dataclasses.is_dataclass(expected):
+        for field in dataclasses.fields(expected):
+            assert_bytes_identical(
+                getattr(expected, field.name),
+                getattr(actual, field.name),
+                f"{path}.{field.name}",
+            )
+    elif isinstance(expected, (tuple, list)):
+        assert len(expected) == len(actual), path
+        for index, (left, right) in enumerate(zip(expected, actual)):
+            assert_bytes_identical(left, right, f"{path}[{index}]")
+    else:
+        assert expected == actual, path
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """The committed pre-refactor fixture dict."""
+    with open(FIXTURE_PATH, "rb") as handle:
+        return pickle.load(handle)
+
+
+def _cell_id(cell) -> str:
+    return "-".join("+".join(p) if isinstance(p, tuple) else str(p) for p in cell)
+
+
+class TestShimEquivalence:
+    """Every public ``run_day*`` shim reproduces the pre-refactor bytes."""
+
+    @pytest.mark.parametrize("cell", MPPT_CELLS, ids=_cell_id)
+    def test_run_day(self, golden, cell):
+        mix, site, month, policy, cfg = cell
+        day = run_day(mix, location_by_code(site), month, policy, config=CONFIGS[cfg])
+        assert_bytes_identical(golden[("mppt", *cell)], day)
+
+    @pytest.mark.parametrize("cell", FIXED_CELLS, ids=_cell_id)
+    def test_run_day_fixed(self, golden, cell):
+        mix, site, month, budget, cfg = cell
+        day = run_day_fixed(
+            mix, location_by_code(site), month, budget, config=CONFIGS[cfg]
+        )
+        assert_bytes_identical(golden[("fixed", *cell)], day)
+
+    @pytest.mark.parametrize("cell", BATTERY_CELLS, ids=_cell_id)
+    def test_run_day_battery(self, golden, cell):
+        mix, site, month, derating, cfg = cell
+        day = run_day_battery(
+            mix, location_by_code(site), month, derating, config=CONFIGS[cfg]
+        )
+        assert_bytes_identical(golden[("battery", *cell)], day)
+
+    def test_run_day_fullsystem(self, golden):
+        for key in [k for k in golden if k[0] == "fullsystem"]:
+            _, mix, site, month, cfg = key
+            day = run_day_fullsystem(
+                mix, location_by_code(site), month, config=CONFIGS[cfg]
+            )
+            assert_bytes_identical(golden[key], day)
+
+    def test_run_day_rack(self, golden):
+        for key in [k for k in golden if k[0] == "rack"]:
+            _, mixes, site, month, policy, cfg = key
+            day = run_day_rack(
+                mixes, location_by_code(site), month, policy, config=CONFIGS[cfg]
+            )
+            assert_bytes_identical(golden[key], day)
+
+    def test_fixture_covers_every_kind(self, golden):
+        assert {key[0] for key in golden} == {
+            "mppt", "fixed", "battery", "fullsystem", "rack",
+        }
+        assert len(golden) == (
+            len(MPPT_CELLS) + len(FIXED_CELLS) + len(BATTERY_CELLS) + 4
+        )
+
+
+def _runner_cells() -> list[tuple[str, SweepTask, tuple]]:
+    """(config name, task, fixture key) for every runner-eligible cell."""
+    cells = []
+    for mix, site, month, policy, cfg in MPPT_CELLS:
+        task = SweepTask("mppt", mix, site, month, policy=policy)
+        cells.append((cfg, task, ("mppt", mix, site, month, policy, cfg)))
+    for mix, site, month, budget, cfg in FIXED_CELLS:
+        task = SweepTask("fixed", mix, site, month, budget_w=budget)
+        cells.append((cfg, task, ("fixed", mix, site, month, budget, cfg)))
+    for mix, site, month, derating, cfg in BATTERY_CELLS:
+        task = SweepTask("battery", mix, site, month, derating=derating)
+        cells.append((cfg, task, ("battery", mix, site, month, derating, cfg)))
+    return cells
+
+
+class TestRunnerEquivalence:
+    """Worker fan-out and the disk cache preserve the golden bytes."""
+
+    def test_jobs4_and_warm_disk_cache_byte_identical(self, golden, tmp_path):
+        cells = _runner_cells()
+        config_names = sorted({cfg for cfg, _, _ in cells})
+
+        # Cold pass: 4 worker processes, populating the disk cache.
+        for name in config_names:
+            runner = SimulationRunner(
+                CONFIGS[name], jobs=4, cache_dir=tmp_path / name
+            )
+            tasks = [task for cfg, task, _ in cells if cfg == name]
+            results = runner.prefetch(tasks)
+            for cfg, task, key in cells:
+                if cfg == name:
+                    assert_bytes_identical(golden[key], results[task])
+
+        # Warm pass: fresh runners, every cell served from disk.
+        for name in config_names:
+            runner = SimulationRunner(CONFIGS[name], cache_dir=tmp_path / name)
+            tasks = [task for cfg, task, _ in cells if cfg == name]
+            results = runner.prefetch(tasks)
+            assert runner.disk.hits == len(tasks)
+            assert runner.disk.misses == 0
+            for cfg, task, key in cells:
+                if cfg == name:
+                    assert_bytes_identical(golden[key], results[task])

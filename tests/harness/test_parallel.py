@@ -196,6 +196,54 @@ class TestCacheInvalidation:
         path.write_bytes(pickle.dumps(entry))
         assert cache.load(key) is None
 
+    def test_pre_v2_cache_directory_purged_loudly(self, tmp_path, caplog):
+        """A warm pre-refactor cache (no format marker) is deleted, not served.
+
+        Format-v1 entries live at different content addresses, so without
+        the marker sweep they would be silently orphaned on disk and — had
+        the addresses collided — silently served.  The constructor must
+        instead purge them with a warning and stamp the directory.
+        """
+        (tmp_path / "deadbeef01.pkl").write_bytes(b"pre-refactor entry")
+        (tmp_path / "deadbeef02.pkl").write_bytes(b"pre-refactor entry")
+
+        with caplog.at_level(logging.WARNING, logger="repro.harness.parallel"):
+            cache = DiskResultCache(tmp_path)
+
+        assert not list(tmp_path.glob("*.pkl")), "stale entries must be deleted"
+        assert "deleting 2 stale entr" in caplog.text
+        marker = tmp_path / "CACHE_FORMAT"
+        assert marker.read_text().strip() == str(CACHE_FORMAT_VERSION)
+
+        # The purged directory is immediately usable again.
+        key = self.TASK.cache_key(config_key(CFG))
+        result = SimulationRunner(CFG).battery_day("L1", "AZ", 7, 0.81)
+        cache.store(key, result)
+        assert cache.load(key) == result
+
+    def test_mismatched_format_marker_purged_loudly(self, tmp_path, caplog):
+        (tmp_path / "CACHE_FORMAT").write_text("1\n")
+        (tmp_path / "deadbeef01.pkl").write_bytes(b"format-1 entry")
+
+        with caplog.at_level(logging.WARNING, logger="repro.harness.parallel"):
+            DiskResultCache(tmp_path)
+
+        assert not list(tmp_path.glob("*.pkl"))
+        assert "written by format 1" in caplog.text
+        assert (tmp_path / "CACHE_FORMAT").read_text().strip() == str(
+            CACHE_FORMAT_VERSION
+        )
+
+    def test_current_format_marker_preserves_entries(self, tmp_path, caplog):
+        key = self.TASK.cache_key(config_key(CFG))
+        result = SimulationRunner(CFG).battery_day("L1", "AZ", 7, 0.81)
+        DiskResultCache(tmp_path).store(key, result)
+
+        with caplog.at_level(logging.WARNING, logger="repro.harness.parallel"):
+            warm = DiskResultCache(tmp_path)
+        assert caplog.text == ""
+        assert warm.load(key) == result
+
     def test_config_change_addresses_different_entry(self, tmp_path):
         cache = DiskResultCache(tmp_path)
         a = self.TASK.cache_key(config_key(CFG))

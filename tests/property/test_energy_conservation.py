@@ -1,0 +1,134 @@
+"""Property-based energy-conservation tests for the unified day engine.
+
+Every supply policy runs through the same :class:`DayEngine` loop, and the
+engine books each step into an :class:`EnergyLedger` *independently* of the
+recorder's series.  These tests pin the conservation law
+
+    solar energy in + utility energy in == load energy out
+
+for every policy, two ways: the ledger's own per-step residual must vanish,
+and the ledger totals must agree with a second accumulation path — the
+numpy-summed series of the returned result.  A policy whose hooks consume
+power without booking it (or vice versa) fails here even if the golden
+suite still passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SolarCoreConfig
+from repro.core.simulation import (
+    battery_day_engine,
+    fixed_day_engine,
+    mppt_day_engine,
+)
+from repro.environment.locations import location_by_code
+from repro.fullsystem.simulation import fullsystem_day_engine
+from repro.rack.simulation import rack_day_engine
+
+#: Coarse steps keep one simulated day cheap; conservation is
+#: resolution-independent.
+CFG = SolarCoreConfig(step_minutes=15.0)
+
+mix_names = st.sampled_from(("H1", "L1", "HM2", "ML2"))
+sites = st.sampled_from(("AZ", "CO", "NC", "TN"))
+months = st.integers(min_value=1, max_value=12)
+
+#: Absolute slack [Wh] for cross-path comparisons: both paths accumulate
+#: hundreds of float64 terms of O(100 W); round-off is far below 1e-6 Wh.
+TOL_WH = 1e-6
+
+
+def approx_wh(value: float):
+    return pytest.approx(value, abs=TOL_WH, rel=1e-9)
+
+
+def assert_conserved(engine, solar_wh, utility_wh) -> None:
+    """The ledger balances, and agrees with the result-derived energies."""
+    ledger = engine.ledger
+    assert abs(ledger.residual_wh) <= TOL_WH
+    assert ledger.solar_wh == approx_wh(solar_wh)
+    assert ledger.utility_wh == approx_wh(utility_wh)
+    assert ledger.load_wh == approx_wh(solar_wh + utility_wh)
+
+
+@given(mix_name=mix_names, site=sites, month=months)
+@settings(max_examples=8, deadline=None)
+def test_mppt_day_conserves_energy(mix_name, site, month):
+    engine = mppt_day_engine(
+        mix_name, location_by_code(site), month, "MPPT&Opt", config=CFG
+    )
+    day = engine.run()
+    assert_conserved(engine, day.solar_used_wh, day.utility_wh)
+    # The chip can never draw more than the panel supplies while on solar.
+    assert np.all(day.consumed_w[day.on_solar] <= day.mpp_w[day.on_solar] + 1e-9)
+
+
+@given(mix_name=mix_names, site=sites, month=months,
+       budget=st.sampled_from((75.0, 100.0, 140.0)))
+@settings(max_examples=8, deadline=None)
+def test_fixed_day_conserves_energy(mix_name, site, month, budget):
+    engine = fixed_day_engine(
+        mix_name, location_by_code(site), month, budget, config=CFG
+    )
+    day = engine.run()
+    assert_conserved(engine, day.solar_used_wh, day.utility_wh)
+
+
+@given(mix_name=mix_names, site=sites, month=months)
+@settings(max_examples=8, deadline=None)
+def test_fullsystem_day_conserves_energy(mix_name, site, month):
+    engine = fullsystem_day_engine(
+        mix_name, location_by_code(site), month, config=CFG
+    )
+    day = engine.run()
+    dt = day.step_minutes
+    solar_wh = float(np.sum(day.consumed_w[day.on_solar])) * dt / 60.0
+    utility_wh = float(np.sum(day.utility_w)) * dt / 60.0
+    assert_conserved(engine, solar_wh, utility_wh)
+    # Grid power is only ever drawn off-solar, and vice versa.
+    assert np.all(day.utility_w[day.on_solar] == 0.0)
+    assert np.all(day.consumed_w[~day.on_solar] == 0.0)
+
+
+@given(site=sites, month=months,
+       mixes=st.sampled_from((("H1", "L1"), ("HM2", "ML2", "L1"))),
+       policy=st.sampled_from(("equal", "tpr")))
+@settings(max_examples=6, deadline=None)
+def test_rack_day_conserves_energy(site, month, mixes, policy):
+    engine = rack_day_engine(
+        mixes, location_by_code(site), month, policy, config=CFG
+    )
+    day = engine.run()
+    dt = float(day.minutes[1] - day.minutes[0])
+    solar_wh = float(np.sum(day.consumed_w[day.on_solar])) * dt / 60.0
+    ledger = engine.ledger
+    assert abs(ledger.residual_wh) <= TOL_WH
+    assert ledger.solar_wh == approx_wh(solar_wh)
+    # The rack result does not carry a utility series; the ledger books it.
+    assert ledger.utility_wh >= 0.0
+    assert ledger.load_wh == approx_wh(solar_wh + ledger.utility_wh)
+
+
+@given(mix_name=mix_names, site=sites, month=months,
+       derating=st.sampled_from((0.7, 0.81, 0.92)))
+@settings(max_examples=8, deadline=None)
+def test_battery_day_spends_exactly_the_harvest(mix_name, site, month, derating):
+    engine = battery_day_engine(
+        mix_name, location_by_code(site), month, derating, config=CFG
+    )
+    day = engine.run()
+    policy = engine.policy
+    # The charge controller harvests (de-rated) MPP energy; the spend phase
+    # must consume exactly that — no energy created or lost in the battery.
+    assert policy.spent_wh == approx_wh(policy.harvested_wh)
+    assert day.harvested_wh == policy.harvested_wh
+    # During harvest the load draws nothing, so the ledger is all zeros.
+    ledger = engine.ledger
+    assert ledger.solar_wh == 0.0
+    assert ledger.utility_wh == 0.0
+    assert ledger.load_wh == 0.0

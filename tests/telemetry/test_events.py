@@ -6,6 +6,7 @@ from repro.telemetry.events import (
     EVENT_TYPES,
     BatteryEvent,
     DVFSAllocationEvent,
+    EnergyBalanceEvent,
     LoadTuningEvent,
     RackDivisionEvent,
     SupplySwitchEvent,
@@ -36,6 +37,14 @@ SAMPLES = [
     RackDivisionEvent(
         minute=300.0, policy="tpr", budget_w=600.0, shares_w=(200.0, 250.0, 150.0)
     ),
+    EnergyBalanceEvent(
+        minute=300.0,
+        policy="MPPT&Opt",
+        solar_wh=512.0,
+        utility_wh=120.0,
+        load_wh=632.0,
+        residual_wh=0.0,
+    ),
 ]
 
 
@@ -48,6 +57,7 @@ class TestEventTypes:
             "dvfs_allocation",
             "battery",
             "rack_division",
+            "energy_balance",
         }
 
     def test_tags_are_unique_per_class(self):
@@ -63,7 +73,8 @@ class TestRoundTrip:
         assert event_from_dict(payload) == event
 
     def test_tuples_serialize_as_lists(self):
-        payload = event_to_dict(SAMPLES[-1])
+        rack_event = next(e for e in SAMPLES if isinstance(e, RackDivisionEvent))
+        payload = event_to_dict(rack_event)
         assert payload["shares_w"] == [200.0, 250.0, 150.0]
         restored = event_from_dict(payload)
         assert restored.shares_w == (200.0, 250.0, 150.0)
