@@ -29,6 +29,16 @@ content-addressed disk cache (reused across runs, invalidated whenever
 the ``repro`` source changes)::
 
     repro experiment fig18 --jobs 4 --cache-dir ~/.cache/solarcore
+
+Resilience flags (same commands): ``--retries N`` re-runs failed sweep
+tasks with exponential backoff, ``--task-timeout S`` bounds each task,
+and ``--checkpoint FILE`` + ``--resume`` make long campaigns crash-safe.
+``simulate``/``rack``/``campaign`` accept ``--faults SPEC`` to inject a
+deterministic fault schedule (see ``repro.faults``)::
+
+    repro campaign --sites AZ TN --months 1 7 --jobs 4 \\
+        --faults 'sensor_dropout@600-660,seed=7' \\
+        --checkpoint /tmp/campaign.ckpt --resume
 """
 
 from __future__ import annotations
@@ -135,7 +145,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     location = location_by_code(args.site)
     if args.battery_derating is not None:
-        day = run_day_battery(args.mix, location, args.month, args.battery_derating)
+        day = run_day_battery(
+            args.mix, location, args.month, args.battery_derating,
+            faults=args.faults,
+        )
         print(f"battery system (derating {day.derating:.0%}) "
               f"{day.mix_name} @ {day.location_code} m{day.month}")
         print(f"  harvested {day.harvested_wh:.0f} Wh, "
@@ -144,9 +157,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return 0
 
     if args.fixed_budget is not None:
-        day = run_day_fixed(args.mix, location, args.month, args.fixed_budget)
+        day = run_day_fixed(
+            args.mix, location, args.month, args.fixed_budget,
+            faults=args.faults,
+        )
     else:
-        day = run_day(args.mix, location, args.month, args.policy)
+        day = run_day(args.mix, location, args.month, args.policy,
+                      faults=args.faults)
     if args.export_csv:
         from repro.harness.export import day_to_csv
 
@@ -171,12 +188,36 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _sweep_runner(args: argparse.Namespace):
-    """The parallel/caching runner the sweep flags ask for, or None."""
-    if args.jobs <= 1 and args.cache_dir is None:
+    """The parallel/caching/resilient runner the sweep flags ask for, or None."""
+    if args.resume and args.checkpoint is None:
+        raise SystemExit("error: --resume requires --checkpoint FILE")
+    wants_runner = (
+        args.jobs > 1
+        or args.cache_dir is not None
+        or args.retries > 0
+        or args.task_timeout is not None
+        or args.checkpoint is not None
+    )
+    if not wants_runner:
         return None
     from repro.harness.runner import SimulationRunner
 
-    return SimulationRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+    checkpoint = None
+    if args.checkpoint is not None:
+        from repro.core.config import SolarCoreConfig
+        from repro.harness.checkpoint import SweepCheckpoint
+
+        checkpoint = SweepCheckpoint(args.checkpoint, SolarCoreConfig())
+        if args.resume:
+            restored = checkpoint.load()
+            print(f"resumed {restored} completed task(s) from {args.checkpoint}")
+    return SimulationRunner(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        retries=args.retries,
+        task_timeout=args.task_timeout,
+        checkpoint=checkpoint,
+    )
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -189,6 +230,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         args.mix, locations, tuple(args.months),
         days_per_cell=args.days, policy=args.policy,
         runner=_sweep_runner(args),
+        faults=args.faults,
     )
     rows = []
     for cell in campaign.cells:
@@ -303,6 +345,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="persist day results to a content-addressed disk "
                           "cache under DIR (reused across runs; invalidated "
                           "when the repro source changes)")
+    res = sweep.add_argument_group("resilience")
+    res.add_argument("--retries", type=int, default=0, metavar="N",
+                     help="retry failed sweep tasks up to N more times "
+                          "(exponential backoff, fresh workers)")
+    res.add_argument("--task-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-task wall-clock budget for parallel sweeps; "
+                          "tasks over budget are failed and retried")
+    res.add_argument("--checkpoint", default=None, metavar="FILE",
+                     help="periodically record completed sweep cells to FILE "
+                          "(atomic snapshots; see --resume)")
+    res.add_argument("--resume", action="store_true",
+                     help="resume from --checkpoint FILE: completed cells "
+                          "are skipped, only the remainder is computed")
 
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -337,6 +393,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the day's time series to a CSV file")
     simulate.add_argument("--export-json", default=None,
                           help="write series + metrics to a JSON file")
+    simulate.add_argument("--faults", default=None, metavar="SPEC",
+                          help="inject a fault schedule, e.g. "
+                               "'sensor_dropout@600-660,conv_eff@400-:0.85'")
 
     rack = sub.add_parser("rack", help="simulate a rack on a shared farm",
                           parents=[common])
@@ -345,6 +404,8 @@ def build_parser() -> argparse.ArgumentParser:
     rack.add_argument("--month", type=int, default=7)
     rack.add_argument("--policy", default="tpr",
                       choices=["equal", "proportional", "tpr"])
+    rack.add_argument("--faults", default=None, metavar="SPEC",
+                      help="inject a fault schedule into the shared farm")
 
     campaign = sub.add_parser("campaign", help="multi-day campaign + carbon",
                               parents=[common, sweep])
@@ -354,6 +415,8 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--months", nargs="+", type=int, default=[1, 7])
     campaign.add_argument("--days", type=int, default=3)
     campaign.add_argument("--policy", default="MPPT&Opt")
+    campaign.add_argument("--faults", default=None, metavar="SPEC",
+                          help="apply a fault schedule to every campaign day")
 
     experiment = sub.add_parser("experiment", help="regenerate a paper artifact",
                                 parents=[common, sweep])
@@ -367,7 +430,8 @@ def _cmd_rack(args: argparse.Namespace) -> int:
     from repro.rack import run_day_rack
 
     location = location_by_code(args.site)
-    day = run_day_rack(tuple(args.mixes), location, args.month, args.policy)
+    day = run_day_rack(tuple(args.mixes), location, args.month, args.policy,
+                       faults=args.faults)
     print(f"rack [{', '.join(day.mix_names)}] @ {day.location_code} "
           f"m{day.month}, division={day.policy}")
     print(f"  rack PTP          {day.total_ptp:10.0f} Ginst")

@@ -111,6 +111,7 @@ def run_campaign(
     config: SolarCoreConfig | None = None,
     base_seed: int = 0,
     runner=None,
+    faults: str | None = None,
 ) -> CampaignResult:
     """Run a multi-realization campaign over a (station, month) grid.
 
@@ -132,6 +133,8 @@ def run_campaign(
             across worker processes, and with ``cache_dir=`` they persist
             to (and reload from) the disk cache.  The runner's config is
             used; passing a conflicting ``config`` is an error.
+        faults: Fault-schedule spec string applied to every simulated day
+            (None = fault-free campaign).
 
     Returns:
         The :class:`CampaignResult`.
@@ -155,6 +158,7 @@ def run_campaign(
                 SweepTask(
                     "mppt", mix_name, location.code, month, policy=policy,
                     seed=_cell_seed(location, month, base_seed, i),
+                    faults=faults,
                 )
                 for location in locations
                 for month in months
@@ -170,6 +174,7 @@ def run_campaign(
                         policy,
                         config=config,
                         seed=_cell_seed(location, month, base_seed, i),
+                        faults=faults,
                     )
                     if runner is None
                     else runner.day(
@@ -178,6 +183,7 @@ def run_campaign(
                         month,
                         policy,
                         seed=_cell_seed(location, month, base_seed, i),
+                        faults=faults,
                     )
                     for i in range(days_per_cell)
                 )

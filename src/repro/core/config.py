@@ -49,6 +49,13 @@ class SolarCoreConfig:
             below the bottom DVFS level (paper Section 4: DVFS and PCPG
             are both load-adaptation knobs).  Disabling it is explored as
             an ablation.
+        sensor_staleness_min: Graceful degradation: how long [minutes] a
+            held-last-good sensor reading may substitute for a live one
+            before the controller stops trusting it and enters degraded
+            mode (DESIGN.md section 10).
+        degraded_budget_fraction: Conservative power budget used in
+            degraded mode, as a fraction of the last good power reading
+            (floored at the chip's minimum sustainable configuration).
     """
 
     rail_voltage: float = NOMINAL_RAIL_V
@@ -65,6 +72,8 @@ class SolarCoreConfig:
     adaptive_margin_floor: float = 0.01
     realloc_after_track: bool = False
     enable_pcpg: bool = True
+    sensor_staleness_min: float = 5.0
+    degraded_budget_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if self.rail_voltage <= 0:
@@ -90,4 +99,13 @@ class SolarCoreConfig:
         if self.sensor_averaging < 1:
             raise ValueError(
                 f"sensor_averaging must be >= 1, got {self.sensor_averaging}"
+            )
+        if self.sensor_staleness_min < 0:
+            raise ValueError(
+                f"sensor_staleness_min must be >= 0, got {self.sensor_staleness_min}"
+            )
+        if not 0.0 < self.degraded_budget_fraction <= 1.0:
+            raise ValueError(
+                "degraded_budget_fraction must be in (0, 1], "
+                f"got {self.degraded_budget_fraction}"
             )

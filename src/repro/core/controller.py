@@ -21,6 +21,7 @@ trade-off).
 from __future__ import annotations
 
 import logging
+import math
 from dataclasses import dataclass
 
 from scipy.optimize import brentq
@@ -30,16 +31,27 @@ from repro.core.load_tuning import LoadTuner
 from repro.multicore.chip import MultiCoreChip
 from repro.power.converter import DCDCConverter
 from repro.power.operating_point import OperatingPoint, solve_operating_point
-from repro.power.sensors import IVSensor, SensorReading
+from repro.power.sensors import IVSensor, SensorDropout, SensorReading
 from repro.pv.curves import PVDevice
 from repro.pv.mpp import find_mpp
 from repro.telemetry import hub as telemetry_hub
-from repro.telemetry.events import LoadTuningEvent
+from repro.telemetry.events import (
+    DegradedModeEvent,
+    LoadTuningEvent,
+    RecoveryEvent,
+)
 from repro.telemetry.metrics import DEFAULT_ITERATION_BUCKETS
 
 __all__ = ["SolarCoreController", "TrackingResult"]
 
 log = logging.getLogger(__name__)
+
+
+class _SensorStale(Exception):
+    """Raised inside a tracking event when the sensor front-end has been
+    silent longer than ``config.sensor_staleness_min``: held readings can
+    no longer be trusted and the event must fall back to the conservative
+    degraded-mode budget."""
 
 
 @dataclass(frozen=True)
@@ -100,6 +112,12 @@ class SolarCoreController:
         # Load-tuning tallies for the current tracking event.
         self._raises = 0
         self._sheds = 0
+        # Graceful-degradation state (DESIGN.md section 10): the last
+        # trusted sensor reading, when it was taken, and whether the
+        # controller is currently running on the conservative budget.
+        self._last_good: SensorReading | None = None
+        self._last_good_minute: float = -math.inf
+        self.degraded: bool = False
 
     @property
     def _tel(self):
@@ -123,7 +141,7 @@ class SolarCoreController:
     # ------------------------------------------------------------------
     # Electrical helpers
     # ------------------------------------------------------------------
-    def _read(self, point: OperatingPoint) -> SensorReading:
+    def _read_burst(self, point: OperatingPoint) -> SensorReading:
         """Sample the I/V sensors, averaging an ADC burst if configured.
 
         Averaging suppresses multiplicative sensor noise by ~sqrt(N) —
@@ -138,6 +156,46 @@ class SolarCoreController:
             voltage=sum(r.voltage for r in readings) / n,
             current=sum(r.current for r in readings) / n,
         )
+
+    def _read(self, point: OperatingPoint, minute: float) -> SensorReading:
+        """A trusted sensor reading, degrading gracefully on dropout.
+
+        On :class:`SensorDropout` the last good reading substitutes for
+        up to ``config.sensor_staleness_min`` minutes; past that cap the
+        event aborts into degraded mode (:meth:`_enter_degraded`).  A
+        successful read while degraded ends the episode.
+        """
+        try:
+            reading = self._read_burst(point)
+        except SensorDropout:
+            if (
+                self._last_good is not None
+                and minute - self._last_good_minute <= self.config.sensor_staleness_min
+            ):
+                tel = self._tel
+                if tel.enabled:
+                    tel.count("controller.stale_reads")
+                return self._last_good
+            raise _SensorStale() from None
+        if self.degraded:
+            tel = self._tel
+            if tel.enabled:
+                tel.count("controller.recoveries")
+                tel.emit(
+                    RecoveryEvent(
+                        minute=minute,
+                        source="controller",
+                        stale_min=(
+                            minute - self._last_good_minute
+                            if self._last_good is not None
+                            else minute
+                        ),
+                    )
+                )
+            self.degraded = False
+        self._last_good = reading
+        self._last_good_minute = minute
+        return reading
 
     def solve(self, irradiance: float, cell_temp_c: float, minute: float) -> OperatingPoint:
         """Operating point at the current (k, levels) and environment."""
@@ -192,7 +250,7 @@ class SolarCoreController:
         cfg = self.config
         op = self.solve(irradiance, cell_temp_c, minute)
         for _ in range(cfg.max_track_iterations):
-            reading = self._read(op)
+            reading = self._read(op, minute)
             error = reading.voltage - cfg.rail_voltage
             if abs(error) <= cfg.rail_tolerance_v:
                 break
@@ -203,7 +261,7 @@ class SolarCoreController:
             if not moved:
                 break
             new_op = self.solve(irradiance, cell_temp_c, minute)
-            new_error = self._read(new_op).voltage - cfg.rail_voltage
+            new_error = self._read(new_op, minute).voltage - cfg.rail_voltage
             if abs(new_error) >= abs(error):
                 # The DVFS quantum overshot the band; undo and settle.
                 if error > 0:
@@ -240,7 +298,12 @@ class SolarCoreController:
         self._raises = 0
         self._sheds = 0
         with tel.span("controller.track"):
-            result = self._track_event(irradiance, cell_temp_c, minute, cfg, margin)
+            try:
+                result = self._track_event(
+                    irradiance, cell_temp_c, minute, cfg, margin
+                )
+            except _SensorStale:
+                result = self._enter_degraded(irradiance, cell_temp_c, minute, cfg)
         if tel.enabled:
             tel.observe(
                 "controller.track_iterations",
@@ -277,15 +340,15 @@ class SolarCoreController:
         self._align_k_to_rail(irradiance, cell_temp_c, minute)
         op = self._restore_rail(irradiance, cell_temp_c, minute)
 
-        best_power = self._read(op).power
+        best_power = self._read(op, minute).power
         load_saturated = False
         iterations = 0
         for iterations in range(1, cfg.max_track_iterations + 1):
             # Step 2: perturb k and observe the output current direction.
-            current_before = self._read(op).current
+            current_before = self._read(op, minute).current
             self.converter.step_up()
             op = self.solve(irradiance, cell_temp_c, minute)
-            if self._read(op).current < current_before:
+            if self._read(op, minute).current < current_before:
                 # Wrong direction: net move becomes -delta-k.
                 self.converter.step_down(2)
                 op = self.solve(irradiance, cell_temp_c, minute)
@@ -295,13 +358,13 @@ class SolarCoreController:
             # would drop the rail below the acceptance band is undone: the
             # DVFS quantum is coarser than the remaining error.
             raised_any = False
-            while self._read(op).voltage > cfg.rail_voltage:
+            while self._read(op, minute).voltage > cfg.rail_voltage:
                 if not self._raise_load(minute):
                     load_saturated = True
                     break
                 candidate = self.solve(irradiance, cell_temp_c, minute)
                 if (
-                    self._read(candidate).voltage
+                    self._read(candidate, minute).voltage
                     < cfg.rail_voltage - cfg.rail_tolerance_v
                 ):
                     self._shed_load(minute)
@@ -310,7 +373,7 @@ class SolarCoreController:
                 raised_any = True
                 op = candidate
 
-            power = self._read(op).power
+            power = self._read(op, minute).power
             # Hysteresis on inflection detection: the measured transient
             # power wobbles with the rail's position inside the tolerance
             # band, and with fine DVFS quanta that wobble can exceed one
@@ -320,7 +383,7 @@ class SolarCoreController:
                 # Inflection passed: shed load back under the budget margin.
                 target = best_power * (1.0 - margin)
                 while (
-                    self._read(op).power > target
+                    self._read(op, minute).power > target
                     and self._shed_load(minute)
                 ):
                     op = self.solve(irradiance, cell_temp_c, minute)
@@ -336,7 +399,7 @@ class SolarCoreController:
 
         # Safety net: if the event ended with the rail far from nominal
         # (deep supply transient mid-event), re-anchor on the stable branch.
-        if abs(self._read(op).voltage - cfg.rail_voltage) > 3 * cfg.rail_tolerance_v:
+        if abs(self._read(op, minute).voltage - cfg.rail_voltage) > 3 * cfg.rail_tolerance_v:
             op = self._align_k_to_rail(irradiance, cell_temp_c, minute)
             op = self._restore_rail(irradiance, cell_temp_c, minute)
 
@@ -354,7 +417,7 @@ class SolarCoreController:
             pass
         op = self.solve(irradiance, cell_temp_c, minute)
 
-        reading = self._read(op)
+        reading = self._read(op, minute)
         return TrackingResult(
             iterations=iterations,
             power_w=reading.power,
@@ -362,4 +425,71 @@ class SolarCoreController:
             rail_voltage=reading.voltage,
             k=self.converter.k,
             load_saturated=load_saturated,
+        )
+
+    # ------------------------------------------------------------------
+    # Degraded mode (DESIGN.md section 10)
+    # ------------------------------------------------------------------
+    def _enter_degraded(
+        self,
+        irradiance: float,
+        cell_temp_c: float,
+        minute: float,
+        cfg: SolarCoreConfig,
+    ) -> TrackingResult:
+        """Fall back to a conservative power budget while the sensor is dark.
+
+        The budget is ``degraded_budget_fraction`` of the last good power
+        reading, floored at the chip's minimum sustainable configuration
+        (a budget below the floor would be unenforceable).  Load is shed
+        until the allocation fits; the electrical model still settles the
+        rail (hardware inner loops keep regulating without the MPPT
+        telemetry), but no perturb-and-observe step runs — the knobs stay
+        parked until readings return.
+        """
+        tel = self._tel
+        floor = self.chip.floor_power_at(minute, with_gating=cfg.enable_pcpg)
+        last_power = self._last_good.power if self._last_good is not None else 0.0
+        budget = max(cfg.degraded_budget_fraction * last_power, floor)
+        while self.chip.total_power_at(minute) > budget and self._shed_load(minute):
+            pass
+        allocated = self.chip.total_power_at(minute)
+        # The fractional budget can undercut the chip's *reachable* floor
+        # (which core survives gating is the tuner's pick, not necessarily
+        # the cheapest), so the enforced budget is whatever the shed
+        # actually reached — never below the allocation it left running.
+        budget = max(budget, allocated)
+        if tel.enabled:
+            tel.count("controller.degraded_tracks")
+            tel.emit(
+                DegradedModeEvent(
+                    minute=minute,
+                    reason="sensor-stale",
+                    stale_min=(
+                        minute - self._last_good_minute
+                        if self._last_good is not None
+                        else minute
+                    ),
+                    budget_w=budget,
+                    allocated_w=allocated,
+                )
+            )
+        if not self.degraded:
+            log.warning(
+                "degraded mode @ m%.0f: sensor stale %.1f min, budget %.1f W "
+                "(allocated %.1f W)",
+                minute,
+                minute - self._last_good_minute if self._last_good else minute,
+                budget,
+                allocated,
+            )
+        self.degraded = True
+        op = self.solve(irradiance, cell_temp_c, minute)
+        return TrackingResult(
+            iterations=0,
+            power_w=allocated,
+            best_power_w=budget,
+            rail_voltage=op.output_voltage,
+            k=self.converter.k,
+            load_saturated=False,
         )

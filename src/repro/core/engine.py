@@ -225,6 +225,9 @@ class DayEngine:
         telemetry: Telemetry hub (defaults to the process-wide hub).
         span_name: Span wrapping the run (None disables the span).
         span_attrs: Attributes attached to the span.
+        faults: Optional :class:`~repro.faults.scheduler.FaultScheduler`
+            driving deterministic fault injection (None = fault-free fast
+            path; the loop pays one ``is not None`` check per step).
     """
 
     array: PVArray
@@ -235,6 +238,7 @@ class DayEngine:
     telemetry: object = None
     span_name: str | None = None
     span_attrs: dict = field(default_factory=dict)
+    faults: object | None = None
 
     def __post_init__(self) -> None:
         if self.telemetry is None:
@@ -244,6 +248,14 @@ class DayEngine:
             if self.policy.uses_ats
             else None
         )
+        if (
+            self.ats is not None
+            and self.faults is not None
+            and self.faults.has("ats_stuck", "ats_latency")
+        ):
+            from repro.faults.injectors import FaultyATS
+
+            self.ats = FaultyATS(self.ats, self.faults)
         self.ledger = EnergyLedger()
 
     def run(self):
@@ -266,6 +278,8 @@ class DayEngine:
             minute = float(trace.minutes[index])
             irradiance = float(trace.irradiance[index])
             ambient = float(trace.ambient_c[index])
+            if self.faults is not None:
+                irradiance = self.faults.begin_step(minute, irradiance, tel)
             cell_temp = array.cell_temperature_from_ambient(irradiance, ambient)
             mpp = find_mpp(array, irradiance, cell_temp)
             ctx = StepContext(

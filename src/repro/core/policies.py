@@ -60,13 +60,14 @@ class MPPTPolicy(SupplyPolicy):
         dvfs_table: DVFSTable | None = None,
         sensor: IVSensor | None = None,
         telemetry=None,
+        converter: DCDCConverter | None = None,
     ) -> None:
         self.workload = workload
         self.cfg = cfg
         self.tel = telemetry
         self.chip = MultiCoreChip(workload, table=dvfs_table)
         self.chip.set_all_levels(self.chip.table.min_level)
-        self.converter = DCDCConverter()
+        self.converter = converter or DCDCConverter()
         self.tuner = make_tuner(policy, allow_gating=cfg.enable_pcpg)
         self.controller = SolarCoreController(
             array, self.converter, self.chip, self.tuner, cfg, sensor,

@@ -32,6 +32,7 @@ from repro.core.results import BatteryDayResult, DayResult
 from repro.environment.irradiance import generate_trace
 from repro.environment.locations import Location
 from repro.environment.trace import EnvironmentTrace
+from repro.faults import FaultSchedule, build_fault_kit
 from repro.multicore.dvfs import DVFSTable
 from repro.power.sensors import IVSensor
 from repro.pv.array import PVArray
@@ -64,6 +65,7 @@ def mppt_day_engine(
     dvfs_table: DVFSTable | None = None,
     sensor: IVSensor | None = None,
     telemetry=None,
+    faults: FaultSchedule | str | None = None,
 ) -> DayEngine:
     """The configured :class:`DayEngine` behind :func:`run_day`."""
     tel = telemetry if telemetry is not None else telemetry_hub.current()
@@ -72,9 +74,18 @@ def mppt_day_engine(
     array = array or PVArray()
     if trace is None:
         trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
+    kit = build_fault_kit(faults)
+    converter = None
+    if kit is not None:
+        # Wrap before the policy is built so engine MPP solves, controller
+        # operating-point solves, and sensor reads all see the faulted view.
+        array = kit.wrap_array(array)
+        sensor = kit.wrap_sensor(sensor)
+        converter = kit.make_converter()
     supply = MPPTPolicy(
         workload, policy, cfg, array,
         dvfs_table=dvfs_table, sensor=sensor, telemetry=tel,
+        converter=converter,
     )
     return DayEngine(
         array=array,
@@ -87,6 +98,7 @@ def mppt_day_engine(
         span_attrs=dict(
             mix=workload.name, location=location.code, month=month, policy=policy
         ),
+        faults=kit.scheduler if kit is not None else None,
     )
 
 
@@ -102,6 +114,7 @@ def run_day(
     dvfs_table: DVFSTable | None = None,
     sensor: IVSensor | None = None,
     telemetry=None,
+    faults: FaultSchedule | str | None = None,
 ) -> DayResult:
     """Simulate one day under a SolarCore MPPT policy.
 
@@ -121,13 +134,17 @@ def run_day(
         sensor: Front-end I/V sensor model (ideal by default; the
             robustness study injects noise/quantization here).
         telemetry: Telemetry hub override (default: the process-wide hub).
+        faults: Optional fault schedule (spec string or
+            :class:`~repro.faults.schedule.FaultSchedule`) injecting timed
+            sensor/PV/converter/supply/trace faults; None or an empty
+            schedule leaves the run byte-identical to fault-free.
 
     Returns:
         The day's :class:`DayResult`.
     """
     engine = mppt_day_engine(
         workload, location, month, policy, config, array, trace, seed,
-        dvfs_table, sensor, telemetry,
+        dvfs_table, sensor, telemetry, faults,
     )
     day = engine.run()
     log.debug(
@@ -148,6 +165,7 @@ def fixed_day_engine(
     trace: EnvironmentTrace | None = None,
     seed: int | None = None,
     telemetry=None,
+    faults: FaultSchedule | str | None = None,
 ) -> DayEngine:
     """The configured :class:`DayEngine` behind :func:`run_day_fixed`."""
     tel = telemetry if telemetry is not None else telemetry_hub.current()
@@ -156,6 +174,11 @@ def fixed_day_engine(
     array = array or PVArray()
     if trace is None:
         trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
+    kit = build_fault_kit(faults)
+    if kit is not None:
+        # The baseline has no sensor/converter in the loop; only array-
+        # and trace-level faults (plus engine-applied ones) can bite.
+        array = kit.wrap_array(array)
     supply = FixedBudgetPolicy(workload, budget_w, cfg, telemetry=tel)
     return DayEngine(
         array=array,
@@ -169,6 +192,7 @@ def fixed_day_engine(
             mix=workload.name, location=location.code, month=month,
             budget_w=budget_w,
         ),
+        faults=kit.scheduler if kit is not None else None,
     )
 
 
@@ -182,6 +206,7 @@ def run_day_fixed(
     trace: EnvironmentTrace | None = None,
     seed: int | None = None,
     telemetry=None,
+    faults: FaultSchedule | str | None = None,
 ) -> DayResult:
     """Simulate one day under the Fixed-Power baseline.
 
@@ -194,7 +219,7 @@ def run_day_fixed(
     """
     engine = fixed_day_engine(
         workload, location, month, budget_w, config, array, trace, seed,
-        telemetry,
+        telemetry, faults,
     )
     return engine.run()
 
@@ -209,6 +234,7 @@ def battery_day_engine(
     trace: EnvironmentTrace | None = None,
     seed: int | None = None,
     telemetry=None,
+    faults: FaultSchedule | str | None = None,
 ) -> DayEngine:
     """The configured :class:`DayEngine` behind :func:`run_day_battery`."""
     if not 0.0 < derating <= 1.0:
@@ -219,6 +245,9 @@ def battery_day_engine(
     array = array or PVArray()
     if trace is None:
         trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
+    kit = build_fault_kit(faults)
+    if kit is not None:
+        array = kit.wrap_array(array)
     supply = BatteryPolicy(workload, location, month, derating, cfg, telemetry=tel)
     return DayEngine(
         array=array,
@@ -232,6 +261,7 @@ def battery_day_engine(
             mix=workload.name, location=location.code, month=month,
             derating=derating,
         ),
+        faults=kit.scheduler if kit is not None else None,
     )
 
 
@@ -245,6 +275,7 @@ def run_day_battery(
     trace: EnvironmentTrace | None = None,
     seed: int | None = None,
     telemetry=None,
+    faults: FaultSchedule | str | None = None,
 ) -> BatteryDayResult:
     """Simulate one day on the battery-equipped MPPT baseline.
 
@@ -259,6 +290,6 @@ def run_day_battery(
     """
     engine = battery_day_engine(
         workload, location, month, derating, config, array, trace, seed,
-        telemetry,
+        telemetry, faults,
     )
     return engine.run()

@@ -1,0 +1,197 @@
+"""Fault-injecting wrappers around the power-path components.
+
+Each wrapper holds a reference to the run's
+:class:`~repro.faults.scheduler.FaultScheduler` and consults it on every
+call, so a component misbehaves exactly inside its scheduled windows and
+is bit-identical to the pristine component outside them.  The wrappers
+are installed by the ``*_day_engine`` factories *before* the policy and
+engine are built, so every reference (engine MPP solve, controller
+operating-point solves, sensor reads) sees the same faulted view.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.scheduler import FaultScheduler
+from repro.power.converter import DCDCConverter
+from repro.power.psu import AutomaticTransferSwitch, PowerSource
+from repro.power.sensors import IVSensor, SensorDropout, SensorReading
+
+__all__ = ["FaultyArray", "FaultySensor", "FaultyConverter", "FaultyATS"]
+
+
+class FaultyArray:
+    """A PV generator with scheduled string failures.
+
+    During a ``pv_string`` window a fraction of the parallel strings
+    stops delivering: output *current* scales by the surviving fraction
+    while the open-circuit *voltage* is unchanged (the remaining strings
+    still hold the terminal voltage).  Soiling is an irradiance effect
+    and is applied upstream by the scheduler, not here.
+    """
+
+    def __init__(self, inner, scheduler: FaultScheduler) -> None:
+        self._inner = inner
+        self._scheduler = scheduler
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def current(self, voltage: float, irradiance: float, cell_temp_c: float) -> float:
+        return (
+            self._inner.current(voltage, irradiance, cell_temp_c)
+            * self._scheduler.pv_current_factor()
+        )
+
+    def currents(
+        self, voltages: np.ndarray, irradiance: float, cell_temp_c: float
+    ) -> np.ndarray:
+        return (
+            self._inner.currents(voltages, irradiance, cell_temp_c)
+            * self._scheduler.pv_current_factor()
+        )
+
+    def voltage(self, current: float, irradiance: float, cell_temp_c: float) -> float:
+        factor = self._scheduler.pv_current_factor()
+        return self._inner.voltage(current / factor, irradiance, cell_temp_c)
+
+    def power(self, voltage: float, irradiance: float, cell_temp_c: float) -> float:
+        return voltage * self.current(voltage, irradiance, cell_temp_c)
+
+    def short_circuit_current(self, irradiance: float, cell_temp_c: float) -> float:
+        return self.current(0.0, irradiance, cell_temp_c)
+
+    def open_circuit_voltage(self, irradiance: float, cell_temp_c: float) -> float:
+        return self._inner.open_circuit_voltage(irradiance, cell_temp_c)
+
+    def cell_temperature_from_ambient(
+        self, irradiance: float, ambient_c: float
+    ) -> float:
+        return self._inner.cell_temperature_from_ambient(irradiance, ambient_c)
+
+
+class FaultySensor:
+    """An I/V sensor pair subject to scheduled imperfections.
+
+    * ``sensor_dropout`` — :meth:`read` raises :class:`SensorDropout`.
+    * ``sensor_stuck`` — the last reported reading is repeated verbatim.
+    * ``sensor_bias`` — a multiplicative bias drifting at ``param``/min
+      since the window opened.
+    * ``sensor_noise`` — extra multiplicative Gaussian noise of sigma
+      ``param`` drawn from the schedule-seeded RNG (independent draws
+      for voltage and current).
+    """
+
+    def __init__(self, inner: IVSensor, scheduler: FaultScheduler) -> None:
+        self._inner = inner
+        self._scheduler = scheduler
+        self._held: SensorReading | None = None
+
+    def read(self, point) -> SensorReading:
+        sched = self._scheduler
+        if sched.active("sensor_dropout") is not None:
+            raise SensorDropout(
+                f"sensor dropout active at minute {sched.now:g}"
+            )
+        if sched.active("sensor_stuck") is not None and self._held is not None:
+            return self._held
+        reading = self._inner.read(point)
+        bias = sched.active("sensor_bias")
+        if bias is not None:
+            factor = 1.0 + bias.param * (sched.now - bias.start_min)
+            reading = SensorReading(
+                voltage=reading.voltage * factor,
+                current=reading.current * factor,
+            )
+        noise = sched.active("sensor_noise")
+        if noise is not None:
+            dv, di = sched.rng.normal(0.0, noise.param, size=2)
+            reading = SensorReading(
+                voltage=reading.voltage * (1.0 + float(dv)),
+                current=reading.current * (1.0 + float(di)),
+            )
+        self._held = reading
+        return reading
+
+
+class FaultyConverter(DCDCConverter):
+    """A DC/DC stage with scheduled efficiency loss and a sticky knob.
+
+    * ``conv_eff`` — :meth:`effective_efficiency` is derated by the
+      window's factor (every electrical relation reads through it).
+    * ``k_stuck`` — ``step_up``/``step_down`` and the ``k`` setter are
+      no-ops while the window is open; the controller's perturbations
+      simply stop moving the operating point.
+    """
+
+    def __init__(self, scheduler: FaultScheduler, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._scheduler = scheduler
+
+    def effective_efficiency(self) -> float:
+        return self.efficiency * self._scheduler.converter_efficiency_factor()
+
+    @property
+    def k(self) -> float:
+        return self._k
+
+    @k.setter
+    def k(self, value: float) -> None:
+        if self._scheduler.k_frozen():
+            return
+        self._k = self._clamp(value)
+
+    def step_up(self, steps: int = 1) -> float:
+        if self._scheduler.k_frozen():
+            return self._k
+        return super().step_up(steps)
+
+    def step_down(self, steps: int = 1) -> float:
+        if self._scheduler.k_frozen():
+            return self._k
+        return super().step_down(steps)
+
+
+class FaultyATS:
+    """A transfer switch with scheduled transfer failures and latency.
+
+    * ``ats_stuck`` — transfers fail outright: the underlying switch is
+      not consulted and the previously selected source holds (physically
+      the UPS bridges whatever the stuck switch still feeds).
+    * ``ats_latency`` — a decided transfer takes effect ``param`` engine
+      steps late; until then the old source keeps feeding the load
+      (UPS bridging through the switchover).
+    """
+
+    def __init__(self, inner: AutomaticTransferSwitch, scheduler: FaultScheduler) -> None:
+        self._inner = inner
+        self._scheduler = scheduler
+        self._reported = inner.source
+        self._pending_steps: int | None = None
+
+    @property
+    def source(self) -> PowerSource:
+        return self._reported
+
+    @property
+    def switch_count(self) -> int:
+        return self._inner.switch_count
+
+    def update(self, available_solar_w: float, min_load_w: float) -> PowerSource:
+        sched = self._scheduler
+        if sched.ats_blocked():
+            # Failed transfer: the switch state is frozen until repair.
+            self._pending_steps = None
+            return self._reported
+        desired = self._inner.update(available_solar_w, min_load_w)
+        if desired is self._reported:
+            self._pending_steps = None
+            return self._reported
+        if self._pending_steps is None:
+            self._pending_steps = sched.ats_latency_steps()
+        self._pending_steps -= 1
+        if self._pending_steps < 0:
+            self._pending_steps = None
+            self._reported = desired
+        return self._reported

@@ -1,0 +1,197 @@
+"""Deterministic, seeded fault schedules for day simulations.
+
+SolarCore's premise is a chip fed from an unreliable, battery-less
+supply; this module describes *when* and *how* that supply chain
+misbehaves.  A :class:`FaultSchedule` is an immutable list of timed
+:class:`FaultSpec` windows plus one RNG seed; it is pure data — the
+per-run machinery that applies it lives in
+:mod:`repro.faults.scheduler` and :mod:`repro.faults.injectors`.
+
+Schedules round-trip through a compact spec grammar so they can ride on
+the CLI (``--faults``) and inside :class:`~repro.harness.parallel.SweepTask`
+cache keys::
+
+    kind@start-end[:param][,kind@start-end[:param]...][,seed=N]
+
+    sensor_dropout@540-560            # sensor dead 9:00-9:20
+    soiling@480-:0.85                 # 15 % soiling from 8:00 onward
+    pv_string@600-700:0.5,seed=7      # half the strings lost, seeded
+
+Times are minutes since midnight; an omitted end means "until the end
+of the day".  Each kind takes at most one numeric knob, defaulted when
+omitted.  :meth:`FaultSchedule.canonical` renders the normalized string
+used for cache addressing, so equivalent spellings hit the same cache
+entry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["FaultSpec", "FaultSchedule", "FAULT_KINDS"]
+
+
+#: kind -> (default param, description).  ``None`` means the kind takes
+#: no knob; a numeric default is used when the spec omits ``:param``.
+FAULT_KINDS: dict[str, tuple[float | None, str]] = {
+    # -- sensor faults (IVSensor front-end) ----------------------------
+    "sensor_dropout": (None, "sensor produces no readings"),
+    "sensor_stuck": (None, "sensor repeats its last pre-fault reading"),
+    "sensor_bias": (0.002, "multiplicative bias drifting at rate/min"),
+    "sensor_noise": (0.05, "extra multiplicative Gaussian noise (sigma)"),
+    # -- PV faults -----------------------------------------------------
+    "pv_string": (0.5, "fraction of parallel strings still delivering"),
+    "soiling": (0.85, "irradiance derate factor (dust/soiling)"),
+    # -- converter faults ----------------------------------------------
+    "conv_eff": (0.9, "conversion-efficiency derate factor"),
+    "k_stuck": (None, "transfer-ratio knob frozen at its current value"),
+    # -- supply-path faults --------------------------------------------
+    "ats_stuck": (None, "transfer switch fails; UPS bridges in place"),
+    "ats_latency": (3.0, "switchover takes effect N steps late"),
+    # -- trace faults --------------------------------------------------
+    "trace_gap": (None, "irradiance samples missing (hold last good)"),
+}
+
+
+def _format_minutes(value: float) -> str:
+    """Render a minute bound compactly (no trailing ``.0``)."""
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One timed fault window.
+
+    Attributes:
+        kind: One of :data:`FAULT_KINDS`.
+        start_min: Window start [minutes since midnight], inclusive.
+        end_min: Window end [minutes], exclusive; ``inf`` = open-ended.
+        param: Kind-specific numeric knob (defaulted per kind, None for
+            knobless kinds).
+    """
+
+    kind: str
+    start_min: float
+    end_min: float = math.inf
+    param: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"known: {', '.join(sorted(FAULT_KINDS))}"
+            )
+        if not self.start_min >= 0.0:
+            raise ValueError(f"start_min must be >= 0, got {self.start_min!r}")
+        if not self.end_min > self.start_min:
+            raise ValueError(
+                f"need start < end, got [{self.start_min}, {self.end_min})"
+            )
+        default = FAULT_KINDS[self.kind][0]
+        if self.param is None and default is not None:
+            object.__setattr__(self, "param", default)
+        if self.param is not None and not math.isfinite(self.param):
+            raise ValueError(f"param must be finite, got {self.param!r}")
+        if self.param is not None and self.param < 0.0:
+            raise ValueError(f"param must be >= 0, got {self.param!r}")
+
+    def active(self, minute: float) -> bool:
+        """Whether the window covers ``minute`` (half-open interval)."""
+        return self.start_min <= minute < self.end_min
+
+    def canonical(self) -> str:
+        """The spec-grammar rendering of this window."""
+        end = "" if math.isinf(self.end_min) else _format_minutes(self.end_min)
+        text = f"{self.kind}@{_format_minutes(self.start_min)}-{end}"
+        if self.param is not None and self.param != FAULT_KINDS[self.kind][0]:
+            text += f":{self.param:g}"
+        return text
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable set of fault windows plus the injection RNG seed.
+
+    An empty schedule is falsy, and every consumer treats it exactly
+    like "no faults" — the acceptance contract is that a run under an
+    empty schedule is byte-identical to one with no schedule at all.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.specs, key=lambda s: (s.start_min, s.kind, s.end_min))
+        )
+        object.__setattr__(self, "specs", ordered)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def kinds(self) -> frozenset[str]:
+        """The distinct fault kinds the schedule touches."""
+        return frozenset(spec.kind for spec in self.specs)
+
+    def canonical(self) -> str:
+        """Normalized spec string; parses back to an equal schedule."""
+        parts = [spec.canonical() for spec in self.specs]
+        if self.seed:
+            parts.append(f"seed={self.seed}")
+        return ",".join(parts)
+
+    @classmethod
+    def parse(cls, text: str | None) -> "FaultSchedule":
+        """Parse a spec string (see module docstring).
+
+        ``None``, ``""``, and ``"none"`` all yield the empty schedule.
+
+        Raises:
+            ValueError: Malformed element, unknown kind, or bad window.
+        """
+        if text is None:
+            return cls()
+        text = text.strip()
+        if not text or text.lower() == "none":
+            return cls()
+        specs: list[FaultSpec] = []
+        seed = 0
+        for element in text.split(","):
+            element = element.strip()
+            if not element:
+                continue
+            if element.startswith("seed="):
+                try:
+                    seed = int(element[len("seed="):])
+                except ValueError:
+                    raise ValueError(
+                        f"bad seed element {element!r} in fault spec"
+                    ) from None
+                continue
+            specs.append(cls._parse_spec(element))
+        return cls(specs=tuple(specs), seed=seed)
+
+    @staticmethod
+    def _parse_spec(element: str) -> FaultSpec:
+        head, sep, window = element.partition("@")
+        if not sep:
+            raise ValueError(
+                f"bad fault element {element!r}: expected kind@start-end[:param]"
+            )
+        window, _, raw_param = window.partition(":")
+        start_text, sep, end_text = window.partition("-")
+        if not sep:
+            raise ValueError(
+                f"bad fault window in {element!r}: expected start-end "
+                "(omit end for open-ended)"
+            )
+        try:
+            start = float(start_text)
+            end = float(end_text) if end_text else math.inf
+            param = float(raw_param) if raw_param else None
+        except ValueError:
+            raise ValueError(f"bad number in fault element {element!r}") from None
+        return FaultSpec(kind=head, start_min=start, end_min=end, param=param)

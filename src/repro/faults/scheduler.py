@@ -1,0 +1,134 @@
+"""Per-run fault scheduling: the clock the injectors read.
+
+One :class:`FaultScheduler` is built per day run from an immutable
+:class:`~repro.faults.schedule.FaultSchedule`.  The
+:class:`~repro.core.engine.DayEngine` calls :meth:`FaultScheduler.begin_step`
+at the top of every minute step; the scheduler then
+
+* advances its notion of *now* (the injector wrappers consult it from
+  deep inside the electrical solves, where no minute is in scope),
+* emits :class:`~repro.telemetry.events.FaultInjectedEvent` /
+  :class:`~repro.telemetry.events.RecoveryEvent` records on window
+  entry/exit, and
+* applies the trace-level faults itself (missing irradiance samples are
+  held at the last good value; soiling derates what reaches the panel).
+
+Determinism: the injection RNG is seeded from the schedule at
+construction and the scheduler is rebuilt for every run, so a seeded
+fault day replays bit-identically whether computed serially, in a
+worker process, or read back from the disk cache.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.faults.schedule import FaultSchedule, FaultSpec
+from repro.telemetry.events import FaultInjectedEvent, RecoveryEvent
+
+__all__ = ["FaultScheduler"]
+
+
+class FaultScheduler:
+    """Applies a :class:`FaultSchedule` to one day run.
+
+    Args:
+        schedule: The immutable fault windows + seed to apply.
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        self.rng = np.random.default_rng(schedule.seed)
+        self.now: float = -math.inf
+        self._kinds = schedule.kinds()
+        self._was_active: set[FaultSpec] = set()
+        self._last_raw_irradiance = 0.0
+
+    def has(self, *kinds: str) -> bool:
+        """Whether the schedule contains any of ``kinds`` at any time."""
+        return any(kind in self._kinds for kind in kinds)
+
+    def active(self, kind: str) -> FaultSpec | None:
+        """The first window of ``kind`` covering *now*, or None."""
+        for spec in self.schedule.specs:
+            if spec.kind == kind and spec.active(self.now):
+                return spec
+        return None
+
+    # ------------------------------------------------------------------
+    # Engine hook
+    # ------------------------------------------------------------------
+    def begin_step(self, minute: float, irradiance: float, tel) -> float:
+        """Advance the fault clock to ``minute``; return the effective
+        irradiance after trace-level faults.
+
+        Emits window entry/exit telemetry, holds the last good sample
+        through ``trace_gap`` windows, and applies the ``soiling``
+        derate.
+        """
+        self.now = minute
+        active = {spec for spec in self.schedule.specs if spec.active(minute)}
+        if tel.enabled:
+            for spec in sorted(
+                active - self._was_active, key=lambda s: (s.start_min, s.kind)
+            ):
+                tel.count("faults.injected")
+                tel.emit(
+                    FaultInjectedEvent(
+                        minute=minute,
+                        kind=spec.kind,
+                        start_min=spec.start_min,
+                        end_min=spec.end_min,
+                        param=spec.param,
+                    )
+                )
+            for spec in sorted(
+                self._was_active - active, key=lambda s: (s.start_min, s.kind)
+            ):
+                tel.count("faults.cleared")
+                tel.emit(
+                    RecoveryEvent(
+                        minute=minute,
+                        source=f"fault:{spec.kind}",
+                        stale_min=minute - spec.start_min,
+                    )
+                )
+        self._was_active = active
+
+        if self.active("trace_gap") is None:
+            self._last_raw_irradiance = irradiance
+        else:
+            # A missing sample: hold the last good irradiance reading.
+            irradiance = self._last_raw_irradiance
+        spec = self.active("soiling")
+        if spec is not None:
+            irradiance *= spec.param
+        return irradiance
+
+    # ------------------------------------------------------------------
+    # Component-facing fault state
+    # ------------------------------------------------------------------
+    def pv_current_factor(self) -> float:
+        """Fraction of the array's current still delivered (string loss)."""
+        spec = self.active("pv_string")
+        return 1.0 if spec is None else spec.param
+
+    def converter_efficiency_factor(self) -> float:
+        """Multiplier on the converter's nominal efficiency."""
+        spec = self.active("conv_eff")
+        return 1.0 if spec is None else min(spec.param, 1.0)
+
+    def k_frozen(self) -> bool:
+        """Whether the transfer-ratio knob is stuck right now."""
+        return self.active("k_stuck") is not None
+
+    def ats_blocked(self) -> bool:
+        """Whether transfers fail outright (UPS bridging in place)."""
+        return self.active("ats_stuck") is not None
+
+    def ats_latency_steps(self) -> int:
+        """Switchover latency [engine steps]; 0 = instantaneous."""
+        spec = self.active("ats_latency")
+        return 0 if spec is None else max(0, int(spec.param))

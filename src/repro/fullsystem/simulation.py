@@ -217,13 +217,19 @@ def fullsystem_day_engine(
     trace: EnvironmentTrace | None = None,
     seed: int | None = None,
     server: FullSystemLoad | None = None,
+    faults=None,
 ) -> DayEngine:
     """The configured :class:`DayEngine` behind :func:`run_day_fullsystem`."""
+    from repro.faults import build_fault_kit
+
     cfg = config or SolarCoreConfig()
     workload = resolve_mix(workload)
     array = array or PVArray(modules_parallel=2)
     if trace is None:
         trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
+    kit = build_fault_kit(faults)
+    if kit is not None:
+        array = kit.wrap_array(array)
     system = server or default_server(workload)
     supply = FullSystemPolicy(system, cfg, array)
     return DayEngine(
@@ -235,6 +241,7 @@ def fullsystem_day_engine(
         telemetry=telemetry_hub.current(),
         span_name="run_day_fullsystem",
         span_attrs=dict(mix=workload.name, location=location.code, month=month),
+        faults=kit.scheduler if kit is not None else None,
     )
 
 
@@ -247,6 +254,7 @@ def run_day_fullsystem(
     trace: EnvironmentTrace | None = None,
     seed: int | None = None,
     server: FullSystemLoad | None = None,
+    faults=None,
 ) -> FullSystemDayResult:
     """Simulate one day of a fully solar-powered server.
 
@@ -265,6 +273,6 @@ def run_day_fullsystem(
         A :class:`FullSystemDayResult`.
     """
     engine = fullsystem_day_engine(
-        workload, location, month, config, array, trace, seed, server
+        workload, location, month, config, array, trace, seed, server, faults
     )
     return engine.run()

@@ -1,0 +1,156 @@
+"""Campaign checkpointing: crash-safe, resumable sweep progress.
+
+A long sweep that dies at cell 4 990 of 5 000 should not cost 4 990
+recomputes.  :class:`SweepCheckpoint` persists completed results to a
+single pickle file with the same atomic-replace discipline as the disk
+cache, and validates the same identity (format version, code
+fingerprint, config key) on load — a checkpoint written by different
+code or a different configuration is ignored with a warning, never
+silently resumed.
+
+The checkpoint is *explicitly* loaded (``--resume`` on the CLI): a fresh
+campaign run over an existing file overwrites it rather than resuming,
+so stale progress can never contaminate a deliberate recompute.
+
+Unlike the content-addressed :class:`~repro.harness.parallel.DiskResultCache`
+(one file per result, shared across campaigns), a checkpoint is one
+campaign's progress log: a single file the user can point ``--resume``
+at, copy between machines, or delete as a unit.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from repro.core.config import SolarCoreConfig
+from repro.harness.parallel import (
+    CACHE_FORMAT_VERSION,
+    SweepTask,
+    code_fingerprint,
+    config_key,
+)
+
+__all__ = ["SweepCheckpoint"]
+
+log = logging.getLogger(__name__)
+
+
+class SweepCheckpoint:
+    """Periodic atomic snapshot of a sweep's completed cells.
+
+    Args:
+        path: Checkpoint file (created on first flush).
+        config: The sweep's configuration; a checkpoint recorded under a
+            different config never resumes.
+        flush_every: Write the file after every N newly recorded results
+            (and always on :meth:`flush`).
+        fingerprint: Code-fingerprint override (tests model code changes
+            with this; defaults to :func:`code_fingerprint`).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        config: SolarCoreConfig,
+        flush_every: int = 8,
+        fingerprint: str | None = None,
+    ) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.path = Path(path)
+        self.flush_every = flush_every
+        self.fingerprint = fingerprint or code_fingerprint()
+        self._cfg_key = config_key(config)
+        self._entries: dict[tuple, object] = {}
+        self._unflushed = 0
+        self.restored = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _key(self, task: SweepTask) -> tuple:
+        return task.cache_key(self._cfg_key)
+
+    def load(self) -> int:
+        """Restore entries from disk (the ``--resume`` path).
+
+        Returns the number of entries restored.  A missing file is a
+        clean start; a corrupt file or one written by different code /
+        format / config is ignored with a warning — resuming it could
+        mix results from two different simulations.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return 0
+        try:
+            payload = pickle.loads(raw)
+            if payload["format"] != CACHE_FORMAT_VERSION:
+                raise ValueError(
+                    f"checkpoint format {payload['format']} != "
+                    f"{CACHE_FORMAT_VERSION}"
+                )
+            if payload["fingerprint"] != self.fingerprint:
+                raise ValueError("code fingerprint mismatch")
+            if payload["cfg_key"] != self._cfg_key:
+                raise ValueError("config mismatch")
+            entries = payload["entries"]
+        except Exception as exc:  # noqa: BLE001 — any decode failure restarts
+            log.warning(
+                "ignoring unusable checkpoint %s (%s: %s); starting fresh",
+                self.path, type(exc).__name__, exc,
+            )
+            return 0
+        self._entries.update(entries)
+        self.restored = len(entries)
+        log.info(
+            "resumed checkpoint %s: %d completed task(s)",
+            self.path, self.restored,
+        )
+        return self.restored
+
+    def get(self, task: SweepTask):
+        """The recorded result for ``task``, or None."""
+        return self._entries.get(self._key(task))
+
+    def record(self, task: SweepTask, result) -> None:
+        """Record a completed task; flushes every ``flush_every`` records."""
+        self._entries[self._key(task)] = result
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Atomically persist all recorded entries (tmp + ``os.replace``)."""
+        if self._unflushed == 0 and self.path.exists():
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(
+            {
+                "format": CACHE_FORMAT_VERSION,
+                "fingerprint": self.fingerprint,
+                "cfg_key": self._cfg_key,
+                "entries": self._entries,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        fd, tmp = tempfile.mkstemp(dir=self.path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError as exc:
+                log.warning(
+                    "could not clean up checkpoint temp file %s: %s", tmp, exc
+                )
+            raise
+        self._unflushed = 0

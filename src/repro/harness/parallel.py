@@ -33,9 +33,11 @@ import hashlib
 import logging
 import os
 import pickle
+import random
 import tempfile
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, fields
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, fields
 from functools import lru_cache
 from pathlib import Path
 
@@ -48,15 +50,19 @@ from repro.core.simulation import (
     run_day_fixed,
 )
 from repro.environment.locations import Location, location_by_code
+from repro.faults.schedule import FaultSchedule
 from repro.telemetry import hub as telemetry_hub
 from repro.telemetry.hub import Telemetry
 
 __all__ = [
     "SweepTask",
     "SweepError",
+    "TaskFailure",
+    "SweepFailureReport",
     "DiskResultCache",
     "compute_task",
     "run_parallel",
+    "run_serial",
     "grid_tasks",
     "config_key",
     "code_fingerprint",
@@ -134,6 +140,10 @@ class SweepTask:
         derating: Overall de-rating factor (``battery`` tasks).
         seed: Weather-realization seed, or None for the standard seeded
             trace of the (station, month).
+        faults: Fault-schedule spec string (see
+            :meth:`repro.faults.schedule.FaultSchedule.parse`), or None
+            for a fault-free day.  Canonicalized on construction so
+            equivalent spellings share a cache entry.
     """
 
     kind: str
@@ -144,6 +154,7 @@ class SweepTask:
     budget_w: float | None = None
     derating: float | None = None
     seed: int | None = None
+    faults: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -157,6 +168,12 @@ class SweepTask:
         object.__setattr__(
             self, "location_code", location_by_code(self.location_code).code
         )
+        if self.faults is not None:
+            # Normalized spec (or None when it parses empty), so "none",
+            # "", and reordered spellings all address the same entry.
+            object.__setattr__(
+                self, "faults", FaultSchedule.parse(self.faults).canonical() or None
+            )
 
     @property
     def param(self) -> str | float:
@@ -181,6 +198,7 @@ class SweepTask:
             self.month,
             self.param,
             self.seed,
+            self.faults,
             cfg_key,
         )
 
@@ -193,11 +211,70 @@ class SweepTask:
         )
         if self.seed is not None:
             text += f" seed={self.seed}"
+        if self.faults is not None:
+            text += f" faults={self.faults}"
         return text
 
 
 class SweepError(RuntimeError):
     """A sweep task failed; the message carries the failing coordinates."""
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that stayed failed after every retry wave.
+
+    Attributes:
+        task: The failing grid cell.
+        error: ``TypeName: message`` of the last failure (or a timeout
+            description).
+        attempts: How many times the task was tried.
+        timed_out: True when the last failure was a per-task timeout
+            rather than a raised exception.
+    """
+
+    task: SweepTask
+    error: str
+    attempts: int
+    timed_out: bool = False
+
+
+@dataclass
+class SweepFailureReport:
+    """Structured account of a salvaged sweep (``salvage=True``).
+
+    Falsy when every task completed, so ``if report:`` reads naturally.
+
+    Attributes:
+        failures: Tasks that stayed failed after every retry, in the
+            submitted task order.
+        completed: Tasks that produced a result (including checkpoint
+            restores).
+        attempted: Unique tasks the sweep was asked to run.
+    """
+
+    failures: list[TaskFailure] = field(default_factory=list)
+    completed: int = 0
+    attempted: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.failures)
+
+    def summary(self) -> str:
+        """Multi-line human-readable account for logs and CLI output."""
+        if not self.failures:
+            return f"sweep complete: all {self.attempted} task(s) succeeded"
+        lines = [
+            f"sweep salvaged: {len(self.failures)} of {self.attempted} "
+            f"task(s) failed ({self.completed} completed):"
+        ]
+        for failure in self.failures:
+            flavor = "timed out" if failure.timed_out else "failed"
+            lines.append(
+                f"  - {failure.task.describe()}: {flavor} after "
+                f"{failure.attempts} attempt(s): {failure.error}"
+            )
+        return "\n".join(lines)
 
 
 def compute_task(
@@ -214,16 +291,16 @@ def compute_task(
     if task.kind == "mppt":
         return run_day(
             task.mix_name, loc, task.month, task.policy,
-            config=config, seed=task.seed,
+            config=config, seed=task.seed, faults=task.faults,
         )
     if task.kind == "fixed":
         return run_day_fixed(
             task.mix_name, loc, task.month, task.budget_w,
-            config=config, seed=task.seed,
+            config=config, seed=task.seed, faults=task.faults,
         )
     return run_day_battery(
         task.mix_name, loc, task.month, task.derating,
-        config=config, seed=task.seed,
+        config=config, seed=task.seed, faults=task.faults,
     )
 
 
@@ -282,8 +359,10 @@ class DiskResultCache:
             for path in stale:
                 try:
                     path.unlink()
-                except OSError:
-                    pass
+                except OSError as exc:
+                    log.warning(
+                        "could not delete stale cache entry %s: %s", path, exc
+                    )
         self.root.mkdir(parents=True, exist_ok=True)
         marker.write_text(f"{CACHE_FORMAT_VERSION}\n")
 
@@ -323,8 +402,10 @@ class DiskResultCache:
             )
             try:
                 path.unlink()
-            except OSError:
-                pass
+            except OSError as unlink_exc:
+                log.warning(
+                    "could not delete corrupt cache entry %s: %s", path, unlink_exc
+                )
             self.misses += 1
             return None
         self.hits += 1
@@ -353,8 +434,10 @@ class DiskResultCache:
         except BaseException:
             try:
                 os.unlink(tmp)
-            except OSError:
-                pass
+            except OSError as exc:
+                log.warning(
+                    "could not clean up cache temp file %s: %s", tmp, exc
+                )
             raise
         return path
 
@@ -385,25 +468,177 @@ def _worker_chunk(
     not receive events from forked children); with ``collect_telemetry`` a
     private hub gathers counters/spans and its snapshot rides back with
     the results.
+
+    Each task yields an independent ``("ok", result)`` or
+    ``("err", "TypeName: message")`` outcome: one bad cell no longer
+    poisons its whole chunk — the parent decides whether to retry,
+    salvage, or raise.
     """
     telemetry_hub.set_telemetry(None)
     worker_hub = Telemetry() if collect_telemetry else None
     if worker_hub is not None:
         telemetry_hub.set_telemetry(worker_hub)
     try:
-        results = []
+        outcomes = []
         for task in tasks:
             try:
-                results.append(compute_task(task, config))
+                outcomes.append(("ok", compute_task(task, config)))
             except Exception as exc:
-                raise SweepError(
-                    f"sweep task failed in worker: {task.describe()}: "
-                    f"{type(exc).__name__}: {exc}"
-                ) from exc
+                outcomes.append(("err", f"{type(exc).__name__}: {exc}"))
         snapshot = worker_hub.snapshot() if worker_hub is not None else None
-        return results, snapshot
+        return outcomes, snapshot
     finally:
         telemetry_hub.set_telemetry(None)
+
+
+def _split_completed(
+    unique: list[SweepTask], checkpoint, tel
+) -> tuple[dict[SweepTask, object], list[SweepTask]]:
+    """Partition tasks into checkpoint-restored results and pending work."""
+    results: dict[SweepTask, object] = {}
+    pending: list[SweepTask] = []
+    if checkpoint is None:
+        return results, list(unique)
+    for task in unique:
+        prior = checkpoint.get(task)
+        if prior is not None:
+            results[task] = prior
+        else:
+            pending.append(task)
+    if results:
+        if tel.enabled:
+            tel.count("sweep.checkpoint_skips", len(results))
+        log.info(
+            "checkpoint: %d of %d task(s) already complete; computing %d",
+            len(results), len(unique), len(pending),
+        )
+    return results, pending
+
+
+def _backoff_sleep(wave: int, retry_base_s: float, n_failed: int, tel) -> None:
+    """Exponential backoff with deterministic jitter before retry ``wave``."""
+    delay = retry_base_s * (2 ** (wave - 1))
+    delay += random.Random(wave).uniform(0.0, retry_base_s)
+    if tel.enabled:
+        tel.count("sweep.retries", n_failed)
+    log.warning(
+        "sweep retry wave %d: %d task(s) failed, backing off %.2fs",
+        wave, n_failed, delay,
+    )
+    if delay > 0:
+        time.sleep(delay)
+
+
+def _finish_sweep(
+    results, snapshots, unique, pending, errors, attempts,
+    checkpoint, salvage, tel, parallel,
+):
+    """Common tail of :func:`run_parallel` / :func:`run_serial`: flush the
+    checkpoint, then salvage (structured report) or raise (first failure)."""
+    if checkpoint is not None:
+        checkpoint.flush()
+    failures = [
+        TaskFailure(
+            task=task,
+            error=errors[task][0],
+            attempts=attempts[task],
+            timed_out=errors[task][1],
+        )
+        for task in pending
+    ]
+    timeouts = sum(1 for failure in failures if failure.timed_out)
+    if timeouts and tel.enabled:
+        tel.count("sweep.timeouts", timeouts)
+    if salvage:
+        report = SweepFailureReport(
+            failures=failures, completed=len(results), attempted=len(unique)
+        )
+        if failures:
+            if tel.enabled:
+                tel.count("sweep.salvaged_failures", len(failures))
+            log.warning(report.summary())
+        if parallel:
+            return results, snapshots, report
+        return results, report
+    if failures:
+        first = failures[0]
+        where = "in worker" if parallel else "serially"
+        raise SweepError(
+            f"sweep task failed {where}: {first.task.describe()}: {first.error}"
+        )
+    if parallel:
+        return results, snapshots
+    return results
+
+
+def _run_wave(chunks, config, collect_telemetry, workers, task_timeout):
+    """Run one wave of chunks on a fresh pool; never raises per-task.
+
+    A fresh :class:`ProcessPoolExecutor` per wave is deliberate: a worker
+    that dies (segfault, ``os._exit``) breaks its pool permanently, so
+    retry waves must not inherit it.  With ``task_timeout`` each chunk
+    gets a ``task_timeout * len(chunk)`` deadline; an expired chunk is
+    marked timed out and its worker abandoned (the pool is shut down
+    without waiting — a hung simulation cannot hang the sweep).
+    """
+    outcomes: list[tuple[SweepTask, tuple[str, object, bool]]] = []
+    snapshots: list[dict] = []
+    pool = ProcessPoolExecutor(max_workers=workers)
+    abandoned = False
+    try:
+        futures = {
+            pool.submit(_worker_chunk, chunk, config, collect_telemetry): chunk
+            for chunk in chunks
+        }
+        deadlines: dict = {}
+        if task_timeout is not None:
+            start = time.monotonic()
+            deadlines = {
+                future: start + task_timeout * len(chunk)
+                for future, chunk in futures.items()
+            }
+        not_done = set(futures)
+        while not_done:
+            timeout = None
+            if deadlines:
+                timeout = max(
+                    0.0,
+                    min(deadlines[f] for f in not_done) - time.monotonic(),
+                )
+            done, not_done = wait(
+                not_done, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                chunk = futures[future]
+                try:
+                    chunk_outcomes, snapshot = future.result()
+                except Exception as exc:  # pool-level crash (BrokenProcessPool)
+                    message = f"{type(exc).__name__}: {exc}"
+                    for task in chunk:
+                        outcomes.append((task, ("err", message, False)))
+                    continue
+                for task, (status, payload) in zip(chunk, chunk_outcomes):
+                    outcomes.append((task, (status, payload, False)))
+                if snapshot is not None:
+                    snapshots.append(snapshot)
+            if not done and deadlines:
+                now = time.monotonic()
+                expired = {f for f in not_done if now >= deadlines[f]}
+                for future in expired:
+                    chunk = futures[future]
+                    future.cancel()
+                    message = (
+                        f"timed out after {task_timeout * len(chunk):.1f}s "
+                        f"({len(chunk)} task(s) x {task_timeout:.1f}s)"
+                    )
+                    for task in chunk:
+                        outcomes.append((task, ("err", message, True)))
+                if expired:
+                    abandoned = True
+                not_done -= expired
+    finally:
+        pool.shutdown(wait=not abandoned, cancel_futures=abandoned)
+    return outcomes, snapshots
 
 
 def run_parallel(
@@ -411,45 +646,140 @@ def run_parallel(
     config: SolarCoreConfig,
     jobs: int,
     collect_telemetry: bool = False,
-) -> tuple[dict[SweepTask, DayResult | BatteryDayResult], list[dict]]:
+    *,
+    retries: int = 0,
+    retry_base_s: float = 0.1,
+    task_timeout: float | None = None,
+    salvage: bool = False,
+    checkpoint=None,
+):
     """Fan ``tasks`` out over a process pool, chunked by (location, month).
+
+    Resilience semantics: the first wave runs cell chunks; tasks that
+    fail (raise, crash their worker, or exceed the timeout) are retried
+    in up to ``retries`` further waves as single-task chunks on a fresh
+    pool, after exponential backoff.  Tasks still failed after the last
+    wave either abort the sweep (``salvage=False``, the historical
+    behavior) or are reported in a :class:`SweepFailureReport` alongside
+    every completed result (``salvage=True``).
 
     Args:
         tasks: Grid cells to simulate (duplicates are computed once).
         config: Simulation configuration shared by every task.
         jobs: Worker processes (capped at the number of chunks).
         collect_telemetry: Ship per-worker counter/span snapshots back.
+        retries: Retry waves for failed tasks (0 = at most one attempt).
+        retry_base_s: Backoff base: wave ``n`` sleeps
+            ``retry_base_s * 2**(n-1)`` plus deterministic jitter.
+        task_timeout: Per-task wall-clock budget [s]; a chunk's deadline
+            is ``task_timeout * len(chunk)``.  None = no deadline.
+        salvage: Return partial results plus a failure report instead of
+            raising on the first permanently failed task.
+        checkpoint: Optional
+            :class:`~repro.harness.checkpoint.SweepCheckpoint`; loaded
+            entries are skipped, new results are recorded as they land.
 
     Returns:
-        ``(results, snapshots)`` — results by task, plus one telemetry
-        snapshot per worker chunk when collection was requested.
+        ``(results, snapshots)`` — or ``(results, snapshots, report)``
+        when ``salvage`` is set.
 
     Raises:
-        SweepError: A task failed; the message names its coordinates.
+        SweepError: A task failed every attempt (only without salvage);
+            the message names its coordinates.
     """
+    tel = telemetry_hub.current()
     unique = list(dict.fromkeys(tasks))
-    chunks = _chunk_by_cell(unique)
-    if not chunks:
-        return {}, []
-    results: dict[SweepTask, DayResult | BatteryDayResult] = {}
+    results, pending = _split_completed(unique, checkpoint, tel)
     snapshots: list[dict] = []
-    workers = max(1, min(jobs, len(chunks)))
-    log.info(
-        "parallel sweep: %d task(s) in %d cell chunk(s) over %d worker(s)",
-        len(unique), len(chunks), workers,
+    attempts = dict.fromkeys(pending, 0)
+    errors: dict[SweepTask, tuple[str, bool]] = {}
+    for wave in range(retries + 1):
+        if not pending:
+            break
+        if wave == 0:
+            chunks = _chunk_by_cell(pending)
+            log.info(
+                "parallel sweep: %d task(s) in %d cell chunk(s) over %d worker(s)",
+                len(pending), len(chunks), max(1, min(jobs, len(chunks))),
+            )
+        else:
+            _backoff_sleep(wave, retry_base_s, len(pending), tel)
+            # Retry singly: a failed cell must not re-drag healthy
+            # neighbors through another attempt.
+            chunks = [[task] for task in pending]
+        workers = max(1, min(jobs, len(chunks)))
+        wave_outcomes, wave_snapshots = _run_wave(
+            chunks, config, collect_telemetry, workers, task_timeout
+        )
+        snapshots.extend(wave_snapshots)
+        failed_now: list[SweepTask] = []
+        for task, (status, payload, timed_out) in wave_outcomes:
+            attempts[task] += 1
+            if status == "ok":
+                results[task] = payload
+                errors.pop(task, None)
+                if checkpoint is not None:
+                    checkpoint.record(task, payload)
+            else:
+                errors[task] = (payload, timed_out)
+                failed_now.append(task)
+        pending = failed_now
+    return _finish_sweep(
+        results, snapshots, unique, pending, errors, attempts,
+        checkpoint, salvage, tel, parallel=True,
     )
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {
-            pool.submit(_worker_chunk, chunk, config, collect_telemetry): chunk
-            for chunk in chunks
-        }
-        for future in as_completed(futures):
-            chunk_results, snapshot = future.result()
-            for task, result in zip(futures[future], chunk_results):
-                results[task] = result
-            if snapshot is not None:
-                snapshots.append(snapshot)
-    return results, snapshots
+
+
+def run_serial(
+    tasks: list[SweepTask],
+    config: SolarCoreConfig,
+    *,
+    retries: int = 0,
+    retry_base_s: float = 0.1,
+    salvage: bool = False,
+    checkpoint=None,
+):
+    """In-process sibling of :func:`run_parallel` (the ``jobs=1`` path).
+
+    Same retry / salvage / checkpoint semantics, same
+    :func:`compute_task` execution path, no worker pool.  Per-task
+    timeouts need process isolation and therefore only exist in the
+    parallel engine.
+
+    Returns:
+        ``results`` — or ``(results, report)`` when ``salvage`` is set.
+
+    Raises:
+        SweepError: A task failed every attempt (only without salvage).
+    """
+    tel = telemetry_hub.current()
+    unique = list(dict.fromkeys(tasks))
+    results, pending = _split_completed(unique, checkpoint, tel)
+    attempts = dict.fromkeys(pending, 0)
+    errors: dict[SweepTask, tuple[str, bool]] = {}
+    for wave in range(retries + 1):
+        if not pending:
+            break
+        if wave:
+            _backoff_sleep(wave, retry_base_s, len(pending), tel)
+        failed_now: list[SweepTask] = []
+        for task in pending:
+            attempts[task] += 1
+            try:
+                result = compute_task(task, config)
+            except Exception as exc:
+                errors[task] = (f"{type(exc).__name__}: {exc}", False)
+                failed_now.append(task)
+                continue
+            results[task] = result
+            errors.pop(task, None)
+            if checkpoint is not None:
+                checkpoint.record(task, result)
+        pending = failed_now
+    return _finish_sweep(
+        results, [], unique, pending, errors, attempts,
+        checkpoint, salvage, tel, parallel=False,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -463,6 +793,7 @@ def grid_tasks(
     budgets_w=(),
     deratings=(),
     seeds=(None,),
+    faults=None,
 ) -> list[SweepTask]:
     """The task list for a (location x month x mix x policy) grid.
 
@@ -478,6 +809,8 @@ def grid_tasks(
         budgets_w: Fixed-Power thresholds swept [W].
         deratings: Battery de-rating factors swept.
         seeds: Weather seeds (None = the standard seeded trace).
+        faults: Fault-schedule spec string applied to every cell (None =
+            fault-free grid).
 
     Returns:
         One :class:`SweepTask` per grid cell, ordered by (location, month)
@@ -495,16 +828,16 @@ def grid_tasks(
                     for policy in policies:
                         tasks.append(SweepTask(
                             "mppt", mix_name, code, month,
-                            policy=policy, seed=seed,
+                            policy=policy, seed=seed, faults=faults,
                         ))
                     for budget in budgets_w:
                         tasks.append(SweepTask(
                             "fixed", mix_name, code, month,
-                            budget_w=budget, seed=seed,
+                            budget_w=budget, seed=seed, faults=faults,
                         ))
                     for derating in deratings:
                         tasks.append(SweepTask(
                             "battery", mix_name, code, month,
-                            derating=derating, seed=seed,
+                            derating=derating, seed=seed, faults=faults,
                         ))
     return tasks

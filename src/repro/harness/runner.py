@@ -29,10 +29,12 @@ from repro.core.simulation import BatteryDayResult, DayResult
 from repro.environment.locations import Location, location_by_code
 from repro.harness.parallel import (
     DiskResultCache,
+    SweepFailureReport,
     SweepTask,
     compute_task,
     config_key as _config_key,
     run_parallel,
+    run_serial,
 )
 from repro.telemetry import hub as telemetry_hub
 
@@ -63,6 +65,17 @@ class SimulationRunner:
         jobs: Worker processes used by :meth:`prefetch` (1 = serial).
         cache_dir: Directory for the persistent result cache, or None to
             keep results in memory only.
+        retries: Retry waves for failed prefetch tasks (see
+            :func:`~repro.harness.parallel.run_parallel`).
+        task_timeout: Per-task wall-clock budget [s] for parallel
+            prefetches (None = unbounded; ignored when ``jobs == 1``).
+        salvage: Prefetches return every completed cell plus a
+            :class:`~repro.harness.parallel.SweepFailureReport` (exposed
+            as :attr:`last_failure_report`) instead of aborting on the
+            first permanently failed task.
+        checkpoint: Optional
+            :class:`~repro.harness.checkpoint.SweepCheckpoint` recording
+            prefetch progress (call its ``load()`` first to resume).
     """
 
     def __init__(
@@ -71,12 +84,25 @@ class SimulationRunner:
         *,
         jobs: int = 1,
         cache_dir=None,
+        retries: int = 0,
+        task_timeout: float | None = None,
+        salvage: bool = False,
+        checkpoint=None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.config = config or SolarCoreConfig()
         self.jobs = jobs
         self.disk = DiskResultCache(cache_dir) if cache_dir is not None else None
+        self.retries = retries
+        self.task_timeout = task_timeout
+        self.salvage = salvage
+        self.checkpoint = checkpoint
+        #: The failure report of the most recent salvaged prefetch (falsy
+        #: when it completed fully; None before any salvaged prefetch).
+        self.last_failure_report: SweepFailureReport | None = None
         self._cfg_key = _config_key(self.config)
         self._days: dict[tuple, DayResult] = {}
         self._battery: dict[tuple, BatteryDayResult] = {}
@@ -141,11 +167,13 @@ class SimulationRunner:
         month: int,
         policy: str = "MPPT&Opt",
         seed: int | None = None,
+        faults: str | None = None,
     ) -> DayResult:
         """A (cached) SolarCore day simulation."""
         loc = self._resolve(location)
         return self._get(SweepTask(
             "mppt", mix_name, loc.code, month, policy=policy, seed=seed,
+            faults=faults,
         ))
 
     def fixed_day(
@@ -155,11 +183,13 @@ class SimulationRunner:
         month: int,
         budget_w: float,
         seed: int | None = None,
+        faults: str | None = None,
     ) -> DayResult:
         """A (cached) Fixed-Power day simulation."""
         loc = self._resolve(location)
         return self._get(SweepTask(
             "fixed", mix_name, loc.code, month, budget_w=budget_w, seed=seed,
+            faults=faults,
         ))
 
     def battery_day(
@@ -169,11 +199,13 @@ class SimulationRunner:
         month: int,
         derating: float,
         seed: int | None = None,
+        faults: str | None = None,
     ) -> BatteryDayResult:
         """A (cached) battery-baseline day simulation."""
         loc = self._resolve(location)
         return self._get(SweepTask(
             "battery", mix_name, loc.code, month, derating=derating, seed=seed,
+            faults=faults,
         ))
 
     # ------------------------------------------------------------------
@@ -185,14 +217,18 @@ class SimulationRunner:
         Memory- and disk-cached tasks are never re-run; the remainder is
         chunked by (location, month) and computed by
         :func:`~repro.harness.parallel.run_parallel` when ``jobs > 1``
-        (serially otherwise).  Per-worker telemetry snapshots are merged
-        into the parent hub, so the post-run summary covers worker-side
-        simulation counters and span totals.
+        (:func:`~repro.harness.parallel.run_serial` otherwise), honoring
+        the runner's ``retries`` / ``task_timeout`` / ``salvage`` /
+        ``checkpoint`` settings.  Per-worker telemetry snapshots are
+        merged into the parent hub, so the post-run summary covers
+        worker-side simulation counters and span totals.
 
         Returns:
             Every requested task's result (frozen, shared with later
             callers of :meth:`day` / :meth:`fixed_day` /
-            :meth:`battery_day`).
+            :meth:`battery_day`).  In salvage mode, permanently failed
+            tasks are simply absent and :attr:`last_failure_report`
+            holds the structured account.
         """
         tasks = list(dict.fromkeys(tasks))
         missing = []
@@ -203,19 +239,35 @@ class SimulationRunner:
             if self._from_disk(task, key) is not None:
                 continue
             missing.append(task)
+        report: SweepFailureReport | None = None
         if missing:
             if self.jobs > 1:
                 tel = telemetry_hub.current()
-                results, snapshots = run_parallel(
+                outcome = run_parallel(
                     missing, self.config, self.jobs,
                     collect_telemetry=tel.enabled,
+                    retries=self.retries,
+                    task_timeout=self.task_timeout,
+                    salvage=self.salvage,
+                    checkpoint=self.checkpoint,
                 )
+                if self.salvage:
+                    results, snapshots, report = outcome
+                else:
+                    results, snapshots = outcome
                 for snapshot in snapshots:
                     tel.merge_snapshot(snapshot)
             else:
-                results = {
-                    task: compute_task(task, self.config) for task in missing
-                }
+                outcome = run_serial(
+                    missing, self.config,
+                    retries=self.retries,
+                    salvage=self.salvage,
+                    checkpoint=self.checkpoint,
+                )
+                if self.salvage:
+                    results, report = outcome
+                else:
+                    results = outcome
             for task, result in results.items():
                 key = task.cache_key(self._cfg_key)
                 result = _freeze(result)
@@ -223,6 +275,15 @@ class SimulationRunner:
                 if self.disk is not None:
                     self.disk.store(key, result)
                 self._note(False)
+        if self.salvage:
+            self.last_failure_report = report or SweepFailureReport(
+                attempted=len(tasks), completed=len(tasks)
+            )
+            completed = [
+                task for task in tasks
+                if task.cache_key(self._cfg_key) in self._store_of(task)
+            ]
+            return {task: self._get(task) for task in completed}
         return {task: self._get(task) for task in tasks}
 
     # ------------------------------------------------------------------

@@ -66,6 +66,16 @@ class DCDCConverter:
         self._k = self._clamp(self._k - steps * self.delta_k)
         return self._k
 
+    def effective_efficiency(self) -> float:
+        """Conversion efficiency in effect right now.
+
+        Every electrical relation reads the efficiency through this one
+        hook, so degraded-stage models (e.g.
+        :class:`repro.faults.injectors.FaultyConverter`) can derate it
+        per-step by overriding a single method.
+        """
+        return self.efficiency
+
     # ------------------------------------------------------------------
     # Electrical relations
     # ------------------------------------------------------------------
@@ -75,7 +85,7 @@ class DCDCConverter:
 
     def output_current(self, input_current: float) -> float:
         """Converter output current [A] for a given input (PV) current."""
-        return input_current * self._k * self.efficiency
+        return input_current * self._k * self.effective_efficiency()
 
     def input_voltage(self, output_voltage: float) -> float:
         """PV-side voltage [V] corresponding to an output voltage."""
@@ -90,4 +100,4 @@ class DCDCConverter:
             raise ValueError(
                 f"load_resistance must be positive, got {load_resistance}"
             )
-        return self._k * self._k * self.efficiency * load_resistance
+        return self._k * self._k * self.effective_efficiency() * load_resistance

@@ -15,6 +15,7 @@ increasing, so the equilibrium is unique; Brent's method brackets it on
 from __future__ import annotations
 
 import logging
+import math
 from dataclasses import dataclass
 
 from scipy.optimize import brentq
@@ -23,9 +24,19 @@ from repro.power.converter import DCDCConverter
 from repro.pv.curves import PVDevice
 from repro.telemetry import hub as telemetry_hub
 
-__all__ = ["OperatingPoint", "solve_operating_point"]
+__all__ = ["OperatingPoint", "OperatingPointError", "solve_operating_point"]
 
 log = logging.getLogger(__name__)
+
+
+class OperatingPointError(RuntimeError):
+    """The coupled PV-converter-load solve failed.
+
+    Raised instead of a bare scipy ``ValueError`` when the root-find
+    cannot bracket an equilibrium (NaN inputs, a degenerate I-V curve);
+    the message names the full (G, T, k, load) coordinates so a failing
+    sweep cell can be reproduced in isolation.
+    """
 
 
 @dataclass(frozen=True)
@@ -74,7 +85,19 @@ def solve_operating_point(
 
     Returns:
         The unique :class:`OperatingPoint`.
+
+    Raises:
+        OperatingPointError: NaN inputs, or the root-find could not
+            bracket an equilibrium; the message carries (G, T, k, load).
     """
+    def coordinates() -> str:
+        return (
+            f"G={irradiance!r} W/m^2, T={cell_temp_c!r} C, "
+            f"k={converter.k!r}, load={load_resistance!r} ohm"
+        )
+
+    if math.isnan(load_resistance) or math.isnan(irradiance) or math.isnan(cell_temp_c):
+        raise OperatingPointError(f"NaN operating-point input ({coordinates()})")
     if load_resistance <= 0:
         raise ValueError(f"load_resistance must be positive, got {load_resistance}")
     if irradiance <= 0.0:
@@ -95,7 +118,19 @@ def solve_operating_point(
         return device.current(v, irradiance, cell_temp_c) - v / reflected
 
     # mismatch(0+) = Isc > 0, mismatch(Voc) = -Voc/reflected < 0.
-    v_pv = float(brentq(mismatch, 1e-9, voc, xtol=1e-9, rtol=1e-12))
+    try:
+        v_pv = float(brentq(mismatch, 1e-9, voc, xtol=1e-9, rtol=1e-12))
+    except ValueError as exc:
+        # brentq's "f(a) and f(b) must have different signs" with no hint
+        # of which grid cell produced it is undebuggable mid-sweep.
+        raise OperatingPointError(
+            f"operating-point solve failed on (0, Voc={voc!r} V): {exc} "
+            f"({coordinates()})"
+        ) from exc
+    if math.isnan(v_pv):
+        raise OperatingPointError(
+            f"operating-point solve returned NaN ({coordinates()})"
+        )
     i_pv = device.current(v_pv, irradiance, cell_temp_c)
     return OperatingPoint(
         pv_voltage=v_pv,

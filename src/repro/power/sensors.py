@@ -13,9 +13,20 @@ import numpy as np
 
 from repro.power.operating_point import OperatingPoint
 
-__all__ = ["IVSensor", "SensorReading"]
+__all__ = ["IVSensor", "SensorReading", "SensorDropout"]
 
 from dataclasses import dataclass
+
+
+class SensorDropout(RuntimeError):
+    """The sensor front-end produced no reading at all.
+
+    Raised by faulty sensor models (see :mod:`repro.faults.injectors`)
+    during a dropout window.  The controller responds with its graceful
+    degradation ladder: hold the last good reading while it is fresh,
+    then fall back to a conservative power budget once it goes stale
+    (DESIGN.md section 10).
+    """
 
 
 @dataclass(frozen=True)

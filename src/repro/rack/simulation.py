@@ -202,14 +202,20 @@ def rack_day_engine(
     array: PVArray | None = None,
     trace: EnvironmentTrace | None = None,
     seed: int | None = None,
+    faults=None,
 ) -> DayEngine:
     """The configured :class:`DayEngine` behind :func:`run_day_rack`."""
+    from repro.faults import build_fault_kit
+
     if not mix_names:
         raise ValueError("a rack needs at least one chip")
     cfg = config or SolarCoreConfig()
     array = array or PVArray(modules_parallel=len(mix_names))
     if trace is None:
         trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
+    kit = build_fault_kit(faults)
+    if kit is not None:
+        array = kit.wrap_array(array)
     supply = RackPolicy(tuple(mix_names), policy, cfg)
     return DayEngine(
         array=array,
@@ -223,6 +229,7 @@ def rack_day_engine(
             chips=len(mix_names), location=location.code, month=month,
             policy=policy,
         ),
+        faults=kit.scheduler if kit is not None else None,
     )
 
 
@@ -235,6 +242,7 @@ def run_day_rack(
     array: PVArray | None = None,
     trace: EnvironmentTrace | None = None,
     seed: int | None = None,
+    faults=None,
 ) -> RackDayResult:
     """Simulate one day of a rack of chips on a shared solar farm.
 
@@ -250,6 +258,6 @@ def run_day_rack(
         seed: Environment seed when ``trace`` is not given.
     """
     engine = rack_day_engine(
-        mix_names, location, month, policy, config, array, trace, seed
+        mix_names, location, month, policy, config, array, trace, seed, faults
     )
     return engine.run()

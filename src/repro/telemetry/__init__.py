@@ -25,10 +25,13 @@ off state costs one attribute check.  Enable process-wide with
 
 from repro.telemetry.events import (
     BatteryEvent,
+    DegradedModeEvent,
     DVFSAllocationEvent,
     EVENT_TYPES,
     EnergyBalanceEvent,
+    FaultInjectedEvent,
     LoadTuningEvent,
+    RecoveryEvent,
     RackDivisionEvent,
     SupplySwitchEvent,
     TelemetryEvent,
@@ -78,6 +81,9 @@ __all__ = [
     "BatteryEvent",
     "RackDivisionEvent",
     "EnergyBalanceEvent",
+    "FaultInjectedEvent",
+    "DegradedModeEvent",
+    "RecoveryEvent",
     "EVENT_TYPES",
     "event_to_dict",
     "event_from_dict",

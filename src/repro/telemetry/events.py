@@ -22,6 +22,9 @@ __all__ = [
     "BatteryEvent",
     "RackDivisionEvent",
     "EnergyBalanceEvent",
+    "FaultInjectedEvent",
+    "DegradedModeEvent",
+    "RecoveryEvent",
     "EVENT_TYPES",
     "event_to_dict",
     "event_from_dict",
@@ -183,6 +186,66 @@ class EnergyBalanceEvent(TelemetryEvent):
     type_tag = "energy_balance"
 
 
+@dataclass(frozen=True)
+class FaultInjectedEvent(TelemetryEvent):
+    """A scheduled fault window became active.
+
+    Attributes:
+        kind: Fault kind (see :mod:`repro.faults.schedule`).
+        start_min: Window start [minutes since midnight].
+        end_min: Window end [minutes]; ``inf`` for open-ended faults.
+        param: The kind-specific numeric knob, or None.
+    """
+
+    kind: str
+    start_min: float
+    end_min: float
+    param: float | None
+
+    type_tag = "fault_injected"
+
+
+@dataclass(frozen=True)
+class DegradedModeEvent(TelemetryEvent):
+    """The controller fell back to a conservative power budget.
+
+    Emitted when sensor readings stay stale beyond the configured
+    staleness cap and the controller can no longer trust its hold-last-good
+    estimate (see DESIGN.md section 10).
+
+    Attributes:
+        reason: What forced the fallback (e.g. ``"sensor-stale"``).
+        stale_min: Minutes since the last good sensor reading.
+        budget_w: Conservative budget the load was shed under [W]
+            (floored at the chip's minimum sustainable configuration).
+        allocated_w: Chip power after shedding [W] (<= ``budget_w``).
+    """
+
+    reason: str
+    stale_min: float
+    budget_w: float
+    allocated_w: float
+
+    type_tag = "degraded_mode"
+
+
+@dataclass(frozen=True)
+class RecoveryEvent(TelemetryEvent):
+    """A fault window cleared, or the controller left degraded mode.
+
+    Attributes:
+        source: ``"fault:<kind>"`` for a cleared schedule window,
+            ``"controller"`` for a degraded-mode exit.
+        stale_min: Minutes the condition lasted (window length, or time
+            since the last good sensor reading).
+    """
+
+    source: str
+    stale_min: float
+
+    type_tag = "recovery"
+
+
 #: type tag -> record class, for deserialization.
 EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
     cls.type_tag: cls
@@ -194,6 +257,9 @@ EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
         BatteryEvent,
         RackDivisionEvent,
         EnergyBalanceEvent,
+        FaultInjectedEvent,
+        DegradedModeEvent,
+        RecoveryEvent,
     )
 }
 

@@ -72,3 +72,14 @@ class TestAccessors:
     def test_daytime_window_constants(self):
         assert DAYTIME_START_MIN == 450
         assert DAYTIME_END_MIN == 1050
+
+
+class TestSampleBoundaries:
+    def test_endpoints_are_inclusive(self):
+        trace = make_trace()
+        assert trace.sample(0.0) == (pytest.approx(0.0), pytest.approx(20.0))
+        assert trace.sample(100.0) == (pytest.approx(500.0), pytest.approx(20.0))
+
+    def test_error_message_names_the_range(self):
+        with pytest.raises(ValueError, match=r"\[0\.0, 100\.0\]"):
+            make_trace().sample(100.5)

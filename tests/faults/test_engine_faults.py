@@ -1,0 +1,153 @@
+"""Acceptance contracts of the fault-injection wiring.
+
+1. **Empty schedule is provably free**: every ``faults`` spelling of
+   "nothing" (``None``, ``""``, ``"none"``, an empty
+   :class:`FaultSchedule`) produces results byte-identical to the
+   committed pre-fault golden fixtures.
+2. **Seeded schedules replay deterministically** across serial
+   execution, a ``jobs=4`` worker pool, and a warm disk cache.
+3. Fault telemetry (window entry/exit events) flows out of a day run.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.simulation import run_day, run_day_battery, run_day_fixed
+from repro.environment.locations import location_by_code
+from repro.faults import FaultSchedule
+from repro.harness.parallel import SweepTask
+from repro.harness.runner import SimulationRunner
+from repro.telemetry import RingBufferSink, telemetry_session
+
+from tests.golden.capture_fixtures import CONFIGS, FIXTURE_PATH, MPPT_CELLS
+from tests.golden.test_golden_equivalence import assert_bytes_identical
+
+#: The schedule used by every determinism test: touches the sensor, the
+#: converter, the array, the ATS, and the trace in one day.
+SEEDED_SPEC = (
+    "sensor_dropout@600-640,conv_eff@500-700:0.85,pv_string@650-750:0.5,"
+    "ats_latency@450-550:2,trace_gap@700-720,seed=11"
+)
+
+CFG = CONFIGS["default"]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(FIXTURE_PATH, "rb") as handle:
+        return pickle.load(handle)
+
+
+class TestEmptyScheduleIsFree:
+    """No-fault runs must not perturb a single byte of the golden results."""
+
+    @pytest.mark.parametrize("faults", ["", "none", FaultSchedule()])
+    def test_mppt_matches_golden_fixture(self, golden, faults):
+        mix_name, site, month, policy, config_name = MPPT_CELLS[0]
+        day = run_day(
+            mix_name, location_by_code(site), month, policy,
+            config=CONFIGS[config_name], faults=faults,
+        )
+        expected = golden[("mppt", mix_name, site, month, policy, config_name)]
+        assert_bytes_identical(expected, day)
+
+    def test_fixed_and_battery_match_no_fault_run(self):
+        loc = location_by_code("AZ")
+        assert_bytes_identical(
+            run_day_fixed("HM2", loc, 7, 100.0, config=CFG),
+            run_day_fixed("HM2", loc, 7, 100.0, config=CFG, faults=""),
+        )
+        assert (
+            run_day_battery("H1", loc, 7, 0.81, config=CFG)
+            == run_day_battery("H1", loc, 7, 0.81, config=CFG, faults="none")
+        )
+
+    def test_empty_schedule_shares_the_cache_entry(self):
+        """"No faults" must be one cache identity however it is spelled."""
+        a = SweepTask("mppt", "HM2", "AZ", 7, faults=None)
+        b = SweepTask("mppt", "HM2", "AZ", 7, faults="")
+        c = SweepTask("mppt", "HM2", "AZ", 7, faults="none")
+        assert a == b == c
+
+
+class TestSeededDeterminism:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        """The faulted day computed serially in-process."""
+        return run_day(
+            "HM2", location_by_code("AZ"), 7, config=CFG, faults=SEEDED_SPEC
+        )
+
+    def test_serial_replay_is_byte_identical(self, reference):
+        again = run_day(
+            "HM2", location_by_code("AZ"), 7, config=CFG, faults=SEEDED_SPEC
+        )
+        assert_bytes_identical(reference, again)
+
+    def test_worker_pool_replay_is_byte_identical(self, reference):
+        task = SweepTask("mppt", "HM2", "AZ", 7, faults=SEEDED_SPEC)
+        parallel = SimulationRunner(CFG, jobs=4).prefetch([task])[task]
+        assert_bytes_identical(reference, parallel)
+
+    def test_warm_disk_cache_replay_is_byte_identical(self, reference, tmp_path):
+        task = SweepTask("mppt", "HM2", "AZ", 7, faults=SEEDED_SPEC)
+        SimulationRunner(CFG, cache_dir=tmp_path).prefetch([task])
+        warm = SimulationRunner(CFG, cache_dir=tmp_path)
+        result = warm.prefetch([task])[task]
+        assert warm.disk.hits == 1
+        assert_bytes_identical(reference, result)
+
+    def test_faults_change_the_cache_identity(self):
+        clean = SweepTask("mppt", "HM2", "AZ", 7)
+        faulted = SweepTask("mppt", "HM2", "AZ", 7, faults=SEEDED_SPEC)
+        key = "dummy-cfg"
+        assert clean.cache_key(key) != faulted.cache_key(key)
+        assert "faults=" in faulted.describe()
+
+    def test_equivalent_spellings_share_identity(self):
+        a = SweepTask("mppt", "HM2", "AZ", 7,
+                      faults="soiling@480-:0.85,sensor_dropout@100-200")
+        b = SweepTask("mppt", "HM2", "AZ", 7,
+                      faults="sensor_dropout@100-200,soiling@480-")
+        assert a == b
+
+    def test_faults_actually_degrade_the_day(self, reference):
+        clean = run_day("HM2", location_by_code("AZ"), 7, config=CFG)
+        assert reference.retired_ginst_total < clean.retired_ginst_total
+        assert reference.energy_utilization < clean.energy_utilization
+
+
+class TestFaultTelemetry:
+    def test_window_entry_and_exit_events_emitted(self):
+        sink = RingBufferSink()
+        with telemetry_session(sinks=[sink]) as tel:
+            run_day(
+                "HM2", location_by_code("AZ"), 7, config=CFG,
+                faults="sensor_dropout@600-640,conv_eff@500-700:0.85,seed=1",
+            )
+            snap = tel.snapshot()
+        injected = sink.events("fault_injected")
+        assert {e.kind for e in injected} == {"sensor_dropout", "conv_eff"}
+        cleared = [
+            e for e in sink.events("recovery") if e.source.startswith("fault:")
+        ]
+        assert {e.source for e in cleared} == {
+            "fault:sensor_dropout", "fault:conv_eff"
+        }
+        assert snap["counters"]["faults.injected"] == 2
+        assert snap["counters"]["faults.cleared"] == 2
+
+    def test_open_ended_window_never_clears(self):
+        sink = RingBufferSink()
+        with telemetry_session(sinks=[sink]):
+            run_day(
+                "HM2", location_by_code("AZ"), 7, config=CFG,
+                faults="soiling@600-:0.9",
+            )
+        assert len(sink.events("fault_injected")) == 1
+        assert not [
+            e for e in sink.events("recovery") if e.source.startswith("fault:")
+        ]

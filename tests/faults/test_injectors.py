@@ -1,0 +1,209 @@
+"""Unit tests for the fault-injecting component wrappers.
+
+The wrappers' contract: *bit-identical* passthrough outside their
+windows, and a physically sensible misbehaviour inside them, all driven
+by the scheduler's notion of *now* (advanced via ``begin_step``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultSchedule,
+    FaultScheduler,
+    FaultyArray,
+    FaultyATS,
+    FaultyConverter,
+    FaultySensor,
+)
+from repro.power.converter import DCDCConverter
+from repro.power.operating_point import OperatingPoint
+from repro.power.psu import AutomaticTransferSwitch, PowerSource
+from repro.power.sensors import IVSensor, SensorDropout
+from repro.pv.array import PVArray
+from repro.telemetry import NULL_TELEMETRY
+
+
+def scheduler_at(spec: str, minute: float) -> FaultScheduler:
+    sched = FaultScheduler(FaultSchedule.parse(spec))
+    sched.begin_step(minute, 800.0, NULL_TELEMETRY)
+    return sched
+
+
+def point(v=12.0, i=8.0):
+    return OperatingPoint(36.0, i / 3.0, v, i)
+
+
+class TestFaultyArray:
+    def test_passthrough_outside_window(self, array: PVArray):
+        faulty = FaultyArray(array, scheduler_at("pv_string@100-200:0.5", 50.0))
+        assert faulty.current(20.0, 800.0, 40.0) == array.current(20.0, 800.0, 40.0)
+
+    def test_string_loss_scales_current_not_voltage(self, array: PVArray):
+        sched = scheduler_at("pv_string@100-200:0.5", 150.0)
+        faulty = FaultyArray(array, sched)
+        assert faulty.current(20.0, 800.0, 40.0) == pytest.approx(
+            0.5 * array.current(20.0, 800.0, 40.0)
+        )
+        assert faulty.open_circuit_voltage(800.0, 40.0) == array.open_circuit_voltage(
+            800.0, 40.0
+        )
+
+    def test_currents_vector_scaled(self, array: PVArray):
+        faulty = FaultyArray(array, scheduler_at("pv_string@0-:0.25", 10.0))
+        voltages = np.array([5.0, 15.0, 25.0])
+        np.testing.assert_allclose(
+            faulty.currents(voltages, 800.0, 40.0),
+            0.25 * array.currents(voltages, 800.0, 40.0),
+        )
+
+    def test_voltage_is_inverse_of_current(self, array: PVArray):
+        faulty = FaultyArray(array, scheduler_at("pv_string@0-:0.5", 10.0))
+        i = faulty.current(20.0, 800.0, 40.0)
+        assert faulty.voltage(i, 800.0, 40.0) == pytest.approx(20.0, abs=1e-6)
+
+    def test_short_circuit_current_scaled(self, array: PVArray):
+        faulty = FaultyArray(array, scheduler_at("pv_string@0-:0.5", 0.0))
+        assert faulty.short_circuit_current(800.0, 40.0) == pytest.approx(
+            0.5 * array.short_circuit_current(800.0, 40.0)
+        )
+
+    def test_delegates_unwrapped_attributes(self, array: PVArray):
+        faulty = FaultyArray(array, scheduler_at("pv_string@0-", 0.0))
+        assert faulty.cell_temperature_from_ambient(800.0, 30.0) == (
+            array.cell_temperature_from_ambient(800.0, 30.0)
+        )
+
+
+class TestFaultySensor:
+    def test_dropout_raises(self):
+        sensor = FaultySensor(IVSensor(), scheduler_at("sensor_dropout@100-200", 150.0))
+        with pytest.raises(SensorDropout):
+            sensor.read(point())
+
+    def test_passthrough_outside_window(self):
+        sensor = FaultySensor(IVSensor(), scheduler_at("sensor_dropout@100-200", 50.0))
+        reading = sensor.read(point())
+        assert (reading.voltage, reading.current) == (12.0, 8.0)
+
+    def test_stuck_repeats_last_reading(self):
+        sched = scheduler_at("sensor_stuck@100-200", 50.0)
+        sensor = FaultySensor(IVSensor(), sched)
+        sensor.read(point(v=12.0, i=8.0))
+        sched.begin_step(150.0, 800.0, NULL_TELEMETRY)
+        reading = sensor.read(point(v=6.0, i=4.0))
+        assert (reading.voltage, reading.current) == (12.0, 8.0)
+
+    def test_stuck_with_no_history_reads_through(self):
+        sensor = FaultySensor(IVSensor(), scheduler_at("sensor_stuck@0-", 10.0))
+        assert sensor.read(point()).voltage == 12.0
+
+    def test_bias_drifts_with_time_in_window(self):
+        sched = scheduler_at("sensor_bias@100-:0.01", 100.0)
+        sensor = FaultySensor(IVSensor(), sched)
+        at_onset = sensor.read(point()).voltage
+        sched.begin_step(150.0, 800.0, NULL_TELEMETRY)
+        later = sensor.read(point()).voltage
+        assert at_onset == pytest.approx(12.0)
+        assert later == pytest.approx(12.0 * 1.5)  # 0.01/min * 50 min
+
+    def test_noise_is_schedule_seeded(self):
+        readings = []
+        for _ in range(2):
+            sensor = FaultySensor(
+                IVSensor(), scheduler_at("sensor_noise@0-:0.05,seed=9", 10.0)
+            )
+            readings.append(sensor.read(point()))
+        assert readings[0] == readings[1]
+        assert readings[0].voltage != 12.0
+
+
+class TestFaultyConverter:
+    def test_efficiency_derated_inside_window_only(self):
+        sched = scheduler_at("conv_eff@100-200:0.8", 150.0)
+        conv = FaultyConverter(sched, efficiency=0.95)
+        assert conv.effective_efficiency() == pytest.approx(0.95 * 0.8)
+        sched.begin_step(250.0, 800.0, NULL_TELEMETRY)
+        assert conv.effective_efficiency() == pytest.approx(0.95)
+
+    def test_derate_flows_into_electrical_relations(self):
+        sched = scheduler_at("conv_eff@0-:0.5", 10.0)
+        faulty = FaultyConverter(sched, k=3.0)
+        pristine = DCDCConverter(k=3.0)
+        assert faulty.output_current(2.0) == pytest.approx(
+            0.5 * pristine.output_current(2.0)
+        )
+        assert faulty.reflected_resistance(1.44) == pytest.approx(
+            0.5 * pristine.reflected_resistance(1.44)
+        )
+
+    def test_k_stuck_freezes_every_knob_path(self):
+        sched = scheduler_at("k_stuck@100-200", 150.0)
+        conv = FaultyConverter(sched, k=3.0)
+        conv.k = 5.0
+        conv.step_up()
+        conv.step_down(3)
+        assert conv.k == 3.0
+
+    def test_k_moves_again_after_window(self):
+        sched = scheduler_at("k_stuck@100-200", 250.0)
+        conv = FaultyConverter(sched, k=3.0)
+        conv.step_up()
+        assert conv.k == pytest.approx(3.0 + conv.delta_k)
+
+
+class TestFaultyATS:
+    def engage(self, ats):
+        """Solar comfortably above the engage threshold for a 50 W load."""
+        return ats.update(available_solar_w=200.0, min_load_w=50.0)
+
+    def test_stuck_switch_holds_previous_source(self):
+        sched = scheduler_at("ats_stuck@0-", 10.0)
+        ats = FaultyATS(AutomaticTransferSwitch(), sched)
+        assert self.engage(ats) is PowerSource.UTILITY
+        assert ats.source is PowerSource.UTILITY
+
+    def test_latency_delays_the_transfer(self):
+        sched = scheduler_at("ats_latency@0-:2", 0.0)
+        ats = FaultyATS(AutomaticTransferSwitch(), sched)
+        # The inner switch decides SOLAR immediately; the faulty wrapper
+        # reports it only after 2 extra steps of UPS bridging.
+        assert self.engage(ats) is PowerSource.UTILITY
+        assert self.engage(ats) is PowerSource.UTILITY
+        assert self.engage(ats) is PowerSource.SOLAR
+
+    def test_no_fault_is_transparent(self):
+        sched = scheduler_at("ats_latency@500-600:2", 0.0)
+        ats = FaultyATS(AutomaticTransferSwitch(), sched)
+        pristine = AutomaticTransferSwitch()
+        assert self.engage(ats) is self.engage(pristine)
+
+    def test_latency_cancelled_when_decision_reverts(self):
+        sched = scheduler_at("ats_latency@0-:5", 0.0)
+        ats = FaultyATS(AutomaticTransferSwitch(), sched)
+        assert self.engage(ats) is PowerSource.UTILITY  # pending switch
+        # Solar collapses before the latency elapses: stay on utility.
+        assert ats.update(available_solar_w=0.0, min_load_w=50.0) is (
+            PowerSource.UTILITY
+        )
+        assert ats.switch_count == AutomaticTransferSwitch().switch_count + 2
+
+
+class TestSchedulerTraceFaults:
+    def test_trace_gap_holds_last_good_irradiance(self):
+        sched = FaultScheduler(FaultSchedule.parse("trace_gap@100-200"))
+        assert sched.begin_step(50.0, 640.0, NULL_TELEMETRY) == 640.0
+        assert sched.begin_step(150.0, 900.0, NULL_TELEMETRY) == 640.0
+        assert sched.begin_step(250.0, 900.0, NULL_TELEMETRY) == 900.0
+
+    def test_soiling_derates_irradiance(self):
+        sched = FaultScheduler(FaultSchedule.parse("soiling@100-200:0.8"))
+        assert sched.begin_step(150.0, 1000.0, NULL_TELEMETRY) == pytest.approx(800.0)
+        assert sched.begin_step(250.0, 1000.0, NULL_TELEMETRY) == 1000.0
+
+    def test_soiling_applies_to_held_gap_value(self):
+        sched = FaultScheduler(
+            FaultSchedule.parse("trace_gap@100-200,soiling@0-:0.5")
+        )
+        sched.begin_step(50.0, 600.0, NULL_TELEMETRY)
+        assert sched.begin_step(150.0, 1000.0, NULL_TELEMETRY) == pytest.approx(300.0)

@@ -1,0 +1,118 @@
+"""Unit tests for the fault-spec grammar and schedule container."""
+
+import math
+
+import pytest
+
+from repro.faults.schedule import FAULT_KINDS, FaultSchedule, FaultSpec
+
+
+class TestParse:
+    @pytest.mark.parametrize("text", [None, "", "   ", "none", "NONE"])
+    def test_empty_spellings_yield_empty_schedule(self, text):
+        schedule = FaultSchedule.parse(text)
+        assert not schedule
+        assert schedule.specs == ()
+        assert schedule.canonical() == ""
+
+    def test_single_window(self):
+        schedule = FaultSchedule.parse("sensor_dropout@540-560")
+        (spec,) = schedule.specs
+        assert spec.kind == "sensor_dropout"
+        assert spec.start_min == 540.0
+        assert spec.end_min == 560.0
+        assert spec.param is None
+
+    def test_open_ended_window(self):
+        (spec,) = FaultSchedule.parse("soiling@480-").specs
+        assert spec.end_min == math.inf
+        assert spec.param == FAULT_KINDS["soiling"][0]
+
+    def test_explicit_param(self):
+        (spec,) = FaultSchedule.parse("pv_string@600-700:0.25").specs
+        assert spec.param == 0.25
+
+    def test_seed_element(self):
+        schedule = FaultSchedule.parse("sensor_noise@100-200,seed=7")
+        assert schedule.seed == 7
+        assert len(schedule.specs) == 1
+
+    def test_whitespace_and_empty_elements_tolerated(self):
+        schedule = FaultSchedule.parse(" sensor_dropout@10-20 , , seed=3 ")
+        assert schedule.seed == 3
+        assert len(schedule.specs) == 1
+
+    @pytest.mark.parametrize("text,match", [
+        ("warp_core@10-20", "unknown fault kind"),
+        ("sensor_dropout", "expected kind@start-end"),
+        ("sensor_dropout@10", "bad fault window"),
+        ("sensor_dropout@x-20", "bad number"),
+        ("sensor_dropout@10-20:zz", "bad number"),
+        ("seed=abc", "bad seed"),
+        ("sensor_dropout@20-10", "start < end"),
+        ("sensor_dropout@-5-10", "bad number"),
+    ])
+    def test_malformed_specs_rejected(self, text, match):
+        with pytest.raises(ValueError, match=match):
+            FaultSchedule.parse(text)
+
+
+class TestFaultSpec:
+    def test_window_is_half_open(self):
+        spec = FaultSpec("sensor_dropout", 100.0, 200.0)
+        assert spec.active(100.0)
+        assert spec.active(199.9)
+        assert not spec.active(200.0)
+        assert not spec.active(99.9)
+
+    def test_default_param_filled(self):
+        assert FaultSpec("conv_eff", 0.0).param == 0.9
+
+    def test_knobless_kind_stays_none(self):
+        assert FaultSpec("k_stuck", 0.0).param is None
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(kind="sensor_dropout", start_min=-1.0),
+        dict(kind="sensor_dropout", start_min=10.0, end_min=10.0),
+        dict(kind="conv_eff", start_min=0.0, param=float("nan")),
+        dict(kind="conv_eff", start_min=0.0, param=-0.1),
+    ])
+    def test_invalid_spec_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec(**kwargs)
+
+    def test_every_registered_kind_constructs(self):
+        for kind in FAULT_KINDS:
+            FaultSpec(kind, 0.0, 100.0)
+
+
+class TestCanonical:
+    @pytest.mark.parametrize("text", [
+        "sensor_dropout@540-560",
+        "soiling@480-:0.7",
+        "pv_string@600-700:0.25,seed=7",
+        "conv_eff@100-,k_stuck@200-300,seed=42",
+        "trace_gap@610.5-620.25",
+    ])
+    def test_round_trips_to_equal_schedule(self, text):
+        schedule = FaultSchedule.parse(text)
+        assert FaultSchedule.parse(schedule.canonical()) == schedule
+
+    def test_equivalent_spellings_share_one_canonical_form(self):
+        """The canonical string feeds cache keys, so spec order and
+        default-vs-explicit params must not split the cache."""
+        a = FaultSchedule.parse("soiling@480-:0.85,sensor_dropout@100-200")
+        b = FaultSchedule.parse("sensor_dropout@100-200,soiling@480-")
+        assert a == b
+        assert a.canonical() == b.canonical()
+
+    def test_canonical_orders_by_start_time(self):
+        schedule = FaultSchedule.parse("k_stuck@500-600,sensor_dropout@100-200")
+        assert schedule.canonical().startswith("sensor_dropout@100-200")
+
+    def test_zero_seed_omitted(self):
+        assert "seed" not in FaultSchedule.parse("trace_gap@0-10").canonical()
+
+    def test_kinds(self):
+        schedule = FaultSchedule.parse("conv_eff@0-10,conv_eff@20-30,k_stuck@5-")
+        assert schedule.kinds() == {"conv_eff", "k_stuck"}

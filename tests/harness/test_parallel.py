@@ -345,6 +345,8 @@ class TestConfigKeyRoundTrip:
         "adaptive_margin_floor": 0.02,
         "realloc_after_track": True,
         "enable_pcpg": False,
+        "sensor_staleness_min": 8.0,
+        "degraded_budget_fraction": 0.4,
     }
 
     def test_every_field_alters_the_key(self):

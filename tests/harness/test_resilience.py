@@ -1,0 +1,343 @@
+"""Resilient sweep execution: retries, salvage, timeouts, checkpoint-resume.
+
+The worker pool uses the ``fork`` start method on Linux, so workers
+inherit an in-process monkeypatch of
+:func:`repro.harness.parallel.compute_task`.  The tests exploit that to
+count cross-process invocations (one appended line per call in a shared
+file) and to inject deterministic failures, crashes, and hangs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import os
+import time
+
+import pytest
+
+from repro.core.config import SolarCoreConfig
+from repro.harness import parallel as parallel_mod
+from repro.harness.checkpoint import SweepCheckpoint
+from repro.harness.parallel import (
+    SweepError,
+    SweepFailureReport,
+    SweepTask,
+    TaskFailure,
+    run_parallel,
+    run_serial,
+)
+from repro.harness.runner import SimulationRunner
+from repro.telemetry import telemetry_session
+
+CFG = SolarCoreConfig(step_minutes=10.0)
+
+GOOD_A = SweepTask("mppt", "L1", "AZ", 7)
+GOOD_B = SweepTask("mppt", "H1", "AZ", 7)
+#: "NOPE" is not a workload mix; computing this task raises in the worker.
+BAD = SweepTask("mppt", "NOPE", "TN", 1)
+
+real_compute = parallel_mod.compute_task
+
+
+def counting_compute(log_path, inner=real_compute):
+    """A compute_task that appends one line per invocation to ``log_path``.
+
+    O_APPEND line writes are atomic across forked workers, so the line
+    count is the exact cross-process invocation count.
+    """
+
+    def wrapper(task, config):
+        with open(log_path, "a") as handle:
+            handle.write(task.describe() + "\n")
+        return inner(task, config)
+
+    return wrapper
+
+
+def invocations(log_path) -> list[str]:
+    if not os.path.exists(log_path):
+        return []
+    with open(log_path) as handle:
+        return handle.read().splitlines()
+
+
+class TestSalvage:
+    def test_parallel_salvage_returns_partial_results(self):
+        results, _, report = run_parallel(
+            [GOOD_A, BAD], CFG, jobs=2, salvage=True
+        )
+        assert GOOD_A in results and BAD not in results
+        assert report
+        (failure,) = report.failures
+        assert failure.task == BAD
+        assert failure.attempts == 1
+        assert not failure.timed_out
+        assert report.completed == 1 and report.attempted == 2
+        assert "mix=NOPE" in report.summary()
+
+    def test_serial_salvage_matches(self):
+        results, report = run_serial([GOOD_A, BAD], CFG, salvage=True)
+        assert GOOD_A in results and BAD not in results
+        assert [f.task for f in report.failures] == [BAD]
+
+    def test_salvage_counts_failures_in_telemetry(self):
+        with telemetry_session() as tel:
+            run_serial([BAD], CFG, salvage=True)
+            snap = tel.snapshot()
+        assert snap["counters"]["sweep.salvaged_failures"] == 1
+
+    def test_worker_crash_is_contained(self, monkeypatch):
+        """A worker dying mid-task (BrokenProcessPool) fails only its
+        tasks; healthy cells complete via the fresh-pool retry wave."""
+
+        def crashing(task, config):
+            if task.mix_name == "NOPE":
+                os._exit(13)
+            return real_compute(task, config)
+
+        monkeypatch.setattr(parallel_mod, "compute_task", crashing)
+        # One worker: the healthy chunk finishes before the crasher kills
+        # the pool, so only the crashing cell needs the retry wave.
+        results, _, report = run_parallel(
+            [GOOD_A, BAD], CFG, jobs=1, salvage=True,
+            retries=1, retry_base_s=0.0,
+        )
+        assert GOOD_A in results
+        (failure,) = report.failures
+        assert failure.task == BAD
+        assert failure.attempts == 2
+        assert "BrokenProcessPool" in failure.error
+
+    def test_without_salvage_the_sweep_raises(self):
+        with pytest.raises(SweepError, match=r"serially.*mix=NOPE"):
+            run_serial([GOOD_A, BAD], CFG)
+
+    def test_empty_report_is_falsy(self):
+        _, report = run_serial([GOOD_A], CFG, salvage=True)
+        assert not report
+        assert "all 1 task(s) succeeded" in report.summary()
+
+    def test_failure_report_is_plain_data(self):
+        report = SweepFailureReport(
+            failures=[TaskFailure(task=BAD, error="KeyError: 'NOPE'", attempts=3)],
+            completed=5,
+            attempted=6,
+        )
+        assert "failed after 3 attempt(s)" in report.summary()
+
+
+class TestRetries:
+    def test_serial_transient_failure_recovers(self, monkeypatch):
+        calls = {"n": 0}
+
+        def flaky(task, config):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return real_compute(task, config)
+
+        monkeypatch.setattr(parallel_mod, "compute_task", flaky)
+        with telemetry_session() as tel:
+            results = run_serial([GOOD_A], CFG, retries=1, retry_base_s=0.0)
+            snap = tel.snapshot()
+        assert GOOD_A in results
+        assert calls["n"] == 2
+        assert snap["counters"]["sweep.retries"] == 1
+
+    def test_parallel_transient_failure_recovers(self, monkeypatch, tmp_path):
+        log_path = tmp_path / "calls.log"
+
+        def flaky(task, config):
+            with open(log_path, "a") as handle:
+                handle.write(task.describe() + "\n")
+            if len(invocations(log_path)) == 1:
+                raise RuntimeError("transient")
+            return real_compute(task, config)
+
+        monkeypatch.setattr(parallel_mod, "compute_task", flaky)
+        results, _ = run_parallel(
+            [GOOD_A], CFG, jobs=2, retries=2, retry_base_s=0.0
+        )
+        assert GOOD_A in results
+        assert len(invocations(log_path)) == 2
+
+    def test_retries_exhausted_reports_attempt_count(self):
+        _, report = run_serial(
+            [BAD], CFG, retries=2, retry_base_s=0.0, salvage=True
+        )
+        assert report.failures[0].attempts == 3
+
+    def test_negative_retries_rejected_by_runner(self):
+        with pytest.raises(ValueError, match="retries"):
+            SimulationRunner(CFG, retries=-1)
+
+
+class TestTaskTimeout:
+    def test_hung_task_times_out_and_is_reported(self, monkeypatch):
+        def hang(task, config):
+            time.sleep(30.0)
+            return real_compute(task, config)
+
+        monkeypatch.setattr(parallel_mod, "compute_task", hang)
+        start = time.monotonic()
+        with telemetry_session() as tel:
+            results, _, report = run_parallel(
+                [GOOD_A], CFG, jobs=1, salvage=True, task_timeout=0.2
+            )
+            snap = tel.snapshot()
+        assert time.monotonic() - start < 15.0, "the sweep must not hang"
+        assert results == {}
+        (failure,) = report.failures
+        assert failure.timed_out
+        assert "timed out" in failure.error
+        assert snap["counters"]["sweep.timeouts"] == 1
+
+    def test_fast_tasks_unaffected_by_generous_timeout(self):
+        results, _ = run_parallel([GOOD_A], CFG, jobs=1, task_timeout=120.0)
+        assert GOOD_A in results
+
+
+class TestCheckpointResume:
+    """The --resume acceptance contract: completed cells are restored
+    from the checkpoint file and only the remainder is recomputed —
+    proven by counting cross-process compute_task invocations."""
+
+    def test_resume_recomputes_only_missing_cells(self, monkeypatch, tmp_path):
+        log_path = tmp_path / "calls.log"
+        monkeypatch.setattr(
+            parallel_mod, "compute_task", counting_compute(log_path)
+        )
+        ck_path = tmp_path / "sweep.ckpt"
+
+        first = SweepCheckpoint(ck_path, CFG, flush_every=1)
+        results, report = run_serial(
+            [GOOD_A, GOOD_B, BAD], CFG, salvage=True, checkpoint=first
+        )
+        assert set(results) == {GOOD_A, GOOD_B}
+        assert len(invocations(log_path)) == 3  # two successes + one failure
+
+        # "Crash"; a new process resumes from the file.
+        resumed = SweepCheckpoint(ck_path, CFG, flush_every=1)
+        assert resumed.load() == 2
+        results, report = run_serial(
+            [GOOD_A, GOOD_B, BAD], CFG, salvage=True, checkpoint=resumed
+        )
+        assert set(results) == {GOOD_A, GOOD_B}
+        assert [f.task for f in report.failures] == [BAD]
+        # Only the failed cell was recomputed.
+        assert len(invocations(log_path)) == 4
+        assert invocations(log_path)[-1] == BAD.describe()
+
+    def test_parallel_resume_skips_completed_cells(self, monkeypatch, tmp_path):
+        log_path = tmp_path / "calls.log"
+        monkeypatch.setattr(
+            parallel_mod, "compute_task", counting_compute(log_path)
+        )
+        ck_path = tmp_path / "sweep.ckpt"
+
+        first = SweepCheckpoint(ck_path, CFG, flush_every=1)
+        run_parallel([GOOD_A], CFG, jobs=2, checkpoint=first)
+        assert len(invocations(log_path)) == 1
+
+        resumed = SweepCheckpoint(ck_path, CFG, flush_every=1)
+        assert resumed.load() == 1
+        with telemetry_session() as tel:
+            results, _ = run_parallel(
+                [GOOD_A, GOOD_B], CFG, jobs=2, checkpoint=resumed
+            )
+            snap = tel.snapshot()
+        assert set(results) == {GOOD_A, GOOD_B}
+        assert len(invocations(log_path)) == 2  # GOOD_A restored, not re-run
+        assert snap["counters"]["sweep.checkpoint_skips"] == 1
+
+    def test_unloaded_checkpoint_recomputes_everything(self, monkeypatch, tmp_path):
+        """A fresh campaign over an existing file must overwrite, never
+        silently resume: load() is the explicit opt-in."""
+        log_path = tmp_path / "calls.log"
+        monkeypatch.setattr(
+            parallel_mod, "compute_task", counting_compute(log_path)
+        )
+        ck_path = tmp_path / "sweep.ckpt"
+        run_serial([GOOD_A], CFG, checkpoint=SweepCheckpoint(ck_path, CFG))
+
+        fresh = SweepCheckpoint(ck_path, CFG)  # no load()
+        run_serial([GOOD_A], CFG, checkpoint=fresh)
+        assert len(invocations(log_path)) == 2
+
+
+class TestSweepCheckpointFile:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        ck = SweepCheckpoint(path, CFG)
+        result = real_compute(GOOD_A, CFG)
+        ck.record(GOOD_A, result)
+        ck.flush()
+
+        warm = SweepCheckpoint(path, CFG)
+        assert warm.load() == 1
+        assert warm.restored == 1
+        restored = warm.get(GOOD_A)
+        assert restored.retired_ginst_total == result.retired_ginst_total
+        assert warm.get(GOOD_B) is None
+
+    def test_flush_every_triggers_automatic_flush(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        ck = SweepCheckpoint(path, CFG, flush_every=1)
+        ck.record(GOOD_A, real_compute(GOOD_A, CFG))
+        assert path.exists()
+
+    def test_missing_file_is_clean_start(self, tmp_path):
+        assert SweepCheckpoint(tmp_path / "absent.ckpt", CFG).load() == 0
+
+    def test_corrupt_file_ignored_loudly(self, tmp_path, caplog):
+        path = tmp_path / "c.ckpt"
+        path.write_bytes(b"not a pickle")
+        ck = SweepCheckpoint(path, CFG)
+        with caplog.at_level(logging.WARNING, logger="repro.harness.checkpoint"):
+            assert ck.load() == 0
+        assert "unusable checkpoint" in caplog.text
+
+    def test_code_fingerprint_mismatch_ignored(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        old = SweepCheckpoint(path, CFG, fingerprint="code-v1")
+        old.record(GOOD_A, real_compute(GOOD_A, CFG))
+        old.flush()
+        new = SweepCheckpoint(path, CFG, fingerprint="code-v2")
+        assert new.load() == 0
+
+    def test_config_mismatch_ignored(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        ck = SweepCheckpoint(path, CFG)
+        ck.record(GOOD_A, real_compute(GOOD_A, CFG))
+        ck.flush()
+        other = SweepCheckpoint(
+            path, dataclasses.replace(CFG, step_minutes=5.0)
+        )
+        assert other.load() == 0
+
+    def test_rejects_bad_flush_cadence(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            SweepCheckpoint(tmp_path / "c.ckpt", CFG, flush_every=0)
+
+
+class TestRunnerIntegration:
+    def test_salvaging_runner_exposes_failure_report(self):
+        runner = SimulationRunner(CFG, jobs=2, salvage=True, retries=1)
+        results = runner.prefetch([GOOD_A, BAD])
+        assert set(results) == {GOOD_A}
+        assert runner.last_failure_report
+        assert [f.task for f in runner.last_failure_report.failures] == [BAD]
+
+    def test_salvaging_runner_reports_clean_run(self):
+        runner = SimulationRunner(CFG, salvage=True)
+        runner.prefetch([GOOD_A])
+        assert runner.last_failure_report is not None
+        assert not runner.last_failure_report
+
+    def test_runner_threads_checkpoint_through_prefetch(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        ck = SweepCheckpoint(path, CFG, flush_every=1)
+        runner = SimulationRunner(CFG, checkpoint=ck)
+        runner.prefetch([GOOD_A])
+        assert SweepCheckpoint(path, CFG).load() == 1

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.power.converter import DCDCConverter
-from repro.power.operating_point import solve_operating_point
+from repro.power.operating_point import OperatingPointError, solve_operating_point
 from repro.pv.array import PVArray
 from repro.pv.mpp import find_mpp
 
@@ -64,3 +64,36 @@ class TestSolveOperatingPoint:
         op_low = solve_operating_point(array, low_k, r, 1000.0, 45.0)
         op_high = solve_operating_point(array, high_k, r, 1000.0, 45.0)
         assert op_low.pv_voltage < op_high.pv_voltage
+
+
+class _DegenerateDevice:
+    """An unphysical I-V curve: the solver cannot bracket a root."""
+
+    def open_circuit_voltage(self, irradiance, cell_temp_c):
+        return 20.0
+
+    def current(self, voltage, irradiance, cell_temp_c):
+        return -1.0
+
+
+class TestOperatingPointError:
+    def test_is_a_runtime_error(self):
+        assert issubclass(OperatingPointError, RuntimeError)
+
+    @pytest.mark.parametrize("g, t, r", [
+        (float("nan"), 40.0, 1.44),
+        (800.0, float("nan"), 1.44),
+        (800.0, 40.0, float("nan")),
+    ])
+    def test_nan_inputs_rejected_with_coordinates(self, array, converter, g, t, r):
+        with pytest.raises(OperatingPointError, match=r"NaN.*k=3\.0"):
+            solve_operating_point(array, converter, r, g, t)
+
+    def test_unbracketable_solve_names_the_cell(self, converter):
+        """The wrapped brentq failure carries the (G, T, k, load) cell."""
+        with pytest.raises(OperatingPointError) as excinfo:
+            solve_operating_point(_DegenerateDevice(), converter, 1.44, 800.0, 40.0)
+        message = str(excinfo.value)
+        assert "operating-point solve failed" in message
+        assert "G=800.0" in message and "load=1.44" in message
+        assert isinstance(excinfo.value.__cause__, ValueError)

@@ -42,3 +42,33 @@ class TestImperfectSensor:
     def test_rejects_invalid(self, kwargs):
         with pytest.raises(ValueError):
             IVSensor(**kwargs)
+
+
+class TestCombinedDistortion:
+    def test_noise_applied_before_quantization(self):
+        """Whatever the noise does, the reported value lands on the LSB grid."""
+        sensor = IVSensor(noise_fraction=0.2, quantization_v=0.5,
+                          quantization_a=0.25, seed=3)
+        reading = sensor.read(point(v=12.3, i=8.1))
+        assert reading.voltage == pytest.approx(
+            round(reading.voltage / 0.5) * 0.5
+        )
+        assert reading.current == pytest.approx(
+            round(reading.current / 0.25) * 0.25
+        )
+
+    def test_different_seeds_decorrelate(self):
+        a = IVSensor(noise_fraction=0.05, seed=1).read(point())
+        b = IVSensor(noise_fraction=0.05, seed=2).read(point())
+        assert a.voltage != b.voltage
+
+    def test_noise_draws_advance_between_reads(self):
+        sensor = IVSensor(noise_fraction=0.05, seed=4)
+        assert sensor.read(point()).voltage != sensor.read(point()).voltage
+
+
+class TestSensorDropout:
+    def test_is_a_runtime_error(self):
+        from repro.power.sensors import SensorDropout
+
+        assert issubclass(SensorDropout, RuntimeError)

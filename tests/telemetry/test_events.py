@@ -5,10 +5,13 @@ import pytest
 from repro.telemetry.events import (
     EVENT_TYPES,
     BatteryEvent,
+    DegradedModeEvent,
     DVFSAllocationEvent,
     EnergyBalanceEvent,
+    FaultInjectedEvent,
     LoadTuningEvent,
     RackDivisionEvent,
+    RecoveryEvent,
     SupplySwitchEvent,
     TrackingEvent,
     event_from_dict,
@@ -45,6 +48,21 @@ SAMPLES = [
         load_wh=632.0,
         residual_wh=0.0,
     ),
+    FaultInjectedEvent(
+        minute=600.0,
+        kind="sensor_dropout",
+        start_min=600.0,
+        end_min=float("inf"),
+        param=None,
+    ),
+    DegradedModeEvent(
+        minute=620.0,
+        reason="sensor-stale",
+        stale_min=20.0,
+        budget_w=90.0,
+        allocated_w=88.5,
+    ),
+    RecoveryEvent(minute=640.0, source="fault:sensor_dropout", stale_min=40.0),
 ]
 
 
@@ -58,6 +76,9 @@ class TestEventTypes:
             "battery",
             "rack_division",
             "energy_balance",
+            "fault_injected",
+            "degraded_mode",
+            "recovery",
         }
 
     def test_tags_are_unique_per_class(self):
