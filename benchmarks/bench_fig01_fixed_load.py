@@ -4,6 +4,9 @@ Paper's point: a load matched at 1000 W/m^2 wastes >50% of the available
 energy at 400 W/m^2 — the motivation for supply-aware power management.
 """
 
+import time
+
+from benchjson import write_bench_json
 from conftest import emit
 
 from repro.harness.experiments import fig01_fixed_load_utilization
@@ -11,13 +14,23 @@ from repro.harness.reporting import format_table
 
 
 def test_fig01_fixed_load(benchmark, out_dir):
+    start = time.perf_counter()
     rows = benchmark(fig01_fixed_load_utilization)
+    elapsed = time.perf_counter() - start
 
     table = format_table(
         ["irradiance W/m^2", "energy utilization"],
         [[f"{g:.0f}", f"{u:.1%}"] for g, u in rows],
     )
     emit(out_dir, "fig01_fixed_load", table)
+    write_bench_json(
+        out_dir,
+        "fig01_fixed_load",
+        metrics={
+            f"utilization_{g:.0f}": u for g, u in rows
+        },
+        timings_s={"experiment": elapsed},
+    )
 
     assert rows[0][1] > 0.999  # matched at the reference point
     assert dict(rows)[400.0] < 0.5  # the paper's >50% loss

@@ -9,6 +9,7 @@ for instrumentation it did not ask for.
 
 import time
 
+from benchjson import write_bench_json
 from conftest import emit
 
 from repro.core.config import SolarCoreConfig
@@ -49,6 +50,14 @@ def test_disabled_telemetry_overhead(benchmark, out_dir):
                 f"enabled/disabled ratio: {ratio:.3f}",
             ]
         ),
+    )
+    write_bench_json(
+        out_dir,
+        "telemetry_overhead",
+        # Both numbers are wall-clock; the hard guard on the ratio is
+        # the assertions below, so the JSON trajectory only warns.
+        timings_s={"disabled": disabled, "enabled": enabled},
+        extra={"ratio": ratio},
     )
 
     # The disabled path must not be slower than the instrumented one

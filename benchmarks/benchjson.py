@@ -1,0 +1,280 @@
+"""Machine-readable bench trajectory: ``BENCH_<name>.json`` emit + compare.
+
+Each benchmark writes, next to its human-readable ``.txt`` artifact, a
+schema-versioned JSON document splitting its numbers into two classes:
+
+* ``metrics`` — deterministic scalars (energy utilization, PTP, task
+  counts).  These must not drift between runs of the same code; the
+  comparator **hard-fails** on any change beyond a tiny tolerance.
+* ``timings_s`` — wall-clock measurements.  These vary across hosts and
+  load, so the comparator only **warns** when they regress beyond a
+  generous tolerance; the committed baseline records the trajectory.
+
+Every document carries host info (platform, Python, CPU count) because a
+timing without its core count is uninterpretable — the lesson of the
+committed 0.95x "speedup" record from a 1-core box.
+
+Usage from a benchmark::
+
+    from benchjson import write_bench_json
+    write_bench_json(out_dir, "fig01_fixed_load",
+                     metrics={"utilization_400": 0.44},
+                     timings_s={"experiment": 1.2})
+
+Usage as a comparator (CI wires this against committed baselines)::
+
+    python benchmarks/benchjson.py compare benchmarks/baselines benchmarks/out
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+import tempfile
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+#: Relative drift allowed in deterministic metrics before a hard failure.
+METRIC_RTOL = 1e-6
+
+#: Relative slowdown allowed in timings before a (non-fatal) warning.
+TIMING_RTOL = 0.5
+
+
+def host_info() -> dict:
+    """Execution-environment facts attached to every bench document."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def bench_path(out_dir: Path | str, name: str) -> Path:
+    """The ``BENCH_<name>.json`` file for a benchmark name."""
+    return Path(out_dir) / f"BENCH_{name}.json"
+
+
+def validate(doc: dict) -> list[str]:
+    """Schema problems in ``doc`` (empty list = valid)."""
+    errors = []
+    if doc.get("schema") != SCHEMA_VERSION:
+        errors.append(
+            f"schema is {doc.get('schema')!r}, expected {SCHEMA_VERSION}"
+        )
+    if not isinstance(doc.get("name"), str) or not doc.get("name"):
+        errors.append("name must be a non-empty string")
+    for section in ("metrics", "timings_s"):
+        data = doc.get(section)
+        if not isinstance(data, dict):
+            errors.append(f"{section} must be a dict")
+            continue
+        for key, value in data.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or (isinstance(value, float) and not math.isfinite(value)):
+                errors.append(
+                    f"{section}[{key!r}] must be a finite number, got {value!r}"
+                )
+    if not isinstance(doc.get("host"), dict):
+        errors.append("host must be a dict")
+    return errors
+
+
+def write_bench_json(
+    out_dir: Path | str,
+    name: str,
+    *,
+    metrics: dict[str, float] | None = None,
+    timings_s: dict[str, float] | None = None,
+    extra: dict | None = None,
+) -> Path:
+    """Atomically write a schema-valid ``BENCH_<name>.json``.
+
+    Args:
+        out_dir: Directory the bench artifacts live in.
+        name: Benchmark name (matches its ``.txt`` artifact).
+        metrics: Deterministic scalars (hard-fail on drift).
+        timings_s: Wall-clock measurements [s] (warn-only on regression).
+        extra: Free-form context (grid sizes, flags) stored verbatim.
+
+    Raises:
+        ValueError: The assembled document fails its own schema.
+    """
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "name": name,
+        "metrics": {k: float(v) for k, v in (metrics or {}).items()},
+        "timings_s": {k: float(v) for k, v in (timings_s or {}).items()},
+        "host": host_info(),
+    }
+    if extra:
+        doc["extra"] = extra
+    errors = validate(doc)
+    if errors:
+        raise ValueError(f"invalid bench document {name!r}: {'; '.join(errors)}")
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = bench_path(out_dir, name)
+    fd, tmp = tempfile.mkstemp(dir=out_dir, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_bench_json(path: Path | str) -> dict:
+    """Read and schema-check one bench document.
+
+    Raises:
+        ValueError: The file is not a valid schema-``SCHEMA_VERSION``
+            bench document (the message lists every problem).
+    """
+    path = Path(path)
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    errors = validate(doc)
+    if errors:
+        raise ValueError(f"{path}: {'; '.join(errors)}")
+    return doc
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    *,
+    metric_rtol: float = METRIC_RTOL,
+    timing_rtol: float = TIMING_RTOL,
+) -> tuple[list[str], list[str]]:
+    """Diff one bench document against its baseline.
+
+    Returns:
+        ``(failures, warnings)``.  Failures: a deterministic metric
+        drifted beyond ``metric_rtol`` or disappeared.  Warnings: a
+        timing regressed beyond ``timing_rtol``, or a metric/timing is
+        new (no baseline to judge it against).
+    """
+    failures: list[str] = []
+    warnings: list[str] = []
+    name = current.get("name", "?")
+
+    base_metrics = baseline.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+    for key, base in sorted(base_metrics.items()):
+        if key not in cur_metrics:
+            failures.append(f"{name}: metric {key!r} disappeared "
+                            f"(baseline {base:g})")
+            continue
+        cur = cur_metrics[key]
+        scale = max(abs(base), abs(cur), 1e-12)
+        if abs(cur - base) / scale > metric_rtol:
+            failures.append(
+                f"{name}: metric {key!r} drifted {base:g} -> {cur:g} "
+                f"({(cur - base) / scale:+.3%} > rtol {metric_rtol:g})"
+            )
+    for key in sorted(set(cur_metrics) - set(base_metrics)):
+        warnings.append(f"{name}: new metric {key!r} = {cur_metrics[key]:g} "
+                        "(no baseline)")
+
+    base_timings = baseline.get("timings_s", {})
+    cur_timings = current.get("timings_s", {})
+    for key, base in sorted(base_timings.items()):
+        if key not in cur_timings:
+            warnings.append(f"{name}: timing {key!r} disappeared")
+            continue
+        cur = cur_timings[key]
+        if base > 0 and cur > base * (1.0 + timing_rtol):
+            warnings.append(
+                f"{name}: timing {key!r} regressed {base:.3f}s -> {cur:.3f}s "
+                f"({cur / base:.2f}x, tolerance {1.0 + timing_rtol:.2f}x; "
+                f"baseline host: {baseline.get('host', {}).get('cpu_count', '?')} "
+                f"cpus, current: {current.get('host', {}).get('cpu_count', '?')})"
+            )
+    for key in sorted(set(cur_timings) - set(base_timings)):
+        warnings.append(f"{name}: new timing {key!r} = {cur_timings[key]:.3f}s "
+                        "(no baseline)")
+    return failures, warnings
+
+
+def compare_dirs(
+    baseline_dir: Path | str,
+    current_dir: Path | str,
+    *,
+    metric_rtol: float = METRIC_RTOL,
+    timing_rtol: float = TIMING_RTOL,
+) -> tuple[list[str], list[str]]:
+    """Compare every ``BENCH_*.json`` under two directories.
+
+    A baseline with no current counterpart warns (the bench may simply
+    not have run); a current document with no baseline warns too (commit
+    one to start its trajectory).
+    """
+    baseline_dir = Path(baseline_dir)
+    current_dir = Path(current_dir)
+    failures: list[str] = []
+    warnings: list[str] = []
+    base_files = {p.name: p for p in sorted(baseline_dir.glob("BENCH_*.json"))}
+    cur_files = {p.name: p for p in sorted(current_dir.glob("BENCH_*.json"))}
+    for name in sorted(base_files):
+        if name not in cur_files:
+            warnings.append(f"{name}: baseline present but bench did not run")
+            continue
+        try:
+            baseline = load_bench_json(base_files[name])
+            current = load_bench_json(cur_files[name])
+        except ValueError as exc:
+            failures.append(str(exc))
+            continue
+        f, w = compare(baseline, current,
+                       metric_rtol=metric_rtol, timing_rtol=timing_rtol)
+        failures.extend(f)
+        warnings.extend(w)
+    for name in sorted(set(cur_files) - set(base_files)):
+        warnings.append(
+            f"{name}: no committed baseline (copy it into the baselines "
+            "directory to start its trajectory)"
+        )
+    return failures, warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchjson",
+        description="Compare BENCH_*.json bench runs against baselines",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    cmp_p = sub.add_parser("compare", help="diff a bench run against baselines")
+    cmp_p.add_argument("baseline_dir")
+    cmp_p.add_argument("current_dir")
+    cmp_p.add_argument("--metric-rtol", type=float, default=METRIC_RTOL)
+    cmp_p.add_argument("--timing-rtol", type=float, default=TIMING_RTOL)
+    args = parser.parse_args(argv)
+
+    failures, warnings = compare_dirs(
+        args.baseline_dir, args.current_dir,
+        metric_rtol=args.metric_rtol, timing_rtol=args.timing_rtol,
+    )
+    for message in warnings:
+        print(f"WARNING: {message}")
+    for message in failures:
+        print(f"FAIL: {message}")
+    if failures:
+        print(f"\n{len(failures)} metric failure(s), {len(warnings)} warning(s)")
+        return 1
+    print(f"bench comparison clean ({len(warnings)} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,12 +9,16 @@ Commands:
     rack        simulate a rack of chips on a shared solar farm
     campaign    multi-realization campaign with carbon accounting
     experiment  regenerate one of the paper's figures/tables
+    profile     run day simulations with the hot-path profiler armed
+    runs        list/show/diff recorded run manifests
 
 Observability flags (available on every command):
 
     --log-level LEVEL   stdlib logging threshold for the repro package
     --trace FILE        write a JSONL telemetry trace of structured events
     --telemetry         enable metrics/spans without writing a trace file
+    --profile           arm the hot-path profiler and print the phase report
+    --ledger            record a provenance manifest under --runs-dir
 
 With ``--trace`` or ``--telemetry``, ``simulate``/``rack``/``campaign``/
 ``experiment`` print a post-run summary of counters, histograms, and span
@@ -39,6 +43,16 @@ deterministic fault schedule (see ``repro.faults``)::
     repro campaign --sites AZ TN --months 1 7 --jobs 4 \\
         --faults 'sensor_dropout@600-660,seed=7' \\
         --checkpoint /tmp/campaign.ckpt --resume
+
+Performance observability: ``repro profile`` (or ``--profile`` on any
+simulating command) attributes wall-time to engine phases and counts
+``brentq`` solver work; ``--ledger`` records an atomic provenance
+manifest (config key, code fingerprint, cache tier counts, host info)
+that ``repro runs list|show|diff`` reads back::
+
+    repro profile --mix HM2 --site AZ --month 7
+    repro experiment fig18 --jobs 4 --ledger
+    repro runs diff 20260808-120000-experiment 20260808-130000-experiment
 """
 
 from __future__ import annotations
@@ -51,7 +65,11 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 #: Commands that print a telemetry summary table after running.
-_SUMMARY_COMMANDS = frozenset({"simulate", "rack", "campaign", "experiment"})
+_SUMMARY_COMMANDS = frozenset({"simulate", "rack", "campaign", "experiment",
+                               "profile"})
+
+#: Commands that run simulations and may record a provenance manifest.
+_LEDGER_COMMANDS = _SUMMARY_COMMANDS
 
 
 # ----------------------------------------------------------------------
@@ -255,6 +273,62 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run day simulation(s) purely to profile them.
+
+    The profiler itself is armed by :func:`main` (the ``profile`` command
+    always installs a hub with a
+    :class:`~repro.telemetry.profiling.PhaseProfiler`); this handler just
+    runs the requested days and prints the headline result — the phase
+    report follows from the shared summary path.
+    """
+    from repro.core.simulation import run_day
+    from repro.environment.locations import location_by_code
+
+    location = location_by_code(args.site)
+    day = None
+    for _ in range(args.repeat):
+        day = run_day(args.mix, location, args.month, args.policy,
+                      faults=args.faults)
+    print(f"profiled {args.repeat} x {day.policy} {day.mix_name} "
+          f"@ {day.location_code} m{day.month} (PTP {day.ptp:.0f} Ginst)")
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.harness.runledger import (
+        RunLedger,
+        diff_manifests,
+        render_manifest,
+        render_run_list,
+    )
+
+    ledger = RunLedger(args.runs_dir)
+    try:
+        if args.runs_command == "list":
+            ids = ledger.run_ids()
+            if not ids:
+                print(f"no runs recorded under {ledger.root}")
+                return 0
+            print(render_run_list([ledger.load(run_id) for run_id in ids]))
+        elif args.runs_command == "show":
+            run_id = args.run
+            if run_id is None:
+                ids = ledger.run_ids()
+                if not ids:
+                    print(f"no runs recorded under {ledger.root}",
+                          file=sys.stderr)
+                    return 2
+                run_id = ids[-1]
+            print(render_manifest(ledger.load(run_id)))
+        else:  # diff
+            print(diff_manifests(ledger.load(args.run_a), ledger.load(args.run_b)))
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 _EXPERIMENTS = {
     "fig01": "fig01",
     "table7": "table7",
@@ -334,6 +408,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "(implies --telemetry)")
     obs.add_argument("--telemetry", action="store_true",
                      help="collect metrics/spans and print a post-run summary")
+    obs.add_argument("--profile", action="store_true",
+                     help="arm the hot-path profiler and print the per-phase "
+                          "wall-time report after the run")
+    obs.add_argument("--ledger", action="store_true",
+                     help="record an atomic run-provenance manifest under "
+                          "--runs-dir after the run")
+    obs.add_argument("--runs-dir", default="runs", metavar="DIR",
+                     help="directory for run manifests (default: runs/)")
 
     # Parallel-sweep flags for the grid-shaped commands, e.g.
     #   repro experiment fig18 --jobs 4 --cache-dir ~/.cache/solarcore
@@ -422,6 +504,34 @@ def build_parser() -> argparse.ArgumentParser:
                                 parents=[common, sweep])
     experiment.add_argument("name", help=f"one of: {', '.join(sorted(_EXPERIMENTS))}")
 
+    profile = sub.add_parser(
+        "profile", help="profile day simulations (phase wall-time + solver work)",
+        parents=[common])
+    profile.add_argument("--mix", default="HM2")
+    profile.add_argument("--site", "--location", dest="site", default="AZ")
+    profile.add_argument("--month", type=int, default=7)
+    profile.add_argument("--policy", default="MPPT&Opt")
+    profile.add_argument("--repeat", type=int, default=1, metavar="N",
+                         help="profile N identical days (steadier shares)")
+    profile.add_argument("--faults", default=None, metavar="SPEC",
+                         help="inject a fault schedule into the profiled day")
+
+    runs = sub.add_parser("runs", help="inspect recorded run manifests",
+                          parents=[common])
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    # Each sub-subcommand re-parents [common] so flags like --runs-dir
+    # work both before and after it (`runs list --runs-dir X`).
+    runs_sub.add_parser("list", help="one line per recorded run",
+                        parents=[common])
+    runs_show = runs_sub.add_parser("show", help="full manifest of one run",
+                                    parents=[common])
+    runs_show.add_argument("run", nargs="?", default=None,
+                           help="run id (default: most recent)")
+    runs_diff = runs_sub.add_parser("diff", help="compare two runs field by field",
+                                    parents=[common])
+    runs_diff.add_argument("run_a")
+    runs_diff.add_argument("run_b")
+
     return parser
 
 
@@ -450,7 +560,30 @@ _HANDLERS = {
     "campaign": _cmd_campaign,
     "experiment": _cmd_experiment,
     "rack": _cmd_rack,
+    "profile": _cmd_profile,
+    "runs": _cmd_runs,
 }
+
+
+def _record_run(args: argparse.Namespace, argv, hub, duration_s: float) -> None:
+    """Write the --ledger provenance manifest for a finished command."""
+    from repro.core.config import SolarCoreConfig
+    from repro.harness.runledger import RunLedger, build_manifest
+
+    full_argv = list(argv) if argv is not None else sys.argv[1:]
+    if full_argv and full_argv[0] == args.command:
+        full_argv = full_argv[1:]  # the command renders separately
+    manifest = build_manifest(
+        args.command,
+        full_argv,
+        config=SolarCoreConfig(),
+        faults=getattr(args, "faults", None),
+        jobs=getattr(args, "jobs", None),
+        duration_s=duration_s,
+        telemetry=hub,
+    )
+    path = RunLedger(args.runs_dir).record(manifest)
+    print(f"recorded run manifest {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -466,14 +599,22 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
-    if not (args.trace or args.telemetry):
+    # The profile command always arms the profiler; --ledger needs a hub
+    # to have counters worth recording, even without --telemetry.
+    profiling = getattr(args, "profile", False) or args.command == "profile"
+    ledgering = getattr(args, "ledger", False) and args.command in _LEDGER_COMMANDS
+    if not (args.trace or args.telemetry or profiling or ledgering):
         return _HANDLERS[args.command](args)
 
     # Telemetry requested: install a hub for the duration of the command,
     # stream events to the JSONL trace if asked, and print the summary.
+    import time as _time
+
     from repro import telemetry
 
-    hub = telemetry.Telemetry()
+    hub = telemetry.Telemetry(
+        profiler=telemetry.PhaseProfiler() if profiling else None
+    )
     if args.trace:
         try:
             hub.add_sink(telemetry.JsonlSink(args.trace))
@@ -481,15 +622,25 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: cannot open trace file: {exc}", file=sys.stderr)
             return 2
     previous = telemetry.set_telemetry(hub)
+    start = _time.perf_counter()
     try:
         code = _HANDLERS[args.command](args)
     finally:
+        duration_s = _time.perf_counter() - start
         telemetry.set_telemetry(previous)
         hub.close()
     if args.trace:
         print(f"wrote telemetry trace {args.trace}")
-    if args.command in _SUMMARY_COMMANDS:
+    if (args.trace or args.telemetry) and args.command in _SUMMARY_COMMANDS:
         summary = telemetry.render_summary(hub)
         if summary:
             print(f"\n{summary}")
+    if profiling:
+        report = telemetry.render_profile(hub.profile)
+        if report:
+            print(f"\n{report}")
+        else:
+            print("\n(no phases profiled — the command ran no day simulations)")
+    if ledgering and code == 0:
+        _record_run(args, argv, hub, duration_s)
     return code

@@ -261,10 +261,26 @@ class DayEngine:
     def run(self):
         """Step the whole day; return the recorder's built result."""
         tel = self.telemetry
-        if self.span_name is None:
-            return self._run(tel)
-        with tel.span(self.span_name, **self.span_attrs):
-            return self._run(tel)
+        prof = tel.profile
+        if not prof.enabled:
+            if self.span_name is None:
+                return self._run(tel)
+            with tel.span(self.span_name, **self.span_attrs):
+                return self._run(tel)
+        attrs = self.span_attrs
+        cell = (
+            (str(attrs["location"]), attrs["month"])
+            if "location" in attrs and "month" in attrs
+            else None
+        )
+        label = self.span_name or self.policy.name
+        if "mix" in attrs:
+            label = f"{label} mix={attrs['mix']}"
+        with prof.day(label, cell):
+            if self.span_name is None:
+                return self._run(tel)
+            with tel.span(self.span_name, **self.span_attrs):
+                return self._run(tel)
 
     def _run(self, tel):
         policy = self.policy
@@ -273,15 +289,31 @@ class DayEngine:
         array = self.array
         dt = self.config.step_minutes
         on_solar_prev = False
+        # Per-phase profiling: `profiling` is hoisted once, so the default
+        # disabled path pays one local-bool check per phase site; enabled
+        # profiling books each step region into an exclusive `step.*`
+        # partition phase (see repro.telemetry.profiling).
+        prof = tel.profile
+        profiling = prof.enabled
+        clock = prof.clock
+        t0 = t1 = t2 = t3 = t4 = 0.0
 
         for index in range(len(trace.minutes) - 1):
+            if profiling:
+                t0 = clock()
             minute = float(trace.minutes[index])
             irradiance = float(trace.irradiance[index])
             ambient = float(trace.ambient_c[index])
             if self.faults is not None:
                 irradiance = self.faults.begin_step(minute, irradiance, tel)
             cell_temp = array.cell_temperature_from_ambient(irradiance, ambient)
+            if profiling:
+                t1 = clock()
+                prof.add("step.trace", t1 - t0)
             mpp = find_mpp(array, irradiance, cell_temp)
+            if profiling:
+                t2 = clock()
+                prof.add("step.mpp_solve", t2 - t1)
             ctx = StepContext(
                 index=index,
                 minute=minute,
@@ -309,6 +341,9 @@ class DayEngine:
                     )
             else:
                 on_solar = policy.solar_eligible(ctx)
+            if profiling:
+                t3 = clock()
+                prof.add("step.supply", t3 - t2)
 
             if on_solar:
                 if not on_solar_prev:
@@ -316,10 +351,17 @@ class DayEngine:
                 sample = policy.solar_step(ctx)
             else:
                 sample = policy.utility_step(ctx)
+            if profiling:
+                t4 = clock()
+                prof.add("step.policy", t4 - t3)
             recorder.record(ctx, on_solar, sample)
             self.ledger.book(on_solar, sample, dt)
+            if profiling:
+                prof.add("step.record", clock() - t4)
             on_solar_prev = on_solar
 
+        if profiling:
+            t0 = clock()
         if tel.enabled:
             tel.count("sim.days")
             tel.emit(
@@ -333,4 +375,7 @@ class DayEngine:
                 )
             )
             policy.final_telemetry(tel)
-        return recorder.build(self)
+        result = recorder.build(self)
+        if profiling:
+            prof.add("day.build", clock() - t0)
+        return result

@@ -53,6 +53,7 @@ from repro.environment.locations import Location, location_by_code
 from repro.faults.schedule import FaultSchedule
 from repro.telemetry import hub as telemetry_hub
 from repro.telemetry.hub import Telemetry
+from repro.telemetry.profiling import PhaseProfiler
 
 __all__ = [
     "SweepTask",
@@ -381,10 +382,13 @@ class DiskResultCache:
         the one failure mode a result cache must not have.
         """
         path = self.path_for(key)
+        tel = telemetry_hub.current()
         try:
             raw = path.read_bytes()
         except FileNotFoundError:
             self.misses += 1
+            if tel.enabled:
+                tel.count("cache.disk_misses")
             return None
         try:
             entry = pickle.loads(raw)
@@ -407,8 +411,12 @@ class DiskResultCache:
                     "could not delete corrupt cache entry %s: %s", path, unlink_exc
                 )
             self.misses += 1
+            if tel.enabled:
+                tel.count("cache.disk_misses")
             return None
         self.hits += 1
+        if tel.enabled:
+            tel.count("cache.disk_hits")
         return result
 
     def store(self, key: tuple, result: DayResult | BatteryDayResult) -> Path:
@@ -439,6 +447,9 @@ class DiskResultCache:
                     "could not clean up cache temp file %s: %s", tmp, exc
                 )
             raise
+        tel = telemetry_hub.current()
+        if tel.enabled:
+            tel.count("cache.disk_stores")
         return path
 
     def stats(self) -> dict[str, float]:
@@ -461,13 +472,22 @@ def _worker_chunk(
     tasks: list[SweepTask],
     config: SolarCoreConfig,
     collect_telemetry: bool,
+    collect_profile: bool = False,
 ) -> tuple[list, dict | None]:
     """Run one chunk inside a worker process.
 
     The worker always detaches from any inherited parent hub (sinks must
-    not receive events from forked children); with ``collect_telemetry`` a
-    private hub gathers counters/spans and its snapshot rides back with
-    the results.
+    not receive events from forked children); with ``collect_telemetry``
+    each task runs under its own private hub and the snapshots of the
+    tasks that *succeeded* are folded into one chunk snapshot that rides
+    back with the results.  ``collect_profile`` additionally arms a
+    private :class:`~repro.telemetry.profiling.PhaseProfiler` whose
+    per-phase / per-day profile rides home inside the same snapshot.
+
+    Per-task hubs (not one hub per chunk) are what make retry metrics
+    exact: a task that fails after partial work ships *nothing* — its
+    metrics would otherwise be merged once from the failed attempt and
+    again from the retry that recomputes it.
 
     Each task yields an independent ``("ok", result)`` or
     ``("err", "TypeName: message")`` outcome: one bad cell no longer
@@ -475,17 +495,33 @@ def _worker_chunk(
     salvage, or raise.
     """
     telemetry_hub.set_telemetry(None)
-    worker_hub = Telemetry() if collect_telemetry else None
-    if worker_hub is not None:
-        telemetry_hub.set_telemetry(worker_hub)
+    collect = collect_telemetry or collect_profile
+    chunk_hub = (
+        Telemetry(profiler=PhaseProfiler() if collect_profile else None)
+        if collect
+        else None
+    )
     try:
         outcomes = []
         for task in tasks:
+            task_hub = None
+            if collect:
+                task_hub = Telemetry(
+                    profiler=PhaseProfiler() if collect_profile else None
+                )
+                telemetry_hub.set_telemetry(task_hub)
             try:
-                outcomes.append(("ok", compute_task(task, config)))
+                result = compute_task(task, config)
             except Exception as exc:
                 outcomes.append(("err", f"{type(exc).__name__}: {exc}"))
-        snapshot = worker_hub.snapshot() if worker_hub is not None else None
+            else:
+                outcomes.append(("ok", result))
+                if chunk_hub is not None:
+                    chunk_hub.merge_snapshot(task_hub.snapshot())
+            finally:
+                if collect:
+                    telemetry_hub.set_telemetry(None)
+        snapshot = chunk_hub.snapshot() if chunk_hub is not None else None
         return outcomes, snapshot
     finally:
         telemetry_hub.set_telemetry(None)
@@ -571,7 +607,7 @@ def _finish_sweep(
     return results
 
 
-def _run_wave(chunks, config, collect_telemetry, workers, task_timeout):
+def _run_wave(chunks, config, collect_telemetry, collect_profile, workers, task_timeout):
     """Run one wave of chunks on a fresh pool; never raises per-task.
 
     A fresh :class:`ProcessPoolExecutor` per wave is deliberate: a worker
@@ -587,7 +623,9 @@ def _run_wave(chunks, config, collect_telemetry, workers, task_timeout):
     abandoned = False
     try:
         futures = {
-            pool.submit(_worker_chunk, chunk, config, collect_telemetry): chunk
+            pool.submit(
+                _worker_chunk, chunk, config, collect_telemetry, collect_profile
+            ): chunk
             for chunk in chunks
         }
         deadlines: dict = {}
@@ -646,6 +684,7 @@ def run_parallel(
     config: SolarCoreConfig,
     jobs: int,
     collect_telemetry: bool = False,
+    collect_profile: bool = False,
     *,
     retries: int = 0,
     retry_base_s: float = 0.1,
@@ -668,6 +707,9 @@ def run_parallel(
         config: Simulation configuration shared by every task.
         jobs: Worker processes (capped at the number of chunks).
         collect_telemetry: Ship per-worker counter/span snapshots back.
+        collect_profile: Arm a per-worker hot-path profiler; its phase /
+            day profile rides back inside the telemetry snapshot (the
+            parent merges it via ``Telemetry.merge_snapshot``).
         retries: Retry waves for failed tasks (0 = at most one attempt).
         retry_base_s: Backoff base: wave ``n`` sleeps
             ``retry_base_s * 2**(n-1)`` plus deterministic jitter.
@@ -709,7 +751,8 @@ def run_parallel(
             chunks = [[task] for task in pending]
         workers = max(1, min(jobs, len(chunks)))
         wave_outcomes, wave_snapshots = _run_wave(
-            chunks, config, collect_telemetry, workers, task_timeout
+            chunks, config, collect_telemetry, collect_profile, workers,
+            task_timeout,
         )
         snapshots.extend(wave_snapshots)
         failed_now: list[SweepTask] = []

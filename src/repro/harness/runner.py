@@ -151,6 +151,9 @@ class SimulationRunner:
         if result is not None:
             return result
         log.debug("cache miss: %s", task.describe())
+        tel = telemetry_hub.current()
+        if tel.enabled:
+            tel.count("runner.computes")
         result = _freeze(compute_task(task, self.config))
         self._store_of(task)[key] = result
         if self.disk is not None:
@@ -241,11 +244,14 @@ class SimulationRunner:
             missing.append(task)
         report: SweepFailureReport | None = None
         if missing:
+            tel = telemetry_hub.current()
+            if tel.enabled:
+                tel.count("runner.computes", len(missing))
             if self.jobs > 1:
-                tel = telemetry_hub.current()
                 outcome = run_parallel(
                     missing, self.config, self.jobs,
                     collect_telemetry=tel.enabled,
+                    collect_profile=tel.profile.enabled,
                     retries=self.retries,
                     task_timeout=self.task_timeout,
                     salvage=self.salvage,

@@ -111,6 +111,7 @@ def solve_operating_point(
     tel = telemetry_hub.current()
     if tel.enabled:
         tel.count("power.brentq_solves")
+    prof = tel.profile
 
     reflected = converter.reflected_resistance(load_resistance)
 
@@ -119,7 +120,19 @@ def solve_operating_point(
 
     # mismatch(0+) = Isc > 0, mismatch(Voc) = -Voc/reflected < 0.
     try:
-        v_pv = float(brentq(mismatch, 1e-9, voc, xtol=1e-9, rtol=1e-12))
+        if prof.enabled:
+            # full_output returns the identical root plus the iteration
+            # count; only the profiled path pays for the RootResults.
+            start = prof.clock()
+            root, info = brentq(
+                mismatch, 1e-9, voc, xtol=1e-9, rtol=1e-12, full_output=True
+            )
+            prof.add("power.operating_point", prof.clock() - start)
+            prof.count("power.brentq_calls")
+            prof.count("power.brentq_iterations", float(info.iterations))
+            v_pv = float(root)
+        else:
+            v_pv = float(brentq(mismatch, 1e-9, voc, xtol=1e-9, rtol=1e-12))
     except ValueError as exc:
         # brentq's "f(a) and f(b) must have different signs" with no hint
         # of which grid cell produced it is undebuggable mid-sweep.

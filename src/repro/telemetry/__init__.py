@@ -49,6 +49,14 @@ from repro.telemetry.hub import (
 )
 from repro.telemetry.logconfig import configure_logging, parse_level
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.profiling import (
+    NULL_PROFILER,
+    DayProfile,
+    NullProfiler,
+    PhaseProfiler,
+    PhaseStat,
+    render_profile,
+)
 from repro.telemetry.sinks import (
     EventSink,
     JsonlSink,
@@ -97,6 +105,13 @@ __all__ = [
     "SpanTracker",
     "SpanRecord",
     "SpanAggregate",
+    # profiling
+    "PhaseProfiler",
+    "PhaseStat",
+    "DayProfile",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "render_profile",
     # logging / summary
     "configure_logging",
     "parse_level",

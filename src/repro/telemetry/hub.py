@@ -20,6 +20,7 @@ from repro.telemetry.metrics import (
     DEFAULT_ITERATION_BUCKETS,
     MetricsRegistry,
 )
+from repro.telemetry.profiling import NULL_PROFILER, PhaseProfiler
 from repro.telemetry.sinks import EventSink
 from repro.telemetry.spans import SpanTracker
 
@@ -40,6 +41,10 @@ class Telemetry:
         sinks: Event sinks receiving every emitted record.
         registry: Metrics registry (fresh one by default).
         keep_span_records: Retain per-span records, not just aggregates.
+        profiler: Hot-path phase profiler; the shared disabled
+            :data:`~repro.telemetry.profiling.NULL_PROFILER` unless one
+            is supplied, so enabling telemetry alone never pays the
+            per-phase clock reads.
     """
 
     #: Hot paths check this single attribute before doing any work.
@@ -50,10 +55,12 @@ class Telemetry:
         sinks: list[EventSink] | None = None,
         registry: MetricsRegistry | None = None,
         keep_span_records: bool = False,
+        profiler: PhaseProfiler | None = None,
     ) -> None:
         self.sinks: list[EventSink] = list(sinks or [])
         self.registry = registry or MetricsRegistry()
         self.spans = SpanTracker(keep_records=keep_span_records)
+        self.profile = profiler if profiler is not None else NULL_PROFILER
 
     # -- event stream ---------------------------------------------------
     def emit(self, event: TelemetryEvent) -> None:
@@ -109,6 +116,9 @@ class Telemetry:
         for name, value in data.get("gauges", {}).items():
             self.gauge(name, value)
         self.spans.merge(data.get("spans", {}))
+        profile = data.get("profile")
+        if profile and self.profile.enabled:
+            self.profile.merge(profile)
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
@@ -117,9 +127,11 @@ class Telemetry:
             sink.close()
 
     def snapshot(self) -> dict:
-        """Metrics + span aggregates as one plain-data dict."""
+        """Metrics + span aggregates (+ profile when enabled) as one dict."""
         data = self.registry.snapshot()
         data["spans"] = self.spans.snapshot()
+        if self.profile.enabled:
+            data["profile"] = self.profile.snapshot()
         return data
 
 
@@ -174,6 +186,9 @@ class NullTelemetry:
     """
 
     enabled = False
+
+    #: Profiling is off along with everything else on the null hub.
+    profile = NULL_PROFILER
 
     def emit(self, event: TelemetryEvent) -> None:
         return None

@@ -1,0 +1,438 @@
+"""Hot-path phase profiler: where does a simulated day's wall-time go?
+
+The span tracker answers "how long did ``run_day`` take"; this module
+answers the finer question the ROADMAP's perf work needs: how that time
+splits across the engine's per-step phases — trace stepping, the MPP
+solve, the ATS/supply decision, the policy step (controller, DVFS,
+load tuning), and the recorders — plus how much solver work (``brentq``
+calls and iterations) each day performed.
+
+Phase names follow a two-level convention:
+
+* ``step.*`` and ``day.*`` phases form an **exclusive partition** of a
+  day's wall-time: they never overlap, so their totals sum to the
+  attributed time and their share of the measured day wall is the
+  profile's *coverage* (the acceptance bar is >= 95%).
+* every other name (``power.operating_point``, ``controller.track``,
+  ``mppt.run_tracker``) is a **nested** phase: it runs *inside* a
+  partition phase and is reported separately, never added to coverage.
+
+Cost contract (same as the rest of the hub): profiling is disabled by
+default — hot paths hoist ``prof = tel.profile`` once and guard every
+timing site with ``prof.enabled``, so the off state costs one attribute
+check per site.  Enabled profiling reads ``perf_counter`` twice per
+phase and updates a dict entry; the overhead guard benchmark keeps the
+disabled path honest.
+
+Profiles are plain-data snapshots, mergeable across worker processes
+exactly like span aggregates: each worker collects into a private
+:class:`PhaseProfiler` and the parent folds the snapshots in, so a
+``jobs=N`` sweep still reports one coherent "where does the time go"
+table covering every worker's days.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PhaseStat",
+    "DayProfile",
+    "PhaseProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "render_profile",
+    "PARTITION_PREFIXES",
+]
+
+#: Phase-name prefixes that partition a day's wall-time exclusively
+#: (everything else is nested inside one of these and excluded from
+#: coverage accounting).
+PARTITION_PREFIXES = ("step.", "day.")
+
+
+def _is_partition(name: str) -> bool:
+    return name.startswith(PARTITION_PREFIXES)
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated wall-time for one phase name.
+
+    Attributes:
+        name: Phase name (``step.mpp_solve``, ``power.operating_point``).
+        count: Times the phase ran.
+        total_s: Summed wall-clock [s].
+    """
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        """Mean duration per occurrence [s] (0 when never run)."""
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass
+class DayProfile:
+    """One simulated day's complete phase breakdown.
+
+    Attributes:
+        label: Human-readable day identity (``run_day mix=HM2 ...``).
+        cell: The (location, month) sweep cell, or None outside a sweep.
+        wall_s: Measured wall-clock of the whole day [s].
+        phases: Per-phase ``{name: (count, total_s)}`` for this day.
+        counters: Per-day solver counters (``power.brentq_calls``, ...).
+    """
+
+    label: str
+    cell: tuple | None
+    wall_s: float
+    phases: dict[str, tuple[int, float]] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def attributed_s(self) -> float:
+        """Summed wall-time of the partition (``step.*``/``day.*``) phases."""
+        return sum(t for name, (_, t) in self.phases.items() if _is_partition(name))
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the day wall the partition phases account for."""
+        return self.attributed_s / self.wall_s if self.wall_s > 0 else 0.0
+
+
+class _DayContext:
+    """Context manager bounding one day's profile; see PhaseProfiler.day."""
+
+    __slots__ = ("_profiler", "_label", "_cell", "_start", "_active")
+
+    def __init__(self, profiler: PhaseProfiler, label: str, cell: tuple | None) -> None:
+        self._profiler = profiler
+        self._label = label
+        self._cell = cell
+        self._start = 0.0
+        self._active = False
+
+    def __enter__(self) -> _DayContext:
+        prof = self._profiler
+        # Days never nest in practice (one engine runs one day); if a
+        # caller does nest, the inner context records nothing rather
+        # than corrupting the outer day's accounting.
+        if prof._day_phases is None:
+            prof._day_phases = {}
+            prof._day_counters = {}
+            self._active = True
+            self._start = prof.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._active:
+            return
+        prof = self._profiler
+        wall_s = prof.clock() - self._start
+        day = DayProfile(
+            label=self._label,
+            cell=self._cell,
+            wall_s=wall_s,
+            phases={
+                name: (entry[0], entry[1])
+                for name, entry in prof._day_phases.items()
+            },
+            counters=dict(prof._day_counters),
+        )
+        prof._day_phases = None
+        prof._day_counters = None
+        prof._append_day(day)
+
+
+class PhaseProfiler:
+    """Accumulates phase wall-times, solver counters, and day profiles.
+
+    Args:
+        max_days: Per-day profiles kept (further days still feed the
+            global phase totals; only the per-day list is bounded, and
+            :attr:`truncated_days` counts what was dropped).
+        clock: Monotonic time source [s] (injectable for tests).
+    """
+
+    enabled = True
+
+    def __init__(self, max_days: int = 1024, clock=time.perf_counter) -> None:
+        self.max_days = max_days
+        self.clock = clock
+        self.phases: dict[str, PhaseStat] = {}
+        self.counters: dict[str, float] = {}
+        self.days: list[DayProfile] = []
+        self.truncated_days = 0
+        # Open-day accumulators (None outside a day context).  Mutable
+        # [count, total] lists keep the per-step hot path allocation-free
+        # after the first occurrence of each phase.
+        self._day_phases: dict[str, list] | None = None
+        self._day_counters: dict[str, float] | None = None
+
+    # -- hot-path recording ---------------------------------------------
+    def add(self, phase: str, seconds: float) -> None:
+        """Book ``seconds`` of wall-time against ``phase``."""
+        stat = self.phases.get(phase)
+        if stat is None:
+            stat = self.phases[phase] = PhaseStat(phase)
+        stat.count += 1
+        stat.total_s += seconds
+        day = self._day_phases
+        if day is not None:
+            entry = day.get(phase)
+            if entry is None:
+                day[phase] = [1, seconds]
+            else:
+                entry[0] += 1
+                entry[1] += seconds
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment the solver/work counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+        day = self._day_counters
+        if day is not None:
+            day[name] = day.get(name, 0.0) + amount
+
+    def day(self, label: str, cell: tuple | None = None) -> _DayContext:
+        """A context manager bounding one simulated day's profile."""
+        return _DayContext(self, label, cell)
+
+    # -- aggregation -----------------------------------------------------
+    def _append_day(self, day: DayProfile) -> None:
+        if len(self.days) < self.max_days:
+            self.days.append(day)
+        else:
+            self.truncated_days += 1
+
+    def by_cell(self) -> dict[tuple, list[DayProfile]]:
+        """Recorded day profiles grouped by sweep cell (None = no cell)."""
+        groups: dict[tuple, list[DayProfile]] = {}
+        for day in self.days:
+            groups.setdefault(day.cell, []).append(day)
+        return groups
+
+    @property
+    def total_wall_s(self) -> float:
+        """Summed wall-clock of every recorded day [s]."""
+        return sum(day.wall_s for day in self.days)
+
+    @property
+    def coverage(self) -> float:
+        """Partition-phase share of the summed day wall (0 with no days)."""
+        wall = self.total_wall_s
+        if wall <= 0:
+            return 0.0
+        attributed = sum(day.attributed_s for day in self.days)
+        return attributed / wall
+
+    # -- cross-process plumbing ------------------------------------------
+    def snapshot(self) -> dict:
+        """The complete profile as one plain-data (JSON-able) dict."""
+        return {
+            "phases": {
+                name: {"count": stat.count, "total_s": stat.total_s}
+                for name, stat in sorted(
+                    self.phases.items(), key=lambda kv: kv[1].total_s, reverse=True
+                )
+            },
+            "counters": dict(sorted(self.counters.items())),
+            "days": [
+                {
+                    "label": day.label,
+                    "cell": list(day.cell) if day.cell is not None else None,
+                    "wall_s": day.wall_s,
+                    "phases": {
+                        name: [count, total]
+                        for name, (count, total) in day.phases.items()
+                    },
+                    "counters": dict(day.counters),
+                }
+                for day in self.days
+            ],
+            "truncated_days": self.truncated_days,
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another profiler's :meth:`snapshot` into this one.
+
+        Phase counts/totals and counters add; day profiles append (up to
+        ``max_days``, counting the overflow).  Used by the parallel sweep
+        engine exactly like :meth:`SpanTracker.merge`.
+        """
+        for name, data in snapshot.get("phases", {}).items():
+            stat = self.phases.get(name)
+            if stat is None:
+                stat = self.phases[name] = PhaseStat(name)
+            stat.count += int(data["count"])
+            stat.total_s += data["total_s"]
+        for name, value in snapshot.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0.0) + value
+        for day in snapshot.get("days", []):
+            cell = day.get("cell")
+            self._append_day(
+                DayProfile(
+                    label=day["label"],
+                    cell=tuple(cell) if cell is not None else None,
+                    wall_s=day["wall_s"],
+                    phases={
+                        name: (int(entry[0]), float(entry[1]))
+                        for name, entry in day.get("phases", {}).items()
+                    },
+                    counters=dict(day.get("counters", {})),
+                )
+            )
+        self.truncated_days += int(snapshot.get("truncated_days", 0))
+
+    def reset(self) -> None:
+        """Drop every accumulated phase, counter, and day profile."""
+        self.phases.clear()
+        self.counters.clear()
+        self.days.clear()
+        self.truncated_days = 0
+
+
+class NullProfiler:
+    """The disabled profiler: ``enabled`` is False and every op is a no-op.
+
+    Correctly guarded hot paths never call these methods; they exist so
+    unguarded calls stay harmless.
+    """
+
+    enabled = False
+    clock = staticmethod(time.perf_counter)
+
+    def add(self, phase: str, seconds: float) -> None:
+        return None
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        return None
+
+    def day(self, label: str, cell: tuple | None = None):
+        return _NULL_DAY
+
+    def by_cell(self) -> dict:
+        return {}
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def merge(self, snapshot: dict) -> None:
+        return None
+
+    def reset(self) -> None:
+        return None
+
+
+class _NullDay:
+    """Shared no-op day context; one instance serves every call."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_DAY = _NullDay()
+
+#: The shared disabled profiler (never mutated).
+NULL_PROFILER = NullProfiler()
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_profile(profiler: PhaseProfiler | NullProfiler, top: int = 12) -> str:
+    """The "where does the time go" report as fixed-width ASCII tables.
+
+    Three sections: the per-phase breakdown (partition phases with their
+    share of the measured day wall, nested phases marked as such), the
+    solver counters (``brentq`` calls/iterations with per-call means),
+    and a per-sweep-cell rollup when day profiles carry cells.  Returns
+    an empty string for a disabled or empty profiler.
+    """
+    if not profiler.enabled or not profiler.phases:
+        return ""
+    # Local import: repro.harness pulls in the experiment stack, which
+    # imports telemetry — a top-level import would be circular.
+    from repro.harness.reporting import format_table
+    from repro.telemetry.summary import format_duration
+
+    sections: list[str] = []
+    wall = profiler.total_wall_s
+    n_days = len(profiler.days)
+
+    ordered = sorted(
+        profiler.phases.values(), key=lambda s: s.total_s, reverse=True
+    )
+    rows = []
+    for stat in ordered[:top]:
+        share = (
+            f"{stat.total_s / wall:6.1%}" if wall > 0 and _is_partition(stat.name)
+            else "nested"
+        )
+        rows.append([
+            stat.name,
+            f"{stat.count:d}",
+            format_duration(stat.total_s),
+            format_duration(stat.mean_s),
+            share,
+        ])
+    header = f"phase breakdown (top {min(top, len(ordered))} of {len(ordered)})"
+    sections.append(
+        header + "\n" + format_table(
+            ["phase", "calls", "total", "mean", "share"], rows
+        )
+    )
+    if n_days:
+        sections.append(
+            f"attributed {profiler.coverage:.1%} of "
+            f"{format_duration(wall)} day wall-time across {n_days} day(s)"
+            + (
+                f" ({profiler.truncated_days} day profile(s) dropped over "
+                f"the {profiler.max_days}-day cap)"
+                if profiler.truncated_days
+                else ""
+            )
+        )
+
+    if profiler.counters:
+        rows = []
+        calls = profiler.counters.get("power.brentq_calls", 0.0)
+        for name, value in sorted(profiler.counters.items()):
+            per_call = ""
+            if name == "power.brentq_iterations" and calls > 0:
+                per_call = f"{value / calls:.1f} / call"
+            rows.append([name, f"{value:g}", per_call])
+        sections.append(
+            "solver counters\n"
+            + format_table(["counter", "total", "mean"], rows)
+        )
+
+    cells = {
+        cell: days for cell, days in profiler.by_cell().items() if cell is not None
+    }
+    if cells:
+        rows = []
+        for cell, days in sorted(cells.items(), key=lambda kv: str(kv[0])):
+            cell_wall = sum(d.wall_s for d in days)
+            cell_attr = sum(d.attributed_s for d in days)
+            rows.append([
+                " ".join(str(part) for part in cell),
+                f"{len(days):d}",
+                format_duration(cell_wall),
+                f"{cell_attr / cell_wall:6.1%}" if cell_wall > 0 else "-",
+            ])
+        sections.append(
+            "per-cell wall-time\n"
+            + format_table(["cell", "days", "wall", "attributed"], rows)
+        )
+
+    return "\n\n".join(sections)

@@ -94,12 +94,24 @@ def test_degraded_allocation_never_exceeds_budget(schedule):
     schedule = FaultSchedule(specs=specs, seed=schedule.seed)
     sink = RingBufferSink(capacity=100_000)
     with telemetry_session(sinks=[sink]):
-        mppt_day_engine(
+        day = mppt_day_engine(
             "HM2", location_by_code("AZ"), 7, "MPPT&Opt", config=CFG,
             faults=schedule,
         ).run()
     events = sink.events("degraded_mode")
-    assert events, "the forced midday dropout must trigger degraded mode"
+    # The drawn schedule can legitimately keep the chip off solar through
+    # the whole dropout (an ATS stuck on utility, strings faulted below the
+    # floor power, ...), and a chip that never tracks can never detect a
+    # stale sensor.  Degraded mode is mandatory only when the chip actually
+    # ran on solar deep enough into the dropout for the staleness ladder to
+    # fire; the containment property below must hold regardless.
+    deep_in_dropout = (
+        (day.minutes >= 600.0 + CFG.sensor_staleness_min + CFG.step_minutes)
+        & (day.minutes <= 720.0)
+        & day.on_solar
+    )
+    if deep_in_dropout.any():
+        assert events, "the forced midday dropout must trigger degraded mode"
     for event in events:
         assert event.allocated_w <= event.budget_w + 1e-9
         assert event.budget_w >= 0.0

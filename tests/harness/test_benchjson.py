@@ -1,0 +1,194 @@
+"""Bench trajectory: BENCH_*.json schema, comparator, regression gates.
+
+``benchmarks/benchjson.py`` lives outside the package (it is both a
+benchmark helper and a standalone CI comparator), so the tests load it
+by path via importlib.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "benchjson.py"
+)
+_spec = importlib.util.spec_from_file_location("benchjson", _MODULE_PATH)
+benchjson = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(benchjson)
+
+
+def write(out_dir, name="sample", metrics=None, timings=None, **kwargs):
+    return benchjson.write_bench_json(
+        out_dir, name,
+        metrics={"ptp": 0.85, "days": 8.0} if metrics is None else metrics,
+        timings_s={"experiment": 1.2} if timings is None else timings,
+        **kwargs,
+    )
+
+
+class TestWriteAndLoad:
+    def test_round_trip(self, tmp_path):
+        path = write(tmp_path, extra={"grid": "2x2"})
+        assert path == tmp_path / "BENCH_sample.json"
+        doc = benchjson.load_bench_json(path)
+        assert doc["schema"] == benchjson.SCHEMA_VERSION
+        assert doc["name"] == "sample"
+        assert doc["metrics"] == {"ptp": 0.85, "days": 8.0}
+        assert doc["timings_s"] == {"experiment": 1.2}
+        assert doc["extra"] == {"grid": "2x2"}
+        assert doc["host"]["cpu_count"] is not None
+
+    def test_no_leftover_temp_files(self, tmp_path):
+        write(tmp_path)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_values_coerced_to_float(self, tmp_path):
+        path = write(tmp_path, metrics={"count": 7})
+        assert benchjson.load_bench_json(path)["metrics"]["count"] == 7.0
+
+    def test_non_finite_metric_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="finite"):
+            write(tmp_path, metrics={"bad": float("nan")})
+
+    def test_load_rejects_invalid_document(self, tmp_path):
+        path = tmp_path / "BENCH_broken.json"
+        path.write_text(json.dumps({"schema": 99, "name": ""}))
+        with pytest.raises(ValueError, match="schema"):
+            benchjson.load_bench_json(path)
+
+
+class TestValidate:
+    def test_bool_is_not_a_number(self):
+        doc = {
+            "schema": benchjson.SCHEMA_VERSION,
+            "name": "x",
+            "metrics": {"flag": True},
+            "timings_s": {},
+            "host": {},
+        }
+        (error,) = benchjson.validate(doc)
+        assert "finite number" in error
+
+    def test_missing_sections_reported(self):
+        errors = benchjson.validate({})
+        assert len(errors) == 5  # schema, name, metrics, timings_s, host
+
+
+class TestCompare:
+    def base(self):
+        return {
+            "schema": 1, "name": "fig01",
+            "metrics": {"utilization_400": 0.44},
+            "timings_s": {"experiment": 1.0},
+            "host": {"cpu_count": 8},
+        }
+
+    def test_identical_documents_clean(self):
+        failures, warnings = benchjson.compare(self.base(), self.base())
+        assert failures == [] and warnings == []
+
+    def test_injected_metric_regression_is_a_failure(self):
+        """The acceptance gate: deterministic drift must hard-fail."""
+        current = self.base()
+        current["metrics"]["utilization_400"] = 0.47
+        failures, warnings = benchjson.compare(self.base(), current)
+        (failure,) = failures
+        assert "utilization_400" in failure
+        assert "0.44 -> 0.47" in failure
+        assert warnings == []
+
+    def test_tiny_float_noise_tolerated(self):
+        current = self.base()
+        current["metrics"]["utilization_400"] = 0.44 * (1 + 1e-9)
+        failures, _ = benchjson.compare(self.base(), current)
+        assert failures == []
+
+    def test_disappeared_metric_is_a_failure(self):
+        current = self.base()
+        del current["metrics"]["utilization_400"]
+        (failure,) = benchjson.compare(self.base(), current)[0]
+        assert "disappeared" in failure
+
+    def test_timing_regression_only_warns(self):
+        current = self.base()
+        current["timings_s"]["experiment"] = 2.0  # 2x > 1.5x tolerance
+        failures, warnings = benchjson.compare(self.base(), current)
+        assert failures == []
+        (warning,) = warnings
+        assert "regressed" in warning
+        assert "8 cpus" in warning  # host context attached
+
+    def test_timing_within_tolerance_silent(self):
+        current = self.base()
+        current["timings_s"]["experiment"] = 1.4
+        assert benchjson.compare(self.base(), current) == ([], [])
+
+    def test_new_entries_warn(self):
+        current = self.base()
+        current["metrics"]["fresh"] = 1.0
+        current["timings_s"]["also_fresh"] = 0.5
+        failures, warnings = benchjson.compare(self.base(), current)
+        assert failures == []
+        assert any("new metric 'fresh'" in w for w in warnings)
+        assert any("new timing 'also_fresh'" in w for w in warnings)
+
+
+class TestCompareDirs:
+    def test_matched_directories_clean(self, tmp_path):
+        write(tmp_path / "base")
+        write(tmp_path / "cur")
+        failures, warnings = benchjson.compare_dirs(
+            tmp_path / "base", tmp_path / "cur"
+        )
+        assert failures == [] and warnings == []
+
+    def test_missing_counterparts_warn(self, tmp_path):
+        write(tmp_path / "base", name="only_base")
+        write(tmp_path / "cur", name="only_cur")
+        failures, warnings = benchjson.compare_dirs(
+            tmp_path / "base", tmp_path / "cur"
+        )
+        assert failures == []
+        assert any("did not run" in w for w in warnings)
+        assert any("no committed baseline" in w for w in warnings)
+
+    def test_invalid_current_document_fails(self, tmp_path):
+        write(tmp_path / "base")
+        (tmp_path / "cur").mkdir()
+        (tmp_path / "cur" / "BENCH_sample.json").write_text("{}")
+        failures, _ = benchjson.compare_dirs(tmp_path / "base", tmp_path / "cur")
+        assert failures
+
+
+class TestMain:
+    def test_clean_comparison_exits_zero(self, tmp_path, capsys):
+        write(tmp_path / "base")
+        write(tmp_path / "cur")
+        code = benchjson.main(
+            ["compare", str(tmp_path / "base"), str(tmp_path / "cur")]
+        )
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_metric_drift_exits_nonzero(self, tmp_path, capsys):
+        write(tmp_path / "base", metrics={"ptp": 0.85})
+        write(tmp_path / "cur", metrics={"ptp": 0.99})
+        code = benchjson.main(
+            ["compare", str(tmp_path / "base"), str(tmp_path / "cur")]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL:" in out and "ptp" in out
+
+    def test_rtol_flags_thread_through(self, tmp_path, capsys):
+        write(tmp_path / "base", metrics={"ptp": 1.00})
+        write(tmp_path / "cur", metrics={"ptp": 1.05})
+        code = benchjson.main([
+            "compare", str(tmp_path / "base"), str(tmp_path / "cur"),
+            "--metric-rtol", "0.1",
+        ])
+        assert code == 0

@@ -1,0 +1,286 @@
+"""Unit and integration tests for the hot-path phase profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SolarCoreConfig
+from repro.core.simulation import run_day
+from repro.environment.locations import location_by_code
+from repro.harness.parallel import grid_tasks
+from repro.harness.runner import SimulationRunner
+from repro.telemetry import (
+    NULL_PROFILER,
+    NullTelemetry,
+    PhaseProfiler,
+    Telemetry,
+    render_profile,
+    telemetry_session,
+)
+from repro.telemetry.profiling import NullProfiler
+
+CFG = SolarCoreConfig(step_minutes=10.0)
+
+
+class FakeClock:
+    """A deterministic perf_counter: advances by explicit ticks."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestPhaseProfiler:
+    def test_add_accumulates(self):
+        prof = PhaseProfiler()
+        prof.add("step.trace", 0.25)
+        prof.add("step.trace", 0.75)
+        stat = prof.phases["step.trace"]
+        assert stat.count == 2
+        assert stat.total_s == 1.0
+        assert stat.mean_s == 0.5
+
+    def test_count_accumulates(self):
+        prof = PhaseProfiler()
+        prof.count("power.brentq_calls")
+        prof.count("power.brentq_iterations", 9.0)
+        prof.count("power.brentq_iterations", 11.0)
+        assert prof.counters["power.brentq_calls"] == 1.0
+        assert prof.counters["power.brentq_iterations"] == 20.0
+
+    def test_day_context_records_wall_and_phases(self):
+        clock = FakeClock()
+        prof = PhaseProfiler(clock=clock)
+        with prof.day("day-one", cell=("AZ", 7)):
+            clock.tick(0.4)
+            prof.add("step.policy", 0.3)
+            prof.add("power.operating_point", 0.2)  # nested, not coverage
+            prof.count("power.brentq_calls", 5.0)
+            clock.tick(0.6)
+        (day,) = prof.days
+        assert day.label == "day-one"
+        assert day.cell == ("AZ", 7)
+        assert day.wall_s == pytest.approx(1.0)
+        assert day.phases["step.policy"] == (1, 0.3)
+        assert day.counters["power.brentq_calls"] == 5.0
+        # Coverage counts only the exclusive step.*/day.* partition.
+        assert day.attributed_s == pytest.approx(0.3)
+        assert day.coverage == pytest.approx(0.3)
+        assert prof.coverage == pytest.approx(0.3)
+
+    def test_phases_outside_day_still_accumulate_globally(self):
+        prof = PhaseProfiler()
+        prof.add("step.policy", 1.0)
+        assert prof.phases["step.policy"].count == 1
+        assert not prof.days
+
+    def test_nested_day_contexts_do_not_corrupt(self):
+        clock = FakeClock()
+        prof = PhaseProfiler(clock=clock)
+        with prof.day("outer"):
+            with prof.day("inner"):  # ignored: days never nest in practice
+                clock.tick(1.0)
+                prof.add("step.trace", 1.0)
+        (day,) = prof.days
+        assert day.label == "outer"
+        assert day.phases["step.trace"] == (1, 1.0)
+
+    def test_max_days_truncation(self):
+        prof = PhaseProfiler(max_days=2)
+        for n in range(5):
+            with prof.day(f"day-{n}"):
+                pass
+        assert len(prof.days) == 2
+        assert prof.truncated_days == 3
+
+    def test_by_cell_groups(self):
+        prof = PhaseProfiler()
+        with prof.day("a", cell=("AZ", 7)):
+            pass
+        with prof.day("b", cell=("AZ", 7)):
+            pass
+        with prof.day("c", cell=("TN", 1)):
+            pass
+        with prof.day("d"):
+            pass
+        groups = prof.by_cell()
+        assert len(groups[("AZ", 7)]) == 2
+        assert len(groups[("TN", 1)]) == 1
+        assert len(groups[None]) == 1
+
+    def test_snapshot_merge_round_trip(self):
+        clock = FakeClock()
+        prof = PhaseProfiler(clock=clock)
+        with prof.day("one", cell=("AZ", 7)):
+            clock.tick(2.0)
+            prof.add("step.policy", 1.5)
+            prof.count("power.brentq_calls", 3.0)
+        prof.add("step.trace", 0.5)
+
+        merged = PhaseProfiler()
+        merged.merge(prof.snapshot())
+        merged.merge(prof.snapshot())  # two workers' worth
+        assert merged.phases["step.policy"].count == 2
+        assert merged.phases["step.policy"].total_s == pytest.approx(3.0)
+        assert merged.phases["step.trace"].total_s == pytest.approx(1.0)
+        assert merged.counters["power.brentq_calls"] == 6.0
+        assert len(merged.days) == 2
+        assert all(day.cell == ("AZ", 7) for day in merged.days)
+        assert merged.days[0].wall_s == pytest.approx(2.0)
+
+    def test_merge_respects_max_days(self):
+        prof = PhaseProfiler()
+        with prof.day("one"):
+            pass
+        merged = PhaseProfiler(max_days=1)
+        merged.merge(prof.snapshot())
+        merged.merge(prof.snapshot())
+        assert len(merged.days) == 1
+        assert merged.truncated_days == 1
+
+    def test_reset(self):
+        prof = PhaseProfiler()
+        prof.add("step.trace", 1.0)
+        prof.count("x", 1.0)
+        with prof.day("one"):
+            pass
+        prof.reset()
+        assert not prof.phases and not prof.counters and not prof.days
+        assert prof.truncated_days == 0
+
+
+class TestNullProfiler:
+    def test_disabled_and_inert(self):
+        null = NullProfiler()
+        assert null.enabled is False
+        assert NULL_PROFILER.enabled is False
+        null.add("step.trace", 1.0)
+        null.count("x")
+        null.merge({"phases": {"step.trace": {"count": 1, "total_s": 1.0}}})
+        assert null.snapshot() == {}
+        assert null.by_cell() == {}
+
+    def test_day_context_is_shared_noop(self):
+        null = NullProfiler()
+        ctx = null.day("anything")
+        assert null.day("other") is ctx  # no per-call allocation
+        with ctx as inner:
+            assert inner is ctx
+
+
+class TestHubIntegration:
+    def test_default_hub_has_null_profiler(self):
+        assert Telemetry().profile is NULL_PROFILER
+        assert NullTelemetry().profile is NULL_PROFILER
+
+    def test_snapshot_gains_profile_only_when_armed(self):
+        plain = Telemetry()
+        assert "profile" not in plain.snapshot()
+        armed = Telemetry(profiler=PhaseProfiler())
+        armed.profile.add("step.trace", 1.0)
+        assert armed.snapshot()["profile"]["phases"]["step.trace"]["count"] == 1
+
+    def test_merge_snapshot_folds_profile(self):
+        src = Telemetry(profiler=PhaseProfiler())
+        src.profile.add("step.policy", 2.0)
+        dst = Telemetry(profiler=PhaseProfiler())
+        dst.merge_snapshot(src.snapshot())
+        assert dst.profile.phases["step.policy"].total_s == pytest.approx(2.0)
+
+    def test_merge_snapshot_without_profiler_ignores_profile(self):
+        src = Telemetry(profiler=PhaseProfiler())
+        src.profile.add("step.policy", 2.0)
+        dst = Telemetry()
+        dst.merge_snapshot(src.snapshot())  # must not raise
+        assert dst.profile is NULL_PROFILER
+
+
+class TestDayIntegration:
+    def test_profiled_day_covers_95_percent_of_wall(self):
+        hub = Telemetry(profiler=PhaseProfiler())
+        with telemetry_session(hub):
+            run_day("HM2", location_by_code("AZ"), 7, config=CFG)
+        prof = hub.profile
+        (day,) = prof.days
+        assert day.cell == ("PFCI", 7)
+        assert "run_day" in day.label
+        # The acceptance bar: the exclusive step/day phases account for
+        # at least 95% of the measured day wall-time.
+        assert prof.coverage >= 0.95
+        # Solver work is counted: every brentq call books its iterations.
+        assert prof.counters["power.brentq_calls"] > 0
+        assert (
+            prof.counters["power.brentq_iterations"]
+            > prof.counters["power.brentq_calls"]
+        )
+        # The partition phases all ran once per step.
+        steps = prof.phases["step.trace"].count
+        assert steps > 0
+        for name in ("step.mpp_solve", "step.supply", "step.policy",
+                     "step.record"):
+            assert prof.phases[name].count == steps
+
+    def test_profiling_disabled_leaves_no_trace(self):
+        hub = Telemetry()  # telemetry on, profiling off
+        with telemetry_session(hub):
+            run_day("HM2", location_by_code("AZ"), 7, config=CFG)
+        assert hub.profile is NULL_PROFILER
+        assert "profile" not in hub.snapshot()
+
+    def test_profile_merges_across_four_workers(self):
+        tasks = grid_tasks(("H1", "L1"), ("AZ", "TN"), (1, 7))
+        hub = Telemetry(profiler=PhaseProfiler())
+        with telemetry_session(hub):
+            runner = SimulationRunner(CFG, jobs=4)
+            results = runner.prefetch(tasks)
+        assert len(results) == len(tasks)
+        prof = hub.profile
+        # One day profile per task, correctly cell-labelled, whichever
+        # worker ran it.
+        assert len(prof.days) == len(tasks)
+        cells = prof.by_cell()
+        assert set(cells) == {("PFCI", 1), ("PFCI", 7), ("ORNL", 1),
+                              ("ORNL", 7)}
+        assert all(len(days) == 2 for days in cells.values())
+        # Merged phase counts line up with the summed per-day counts.
+        steps = sum(day.phases["step.mpp_solve"][0] for day in prof.days)
+        assert prof.phases["step.mpp_solve"].count == steps
+        assert prof.coverage >= 0.95
+        assert prof.counters["power.brentq_calls"] > 0
+
+
+class TestRenderProfile:
+    def test_disabled_or_empty_renders_nothing(self):
+        assert render_profile(NULL_PROFILER) == ""
+        assert render_profile(PhaseProfiler()) == ""
+
+    def test_report_sections(self):
+        clock = FakeClock()
+        prof = PhaseProfiler(clock=clock)
+        with prof.day("one", cell=("AZ", 7)):
+            clock.tick(1.0)
+            prof.add("step.policy", 0.9)
+            prof.add("power.operating_point", 0.4)
+            prof.count("power.brentq_calls", 10.0)
+            prof.count("power.brentq_iterations", 95.0)
+        report = render_profile(prof)
+        assert "step.policy" in report
+        assert "nested" in report  # power.operating_point is not partition
+        assert "attributed 90.0%" in report
+        assert "9.5 / call" in report
+        assert "per-cell wall-time" in report
+        assert "AZ 7" in report
+
+    def test_top_n_limits_rows(self):
+        prof = PhaseProfiler()
+        for n in range(10):
+            prof.add(f"step.p{n}", float(n + 1))
+        report = render_profile(prof, top=3)
+        assert "top 3 of 10" in report
+        assert "step.p9" in report  # biggest total listed
+        assert "step.p0" not in report

@@ -140,3 +140,95 @@ class TestSlowCommands:
         out = capsys.readouterr().out
         assert "carbon" in out
         assert "overall utilization" in out
+
+
+class TestProfile:
+    def test_profile_command_prints_phase_report(self, capsys):
+        assert main([
+            "profile", "--mix", "L1", "--site", "AZ", "--month", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "profiled 1 x" in out
+        assert "step.policy" in out
+        assert "power.brentq_calls" in out
+        assert "attributed" in out
+
+    def test_profile_flag_on_simulate(self, capsys):
+        assert main([
+            "simulate", "--mix", "L1", "--site", "AZ", "--month", "7",
+            "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out
+        assert "step.mpp_solve" in out
+
+    def test_profile_flag_without_simulation_explains(self, capsys):
+        assert main(["list", "--profile"]) == 0
+        assert "no phases profiled" in capsys.readouterr().out
+
+    def test_hub_uninstalled_after_profile(self):
+        from repro.telemetry import NULL_TELEMETRY, current
+
+        main(["profile", "--mix", "L1", "--site", "AZ", "--month", "7"])
+        assert current() is NULL_TELEMETRY
+
+
+class TestRuns:
+    def run_with_ledger(self, tmp_path):
+        assert main([
+            "simulate", "--mix", "L1", "--site", "AZ", "--month", "7",
+            "--ledger", "--runs-dir", str(tmp_path),
+        ]) == 0
+
+    def test_ledger_flag_records_manifest(self, capsys, tmp_path):
+        self.run_with_ledger(tmp_path)
+        out = capsys.readouterr().out
+        assert "recorded run manifest" in out
+        (manifest,) = tmp_path.glob("*.json")
+        import json
+
+        doc = json.loads(manifest.read_text())
+        assert doc["command"] == "simulate"
+        assert doc["days"] == 1
+        assert doc["host"]["cpu_count"] is not None
+
+    def test_ledger_ignored_on_non_simulating_commands(self, tmp_path):
+        assert main(["list", "--ledger", "--runs-dir", str(tmp_path)]) == 0
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_runs_list_empty(self, capsys, tmp_path):
+        assert main(["runs", "list", "--runs-dir", str(tmp_path)]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_runs_list_and_show(self, capsys, tmp_path):
+        self.run_with_ledger(tmp_path)
+        capsys.readouterr()
+
+        assert main(["runs", "list", "--runs-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "simulate" in out
+
+        # show defaults to the most recent run
+        assert main(["runs", "show", "--runs-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "command   simulate" in out
+        assert "cpus=" in out
+
+    def test_runs_show_unknown_run_exits_2(self, capsys, tmp_path):
+        assert main([
+            "runs", "show", "nonexistent", "--runs-dir", str(tmp_path),
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_runs_diff(self, capsys, tmp_path):
+        self.run_with_ledger(tmp_path)
+        self.run_with_ledger(tmp_path)
+        capsys.readouterr()
+        run_a, run_b = sorted(p.stem for p in tmp_path.glob("*.json"))
+        assert main([
+            "runs", "diff", run_a, run_b, "--runs-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "same" in out
+        assert "DIFFERS" not in out  # identical code/config/seeds
+        assert "duration_s" in out
