@@ -157,15 +157,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _solver_config(args: argparse.Namespace):
+    """The :class:`SolarCoreConfig` the command's flags ask for."""
+    from repro.core.config import SolarCoreConfig
+
+    return SolarCoreConfig(solver=getattr(args, "solver", "exact"))
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.core.simulation import run_day, run_day_battery, run_day_fixed
     from repro.environment.locations import location_by_code
 
+    config = _solver_config(args)
     location = location_by_code(args.site)
     if args.battery_derating is not None:
         day = run_day_battery(
             args.mix, location, args.month, args.battery_derating,
-            faults=args.faults,
+            config=config, faults=args.faults,
         )
         print(f"battery system (derating {day.derating:.0%}) "
               f"{day.mix_name} @ {day.location_code} m{day.month}")
@@ -177,11 +185,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.fixed_budget is not None:
         day = run_day_fixed(
             args.mix, location, args.month, args.fixed_budget,
-            faults=args.faults,
+            config=config, faults=args.faults,
         )
     else:
         day = run_day(args.mix, location, args.month, args.policy,
-                      faults=args.faults)
+                      config=config, faults=args.faults)
     if args.export_csv:
         from repro.harness.export import day_to_csv
 
@@ -206,15 +214,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _sweep_runner(args: argparse.Namespace):
-    """The parallel/caching/resilient runner the sweep flags ask for, or None."""
+    """The parallel/caching/resilient runner the sweep flags ask for, or None.
+
+    A non-default ``--solver`` also forces a runner: the experiment
+    functions fall back to the module-level default runner otherwise,
+    which is pinned to the exact-solver config.
+    """
     if args.resume and args.checkpoint is None:
         raise SystemExit("error: --resume requires --checkpoint FILE")
+    config = _solver_config(args)
     wants_runner = (
         args.jobs > 1
         or args.cache_dir is not None
         or args.retries > 0
         or args.task_timeout is not None
         or args.checkpoint is not None
+        or config.solver != "exact"
     )
     if not wants_runner:
         return None
@@ -222,14 +237,14 @@ def _sweep_runner(args: argparse.Namespace):
 
     checkpoint = None
     if args.checkpoint is not None:
-        from repro.core.config import SolarCoreConfig
         from repro.harness.checkpoint import SweepCheckpoint
 
-        checkpoint = SweepCheckpoint(args.checkpoint, SolarCoreConfig())
+        checkpoint = SweepCheckpoint(args.checkpoint, config)
         if args.resume:
             restored = checkpoint.load()
             print(f"resumed {restored} completed task(s) from {args.checkpoint}")
     return SimulationRunner(
+        config,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         retries=args.retries,
@@ -247,6 +262,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     campaign = run_campaign(
         args.mix, locations, tuple(args.months),
         days_per_cell=args.days, policy=args.policy,
+        config=_solver_config(args),
         runner=_sweep_runner(args),
         faults=args.faults,
     )
@@ -285,13 +301,22 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.core.simulation import run_day
     from repro.environment.locations import location_by_code
 
+    config = _solver_config(args)
     location = location_by_code(args.site)
     day = None
     for _ in range(args.repeat):
         day = run_day(args.mix, location, args.month, args.policy,
-                      faults=args.faults)
+                      config=config, faults=args.faults)
     print(f"profiled {args.repeat} x {day.policy} {day.mix_name} "
           f"@ {day.location_code} m{day.month} (PTP {day.ptp:.0f} Ginst)")
+    if config.solver == "table":
+        from repro.power.surface import get_surfaces
+        from repro.pv.array import PVArray
+
+        surfaces = get_surfaces(PVArray())
+        if surfaces is not None:
+            print("\nsurface error contract:")
+            print(surfaces.report())
     return 0
 
 
@@ -442,6 +467,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="resume from --checkpoint FILE: completed cells "
                           "are skipped, only the remainder is computed")
 
+    # Electrical solver choice for the simulating commands, e.g.
+    #   repro campaign --sites AZ TN --solver table
+    solver = argparse.ArgumentParser(add_help=False)
+    eng = solver.add_argument_group("electrical solver")
+    eng.add_argument("--solver", choices=["exact", "table"], default="exact",
+                     help="exact: Lambert-W/brentq per step (bit-reproducible "
+                          "reference); table: precomputed interpolation "
+                          "surfaces + batched day engine (10x+ faster, "
+                          "accuracy per the declared error bound)")
+
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="show stations, mixes, and policies",
@@ -461,7 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=None)
 
     simulate = sub.add_parser("simulate", help="run one day simulation",
-                              parents=[common])
+                              parents=[common, solver])
     simulate.add_argument("--mix", default="HM2")
     simulate.add_argument("--site", "--location", dest="site", default="AZ",
                           help="station code (PFCI/BMS/ECSU/ORNL or AZ/CO/NC/TN)")
@@ -480,7 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "'sensor_dropout@600-660,conv_eff@400-:0.85'")
 
     rack = sub.add_parser("rack", help="simulate a rack on a shared farm",
-                          parents=[common])
+                          parents=[common, solver])
     rack.add_argument("--mixes", nargs="+", default=["H1", "L1", "HM2", "ML2"])
     rack.add_argument("--site", "--location", dest="site", default="AZ")
     rack.add_argument("--month", type=int, default=7)
@@ -490,7 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="inject a fault schedule into the shared farm")
 
     campaign = sub.add_parser("campaign", help="multi-day campaign + carbon",
-                              parents=[common, sweep])
+                              parents=[common, sweep, solver])
     campaign.add_argument("--mix", default="HM2")
     campaign.add_argument("--sites", "--locations", dest="sites", nargs="+",
                           default=["AZ", "TN"])
@@ -501,12 +536,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="apply a fault schedule to every campaign day")
 
     experiment = sub.add_parser("experiment", help="regenerate a paper artifact",
-                                parents=[common, sweep])
+                                parents=[common, sweep, solver])
     experiment.add_argument("name", help=f"one of: {', '.join(sorted(_EXPERIMENTS))}")
 
     profile = sub.add_parser(
         "profile", help="profile day simulations (phase wall-time + solver work)",
-        parents=[common])
+        parents=[common, solver])
     profile.add_argument("--mix", default="HM2")
     profile.add_argument("--site", "--location", dest="site", default="AZ")
     profile.add_argument("--month", type=int, default=7)
@@ -541,7 +576,7 @@ def _cmd_rack(args: argparse.Namespace) -> int:
 
     location = location_by_code(args.site)
     day = run_day_rack(tuple(args.mixes), location, args.month, args.policy,
-                       faults=args.faults)
+                       config=_solver_config(args), faults=args.faults)
     print(f"rack [{', '.join(day.mix_names)}] @ {day.location_code} "
           f"m{day.month}, division={day.policy}")
     print(f"  rack PTP          {day.total_ptp:10.0f} Ginst")
@@ -567,7 +602,6 @@ _HANDLERS = {
 
 def _record_run(args: argparse.Namespace, argv, hub, duration_s: float) -> None:
     """Write the --ledger provenance manifest for a finished command."""
-    from repro.core.config import SolarCoreConfig
     from repro.harness.runledger import RunLedger, build_manifest
 
     full_argv = list(argv) if argv is not None else sys.argv[1:]
@@ -576,7 +610,7 @@ def _record_run(args: argparse.Namespace, argv, hub, duration_s: float) -> None:
     manifest = build_manifest(
         args.command,
         full_argv,
-        config=SolarCoreConfig(),
+        config=_solver_config(args),
         faults=getattr(args, "faults", None),
         jobs=getattr(args, "jobs", None),
         duration_s=duration_s,

@@ -56,6 +56,14 @@ class SolarCoreConfig:
         degraded_budget_fraction: Conservative power budget used in
             degraded mode, as a fraction of the last good power reading
             (floored at the chip's minimum sustainable configuration).
+        solver: Electrical solver mode.  ``"exact"`` (default) runs the
+            per-step Lambert-W/brentq solvers and is byte-identical to
+            the golden fixtures; ``"table"`` answers MPP and
+            operating-point queries from the precomputed interpolation
+            surfaces of :mod:`repro.power.surface` (within their
+            measured error bound) and unlocks the batched day engine.
+            Devices the surfaces cannot represent (fault-injected
+            arrays, shaded strings) fall back to exact with a warning.
     """
 
     rail_voltage: float = NOMINAL_RAIL_V
@@ -74,6 +82,7 @@ class SolarCoreConfig:
     enable_pcpg: bool = True
     sensor_staleness_min: float = 5.0
     degraded_budget_fraction: float = 0.5
+    solver: str = "exact"
 
     def __post_init__(self) -> None:
         if self.rail_voltage <= 0:
@@ -108,4 +117,8 @@ class SolarCoreConfig:
             raise ValueError(
                 "degraded_budget_fraction must be in (0, 1], "
                 f"got {self.degraded_budget_fraction}"
+            )
+        if self.solver not in ("exact", "table"):
+            raise ValueError(
+                f"solver must be 'exact' or 'table', got {self.solver!r}"
             )

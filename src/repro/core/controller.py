@@ -106,6 +106,9 @@ class SolarCoreController:
         self.config = config or SolarCoreConfig()
         self.sensor = sensor or IVSensor()
         self.telemetry = telemetry
+        #: Optional :class:`~repro.power.surface.OperatingSurfaces` set by
+        #: the engine in table-solver mode; None keeps the exact solvers.
+        self.surfaces = None
         #: Per-event margin override set by an adaptive-margin supervisor
         #: (None = use ``config.power_margin``).
         self.margin_override: float | None = None
@@ -200,6 +203,10 @@ class SolarCoreController:
     def solve(self, irradiance: float, cell_temp_c: float, minute: float) -> OperatingPoint:
         """Operating point at the current (k, levels) and environment."""
         resistance = self.chip.effective_resistance(minute, self.config.rail_voltage)
+        if self.surfaces is not None:
+            return self.surfaces.operating_point(
+                self.converter, resistance, irradiance, cell_temp_c
+            )
         return solve_operating_point(
             self.array, self.converter, resistance, irradiance, cell_temp_c
         )
@@ -222,22 +229,36 @@ class SolarCoreController:
         op = self.solve(irradiance, cell_temp_c, minute)
         if chip_demand <= 0.0:
             return op
-        mpp = find_mpp(self.array, irradiance, cell_temp_c)
+        surfaces = self.surfaces
+        mpp = (
+            surfaces.mpp(irradiance, cell_temp_c)
+            if surfaces is not None
+            else find_mpp(self.array, irradiance, cell_temp_c)
+        )
         if mpp.power <= 0.0:
             return op
         # Stay strictly right of the MPP so the equilibrium is on the stable
         # branch even when demand exceeds what the panel can give.
         target_power = min(chip_demand, 0.98 * mpp.power)
-        voc = self.array.open_circuit_voltage(irradiance, cell_temp_c)
-
-        def surplus(v: float) -> float:
-            return v * self.array.current(v, irradiance, cell_temp_c) - target_power
 
         tel = self._tel
         if tel.enabled:
             tel.count("controller.align_solves")
-        # surplus(Vmpp) >= 0 by construction and surplus(Voc) < 0.
-        v_right = float(brentq(surplus, mpp.voltage, voc, xtol=1e-6))
+        v_right = None
+        if surfaces is not None:
+            v_right = surfaces.right_branch_voltage(
+                irradiance, cell_temp_c, mpp.power, target_power
+            )
+        if v_right is None:
+            voc = self.array.open_circuit_voltage(irradiance, cell_temp_c)
+
+            def surplus(v: float) -> float:
+                return (
+                    v * self.array.current(v, irradiance, cell_temp_c) - target_power
+                )
+
+            # surplus(Vmpp) >= 0 by construction and surplus(Voc) < 0.
+            v_right = float(brentq(surplus, mpp.voltage, voc, xtol=1e-6))
         quantum = self.converter.delta_k
         self.converter.k = round(v_right / self.config.rail_voltage / quantum) * quantum
         return self.solve(irradiance, cell_temp_c, minute)

@@ -257,6 +257,22 @@ class DayEngine:
 
             self.ats = FaultyATS(self.ats, self.faults)
         self.ledger = EnergyLedger()
+        # Table-solver mode: resolve the interpolation surfaces for the
+        # engine's MPP queries and for the policy's controller (if any).
+        # get_surfaces returns None — with one warning — for devices the
+        # closed form cannot represent (fault wrappers, shaded strings),
+        # in which case the run silently stays on the exact solvers.
+        self.surfaces = None
+        if self.config.solver == "table":
+            from repro.power.surface import get_surfaces
+
+            self.surfaces = get_surfaces(self.array)
+            controller = getattr(self.policy, "controller", None)
+            if controller is not None:
+                if controller.array is self.array:
+                    controller.surfaces = self.surfaces
+                else:
+                    controller.surfaces = get_surfaces(controller.array)
 
     def run(self):
         """Step the whole day; return the recorder's built result."""
@@ -287,8 +303,19 @@ class DayEngine:
         recorder = self.recorder
         trace = self.trace
         array = self.array
+        surfaces = self.surfaces
         dt = self.config.step_minutes
         on_solar_prev = False
+        # Batched fast path: when the table solver is active and nothing
+        # requires per-step hooks (no fault injection, no event telemetry),
+        # supported policies can be evaluated as NumPy array programs over
+        # whole spans of minutes.  ``run_fast`` fills the recorder and the
+        # ledger and returns True, or returns False to keep the scalar loop.
+        if surfaces is not None and self.faults is None and not tel.enabled:
+            from repro.core import fastday
+
+            if fastday.run_fast(self, tel):
+                return self._finish(tel)
         # Per-phase profiling: `profiling` is hoisted once, so the default
         # disabled path pays one local-bool check per phase site; enabled
         # profiling books each step region into an exclusive `step.*`
@@ -310,7 +337,11 @@ class DayEngine:
             if profiling:
                 t1 = clock()
                 prof.add("step.trace", t1 - t0)
-            mpp = find_mpp(array, irradiance, cell_temp)
+            mpp = (
+                surfaces.mpp(irradiance, cell_temp)
+                if surfaces is not None
+                else find_mpp(array, irradiance, cell_temp)
+            )
             if profiling:
                 t2 = clock()
                 prof.add("step.mpp_solve", t2 - t1)
@@ -360,6 +391,17 @@ class DayEngine:
                 prof.add("step.record", clock() - t4)
             on_solar_prev = on_solar
 
+        return self._finish(tel)
+
+    def _finish(self, tel):
+        """End-of-day bookkeeping shared by the scalar and batched loops."""
+        policy = self.policy
+        recorder = self.recorder
+        trace = self.trace
+        prof = tel.profile
+        profiling = prof.enabled
+        clock = prof.clock
+        t0 = 0.0
         if profiling:
             t0 = clock()
         if tel.enabled:

@@ -95,6 +95,28 @@ class MPPTPolicy(SupplyPolicy):
         if self.predictor is not None:
             self.predictor.reset()
 
+    def _supply_changed(self, mpp_power: float) -> bool:
+        cfg = self.cfg
+        return (
+            cfg.supply_change_fraction is not None
+            and self._last_track_mpp is not None
+            and self._last_track_mpp > 0
+            and abs(mpp_power - self._last_track_mpp) / self._last_track_mpp
+            > cfg.supply_change_fraction
+        )
+
+    def track_due(self, minute: float, mpp_power: float) -> bool:
+        """Whether a tracking event fires at this solar step.
+
+        Shared by :meth:`solar_step` and the batched day engine
+        (:mod:`repro.core.fastday`), which uses it to locate the steps
+        that mutate chip state before vectorizing the spans in between.
+        """
+        return (
+            minute - self._last_track_minute >= self.cfg.tracking_interval_min
+            or self._supply_changed(mpp_power)
+        )
+
     def solar_step(self, ctx: StepContext) -> StepSample:
         cfg = self.cfg
         chip = self.chip
@@ -103,13 +125,7 @@ class MPPTPolicy(SupplyPolicy):
         mpp = ctx.mpp
         if self.predictor is not None:
             self.predictor.observe(minute, mpp.power)
-        supply_changed = (
-            cfg.supply_change_fraction is not None
-            and self._last_track_mpp is not None
-            and self._last_track_mpp > 0
-            and abs(mpp.power - self._last_track_mpp) / self._last_track_mpp
-            > cfg.supply_change_fraction
-        )
+        supply_changed = self._supply_changed(mpp.power)
         if (
             minute - self._last_track_minute >= cfg.tracking_interval_min
             or supply_changed
@@ -224,12 +240,17 @@ class FixedBudgetPolicy(SupplyPolicy):
         )
         return ctx.mpp.power >= self.budget_w and self.budget_w >= floor_power
 
+    def alloc_due(self, minute: float) -> bool:
+        """Whether the per-core allocation refreshes at this solar step
+        (shared with the batched day engine)."""
+        return minute - self._last_alloc_minute >= self.cfg.tracking_interval_min
+
     def solar_step(self, ctx: StepContext) -> StepSample:
         cfg = self.cfg
         chip = self.chip
         tel = self.tel
         minute = ctx.minute
-        if minute - self._last_alloc_minute >= cfg.tracking_interval_min:
+        if self.alloc_due(minute):
             allocate_budget(
                 chip, self.budget_w, minute, allow_gating=cfg.enable_pcpg
             )

@@ -51,14 +51,21 @@ def upgrade_tpr(core: Core, minute: float) -> float | None:
     ``delta-T / delta-P`` the paper derives from performance counters and
     I/V sensors.
     """
-    if core.gated or core.level >= core.table.max_level:
+    if core._gated or core._level >= core._max_level:
         return None
+    # TPR depends only on (minute, level) for an ungated core; the
+    # controller re-evaluates every core at the same frozen minute after
+    # each single-core move, so cache the bit-identical result.
+    key = ("up", minute, core._level)
+    memo = core._tpr_memo
+    if key in memo:
+        return memo[key]
     new_level = core.level + 1
     d_throughput = core.throughput_at_level(new_level, minute) - core.throughput_at(minute)
     d_power = core.power_at_level(new_level, minute) - core.power_at(minute)
-    if d_power <= 0.0:
-        return None
-    return d_throughput / d_power
+    result = None if d_power <= 0.0 else d_throughput / d_power
+    memo[key] = result
+    return result
 
 
 def downgrade_tpr(core: Core, minute: float) -> float | None:
@@ -67,14 +74,18 @@ def downgrade_tpr(core: Core, minute: float) -> float | None:
     Measured as throughput lost per watt released; the scheduler sheds load
     from the core where this is *smallest*.
     """
-    if core.gated or core.level <= core.table.min_level:
+    if core._gated or core._level <= core._min_level:
         return None
+    key = ("down", minute, core._level)
+    memo = core._tpr_memo
+    if key in memo:
+        return memo[key]
     new_level = core.level - 1
     d_throughput = core.throughput_at(minute) - core.throughput_at_level(new_level, minute)
     d_power = core.power_at(minute) - core.power_at_level(new_level, minute)
-    if d_power <= 0.0:
-        return None
-    return d_throughput / d_power
+    result = None if d_power <= 0.0 else d_throughput / d_power
+    memo[key] = result
+    return result
 
 
 def build_allocation_table(chip: MultiCoreChip, minute: float) -> list[TPREntry]:

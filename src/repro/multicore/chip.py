@@ -59,6 +59,11 @@ class MultiCoreChip:
             Core(i, bench, self.power_model, seed=seed + i)
             for i, bench in enumerate(workload.benchmarks)
         ]
+        # One-entry memos for the aggregate observables, keyed on
+        # (minute, state version): the controller queries them repeatedly
+        # at the same frozen minute between core moves.
+        self._power_memo: tuple = (None, -1, 0.0)
+        self._throughput_memo: tuple = (None, -1, 0.0)
 
     @property
     def n_cores(self) -> int:
@@ -92,13 +97,35 @@ class MultiCoreChip:
     # ------------------------------------------------------------------
     # Aggregate observables
     # ------------------------------------------------------------------
+    def _state_version(self) -> int:
+        """Monotone chip-state token: strictly increases on any core's
+        level/gating change, so ``(minute, version)`` keys stay valid."""
+        version = 0
+        for core in self.cores:
+            version += core._version
+        return version
+
     def total_power_at(self, minute: float) -> float:
         """Chip power [W] at a time instant (cores + uncore)."""
-        return self.uncore_power_w + sum(core.power_at(minute) for core in self.cores)
+        version = self._state_version()
+        memo = self._power_memo
+        if memo[0] == minute and memo[1] == version:
+            return memo[2]
+        value = self.uncore_power_w + sum(
+            core.power_at(minute) for core in self.cores
+        )
+        self._power_memo = (minute, version, value)
+        return value
 
     def total_throughput_at(self, minute: float) -> float:
         """Chip throughput [GIPS] at a time instant."""
-        return sum(core.throughput_at(minute) for core in self.cores)
+        version = self._state_version()
+        memo = self._throughput_memo
+        if memo[0] == minute and memo[1] == version:
+            return memo[2]
+        value = sum(core.throughput_at(minute) for core in self.cores)
+        self._throughput_memo = (minute, version, value)
+        return value
 
     def min_power_at(self, minute: float) -> float:
         """Chip power [W] with every active core at the lowest level.

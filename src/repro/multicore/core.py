@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.multicore.dvfs import DVFSTable
 from repro.multicore.power_model import CorePowerModel
 from repro.workloads.benchmarks import Benchmark
-from repro.workloads.phases import PhaseTrace
+from repro.workloads.phases import cached_phase_trace
 
 __all__ = ["Core"]
 
@@ -39,7 +39,7 @@ class Core:
         self.core_id = core_id
         self.bench = bench
         self.power_model = power_model
-        self.phase_trace = PhaseTrace(bench, seed=seed)
+        self.phase_trace = cached_phase_trace(bench, seed=seed)
         table = power_model.table
         self._level = table.max_level if initial_level is None else initial_level
         table[self._level]  # validate
@@ -47,6 +47,14 @@ class Core:
         self._retired_ginst = 0.0
         self._transitions = 0
         self._transition_volts = 0.0
+        # Monotone state version: bumped on every real level/gating change.
+        # Memo layers (chip aggregates, TPR tables) key on it to reuse
+        # bit-identical values while the state is frozen mid-track-event.
+        self._version = 0
+        self._tpr_memo: dict = {}
+        self._min_level = table.min_level
+        self._max_level = table.max_level
+        self._epi_nj = bench.epi_nj
 
     # ------------------------------------------------------------------
     # DVFS / gating state
@@ -74,6 +82,7 @@ class Core:
             self._transition_volts += abs(
                 self.table.voltage(level) - self.table.voltage(self._level)
             )
+            self._version += 1
         self._level = level
 
     @property
@@ -93,10 +102,14 @@ class Core:
 
     def gate(self) -> None:
         """Power-gate the core: zero power, zero throughput."""
+        if not self._gated:
+            self._version += 1
         self._gated = True
 
     def ungate(self) -> None:
         """Restore the core from the gated state (at its stored level)."""
+        if self._gated:
+            self._version += 1
         self._gated = False
 
     # ------------------------------------------------------------------
@@ -111,24 +124,28 @@ class Core:
         if self._gated:
             return 0.0
         return self.power_model.total_power(
-            self._level, self.bench.epi_nj, self.ipc_at(minute)
+            self._level, self._epi_nj, self.phase_trace.ipc_at(minute)
         )
 
     def throughput_at(self, minute: float) -> float:
         """Core throughput [GIPS] at a time instant (zero when gated)."""
         if self._gated:
             return 0.0
-        return self.power_model.throughput_gips(self._level, self.ipc_at(minute))
+        return self.power_model.throughput_gips(
+            self._level, self.phase_trace.ipc_at(minute)
+        )
 
     def power_at_level(self, level: int, minute: float) -> float:
         """Predicted core power [W] if the core ran at ``level`` now."""
         return self.power_model.total_power(
-            level, self.bench.epi_nj, self.ipc_at(minute)
+            level, self._epi_nj, self.phase_trace.ipc_at(minute)
         )
 
     def throughput_at_level(self, level: int, minute: float) -> float:
         """Predicted throughput [GIPS] if the core ran at ``level`` now."""
-        return self.power_model.throughput_gips(level, self.ipc_at(minute))
+        return self.power_model.throughput_gips(
+            level, self.phase_trace.ipc_at(minute)
+        )
 
     # ------------------------------------------------------------------
     # Progress accounting
@@ -144,6 +161,17 @@ class Core:
         retired = self.throughput_at(minute) * dt_minutes * 60.0
         self._retired_ginst += retired
         return retired
+
+    def credit_retired(self, ginst: float) -> None:
+        """Add instructions retired by a batched (vectorized) evaluation.
+
+        The batched day engine computes whole spans of per-step retirement
+        as array programs and credits each core's total here instead of
+        calling :meth:`advance` once per step.
+        """
+        if ginst < 0:
+            raise ValueError(f"ginst must be non-negative, got {ginst}")
+        self._retired_ginst += ginst
 
     @property
     def retired_ginst(self) -> float:

@@ -38,6 +38,34 @@ class CorePowerModel:
     table: DVFSTable
     leakage_ref_w: float = DEFAULT_LEAKAGE_W
 
+    def __post_init__(self) -> None:
+        # Per-level constants, hoisted once: the controller evaluates these
+        # formulas tens of thousands of times per simulated day, and the
+        # table indexing + voltage-ratio arithmetic dominated the profile.
+        # Each cached value is the same product in the same order as the
+        # inline expression it replaces, so results are bit-identical.
+        vmax = self.table.max_voltage
+        scale = tuple(
+            (self.table.voltage(level) / vmax) ** 2
+            for level in range(len(self.table))
+        )
+        object.__setattr__(self, "_v_scale", scale)
+        object.__setattr__(
+            self,
+            "_freq",
+            tuple(self.table.frequency(level) for level in range(len(self.table))),
+        )
+        object.__setattr__(
+            self, "_leak", tuple(self.leakage_ref_w * s for s in scale)
+        )
+
+    def _check(self, level: int) -> int:
+        if not 0 <= level < len(self._freq):
+            raise IndexError(
+                f"DVFS level {level} out of range [0, {len(self._freq) - 1}]"
+            )
+        return level
+
     def dynamic_power(self, level: int, epi_nj: float, ipc: float) -> float:
         """Dynamic power [W] of a core running at ``level``.
 
@@ -46,19 +74,23 @@ class CorePowerModel:
             epi_nj: Energy per instruction at the top operating point [nJ].
             ipc: Instructions per cycle at the current program phase.
         """
-        point = self.table[level]
-        v_scale = (point.voltage_v / self.table.max_voltage) ** 2
         # nJ/inst * inst/cycle * Gcycles/s = W
-        return epi_nj * v_scale * ipc * point.frequency_ghz
+        return epi_nj * self._v_scale[self._check(level)] * ipc * self._freq[level]
 
     def leakage_power(self, level: int) -> float:
         """Leakage power [W] at a DVFS level (zero only if power-gated)."""
-        point = self.table[level]
-        return self.leakage_ref_w * (point.voltage_v / self.table.max_voltage) ** 2
+        return self._leak[self._check(level)]
 
     def total_power(self, level: int, epi_nj: float, ipc: float) -> float:
         """Total (dynamic + leakage) core power [W]."""
-        return self.dynamic_power(level, epi_nj, ipc) + self.leakage_power(level)
+        if not 0 <= level < len(self._freq):
+            raise IndexError(
+                f"DVFS level {level} out of range [0, {len(self._freq) - 1}]"
+            )
+        return (
+            epi_nj * self._v_scale[level] * ipc * self._freq[level]
+            + self._leak[level]
+        )
 
     def throughput_gips(self, level: int, ipc: float) -> float:
         """Core throughput [giga-instructions/s] at a level and phase IPC.
@@ -66,4 +98,4 @@ class CorePowerModel:
         Voltage scaling leaves IPC unchanged (paper assumption 3); throughput
         is proportional to frequency.
         """
-        return ipc * self.table[level].frequency_ghz
+        return ipc * self._freq[self._check(level)]

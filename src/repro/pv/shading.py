@@ -21,6 +21,7 @@ from scipy.optimize import brentq, minimize_scalar
 from repro.pv.module import PVModule
 from repro.pv.mpp import MaxPowerPoint
 from repro.pv.params import ModuleParameters, bp3180n
+from repro.telemetry import hub as telemetry_hub
 
 __all__ = ["ShadedSeriesString", "find_global_mpp"]
 
@@ -124,7 +125,28 @@ class ShadedSeriesString:
         def mismatch(i: float) -> float:
             return self.string_voltage(i, irradiance, cell_temp_c) - voltage
 
-        return float(brentq(mismatch, 0.0, i_max, xtol=1e-9))
+        # Same solver contract as repro.power.operating_point: the root
+        # work is booked on the shared brentq counters, and bracketing
+        # failures surface as OperatingPointError with full coordinates
+        # instead of scipy's bare ValueError.
+        prof = telemetry_hub.current().profile
+        try:
+            if prof.enabled:
+                root, info = brentq(
+                    mismatch, 0.0, i_max, xtol=1e-9, full_output=True
+                )
+                prof.count("power.brentq_calls")
+                prof.count("power.brentq_iterations", float(info.iterations))
+                return float(root)
+            return float(brentq(mismatch, 0.0, i_max, xtol=1e-9))
+        except ValueError as exc:
+            from repro.power.operating_point import OperatingPointError
+
+            raise OperatingPointError(
+                f"shaded-string current solve failed on (0, Isc={i_max!r} A): "
+                f"{exc} (V={voltage!r} V, G={irradiance!r} W/m^2, "
+                f"T={cell_temp_c!r} C, shading={self.shading_factors!r})"
+            ) from exc
 
     def power(self, voltage: float, irradiance: float, cell_temp_c: float) -> float:
         """String power [W] at a terminal voltage."""

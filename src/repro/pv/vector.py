@@ -1,0 +1,235 @@
+"""Vectorized single-diode PV evaluation over NumPy arrays.
+
+:class:`repro.pv.cell.PVCell` solves the diode characteristic exactly but
+one scalar at a time — fine for a root-find, hopeless for tabulating a
+surface over tens of thousands of (G, T, V) grid nodes.  This module
+re-states the *same* math (same constants, same Lambert-W Newton
+iteration, same calibration of ``I0``) as array programs, plus a
+:func:`device_scaling` adapter that reduces any supported
+series/parallel composition (cell, module, array) to one cell model and
+two scaling integers.
+
+The vectorized evaluators agree with the scalar path to float64
+round-off (asserted in ``tests/pv/test_vector.py``); they are the
+engine under :mod:`repro.power.surface` grid construction.  Devices the
+closed form cannot represent — fault-injected arrays, partially shaded
+strings — map to ``None`` and keep using the exact scalar solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pv.array import PVArray
+from repro.pv.cell import PVCell
+from repro.pv.module import PVModule
+from repro.pv.params import (
+    BOLTZMANN,
+    ELEMENTARY_CHARGE,
+    STC_IRRADIANCE,
+    STC_TEMPERATURE_C,
+    CellParameters,
+    celsius_to_kelvin,
+)
+
+__all__ = ["VectorizedDevice", "device_scaling", "lambertw_of_exp_array"]
+
+
+def lambertw_of_exp_array(log_argument: np.ndarray) -> np.ndarray:
+    """Vectorized ``W(exp(y))``: the array twin of
+    :func:`repro.pv.cell.lambertw_of_exp`.
+
+    Identical substitution (``u = ln w``), identical three-region
+    initial guess, identical Newton update and stopping tolerance — run
+    over the whole array at once, iterating until every element meets
+    the scalar path's per-element stopping criterion (or the same
+    64-iteration cap).
+    """
+    y = np.asarray(log_argument, dtype=np.float64)
+    u = np.where(
+        y > 2.0,
+        # log argument must stay positive before the mask applies.
+        np.log(np.maximum(y - np.log(np.maximum(y, 1e-300)), 1e-300)),
+        np.where(y < -2.0, y, -0.5671432904097838 + 0.5 * y),
+    )
+    for _ in range(64):
+        ew = np.exp(u)
+        step = (ew + u - y) / (ew + 1.0)
+        u = u - step
+        if np.all(np.abs(step) <= 1e-15 * np.maximum(np.abs(u), 1.0)):
+            break
+    return np.exp(u)
+
+
+@dataclass(frozen=True)
+class VectorizedDevice:
+    """A PV device reduced to one cell model plus series/parallel counts.
+
+    Terminal semantics match the scalar composition exactly: device
+    voltage = ``ns_total`` cell voltages, device current = ``np_total``
+    cell currents, cell temperature from ambient via the module NOCT
+    constant.
+
+    Attributes:
+        cell: Per-cell electrical parameters.
+        i0_ref: STC-calibrated diode saturation current [A] (matches
+            ``PVCell._i0_ref`` bit for bit).
+        ns_total: Series-connected cells end to end.
+        np_total: Parallel cell strings.
+        noct_c: Module NOCT [C] for the ambient->cell conversion.
+    """
+
+    cell: CellParameters
+    i0_ref: float
+    ns_total: int
+    np_total: int
+    noct_c: float
+
+    # ------------------------------------------------------------------
+    # Environment-dependent source terms (all array-broadcasting)
+    # ------------------------------------------------------------------
+    def thermal_voltage(self, temperature_c: np.ndarray) -> np.ndarray:
+        """Per-cell diode thermal voltage ``n*k*T/q`` [V]."""
+        t_kelvin = np.asarray(temperature_c, dtype=np.float64) + 273.15
+        return self.cell.ideality * BOLTZMANN * t_kelvin / ELEMENTARY_CHARGE
+
+    def photocurrent(
+        self, irradiance: np.ndarray, temperature_c: np.ndarray
+    ) -> np.ndarray:
+        """Per-cell light-generated current ``Iph`` [A] (zero in darkness)."""
+        g = np.asarray(irradiance, dtype=np.float64)
+        p = self.cell
+        thermal_term = p.isc_ref + p.isc_temp_coeff * (
+            np.asarray(temperature_c, dtype=np.float64) - STC_TEMPERATURE_C
+        )
+        iph = (g / STC_IRRADIANCE) * np.maximum(thermal_term, 0.0)
+        return np.where(g > 0.0, iph, 0.0)
+
+    def saturation_current(self, temperature_c: np.ndarray) -> np.ndarray:
+        """Per-cell diode saturation current ``I0(T)`` [A]."""
+        p = self.cell
+        t = np.asarray(temperature_c, dtype=np.float64) + 273.15
+        t_ref = celsius_to_kelvin(STC_TEMPERATURE_C)
+        exponent = (
+            ELEMENTARY_CHARGE
+            * p.bandgap_ev
+            / (p.ideality * BOLTZMANN)
+            * (1.0 / t_ref - 1.0 / t)
+        )
+        return self.i0_ref * (t / t_ref) ** 3 * np.exp(exponent)
+
+    def cell_temperature_from_ambient(
+        self, irradiance: np.ndarray, ambient_c: np.ndarray
+    ) -> np.ndarray:
+        """Cell temperature [C] via the NOCT model, vectorized."""
+        heating = (self.noct_c - 20.0) / 800.0
+        return np.asarray(ambient_c, dtype=np.float64) + heating * np.maximum(
+            np.asarray(irradiance, dtype=np.float64), 0.0
+        )
+
+    # ------------------------------------------------------------------
+    # Terminal characteristics (device-level V and I)
+    # ------------------------------------------------------------------
+    def current(
+        self,
+        voltage: np.ndarray,
+        irradiance: np.ndarray,
+        temperature_c: np.ndarray,
+    ) -> np.ndarray:
+        """Device output current [A] at device terminal voltage, vectorized.
+
+        Same Lambert-W closed form as ``PVCell.current`` per cell, scaled
+        by the parallel string count.
+        """
+        p = self.cell
+        v_cell = np.asarray(voltage, dtype=np.float64) / self.ns_total
+        vt = self.thermal_voltage(temperature_c)
+        iph = self.photocurrent(irradiance, temperature_c)
+        i0 = self.saturation_current(temperature_c)
+        if p.series_resistance == 0.0:
+            i_cell = iph - i0 * np.expm1(v_cell / vt)
+        else:
+            rs = p.series_resistance
+            log_arg = np.log(i0 * rs / vt) + (v_cell + (iph + i0) * rs) / vt
+            i_cell = iph + i0 - (vt / rs) * lambertw_of_exp_array(log_arg)
+        return i_cell * self.np_total
+
+    def open_circuit_voltage(
+        self, irradiance: np.ndarray, temperature_c: np.ndarray
+    ) -> np.ndarray:
+        """Device ``Voc`` [V], vectorized; exactly zero where ``G <= 0``.
+
+        From ``PVCell.voltage(0)``: ``Voc_cell = Vt * ln((Iph+I0)/I0)``.
+        """
+        g = np.asarray(irradiance, dtype=np.float64)
+        vt = self.thermal_voltage(temperature_c)
+        iph = self.photocurrent(irradiance, temperature_c)
+        i0 = self.saturation_current(temperature_c)
+        voc_cell = vt * np.log((iph + i0) / i0)
+        return np.where(g > 0.0, voc_cell * self.ns_total, 0.0)
+
+    def power(
+        self,
+        voltage: np.ndarray,
+        irradiance: np.ndarray,
+        temperature_c: np.ndarray,
+    ) -> np.ndarray:
+        """Device output power [W] at device terminal voltage, vectorized."""
+        v = np.asarray(voltage, dtype=np.float64)
+        return v * self.current(v, irradiance, temperature_c)
+
+    def describe(self) -> str:
+        """A stable textual identity used in surface fingerprints.
+
+        Two devices share a surface exactly when this string matches:
+        it captures every electrical parameter plus the composition
+        counts, with full float repr so no two distinct devices collide.
+        """
+        p = self.cell
+        return (
+            f"cell(isc_ref={p.isc_ref!r}, voc_ref={p.voc_ref!r}, "
+            f"ideality={p.ideality!r}, rs={p.series_resistance!r}, "
+            f"ki={p.isc_temp_coeff!r}, eg={p.bandgap_ev!r}) "
+            f"i0_ref={self.i0_ref!r} ns={self.ns_total} np={self.np_total} "
+            f"noct={self.noct_c!r}"
+        )
+
+
+def device_scaling(device) -> VectorizedDevice | None:
+    """Reduce a PV device to its vectorizable form, or ``None``.
+
+    Supported compositions are the exact library classes — a
+    :class:`PVArray` of identical modules, a single :class:`PVModule`,
+    or a bare :class:`PVCell`.  Subclasses and wrappers (fault
+    injectors, shaded strings, test doubles) are rejected by design:
+    their terminal behaviour can deviate from the closed form, and a
+    silently wrong table is worse than a slow exact solve.
+    """
+    if type(device) is PVArray:
+        module = device.module
+        return VectorizedDevice(
+            cell=module.params.cell,
+            i0_ref=module.cell._i0_ref,
+            ns_total=device.modules_series * module.params.cells_series,
+            np_total=device.modules_parallel * module.params.cells_parallel,
+            noct_c=module.params.noct_c,
+        )
+    if type(device) is PVModule:
+        return VectorizedDevice(
+            cell=device.params.cell,
+            i0_ref=device.cell._i0_ref,
+            ns_total=device.params.cells_series,
+            np_total=device.params.cells_parallel,
+            noct_c=device.params.noct_c,
+        )
+    if type(device) is PVCell:
+        return VectorizedDevice(
+            cell=device.params,
+            i0_ref=device._i0_ref,
+            ns_total=1,
+            np_total=1,
+            noct_c=47.0,
+        )
+    return None

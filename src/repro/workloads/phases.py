@@ -11,12 +11,13 @@ the benchmark's variability amplitude.
 from __future__ import annotations
 
 import zlib
+from bisect import bisect_right
 
 import numpy as np
 
 from repro.workloads.benchmarks import Benchmark
 
-__all__ = ["PhaseTrace"]
+__all__ = ["PhaseTrace", "cached_phase_trace"]
 
 #: Hard floor on phase IPC, as a fraction of base IPC.
 _MIN_IPC_FRACTION = 0.2
@@ -57,6 +58,14 @@ class PhaseTrace:
             ipcs.append(bench.base_ipc * factor)
         self._boundaries = np.array(boundaries)
         self._ipcs = np.array(ipcs)
+        # Plain-python twins of the arrays plus a one-entry memo: the
+        # controller samples IPC dozens of times at the *same* frozen
+        # minute within one tracking event, and a scalar np.searchsorted
+        # per sample dominated the table-solver profile.
+        self._boundaries_list = boundaries
+        self._ipcs_list = [float(v) for v in self._ipcs]
+        self._memo_minute: float | None = None
+        self._memo_ipc = 0.0
 
     def ipc_at(self, minute: float) -> float:
         """Phase IPC at an absolute time [minutes from trace start].
@@ -64,13 +73,58 @@ class PhaseTrace:
         Times beyond the generated span clamp to the final phase (programs
         re-run from representative intervals, as in the paper's methodology).
         """
+        if minute == self._memo_minute:
+            return self._memo_ipc
         if minute < 0:
             raise ValueError(f"minute must be non-negative, got {minute}")
-        idx = int(np.searchsorted(self._boundaries, minute, side="right")) - 1
-        idx = min(idx, len(self._ipcs) - 1)
-        return float(self._ipcs[idx])
+        # bisect_right on the python list returns exactly np.searchsorted
+        # (side="right") for float inputs — the memoized fast path is
+        # byte-identical to the original lookup.
+        idx = bisect_right(self._boundaries_list, minute) - 1
+        idx = min(idx, len(self._ipcs_list) - 1)
+        ipc = self._ipcs_list[idx]
+        self._memo_minute = minute
+        self._memo_ipc = ipc
+        return ipc
+
+    def ipc_array(self, minutes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`ipc_at`: phase IPC at each time in ``minutes``.
+
+        Same lookup (right-sided bisection, final-phase clamp) evaluated
+        for a whole array of non-negative times at once.
+        """
+        m = np.asarray(minutes, dtype=np.float64)
+        idx = np.searchsorted(self._boundaries, m, side="right") - 1
+        idx = np.minimum(idx, len(self._ipcs) - 1)
+        return self._ipcs[idx]
 
     @property
     def n_phases(self) -> int:
         """Number of generated phases."""
         return len(self._ipcs)
+
+
+_TRACE_CACHE: dict[tuple, PhaseTrace] = {}
+_TRACE_CACHE_MAX = 512
+
+
+def cached_phase_trace(
+    bench: Benchmark,
+    duration_minutes: float = 600.0,
+    seed: int | None = None,
+) -> PhaseTrace:
+    """A shared :class:`PhaseTrace` for ``(bench, duration, seed)``.
+
+    Traces are deterministic functions of their arguments and read-only
+    after construction, so benchmark sweeps that rebuild the same chip
+    hundreds of times can share one instance instead of replaying the
+    phase RNG each run.  The cache is cleared wholesale when it fills.
+    """
+    key = (bench, duration_minutes, seed)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        if len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
+            _TRACE_CACHE.clear()
+        trace = PhaseTrace(bench, duration_minutes, seed=seed)
+        _TRACE_CACHE[key] = trace
+    return trace

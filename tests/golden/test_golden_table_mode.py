@@ -1,0 +1,260 @@
+"""Golden accuracy suite for ``solver="table"``.
+
+The tabulated operating-point surfaces (``repro.power.surface``) replace
+the per-minute Lambert-W / ``brentq`` solves with interpolated lookups.
+They are *not* byte-identical to the exact path — they carry a measured,
+declared error bound instead — so this suite pins the table-mode results
+of every golden fixture cell to the exact golden bytes within a
+**documented tolerance contract**, and simultaneously proves that
+``solver="exact"`` (the default) still reproduces the golden fixture
+byte-for-byte, so the fast path can never silently contaminate the
+reference results.
+
+Tolerance contract (all bounds deliberately sit an order of magnitude
+above the surface's declared interpolation error, because a perturbed
+operating point can flip individual DVFS decisions near ties, which
+moves whole-step power/throughput by one quantum):
+
+===========================  =======================================
+quantity                      bound vs. exact golden value
+===========================  =======================================
+energies [Wh], PTP [Ginst]    relative ``1e-2`` (floor 1e-6 abs)
+MPP power trace [W]           relative ``1e-2`` per step (1e-3 W abs)
+on-solar schedule             >= 98% of steps agree
+MPPT tracking events          +- 2 events
+DVFS transitions              relative 10% (floor +- 4)
+metadata / grids              exactly equal (same minutes bytes)
+===========================  =======================================
+
+A second battery pushes the table-mode cells through
+:class:`SimulationRunner` serially, with ``jobs=4``, and from a warm disk
+cache, asserting all three tiers return **byte-identical** table-mode
+results — the fast path is approximate versus exact, but deterministic
+versus itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import run_day, run_day_battery, run_day_fixed
+from repro.environment.locations import location_by_code
+from repro.fullsystem.simulation import run_day_fullsystem
+from repro.harness.parallel import SweepTask
+from repro.harness.runner import SimulationRunner
+from repro.rack.simulation import run_day_rack
+
+from tests.golden.capture_fixtures import (
+    BATTERY_CELLS,
+    CONFIGS,
+    FIXED_CELLS,
+    FIXTURE_PATH,
+    MPPT_CELLS,
+)
+from tests.golden.test_golden_equivalence import (
+    _cell_id,
+    assert_bytes_identical,
+)
+
+#: Relative bound on daily energies and instruction totals.
+ENERGY_RTOL = 1e-2
+#: Per-step relative bound on the MPP power trace.
+MPP_RTOL = 1e-2
+#: Minimum fraction of steps whose on-solar decision matches exact mode.
+ON_SOLAR_AGREEMENT = 0.98
+#: Allowed drift in MPPT tracking-event count.
+TRACKING_EVENT_SLACK = 2
+#: Allowed relative drift in DVFS transition count (absolute floor 4).
+TRANSITION_RTOL = 0.10
+
+TABLE_CONFIGS = {
+    name: dataclasses.replace(cfg, solver="table") for name, cfg in CONFIGS.items()
+}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(FIXTURE_PATH, "rb") as handle:
+        return pickle.load(handle)
+
+
+def _assert_rel(actual: float, expected: float, rtol: float, label: str) -> None:
+    assert abs(actual - expected) <= rtol * max(abs(expected), 1e-6), (
+        f"{label}: table={actual!r} exact={expected!r} rtol={rtol}"
+    )
+
+
+def _assert_day_close(exact, table) -> None:
+    """The DayResult tolerance contract from the module docstring."""
+    assert type(table) is type(exact)
+    for name in ("mix_name", "location_code", "month", "policy"):
+        assert getattr(table, name) == getattr(exact, name)
+    assert table.minutes.tobytes() == exact.minutes.tobytes()
+
+    _assert_rel(table.utility_wh, exact.utility_wh, ENERGY_RTOL, "utility_wh")
+    _assert_rel(
+        table.solar_available_wh, exact.solar_available_wh,
+        ENERGY_RTOL, "solar_available_wh",
+    )
+    _assert_rel(
+        table.solar_used_wh, exact.solar_used_wh, ENERGY_RTOL, "solar_used_wh"
+    )
+    _assert_rel(
+        table.retired_ginst_solar, exact.retired_ginst_solar,
+        ENERGY_RTOL, "retired_ginst_solar",
+    )
+    _assert_rel(
+        table.retired_ginst_total, exact.retired_ginst_total,
+        ENERGY_RTOL, "retired_ginst_total",
+    )
+
+    assert np.allclose(table.mpp_w, exact.mpp_w, rtol=MPP_RTOL, atol=1e-3)
+    agreement = float(np.mean(table.on_solar == exact.on_solar))
+    assert agreement >= ON_SOLAR_AGREEMENT, f"on_solar agreement {agreement:.3f}"
+    assert (
+        abs(table.tracking_events - exact.tracking_events) <= TRACKING_EVENT_SLACK
+    )
+    assert abs(table.dvfs_transitions - exact.dvfs_transitions) <= max(
+        4.0, TRANSITION_RTOL * exact.dvfs_transitions
+    )
+
+
+class TestTableModeAccuracy:
+    """Every golden cell, re-run with ``solver="table"``, lands inside
+    the documented tolerance of the exact golden bytes."""
+
+    @pytest.mark.parametrize("cell", MPPT_CELLS, ids=_cell_id)
+    def test_run_day(self, golden, cell):
+        mix, site, month, policy, cfg = cell
+        day = run_day(
+            mix, location_by_code(site), month, policy, config=TABLE_CONFIGS[cfg]
+        )
+        _assert_day_close(golden[("mppt", *cell)], day)
+
+    @pytest.mark.parametrize("cell", FIXED_CELLS, ids=_cell_id)
+    def test_run_day_fixed(self, golden, cell):
+        mix, site, month, budget, cfg = cell
+        day = run_day_fixed(
+            mix, location_by_code(site), month, budget, config=TABLE_CONFIGS[cfg]
+        )
+        _assert_day_close(golden[("fixed", *cell)], day)
+
+    @pytest.mark.parametrize("cell", BATTERY_CELLS, ids=_cell_id)
+    def test_run_day_battery(self, golden, cell):
+        mix, site, month, derating, cfg = cell
+        day = run_day_battery(
+            mix, location_by_code(site), month, derating, config=TABLE_CONFIGS[cfg]
+        )
+        exact = golden[("battery", *cell)]
+        assert (day.mix_name, day.location_code, day.month) == (
+            exact.mix_name, exact.location_code, exact.month,
+        )
+        assert day.derating == exact.derating
+        _assert_rel(day.harvested_wh, exact.harvested_wh, ENERGY_RTOL, "harvested_wh")
+        _assert_rel(
+            day.runtime_minutes, exact.runtime_minutes, ENERGY_RTOL,
+            "runtime_minutes",
+        )
+        _assert_rel(day.ptp, exact.ptp, ENERGY_RTOL, "ptp")
+
+    def test_run_day_fullsystem(self, golden):
+        for key in [k for k in golden if k[0] == "fullsystem"]:
+            _, mix, site, month, cfg = key
+            day = run_day_fullsystem(
+                mix, location_by_code(site), month, config=TABLE_CONFIGS[cfg]
+            )
+            exact = golden[key]
+            assert day.minutes.tobytes() == exact.minutes.tobytes()
+            assert np.allclose(day.mpp_w, exact.mpp_w, rtol=MPP_RTOL, atol=1e-3)
+            step_h = float(exact.minutes[1] - exact.minutes[0]) / 60.0
+            for name in ("consumed_w", "utility_w"):
+                _assert_rel(
+                    float(np.sum(getattr(day, name))) * step_h,
+                    float(np.sum(getattr(exact, name))) * step_h,
+                    ENERGY_RTOL, f"fullsystem {name} energy",
+                )
+            agreement = float(np.mean(day.on_solar == exact.on_solar))
+            assert agreement >= ON_SOLAR_AGREEMENT
+
+    def test_run_day_rack(self, golden):
+        for key in [k for k in golden if k[0] == "rack"]:
+            _, mixes, site, month, policy, cfg = key
+            day = run_day_rack(
+                mixes, location_by_code(site), month, policy,
+                config=TABLE_CONFIGS[cfg],
+            )
+            exact = golden[key]
+            assert day.minutes.tobytes() == exact.minutes.tobytes()
+            _assert_rel(day.total_ptp, exact.total_ptp, ENERGY_RTOL, "rack PTP")
+            for got, want in zip(day.retired_ginst, exact.retired_ginst):
+                _assert_rel(got, want, ENERGY_RTOL, "per-chip retired")
+            agreement = float(np.mean(day.on_solar == exact.on_solar))
+            assert agreement >= ON_SOLAR_AGREEMENT
+
+
+class TestExactModeStaysGolden:
+    """``solver="exact"`` — spelled explicitly — is byte-identical to the
+    golden fixture, so adding the solver switch cannot have perturbed the
+    reference path."""
+
+    def test_explicit_exact_reproduces_golden_bytes(self, golden):
+        cell = MPPT_CELLS[0]
+        mix, site, month, policy, cfg = cell
+        config = dataclasses.replace(CONFIGS[cfg], solver="exact")
+        day = run_day(mix, location_by_code(site), month, policy, config=config)
+        assert_bytes_identical(golden[("mppt", *cell)], day)
+
+    def test_table_config_differs_in_identity(self):
+        # Sweep caches must never serve a table-mode result to an exact
+        # query (or vice versa): the solver field is part of config identity.
+        assert TABLE_CONFIGS["default"] != CONFIGS["default"]
+
+
+def _runner_cells() -> list[tuple[str, SweepTask]]:
+    cells = []
+    for mix, site, month, policy, cfg in MPPT_CELLS:
+        cells.append((cfg, SweepTask("mppt", mix, site, month, policy=policy)))
+    for mix, site, month, budget, cfg in FIXED_CELLS:
+        cells.append((cfg, SweepTask("fixed", mix, site, month, budget_w=budget)))
+    for mix, site, month, derating, cfg in BATTERY_CELLS:
+        cells.append((cfg, SweepTask("battery", mix, site, month, derating=derating)))
+    return cells
+
+
+class TestTableModeDeterminism:
+    """Table mode is approximate versus exact, but must be bit-for-bit
+    reproducible versus itself across execution tiers."""
+
+    def test_serial_jobs4_and_warm_cache_agree(self, tmp_path):
+        cells = _runner_cells()
+        config_names = sorted({cfg for cfg, _ in cells})
+
+        serial: dict = {}
+        for name in config_names:
+            runner = SimulationRunner(TABLE_CONFIGS[name])
+            tasks = [task for cfg, task in cells if cfg == name]
+            serial[name] = runner.prefetch(tasks)
+
+        # jobs=4 workers, populating a disk cache as they go.
+        for name in config_names:
+            runner = SimulationRunner(
+                TABLE_CONFIGS[name], jobs=4, cache_dir=tmp_path / name
+            )
+            tasks = [task for cfg, task in cells if cfg == name]
+            results = runner.prefetch(tasks)
+            for task in tasks:
+                assert_bytes_identical(serial[name][task], results[task])
+
+        # Warm pass: fresh runners, every cell served from disk.
+        for name in config_names:
+            runner = SimulationRunner(TABLE_CONFIGS[name], cache_dir=tmp_path / name)
+            tasks = [task for cfg, task in cells if cfg == name]
+            results = runner.prefetch(tasks)
+            assert runner.disk.hits == len(tasks)
+            assert runner.disk.misses == 0
+            for task in tasks:
+                assert_bytes_identical(serial[name][task], results[task])

@@ -347,6 +347,7 @@ class TestConfigKeyRoundTrip:
         "enable_pcpg": False,
         "sensor_staleness_min": 8.0,
         "degraded_budget_fraction": 0.4,
+        "solver": "table",
     }
 
     def test_every_field_alters_the_key(self):

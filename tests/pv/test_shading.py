@@ -5,6 +5,7 @@ import pytest
 
 from repro.pv.mpp import find_mpp
 from repro.pv.shading import ShadedSeriesString, find_global_mpp
+from repro.telemetry import PhaseProfiler, Telemetry, telemetry_session
 
 
 @pytest.fixture
@@ -100,3 +101,58 @@ class TestMultiPeak:
         gm = find_global_mpp(string, 900.0, 40.0)
         um = find_mpp(string, 900.0, 40.0)
         assert gm.power == pytest.approx(um.power, rel=1e-3)
+
+
+class TestSolverAccounting:
+    """The string's root-finds follow the shared solver contract.
+
+    Regression: :meth:`ShadedSeriesString.current` used to call scipy's
+    ``brentq`` raw, bypassing both the ``power.brentq_*`` profiler
+    counters and the :class:`OperatingPointError` wrapping every other
+    solver in the repo honours.
+    """
+
+    def test_string_current_books_brentq_counters(self, shaded):
+        hub = Telemetry(profiler=PhaseProfiler())
+        with telemetry_session(hub):
+            shaded.current(30.0, 900.0, 40.0)
+        assert hub.profile.counters["power.brentq_calls"] >= 1
+        assert (
+            hub.profile.counters["power.brentq_iterations"]
+            >= hub.profile.counters["power.brentq_calls"]
+        )
+
+    def test_partial_shading_day_books_solver_calls(self):
+        """A whole simulated day on a shaded string lands on the counters."""
+        from repro.core.config import SolarCoreConfig
+        from repro.core.simulation import run_day
+        from repro.environment.locations import location_by_code
+
+        hub = Telemetry(profiler=PhaseProfiler())
+        with telemetry_session(hub):
+            run_day(
+                "HM2", location_by_code("AZ"), 7,
+                config=SolarCoreConfig(step_minutes=10.0),
+                array=ShadedSeriesString((1.0, 0.4)),
+            )
+        assert hub.profile.counters["power.brentq_calls"] > 0
+        assert hub.profile.counters["power.brentq_iterations"] > 0
+
+    def test_unbracketable_solve_raises_operating_point_error(
+        self, shaded, monkeypatch
+    ):
+        from repro.power.operating_point import OperatingPointError
+
+        monkeypatch.setattr(
+            shaded, "string_voltage",
+            lambda i, g, t: float("nan") if i > 0 else 100.0,
+        )
+        with pytest.raises(OperatingPointError, match="shaded-string"):
+            shaded.current(30.0, 900.0, 40.0)
+
+    def test_profiling_off_leaves_result_unchanged(self, shaded):
+        quiet = shaded.current(30.0, 900.0, 40.0)
+        hub = Telemetry(profiler=PhaseProfiler())
+        with telemetry_session(hub):
+            profiled = shaded.current(30.0, 900.0, 40.0)
+        assert profiled == quiet

@@ -1,0 +1,131 @@
+"""Vectorized-PV vs scalar-PV agreement (promised by ``repro.pv.vector``).
+
+The vectorized evaluators re-state the scalar single-diode math as array
+programs; these tests pin the agreement to float64 round-off across the
+whole operating envelope, and pin :func:`device_scaling`'s by-design
+rejection of wrappers and subclasses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pv.array import PVArray
+from repro.pv.cell import PVCell
+from repro.pv.module import PVModule
+from repro.pv.shading import ShadedSeriesString
+from repro.pv.vector import VectorizedDevice, device_scaling, lambertw_of_exp_array
+
+#: Agreement bar: the vector path runs the same Newton iteration to the
+#: same tolerance, so differences are pure summation-order round-off.
+RTOL = 1e-12
+
+IRRADIANCES = (5.0, 120.0, 480.0, 1000.0, 1350.0)
+TEMPERATURES = (-20.0, 0.0, 25.0, 55.0, 85.0)
+
+
+@pytest.fixture(scope="module", params=["cell", "module", "array"])
+def pair(request):
+    """(scalar device, vectorized twin) for each supported composition."""
+    from repro.pv.params import bp3180n
+
+    device = {
+        "cell": lambda: PVCell(bp3180n().cell),
+        "module": lambda: PVModule(bp3180n()),
+        "array": PVArray,
+    }[request.param]()
+    vd = device_scaling(device)
+    assert vd is not None
+    return device, vd
+
+
+class TestLambertW:
+    def test_matches_scalar_kernel(self):
+        from repro.pv.cell import lambertw_of_exp
+
+        args = np.linspace(-40.0, 120.0, 400)
+        vec = lambertw_of_exp_array(args)
+        for y, w in zip(args, vec):
+            assert w == pytest.approx(lambertw_of_exp(float(y)), rel=1e-12)
+
+    def test_satisfies_defining_equation(self):
+        args = np.linspace(-20.0, 60.0, 200)
+        w = lambertw_of_exp_array(args)
+        # w * exp(w) = exp(y)  =>  ln(w) + w = y
+        assert np.allclose(np.log(w) + w, args, rtol=1e-10, atol=1e-10)
+
+
+class TestAgreement:
+    def test_open_circuit_voltage(self, pair):
+        device, vd = pair
+        for g in IRRADIANCES:
+            for t in TEMPERATURES:
+                scalar = device.open_circuit_voltage(g, t)
+                vector = float(vd.open_circuit_voltage(np.array(g), np.array(t)))
+                assert vector == pytest.approx(scalar, rel=RTOL)
+
+    def test_current_over_the_iv_curve(self, pair):
+        device, vd = pair
+        for g in IRRADIANCES:
+            for t in TEMPERATURES:
+                voc = device.open_circuit_voltage(g, t)
+                voltages = np.linspace(voc * 1e-3, voc * 0.999, 40)
+                vector = vd.current(voltages, np.float64(g), np.float64(t))
+                for v, iv in zip(voltages, vector):
+                    assert iv == pytest.approx(
+                        device.current(float(v), g, t), rel=1e-9, abs=1e-12
+                    )
+
+    def test_power_consistency(self, pair):
+        device, vd = pair
+        voc = device.open_circuit_voltage(800.0, 40.0)
+        voltages = np.linspace(voc * 0.1, voc * 0.95, 25)
+        p_vec = vd.power(voltages, np.float64(800.0), np.float64(40.0))
+        i_vec = vd.current(voltages, np.float64(800.0), np.float64(40.0))
+        assert np.allclose(p_vec, voltages * i_vec, rtol=0, atol=0)
+
+    def test_cell_temperature_from_ambient(self, pair):
+        device, vd = pair
+        if not hasattr(device, "cell_temperature_from_ambient"):
+            pytest.skip("bare cell has no NOCT conversion")
+        for g in (0.0, 200.0, 1000.0):
+            scalar = device.cell_temperature_from_ambient(g, 25.0)
+            vector = float(
+                vd.cell_temperature_from_ambient(np.array(g), np.array(25.0))
+            )
+            assert vector == pytest.approx(scalar, rel=RTOL)
+
+    def test_dark_device_is_exactly_zero(self, pair):
+        _, vd = pair
+        g = np.array([0.0, -5.0])
+        t = np.array([25.0, 25.0])
+        assert np.all(vd.open_circuit_voltage(g, t) == 0.0)
+        assert np.all(vd.photocurrent(g, t) == 0.0)
+
+
+class TestDeviceScaling:
+    def test_rejects_shaded_string(self):
+        assert device_scaling(ShadedSeriesString((1.0, 0.4))) is None
+
+    def test_rejects_subclasses(self):
+        class TamperedArray(PVArray):
+            pass
+
+        assert device_scaling(TamperedArray()) is None
+
+    def test_rejects_arbitrary_objects(self):
+        assert device_scaling(object()) is None
+
+    def test_describe_separates_distinct_devices(self):
+        one = device_scaling(PVArray())
+        two = device_scaling(PVArray(modules_series=2))
+        assert isinstance(one, VectorizedDevice)
+        assert one.describe() != two.describe()
+
+    def test_array_scaling_counts(self):
+        array = PVArray()
+        vd = device_scaling(array)
+        assert vd.ns_total == array.modules_series * array.module.params.cells_series
+        assert (
+            vd.np_total
+            == array.modules_parallel * array.module.params.cells_parallel
+        )
