@@ -8,10 +8,13 @@ with enough cores for parallelism to physically exist — asserts the pool
 delivers a real speedup.  Byte-identical results are asserted
 unconditionally: the engine may never trade determinism for speed.
 
-The report always names the host's core count, and a run on fewer than 2
-cores is flagged LOUDLY: a "speedup" measured where workers cannot run
-concurrently says nothing about the pool (the previously committed 0.95x
-record came from exactly such a box).
+The report always names the host's core count.  On fewer than 2 cores
+the measurement is not merely unenforced, it is **not taken**: the bench
+writes a loud label artifact explaining why and skips, so no JSON record
+of a meaningless "speedup" can ever be committed again (the 0.95x and
+0.87x records previously checked in both came from 1-core boxes).  The
+authoritative record is the multi-core CI ``parallel-golden`` job, which
+runs this bench on every push and archives the artifacts.
 
 ``SOLARCORE_JOBS`` overrides the worker count (default 4).
 """
@@ -21,6 +24,7 @@ from __future__ import annotations
 import os
 import time
 
+import pytest
 from benchjson import write_bench_json
 from conftest import emit, sweep_jobs
 
@@ -47,6 +51,30 @@ def test_parallel_speedup(out_dir):
     jobs = max(sweep_jobs(), 4) if "SOLARCORE_JOBS" not in os.environ else sweep_jobs()
     cores = _available_cores()
 
+    if cores < 2:
+        # Label-and-skip, loudly.  Workers cannot run concurrently here,
+        # so serial-vs-pool wall-clock measures scheduler overhead, not
+        # the pool.  No BENCH json is written: the committed baseline's
+        # trajectory continues only from hosts where the number means
+        # something (the multi-core CI job).
+        emit(out_dir, "parallel_speedup", "\n".join([
+            "NOT MEASURED ON THIS HOST.",
+            "",
+            f"This box exposes {cores} core(s) "
+            f"(os.cpu_count: {os.cpu_count()}); a parallel-sweep speedup "
+            "needs at least 2 for the workers to physically overlap.",
+            "The authoritative record is the 'parallel-golden' CI job "
+            "(multi-core), which runs this benchmark on every push and "
+            "archives parallel_speedup.txt + BENCH_parallel_speedup.json.",
+        ]))
+        stale = out_dir / "BENCH_parallel_speedup.json"
+        if stale.exists():
+            stale.unlink()  # never leave a meaningless record behind
+        pytest.skip(
+            f"parallel speedup needs >= 2 cores, host has {cores}; "
+            "wrote the label artifact and skipped"
+        )
+
     start = time.perf_counter()
     serial = SimulationRunner(CFG).prefetch(MINI_GRID)
     serial_s = time.perf_counter() - start
@@ -70,13 +98,6 @@ def test_parallel_speedup(out_dir):
         + ("" if enforced else f"  (informational: <4 cores/jobs, "
                                f">={MIN_SPEEDUP:.0f}x not enforced)"),
     ]
-    if cores < 2:
-        lines.insert(0, (
-            "!!! WARNING: this host exposes fewer than 2 cores — the "
-            "workers cannot run concurrently, so the speedup below is "
-            "MEANINGLESS as a measure of the pool.  Re-run on a "
-            "multi-core box before drawing any conclusion. !!!"
-        ))
     emit(out_dir, "parallel_speedup", "\n".join(lines))
     write_bench_json(
         out_dir,
@@ -99,7 +120,6 @@ def test_parallel_speedup(out_dir):
             "cores_available": cores,
             "speedup": speedup,
             "speedup_enforced": enforced,
-            "speedup_meaningful": cores >= 2,
         },
     )
 

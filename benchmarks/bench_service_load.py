@@ -1,0 +1,181 @@
+"""Service load benchmark: N concurrent clients against a live service.
+
+Boots a real :class:`~repro.service.app.SolarCoreService` (real sockets,
+real simulations at 15-minute cadence to keep a compute ~60 ms) and
+drives it with ``SOLARCORE_SERVICE_CLIENTS`` concurrent HTTP clients
+(default 8) in three phases:
+
+1. **cold burst** — every client submits the *same* job at once against
+   an empty cache: the coalescer must collapse N submissions into
+   exactly one compute;
+2. **distinct fill** — three different cells, one compute each;
+3. **warm bursts** — the hot job again, repeatedly: every request must
+   be served from the memory tier (zero computes) while we sample
+   per-request latencies.
+
+The JSON record keeps the deterministic compute/error counts as hard
+``metrics`` (they are independent of the client count, so CI smoke runs
+with a different N still share this baseline), wall-clock and latency
+percentiles as warn-only ``timings_s``, and the N-dependent coalescing
+ratios in ``extra``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+from benchjson import write_bench_json
+from conftest import emit
+
+from repro.core.config import SolarCoreConfig
+from repro.service.app import SolarCoreService
+from repro.service.client import ServiceClient
+
+#: Concurrent clients (the benchmark's load knob; metrics stay N-independent).
+CLIENTS = max(2, int(os.environ.get("SOLARCORE_SERVICE_CLIENTS", "8")))
+
+#: Rounds of the warm phase; samples = CLIENTS * WARM_ROUNDS.
+WARM_ROUNDS = 3
+
+HOT_SPEC = {"mix": "HM2", "site": "AZ", "month": 7, "label": "hot"}
+DISTINCT_SPECS = [
+    {"mix": "HM1", "site": "AZ", "month": 1},
+    {"mix": "H1", "site": "TN", "month": 7},
+    {"mix": "L1", "site": "AZ", "month": 12},
+]
+#: Total computes the whole run may perform: the hot cell + the distinct ones.
+EXPECTED_COMPUTES = 1 + len(DISTINCT_SPECS)
+
+#: Coarse cadence: the full stack end to end, ~60 ms per uncached day.
+CFG = SolarCoreConfig(step_minutes=15.0)
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+async def _timed_submit(client: ServiceClient, spec: dict) -> float:
+    start = time.perf_counter()
+    doc = await client.submit(spec, wait=True)
+    elapsed = time.perf_counter() - start
+    assert doc["state"] == "done", doc
+    return elapsed
+
+
+async def _drive(tmp_cache: str) -> dict:
+    service = SolarCoreService(CFG, cache_dir=tmp_cache, snapshot_interval_s=0)
+    await service.start()
+    clients = [ServiceClient(service.host, service.port) for _ in range(CLIENTS)]
+    try:
+        # Phase 1: cold burst — N identical submissions, one compute.
+        start = time.perf_counter()
+        await asyncio.gather(
+            *(_timed_submit(c, HOT_SPEC) for c in clients)
+        )
+        cold_wall_s = time.perf_counter() - start
+        stats = await clients[0].stats()
+        cold_computes = stats["counters"]["runner.computes"]
+        coalesced = stats["coalesce"]["coalesced"]
+        assert cold_computes == 1, stats
+        assert coalesced == CLIENTS - 1, stats
+
+        # Phase 2: fill the cache with the distinct cells.
+        for spec in DISTINCT_SPECS:
+            await clients[0].submit(spec, wait=True)
+
+        # Phase 3: warm bursts — memory-tier serving, latency samples.
+        computes_before_warm = (await clients[0].stats())["counters"][
+            "runner.computes"
+        ]
+        latencies: list[float] = []
+        for _ in range(WARM_ROUNDS):
+            latencies.extend(
+                await asyncio.gather(
+                    *(_timed_submit(c, HOT_SPEC) for c in clients)
+                )
+            )
+
+        stats = await clients[0].stats()
+        warm_computes = (
+            stats["counters"]["runner.computes"] - computes_before_warm
+        )
+        warm_jobs = [
+            j for j in await clients[0].jobs() if j["label"] == "hot"
+        ][CLIENTS:]
+        return {
+            "cold_wall_s": cold_wall_s,
+            "cold_computes": cold_computes,
+            "coalesced": coalesced,
+            "latencies": latencies,
+            "warm_computes": warm_computes,
+            "warm_cache_hits": sum(j["cache_hits"] for j in warm_jobs),
+            "failed": stats["jobs"].get("failed", 0),
+            "total_computes": stats["counters"]["runner.computes"],
+        }
+    finally:
+        await service.aclose()
+
+
+def test_service_load(out_dir, tmp_path):
+    report = asyncio.run(
+        asyncio.wait_for(_drive(str(tmp_path / "cache")), timeout=120)
+    )
+
+    total_requests = CLIENTS * (1 + WARM_ROUNDS) + len(DISTINCT_SPECS)
+    p50 = _percentile(report["latencies"], 0.50)
+    p99 = _percentile(report["latencies"], 0.99)
+    coalesce_ratio = report["coalesced"] / CLIENTS
+    hit_rate = report["warm_cache_hits"] / max(1, len(report["latencies"]))
+
+    emit(out_dir, "service_load", "\n".join([
+        f"clients: {CLIENTS}, warm rounds: {WARM_ROUNDS}, "
+        f"total requests: {total_requests}",
+        f"cold burst ({CLIENTS} identical jobs): "
+        f"{report['cold_computes']} compute(s), "
+        f"{report['coalesced']} coalesced, "
+        f"wall {report['cold_wall_s'] * 1e3:.0f} ms",
+        f"warm bursts: {report['warm_computes']} compute(s), "
+        f"memory hit rate {hit_rate:.2f}",
+        f"warm latency: p50 {p50 * 1e3:.1f} ms, p99 {p99 * 1e3:.1f} ms "
+        f"({len(report['latencies'])} samples)",
+        f"computes total: {report['total_computes']} "
+        f"(expected {EXPECTED_COMPUTES})",
+    ]))
+    write_bench_json(
+        out_dir,
+        "service_load",
+        # Compute/error counts are deterministic and independent of the
+        # client count, so smoke runs at any N share this baseline.
+        metrics={
+            "cold_computes": float(report["cold_computes"]),
+            "distinct_computes": float(
+                report["total_computes"]
+                - report["cold_computes"]
+                - report["warm_computes"]
+            ),
+            "warm_computes": float(report["warm_computes"]),
+            "failed_jobs": float(report["failed"]),
+        },
+        timings_s={
+            "cold_burst_wall": report["cold_wall_s"],
+            "warm_p50": p50,
+            "warm_p99": p99,
+        },
+        extra={
+            "clients": CLIENTS,
+            "warm_rounds": WARM_ROUNDS,
+            "total_requests": total_requests,
+            "coalesce_ratio": coalesce_ratio,
+            "warm_memory_hit_rate": hit_rate,
+        },
+    )
+
+    # The service's whole value proposition, asserted end to end.
+    assert report["total_computes"] == EXPECTED_COMPUTES, report
+    assert report["warm_computes"] == 0, report
+    assert report["failed"] == 0, report
+    assert hit_rate == 1.0, report

@@ -11,6 +11,7 @@ Commands:
     experiment  regenerate one of the paper's figures/tables
     profile     run day simulations with the hot-path profiler armed
     runs        list/show/diff recorded run manifests
+    serve       long-running job server with live telemetry streaming
 
 Observability flags (available on every command):
 
@@ -53,6 +54,15 @@ that ``repro runs list|show|diff`` reads back::
     repro profile --mix HM2 --site AZ --month 7
     repro experiment fig18 --jobs 4 --ledger
     repro runs diff 20260808-120000-experiment 20260808-130000-experiment
+
+``repro serve`` turns the harness into a long-running service: jobs are
+POSTed as JSON to ``/jobs`` (the ``SweepTask`` config surface, including
+``solver`` and ``faults``), identical concurrent requests coalesce onto
+one compute, and ``/ws/telemetry`` streams live events and metric
+snapshots over WebSocket.  With ``--ledger``, every terminal job records
+a provenance manifest under ``--runs-dir``::
+
+    repro serve --port 8321 --cache-dir ~/.cache/solarcore --ledger
 """
 
 from __future__ import annotations
@@ -567,6 +577,27 @@ def build_parser() -> argparse.ArgumentParser:
     runs_diff.add_argument("run_a")
     runs_diff.add_argument("run_b")
 
+    serve = sub.add_parser(
+        "serve", help="run the async job server (HTTP + WebSocket)",
+        parents=[common, solver])
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="bind port; 0 picks an ephemeral port")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="shared persistent result cache for every job")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes per runner for grid prefetches")
+    serve.add_argument("--max-workers", type=int, default=4, metavar="N",
+                       help="compute threads multiplexing jobs (default: 4)")
+    serve.add_argument("--queue-size", type=int, default=256, metavar="N",
+                       help="per-WebSocket-client bounded queue capacity "
+                            "(oldest messages drop when a client is slow)")
+    serve.add_argument("--snapshot-interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="telemetry snapshot cadence on /ws/telemetry "
+                            "(0 disables snapshots)")
+
     return parser
 
 
@@ -587,6 +618,40 @@ def _cmd_rack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.app import SolarCoreService
+
+    service = SolarCoreService(
+        _solver_config(args),
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        sweep_jobs=args.jobs,
+        max_workers=args.max_workers,
+        client_queue_size=args.queue_size,
+        snapshot_interval_s=args.snapshot_interval,
+        runs_dir=args.runs_dir if args.ledger else None,
+    )
+
+    async def _serve() -> None:
+        await service.start()
+        print(f"solarcore service on http://{service.host}:{service.port}  "
+              f"(POST /jobs, GET /stats, WS /ws/telemetry; Ctrl-C stops)",
+              flush=True)
+        try:
+            await service.serve_forever()
+        finally:
+            await service.aclose()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nservice stopped")
+    return 0
+
+
 _HANDLERS = {
     "list": _cmd_list,
     "panel": _cmd_panel,
@@ -597,6 +662,7 @@ _HANDLERS = {
     "rack": _cmd_rack,
     "profile": _cmd_profile,
     "runs": _cmd_runs,
+    "serve": _cmd_serve,
 }
 
 

@@ -1,0 +1,88 @@
+"""Async executor bridge from the event loop onto ``SimulationRunner``.
+
+The service's event loop must never run a day simulation inline — a
+single 1-minute-cadence day would stall every connected WebSocket for
+seconds.  :class:`AsyncRunner` owns a small thread pool and hops each
+compute onto it, so the loop only ever awaits.
+
+Threads, not processes, deliberately: results come back as live objects
+(no pickling), the runner's memory memo is shared by every compute, and
+telemetry events emitted inside the simulation reach the process-wide
+hub — which is how the service streams them live.  The simulations
+themselves are numpy/scipy-heavy, so worker threads spend most of their
+time outside the GIL; for genuinely CPU-parallel sweeps the wrapped
+runner can still fan out to worker *processes* via its own ``jobs=``
+(:meth:`SimulationRunner.prefetch`), giving threads-for-latency,
+processes-for-throughput.
+
+Same-key serialization is NOT this module's job: the service's
+:class:`~repro.service.coalesce.Coalescer` guarantees at most one
+in-flight compute per cache key, which keeps the runner's tier counters
+exact.  Distinct keys may compute concurrently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.harness.parallel import SweepTask
+from repro.harness.runner import SimulationRunner
+
+__all__ = ["AsyncRunner"]
+
+
+class AsyncRunner:
+    """Awaitable facade over a (shared) :class:`SimulationRunner`.
+
+    Args:
+        runner: The runner doing the actual caching and computing.
+        max_workers: Compute threads (default 4 — enough to overlap
+            several jobs without oversubscribing a small host).
+    """
+
+    def __init__(self, runner: SimulationRunner | None = None,
+                 *, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.runner = runner or SimulationRunner()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="solarcore-compute"
+        )
+
+    # -- passthrough cache surface (loop-safe, no compute) ---------------
+    def cache_key(self, task: SweepTask) -> tuple:
+        """The task's full cache identity (the coalescing key)."""
+        return self.runner.cache_key(task)
+
+    def peek_memory(self, task: SweepTask):
+        """Memory-tier-only lookup; returns the result or None.
+
+        Safe to call inline on the event loop (a dict lookup).  The disk
+        tier is *not* consulted here — it does file IO, so the full
+        :meth:`SimulationRunner.peek` belongs on a worker thread via
+        :meth:`peek`.
+        """
+        key = self.runner.cache_key(task)
+        return self.runner._store_of(task).get(key)
+
+    # -- awaitable tiers -------------------------------------------------
+    async def peek(self, task: SweepTask):
+        """Memory -> disk lookup on a worker thread; result or None."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._pool, self.runner.peek, task)
+
+    async def run_task(self, task: SweepTask):
+        """Compute (or fetch) one task on a worker thread."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._pool, self.runner.run_task, task)
+
+    # -- lifecycle -------------------------------------------------------
+    async def aclose(self) -> None:
+        """Stop accepting work and wait for in-flight computes to finish."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._pool.shutdown)
+
+    def stats(self) -> dict[str, float]:
+        """The wrapped runner's cache counters."""
+        return self.runner.stats()

@@ -161,6 +161,46 @@ class SimulationRunner:
         return result
 
     # ------------------------------------------------------------------
+    # Cache identity and tier access (the service's coalescing surface)
+    # ------------------------------------------------------------------
+    def cache_key(self, task: SweepTask) -> tuple:
+        """The complete cache identity of ``task`` under this runner's config.
+
+        This is the exact tuple the memory memo, the disk cache, and the
+        worker protocol key on — and therefore the unit of request
+        coalescing in :mod:`repro.service`: two tasks with equal keys are
+        the same simulation, byte for byte.
+        """
+        return task.cache_key(self._cfg_key)
+
+    def peek(self, task: SweepTask):
+        """The cached result for ``task`` (memory, then disk) — or None.
+
+        Never computes.  The service uses this for cache-hit-first
+        serving: a hit is answered immediately, only a miss enters the
+        coalescer.  Hit/miss counters are booked like :meth:`day` lookups.
+        """
+        key = task.cache_key(self._cfg_key)
+        cached = self._store_of(task).get(key)
+        self._note(cached is not None)
+        if cached is not None:
+            return cached
+        return self._from_disk(task, key)
+
+    def run_task(self, task: SweepTask):
+        """Compute (or fetch) one task through the tiered cache.
+
+        Public equivalent of the internal :meth:`_get` used by the
+        :meth:`day` / :meth:`fixed_day` / :meth:`battery_day` wrappers;
+        the service's executor bridge calls this from worker threads.
+        Concurrent calls for *distinct* keys are safe; serializing
+        same-key calls is the caller's job (the service's coalescer
+        guarantees it, which keeps the ``runner.computes`` telemetry
+        counter an exact compute count).
+        """
+        return self._get(task)
+
+    # ------------------------------------------------------------------
     # Single-simulation entry points
     # ------------------------------------------------------------------
     def day(

@@ -1,0 +1,693 @@
+"""SolarCore-as-a-service: the asyncio HTTP + WebSocket application.
+
+One long-running process serves many concurrent clients on top of the
+existing harness — nothing about the simulation stack changed to make
+this possible; the service is strictly a concurrency shell:
+
+* **jobs** are submitted as JSON (the same config surface as
+  :class:`~repro.harness.parallel.SweepTask`, including ``solver`` and
+  ``faults``), tracked by the strict state machine of
+  :mod:`repro.service.jobs`, and executed on the shared
+  :class:`~repro.harness.runner.SimulationRunner` through the
+  :class:`~repro.harness.async_bridge.AsyncRunner` thread bridge;
+* **identical work coalesces**: each task's full cache key is checked
+  memory-tier first (cache-hit-first serving), and misses go through the
+  :class:`~repro.service.coalesce.Coalescer`, so N concurrent requests
+  for the same cell run exactly one compute with N fan-out responses;
+* **telemetry streams live**: the PR 1 event stream (bridged off the
+  compute threads by
+  :class:`~repro.telemetry.async_sink.AsyncBridgeSink`) plus periodic
+  metric/profiler snapshots fan out to WebSocket subscribers through
+  bounded drop-oldest queues — a slow client loses old messages, never
+  stalls the service;
+* **terminal states persist**: every finished/failed/cancelled job can
+  record a PR 5 run-ledger manifest, so "what did the service run and
+  from which cache tier" outlives the process.
+
+HTTP API (JSON in/out)::
+
+    GET  /healthz                liveness
+    GET  /stats                  jobs, coalescing, cache, stream counters
+    GET  /jobs                   every job's status
+    POST /jobs                   submit a job spec; ?wait=1 blocks to terminal
+    GET  /jobs/<id>              one job's status
+    POST /jobs/<id>/cancel       cancel (no-op if already terminal)
+    GET  /ws/jobs/<id>           WebSocket: state changes until terminal
+    GET  /ws/telemetry           WebSocket: live events + snapshots
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import time
+import urllib.parse
+from dataclasses import fields as dataclass_fields
+
+from repro.core.config import SolarCoreConfig
+from repro.harness.async_bridge import AsyncRunner
+from repro.harness.runner import SimulationRunner
+from repro.service import wsproto
+from repro.service.coalesce import Coalescer
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobSpec,
+    JobSpecError,
+    JobTable,
+)
+from repro.service.stream import ClientStream, StreamHub
+from repro.telemetry import hub as telemetry_hub
+from repro.telemetry.async_sink import AsyncBridgeSink
+from repro.telemetry.hub import Telemetry
+
+__all__ = ["SolarCoreService", "summarize_result"]
+
+log = logging.getLogger(__name__)
+
+#: Result attributes surfaced in job summaries (fields *or* properties;
+#: whichever of these a result type has is included).
+_SUMMARY_ATTRS = (
+    "ptp",
+    "energy_utilization",
+    "effective_duration_fraction",
+    "mean_tracking_error",
+    "solar_used_wh",
+    "solar_available_wh",
+    "utility_wh",
+    "harvested_wh",
+    "runtime_minutes",
+    "tracking_events",
+    "dvfs_transitions",
+)
+
+
+def summarize_result(task, result) -> dict:
+    """A JSON-safe scalar summary of one task's day result.
+
+    Time series stay server-side (they are large and cached); the summary
+    carries the headline scalars plus every plain scalar field.
+    """
+    doc = {"task": task.describe()}
+    scalar_fields = {
+        f.name for f in dataclass_fields(result)
+        if isinstance(getattr(result, f.name), (int, float, str, bool))
+    }
+    for name in sorted(scalar_fields):
+        doc[name] = getattr(result, name)
+    for name in _SUMMARY_ATTRS:
+        value = getattr(result, name, None)
+        if isinstance(value, (int, float, str, bool)):
+            doc[name] = value
+    return doc
+
+
+class _HttpError(Exception):
+    """Routed straight into an error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class SolarCoreService:
+    """The long-running job server.
+
+    Args:
+        config: Base simulation configuration; a job's ``solver`` field
+            overrides the solver per job (each solver gets its own
+            runner, since the solver is part of the cache identity).
+        host / port: Bind address (port 0 = ephemeral, for tests).
+        cache_dir: Shared persistent result cache for every runner.
+        sweep_jobs: ``jobs=`` for the underlying runners (worker
+            *processes* used by grid prefetches; 1 = in-process).
+        max_workers: Compute threads per solver bridge.
+        client_queue_size: Per-WebSocket-client bounded queue capacity.
+        snapshot_interval_s: Cadence of telemetry snapshots on the
+            stream (0 disables them).
+        runs_dir: Record a run-ledger manifest per terminal job under
+            this directory (None disables the ledger).
+        ws_max_size: Largest accepted WebSocket frame [bytes].
+    """
+
+    def __init__(
+        self,
+        config: SolarCoreConfig | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir=None,
+        sweep_jobs: int = 1,
+        max_workers: int = 4,
+        client_queue_size: int = 256,
+        snapshot_interval_s: float = 1.0,
+        runs_dir=None,
+        ws_max_size: int = 1 << 20,
+    ) -> None:
+        self.config = config or SolarCoreConfig()
+        self.host = host
+        self.port = port
+        self.cache_dir = cache_dir
+        self.sweep_jobs = sweep_jobs
+        self.max_workers = max_workers
+        self.snapshot_interval_s = snapshot_interval_s
+        self.ws_max_size = ws_max_size
+        self.table = JobTable()
+        self.coalescer = Coalescer()
+        self.stream_hub = StreamHub(client_queue_size=client_queue_size)
+        self.ledger = None
+        if runs_dir is not None:
+            from repro.harness.runledger import RunLedger
+
+            self.ledger = RunLedger(runs_dir)
+        self._bridges: dict[str, AsyncRunner] = {}
+        self._job_tasks: dict[str, asyncio.Task] = {}
+        self._job_done: dict[str, asyncio.Event] = {}
+        self._job_started_s: dict[str, float] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._snapshot_task: asyncio.Task | None = None
+        self._sink: AsyncBridgeSink | None = None
+        self._previous_hub = None
+        self._owns_hub = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the server and arm the telemetry bridge."""
+        loop = asyncio.get_running_loop()
+        hub = telemetry_hub.current()
+        if not hub.enabled:
+            # The service needs live counters (runner.computes, cache
+            # tiers) and an event stream; install a hub for its lifetime
+            # and restore whatever was there on close.
+            hub = Telemetry()
+            self._previous_hub = telemetry_hub.set_telemetry(hub)
+            self._owns_hub = True
+        self._sink = AsyncBridgeSink(loop, self._publish_event)
+        hub.add_sink(self._sink)
+        if self.snapshot_interval_s > 0:
+            self._snapshot_task = loop.create_task(self._snapshot_loop())
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info("solarcore service listening on %s:%d", self.host, self.port)
+
+    async def aclose(self) -> None:
+        """Stop accepting, cancel live jobs, release the telemetry hub."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._snapshot_task is not None:
+            self._snapshot_task.cancel()
+            try:
+                await self._snapshot_task
+            except asyncio.CancelledError:
+                pass
+            self._snapshot_task = None
+        for job_id, task in list(self._job_tasks.items()):
+            job = self.table.get(job_id)
+            if job.state not in TERMINAL_STATES:
+                self.table.cancel(job)
+            task.cancel()
+        if self._job_tasks:
+            await asyncio.gather(
+                *self._job_tasks.values(), return_exceptions=True
+            )
+        for bridge in self._bridges.values():
+            await bridge.aclose()
+        self.stream_hub.close()
+        hub = telemetry_hub.current()
+        if self._sink is not None:
+            self._sink.close()
+            if hub.enabled and self._sink in getattr(hub, "sinks", []):
+                hub.sinks.remove(self._sink)
+            self._sink = None
+        if self._owns_hub:
+            telemetry_hub.set_telemetry(self._previous_hub)
+            self._owns_hub = False
+
+    async def __aenter__(self) -> SolarCoreService:
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI's ``repro serve`` loop)."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Execution engine
+    # ------------------------------------------------------------------
+    def _bridge(self, solver: str) -> AsyncRunner:
+        """The per-solver runner bridge (solver is part of cache identity)."""
+        bridge = self._bridges.get(solver)
+        if bridge is None:
+            base = self.config
+            config = (
+                base if base.solver == solver
+                else SolarCoreConfig(**{
+                    **{f.name: getattr(base, f.name)
+                       for f in dataclass_fields(base)},
+                    "solver": solver,
+                })
+            )
+            bridge = AsyncRunner(
+                SimulationRunner(
+                    config, jobs=self.sweep_jobs, cache_dir=self.cache_dir
+                ),
+                max_workers=self.max_workers,
+            )
+            self._bridges[solver] = bridge
+        return bridge
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Register and launch a job (event-loop only)."""
+        job = self.table.create(spec)
+        self._job_done[job.job_id] = asyncio.Event()
+        self._job_started_s[job.job_id] = time.perf_counter()
+        self._job_tasks[job.job_id] = asyncio.get_running_loop().create_task(
+            self._run_job(job)
+        )
+        return job
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job; True if this call cancelled it (event-loop only)."""
+        job = self.table.get(job_id)
+        cancelled = self.table.cancel(job)
+        if cancelled:
+            task = self._job_tasks.get(job_id)
+            if task is not None:
+                task.cancel()
+        return cancelled
+
+    async def wait_terminal(self, job_id: str) -> Job:
+        """Block until the job reaches a terminal state."""
+        job = self.table.get(job_id)
+        event = self._job_done.get(job_id)
+        if event is not None:
+            await event.wait()
+        return job
+
+    async def _run_job(self, job: Job) -> None:
+        bridge = self._bridge(job.spec.solver)
+        acquired: list[tuple] = []  # (task, entry) not yet awaited
+        try:
+            self.table.transition(job, RUNNING)
+            results: dict = {}
+            for task in job.spec.tasks:
+                cached = bridge.peek_memory(task)
+                if cached is not None:
+                    # Cache-hit-first: answered inline, no executor hop.
+                    job.cache_hits += 1
+                    results[task] = cached
+                    continue
+                entry, attached = self.coalescer.acquire(
+                    bridge.cache_key(task),
+                    lambda task=task: bridge.run_task(task),
+                )
+                if attached:
+                    job.coalesced += 1
+                acquired.append((task, entry))
+            while acquired:
+                task, entry = acquired.pop(0)
+                # wait() releases the entry however the await ends.
+                results[task] = await self.coalescer.wait(entry)
+            summary = [
+                summarize_result(task, results[task])
+                for task in job.spec.tasks
+            ]
+            self.table.transition(job, DONE, result=summary)
+        except asyncio.CancelledError:
+            # Normal path: self.cancel() already moved the job to
+            # cancelled before cancelling this task.  Shutdown path: the
+            # table transition happens in aclose() just before cancel.
+            if job.state not in TERMINAL_STATES:
+                self.table.transition(job, CANCELLED)
+            raise
+        except Exception as exc:  # noqa: BLE001 — any failure fails the job
+            log.warning("job %s failed: %s", job.job_id, exc)
+            if job.state not in TERMINAL_STATES:
+                self.table.transition(
+                    job, FAILED, error=f"{type(exc).__name__}: {exc}"
+                )
+        finally:
+            for _task, entry in acquired:
+                self.coalescer.release(entry)
+            self._finish_job(job)
+
+    def _finish_job(self, job: Job) -> None:
+        """Terminal bookkeeping: wake waiters, record the ledger manifest."""
+        self._job_tasks.pop(job.job_id, None)
+        started = self._job_started_s.pop(job.job_id, None)
+        event = self._job_done.get(job.job_id)
+        if event is not None:
+            event.set()
+        if self.ledger is None:
+            return
+        try:
+            from repro.harness.runledger import build_manifest
+
+            duration = (
+                time.perf_counter() - started if started is not None else None
+            )
+            manifest = build_manifest(
+                "service-job",
+                [],
+                config=self._bridge(job.spec.solver).runner.config,
+                faults=None,
+                jobs=self.sweep_jobs,
+                duration_s=duration,
+                extra={
+                    "job_id": job.job_id,
+                    "state": job.state,
+                    "label": job.spec.label,
+                    "spec": job.spec.describe(),
+                    "tasks": len(job.spec.tasks),
+                    "cache_hits": job.cache_hits,
+                    "coalesced": job.coalesced,
+                    "error": job.error,
+                },
+            )
+            self.ledger.record(manifest)
+        except Exception:  # noqa: BLE001 — provenance must not kill serving
+            log.exception("could not record ledger manifest for %s", job.job_id)
+
+    # ------------------------------------------------------------------
+    # Live streaming
+    # ------------------------------------------------------------------
+    def _publish_event(self, payload: dict) -> None:
+        """Loop-side callback of the telemetry bridge sink."""
+        self.stream_hub.publish({"type": "event", "event": payload})
+
+    def _snapshot_message(self) -> dict:
+        hub = telemetry_hub.current()
+        snap = hub.snapshot() if hub.enabled else {}
+        message = {
+            "type": "snapshot",
+            "counters": snap.get("counters", {}),
+            "jobs": self.table.counts(),
+            "coalesce": self.coalescer.stats(),
+            "stream": self.stream_hub.stats(),
+        }
+        profile = snap.get("profile")
+        if profile:
+            message["profile"] = {
+                "phases": {
+                    name: {"count": data["count"], "total_s": data["total_s"]}
+                    for name, data in profile.get("phases", {}).items()
+                },
+                "counters": profile.get("counters", {}),
+            }
+        return message
+
+    async def _snapshot_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.snapshot_interval_s)
+            if len(self.stream_hub._clients):
+                self.stream_hub.publish(self._snapshot_message())
+
+    def stats(self) -> dict:
+        """The ``/stats`` document."""
+        doc = {
+            "jobs": self.table.counts(),
+            "transitions": dict(self.table.transitions),
+            "coalesce": self.coalescer.stats(),
+            "stream": self.stream_hub.stats(),
+            "runners": {
+                solver: bridge.stats()
+                for solver, bridge in sorted(self._bridges.items())
+            },
+        }
+        hub = telemetry_hub.current()
+        if hub.enabled:
+            counters = hub.snapshot().get("counters", {})
+            doc["counters"] = {
+                name: counters[name]
+                for name in sorted(counters)
+                if name.startswith(("runner.", "cache.", "service."))
+            }
+        return doc
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, query, headers, body = await self._read_request(
+                    reader
+                )
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            except _HttpError as exc:
+                await self._respond_error(writer, exc.status, str(exc))
+                return
+            try:
+                await self._route(
+                    method, path, query, headers, body, reader, writer
+                )
+            except _HttpError as exc:
+                await self._respond_error(writer, exc.status, str(exc))
+            except (ConnectionError, asyncio.IncompleteReadError):
+                pass
+            except Exception as exc:  # noqa: BLE001 — one conn must not kill serving
+                log.exception("unhandled error serving %s %s", method, path)
+                try:
+                    await self._respond_error(
+                        writer, 500, f"{type(exc).__name__}: {exc}"
+                    )
+                except (ConnectionError, RuntimeError):
+                    pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        request_line = await reader.readline()
+        if not request_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        try:
+            method, target, _version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            raise _HttpError(400, "malformed request line") from None
+        parsed = urllib.parse.urlsplit(target)
+        query = dict(urllib.parse.parse_qsl(parsed.query))
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) > 64 or len(line) > 8192:
+                raise _HttpError(431, "too many / too large headers")
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                n = int(length)
+            except ValueError:
+                raise _HttpError(400, "bad Content-Length") from None
+            if n > self.ws_max_size:
+                raise _HttpError(413, f"body of {n} bytes is too large")
+            body = await reader.readexactly(n)
+        return method.upper(), parsed.path, query, headers, body
+
+    async def _respond_json(
+        self, writer: asyncio.StreamWriter, status: int, doc: dict, *,
+        reason: str = "OK",
+    ) -> None:
+        payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + payload)
+        await writer.drain()
+
+    async def _respond_error(
+        self, writer: asyncio.StreamWriter, status: int, message: str
+    ) -> None:
+        await self._respond_json(
+            writer, status, {"error": message}, reason="Error"
+        )
+
+    async def _route(
+        self, method, path, query, headers, body, reader, writer
+    ) -> None:
+        parts = [p for p in path.split("/") if p]
+        if parts == ["healthz"] and method == "GET":
+            await self._respond_json(writer, 200, {"status": "ok"})
+        elif parts == ["stats"] and method == "GET":
+            await self._respond_json(writer, 200, self.stats())
+        elif parts == ["jobs"] and method == "GET":
+            await self._respond_json(
+                writer, 200, {"jobs": [j.status() for j in self.table.jobs()]}
+            )
+        elif parts == ["jobs"] and method == "POST":
+            await self._handle_submit(query, body, writer)
+        elif len(parts) == 2 and parts[0] == "jobs" and method == "GET":
+            job = self._job_or_404(parts[1])
+            await self._respond_json(writer, 200, job.status())
+        elif (
+            len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel"
+            and method == "POST"
+        ):
+            job = self._job_or_404(parts[1])
+            cancelled = self.cancel(job.job_id)
+            await self._respond_json(
+                writer, 200, {"cancelled": cancelled, **job.status()}
+            )
+        elif len(parts) == 3 and parts[0] == "ws" and parts[1] == "jobs":
+            job = self._job_or_404(parts[2])
+            await self._handle_ws(
+                headers, reader, writer, lambda: self._job_stream(job)
+            )
+        elif parts == ["ws", "telemetry"]:
+            await self._handle_ws(
+                headers, reader, writer, self._telemetry_stream
+            )
+        else:
+            raise _HttpError(404, f"no route for {method} {path}")
+
+    def _job_or_404(self, job_id: str) -> Job:
+        try:
+            return self.table.get(job_id)
+        except KeyError as exc:
+            raise _HttpError(404, str(exc)) from None
+
+    async def _handle_submit(self, query, body, writer) -> None:
+        try:
+            doc = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"body is not valid JSON: {exc}") from None
+        try:
+            spec = JobSpec.from_dict(doc)
+        except JobSpecError as exc:
+            raise _HttpError(422, str(exc)) from None
+        job = self.submit(spec)
+        if query.get("wait") in ("1", "true", "yes"):
+            await self.wait_terminal(job.job_id)
+            await self._respond_json(writer, 200, job.status())
+        else:
+            await self._respond_json(writer, 202, job.status(), reason="Accepted")
+
+    # ------------------------------------------------------------------
+    # WebSocket endpoints
+    # ------------------------------------------------------------------
+    async def _handle_ws(self, headers, reader, writer, open_stream) -> None:
+        """Upgrade the connection, then pump ``open_stream()`` to the peer."""
+        if headers.get("upgrade", "").lower() != "websocket":
+            raise _HttpError(426, "this endpoint speaks WebSocket; send an Upgrade")
+        key = headers.get("sec-websocket-key")
+        if not key:
+            raise _HttpError(400, "missing Sec-WebSocket-Key")
+        accept = wsproto.accept_key(key)
+        writer.write((
+            "HTTP/1.1 101 Switching Protocols\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Accept: {accept}\r\n\r\n"
+        ).encode("latin-1"))
+        await writer.drain()
+        stream, cleanup = open_stream()
+        reader_task = asyncio.get_running_loop().create_task(
+            self._ws_reader(reader, writer, stream)
+        )
+        try:
+            while True:
+                message = await stream.get()
+                if message is None:
+                    break
+                writer.write(wsproto.encode_frame(
+                    wsproto.OP_TEXT,
+                    json.dumps(message, sort_keys=True).encode("utf-8"),
+                ))
+                await writer.drain()
+                if message.get("type") == "job" and (
+                    message.get("state") in TERMINAL_STATES
+                ):
+                    break
+            writer.write(wsproto.encode_frame(wsproto.OP_CLOSE, b""))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            reader_task.cancel()
+            try:
+                await reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            cleanup()
+
+    async def _ws_reader(self, reader, writer, stream) -> None:
+        """Drain client frames: answer pings, honor close, ignore data."""
+        try:
+            while True:
+                opcode, payload = await wsproto.read_frame(
+                    reader, max_size=self.ws_max_size
+                )
+                if opcode == wsproto.OP_CLOSE:
+                    stream.close()
+                    return
+                if opcode == wsproto.OP_PING:
+                    writer.write(
+                        wsproto.encode_frame(wsproto.OP_PONG, payload)
+                    )
+                    await writer.drain()
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            wsproto.WSProtocolError,
+        ):
+            stream.close()
+
+    def _telemetry_stream(self):
+        """Stream + cleanup for ``/ws/telemetry``."""
+        stream = self.stream_hub.subscribe()
+        stream.push(self._snapshot_message())
+        return stream, lambda: self.stream_hub.unsubscribe(stream)
+
+    def _job_stream(self, job: Job):
+        """Stream + cleanup for ``/ws/jobs/<id>``.
+
+        Subscribes *before* reading the current state, so a transition
+        can never fall between the snapshot and the live feed; the
+        table's subscribe-after-terminal guarantee covers finished jobs.
+        """
+        stream = ClientStream(self.stream_hub.client_queue_size)
+        sub = self.table.subscribe(job.job_id)
+        sub.listener = stream.push
+        delivered_terminal = False
+        for notification in sub.drain():
+            stream.push(notification)
+            delivered_terminal = True
+        if not delivered_terminal:
+            stream.push({"type": "job", **job.status()})
+
+        def cleanup() -> None:
+            self.table.unsubscribe(sub)
+            stream.close()
+
+        return stream, cleanup

@@ -1,0 +1,258 @@
+"""A stdlib asyncio client for the SolarCore service.
+
+Primarily the test harness's and load bench's view of the server — the
+same hand-rolled HTTP/1.1 + RFC 6455 subset the server speaks, from the
+client side (one request per connection, masked client frames).  It is
+also a usable programmatic client: ``async with ServiceClient(...)``
+costs nothing to enter, and every call opens its own short-lived
+connection, so one client object can be shared across concurrent tasks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import os
+
+from repro.service import wsproto
+
+__all__ = ["ServiceClient", "ServiceError", "WSClient"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service.
+
+    Attributes:
+        status: The HTTP status code.
+        body: The decoded JSON body (usually ``{"error": ...}``).
+    """
+
+    def __init__(self, status: int, body) -> None:
+        message = body.get("error") if isinstance(body, dict) else body
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.body = body
+
+
+class ServiceClient:
+    """Talks to one :class:`~repro.service.app.SolarCoreService`.
+
+    Args:
+        host / port: Where the service listens.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+
+    # -- HTTP ------------------------------------------------------------
+    async def request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
+        """One HTTP request; returns the decoded JSON body.
+
+        Raises:
+            ServiceError: The service answered with a non-2xx status.
+        """
+        payload = (
+            json.dumps(body).encode("utf-8") if body is not None else b""
+        )
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write((
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1") + payload)
+            await writer.drain()
+            status, doc = await _read_response(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+        if not 200 <= status < 300:
+            raise ServiceError(status, doc)
+        return doc
+
+    async def healthz(self) -> dict:
+        return await self.request("GET", "/healthz")
+
+    async def stats(self) -> dict:
+        return await self.request("GET", "/stats")
+
+    async def submit(self, spec: dict, *, wait: bool = False) -> dict:
+        """Submit a job spec; with ``wait`` blocks until terminal."""
+        path = "/jobs?wait=1" if wait else "/jobs"
+        return await self.request("POST", path, spec)
+
+    async def jobs(self) -> list[dict]:
+        return (await self.request("GET", "/jobs"))["jobs"]
+
+    async def job(self, job_id: str) -> dict:
+        return await self.request("GET", f"/jobs/{job_id}")
+
+    async def cancel(self, job_id: str) -> dict:
+        return await self.request("POST", f"/jobs/{job_id}/cancel")
+
+    async def wait_terminal(
+        self, job_id: str, *, poll_s: float = 0.02
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns its status."""
+        from repro.service.jobs import TERMINAL_STATES
+
+        while True:
+            doc = await self.job(job_id)
+            if doc["state"] in TERMINAL_STATES:
+                return doc
+            await asyncio.sleep(poll_s)
+
+    # -- WebSocket -------------------------------------------------------
+    async def ws(self, path: str) -> WSClient:
+        """Open a WebSocket to ``path`` (e.g. ``/ws/telemetry``)."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        writer.write((
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            "Sec-WebSocket-Version: 13\r\n\r\n"
+        ).encode("latin-1"))
+        await writer.drain()
+        status_line = (await reader.readline()).decode("latin-1")
+        headers = await _read_headers(reader)
+        if " 101 " not in status_line:
+            writer.close()
+            raise ServiceError(
+                int(status_line.split(" ")[1]) if " " in status_line else 500,
+                {"error": f"handshake refused: {status_line.strip()}"},
+            )
+        expected = wsproto.accept_key(key)
+        got = headers.get("sec-websocket-accept")
+        if got != expected:
+            writer.close()
+            raise ServiceError(
+                502, {"error": f"bad Sec-WebSocket-Accept {got!r}"}
+            )
+        return WSClient(reader, writer)
+
+    # -- lifecycle (stateless; the context manager is for symmetry) ------
+    async def __aenter__(self) -> ServiceClient:
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+class WSClient:
+    """One established client-side WebSocket (frames masked, per §5.3)."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.closed = False
+
+    async def recv(self) -> dict | None:
+        """The next JSON message; None once the server closed.
+
+        Pings are answered transparently; binary frames are rejected
+        (the service only ever sends JSON text).
+        """
+        while True:
+            if self.closed:
+                return None
+            try:
+                opcode, payload = await wsproto.read_frame(self.reader)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                self.closed = True
+                return None
+            if opcode == wsproto.OP_CLOSE:
+                await self.close()
+                return None
+            if opcode == wsproto.OP_PING:
+                await self._send_frame(wsproto.OP_PONG, payload)
+                continue
+            if opcode == wsproto.OP_PONG:
+                continue
+            if opcode != wsproto.OP_TEXT:
+                raise wsproto.WSProtocolError(
+                    f"unexpected opcode 0x{opcode:x} from the service"
+                )
+            return json.loads(payload.decode("utf-8"))
+
+    async def drain_until_closed(self, *, limit: int = 100000) -> list[dict]:
+        """Every remaining message until the server closes the stream."""
+        messages = []
+        while len(messages) < limit:
+            message = await self.recv()
+            if message is None:
+                return messages
+            messages.append(message)
+        return messages
+
+    async def ping(self, payload: bytes = b"") -> None:
+        await self._send_frame(wsproto.OP_PING, payload)
+
+    async def _send_frame(self, opcode: int, payload: bytes) -> None:
+        self.writer.write(wsproto.encode_frame(opcode, payload, masked=True))
+        await self.writer.drain()
+
+    async def close(self) -> None:
+        """Send a close frame (best effort) and drop the connection."""
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            await self._send_frame(wsproto.OP_CLOSE, b"")
+        except (ConnectionError, RuntimeError):
+            pass
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass
+
+    async def __aenter__(self) -> WSClient:
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+
+async def _read_headers(reader: asyncio.StreamReader) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            return headers
+        name, _sep, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+
+async def _read_response(reader: asyncio.StreamReader) -> tuple[int, dict]:
+    status_line = (await reader.readline()).decode("latin-1")
+    try:
+        status = int(status_line.split(" ", 2)[1])
+    except (IndexError, ValueError):
+        raise ServiceError(
+            502, {"error": f"malformed status line {status_line!r}"}
+        ) from None
+    headers = await _read_headers(reader)
+    length = headers.get("content-length")
+    if length is not None:
+        body = await reader.readexactly(int(length))
+    else:
+        body = await reader.read()
+    try:
+        doc = json.loads(body.decode("utf-8")) if body else {}
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        doc = {"error": body.decode("utf-8", "replace")}
+    return status, doc

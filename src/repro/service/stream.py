@@ -1,0 +1,120 @@
+"""Live streaming fan-out with per-client bounded queues.
+
+The producer side (telemetry events arriving from compute threads via
+:class:`~repro.telemetry.async_sink.AsyncBridgeSink`, job state changes,
+periodic metric snapshots) must **never block and never grow without
+bound**, no matter how slow or stuck a subscribed WebSocket client is.
+The contract, pinned by ``tests/service/test_backpressure.py``:
+
+* :meth:`StreamHub.publish` is synchronous, loop-bound, and O(clients);
+  it never awaits.
+* Each client owns a bounded queue.  When it is full the *oldest* queued
+  message is dropped to admit the new one (live telemetry is only useful
+  live — a stalled client that wakes up wants the recent past, not a
+  backlog of ancient events) and the drop is counted, per client and
+  hub-wide, so operators can see slow consumers instead of guessing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+__all__ = ["ClientStream", "StreamHub"]
+
+
+class ClientStream:
+    """One subscriber's bounded message queue (drop-oldest on overflow)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._messages: deque[dict] = deque()
+        self._wakeup = asyncio.Event()
+        #: Messages this client lost to backpressure.
+        self.drops = 0
+        #: Messages ever offered to this client.
+        self.offered = 0
+        self.closed = False
+
+    def push(self, message: dict) -> None:
+        """Enqueue without blocking, evicting the oldest on overflow."""
+        self.offered += 1
+        if len(self._messages) >= self.capacity:
+            self._messages.popleft()
+            self.drops += 1
+        self._messages.append(message)
+        self._wakeup.set()
+
+    def close(self) -> None:
+        """Wake any pending :meth:`get` with a ``None`` end-of-stream."""
+        self.closed = True
+        self._wakeup.set()
+
+    async def get(self) -> dict | None:
+        """The next message, or None once the stream is closed and drained."""
+        while True:
+            if self._messages:
+                return self._messages.popleft()
+            if self.closed:
+                return None
+            self._wakeup.clear()
+            await self._wakeup.wait()
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+
+class StreamHub:
+    """Fan-out of live messages to every subscribed client.
+
+    Args:
+        client_queue_size: Per-client bounded-queue capacity.
+    """
+
+    def __init__(self, client_queue_size: int = 256) -> None:
+        if client_queue_size < 1:
+            raise ValueError(
+                f"client_queue_size must be >= 1, got {client_queue_size}"
+            )
+        self.client_queue_size = client_queue_size
+        self._clients: set[ClientStream] = set()
+        #: Messages ever published through the hub.
+        self.published = 0
+        #: Sum of every client's backpressure drops (including departed
+        #: clients — the hub-wide number /stats reports).
+        self.drops_total = 0
+
+    def subscribe(self) -> ClientStream:
+        """A fresh bounded stream receiving everything published from now on."""
+        client = ClientStream(self.client_queue_size)
+        self._clients.add(client)
+        return client
+
+    def unsubscribe(self, client: ClientStream) -> None:
+        """Detach and close ``client`` (idempotent); keeps its drop count."""
+        if client in self._clients:
+            self._clients.remove(client)
+            self.drops_total += client.drops
+        client.close()
+
+    def publish(self, message: dict) -> None:
+        """Offer ``message`` to every client.  Never blocks, never awaits."""
+        self.published += 1
+        for client in self._clients:
+            client.push(message)
+
+    def stats(self) -> dict[str, int]:
+        """Hub-wide counters for ``/stats``."""
+        live_drops = sum(client.drops for client in self._clients)
+        return {
+            "clients": len(self._clients),
+            "published": self.published,
+            "drops": self.drops_total + live_drops,
+        }
+
+    def close(self) -> None:
+        """Close every client stream (server shutdown)."""
+        for client in list(self._clients):
+            self.unsubscribe(client)

@@ -1,0 +1,137 @@
+"""A minimal RFC 6455 WebSocket codec over asyncio streams.
+
+The container image ships neither ``websockets`` nor ``aiohttp``, so the
+service speaks the protocol directly.  Only what the service needs is
+implemented — and that subset is implemented *correctly*:
+
+* the opening handshake (``Sec-WebSocket-Accept`` per RFC 6455 §4.2.2);
+* single-frame text/binary messages plus ping/pong/close control frames;
+* client-to-server masking (mandatory per §5.3) and unmasked
+  server-to-client frames;
+* 7-bit, 16-bit, and 64-bit payload lengths, bounded by ``max_size``.
+
+Fragmented messages (FIN=0 continuation chains) are rejected with
+:class:`WSProtocolError` rather than mis-assembled: neither our server
+nor our client ever fragments, and silently concatenating frames we never
+test is worse than a loud close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import os
+import struct
+
+__all__ = [
+    "GUID",
+    "OP_TEXT",
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "WSProtocolError",
+    "accept_key",
+    "encode_frame",
+    "read_frame",
+]
+
+#: The protocol's fixed handshake GUID (RFC 6455 §1.3).
+GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+_CONTROL_OPS = frozenset({OP_CLOSE, OP_PING, OP_PONG})
+_DATA_OPS = frozenset({OP_TEXT, OP_BINARY})
+
+
+class WSProtocolError(RuntimeError):
+    """The peer violated the (implemented subset of the) protocol."""
+
+
+def accept_key(sec_websocket_key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value answering a handshake key."""
+    digest = hashlib.sha1((sec_websocket_key + GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def _mask(payload: bytes, key: bytes) -> bytes:
+    """XOR-mask ``payload`` with the 4-byte ``key`` (involutive)."""
+    if not payload:
+        return payload
+    # One big-int XOR instead of a per-byte loop: frames can carry whole
+    # telemetry snapshots and this runs on the event loop.
+    repeated = (key * (len(payload) // 4 + 1))[: len(payload)]
+    value = int.from_bytes(payload, "little") ^ int.from_bytes(repeated, "little")
+    return value.to_bytes(len(payload), "little")
+
+
+def encode_frame(opcode: int, payload: bytes, *, masked: bool = False) -> bytes:
+    """One complete FIN=1 frame.
+
+    Args:
+        opcode: ``OP_TEXT`` / ``OP_BINARY`` / ``OP_CLOSE`` / ``OP_PING``
+            / ``OP_PONG``.
+        payload: Frame payload (already UTF-8 encoded for text).
+        masked: Mask the payload (clients MUST, servers MUST NOT).
+    """
+    if opcode in _CONTROL_OPS and len(payload) > 125:
+        raise WSProtocolError(
+            f"control frame payload must be <= 125 bytes, got {len(payload)}"
+        )
+    head = bytearray([0x80 | opcode])
+    length = len(payload)
+    mask_bit = 0x80 if masked else 0x00
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack("!H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack("!Q", length)
+    if masked:
+        key = os.urandom(4)
+        return bytes(head) + key + _mask(payload, key)
+    return bytes(head) + payload
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, *, max_size: int = 1 << 20
+) -> tuple[int, bytes]:
+    """Read one complete frame.
+
+    Returns:
+        ``(opcode, payload)`` with the payload unmasked.
+
+    Raises:
+        WSProtocolError: Fragmented/reserved-bit/oversized frame.
+        asyncio.IncompleteReadError: The peer hung up mid-frame.
+    """
+    b1, b2 = await reader.readexactly(2)
+    fin, rsv, opcode = b1 & 0x80, b1 & 0x70, b1 & 0x0F
+    if rsv:
+        raise WSProtocolError(f"reserved bits set (0x{rsv:02x}); no extensions negotiated")
+    if opcode == OP_CONT or not fin:
+        raise WSProtocolError("fragmented messages are not supported")
+    if opcode not in _DATA_OPS and opcode not in _CONTROL_OPS:
+        raise WSProtocolError(f"unknown opcode 0x{opcode:x}")
+    masked = bool(b2 & 0x80)
+    length = b2 & 0x7F
+    if length == 126:
+        (length,) = struct.unpack("!H", await reader.readexactly(2))
+    elif length == 127:
+        (length,) = struct.unpack("!Q", await reader.readexactly(8))
+    if length > max_size:
+        raise WSProtocolError(f"frame of {length} bytes exceeds max_size={max_size}")
+    key = await reader.readexactly(4) if masked else b""
+    payload = await reader.readexactly(length) if length else b""
+    if masked:
+        payload = _mask(payload, key)
+    return opcode, payload

@@ -57,6 +57,7 @@ from repro.telemetry.profiling import (
     PhaseStat,
     render_profile,
 )
+from repro.telemetry.async_sink import AsyncBridgeSink
 from repro.telemetry.sinks import (
     EventSink,
     JsonlSink,
@@ -97,6 +98,7 @@ __all__ = [
     "event_from_dict",
     # sinks
     "EventSink",
+    "AsyncBridgeSink",
     "RingBufferSink",
     "JsonlSink",
     "LoggingSink",

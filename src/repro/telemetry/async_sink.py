@@ -1,0 +1,68 @@
+"""Bridge telemetry events from compute threads onto an asyncio loop.
+
+Simulations run on the service's worker threads (and, before the service
+existed, on the main thread); the streaming fan-out lives on the event
+loop.  :class:`AsyncBridgeSink` is the seam: a regular
+:class:`~repro.telemetry.sinks.EventSink` whose :meth:`emit` is safe to
+call from *any* thread — it serializes the event to its JSON-safe dict
+and hands it to the loop with ``call_soon_threadsafe``, where the
+callback (typically :meth:`repro.service.stream.StreamHub.publish`)
+delivers it.
+
+Emission never blocks the simulation: ``call_soon_threadsafe`` appends to
+the loop's ready queue and returns.  Overload protection is downstream —
+the stream hub's bounded per-client queues drop-oldest — so a slow
+WebSocket client can never stall a compute thread.  Events emitted after
+the loop shut down are counted and dropped instead of raising into the
+middle of a day simulation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.telemetry.events import TelemetryEvent, event_to_dict
+
+__all__ = ["AsyncBridgeSink"]
+
+
+class AsyncBridgeSink:
+    """Thread-safe event sink forwarding onto an asyncio loop.
+
+    Args:
+        loop: The loop the callback runs on.
+        callback: Called as ``callback(payload: dict)`` on the loop for
+            every event; the payload is the event's
+            :func:`~repro.telemetry.events.event_to_dict` form.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, callback) -> None:
+        self.loop = loop
+        self.callback = callback
+        #: Events forwarded to the loop.
+        self.forwarded = 0
+        #: Events dropped because the sink (or its loop) was closed.
+        self.dropped = 0
+        self._closed = False
+        self._lock = threading.Lock()
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Forward one event; never blocks, never raises into the caller."""
+        payload = event_to_dict(event)
+        with self._lock:
+            if self._closed:
+                self.dropped += 1
+                return
+            try:
+                self.loop.call_soon_threadsafe(self.callback, payload)
+            except RuntimeError:  # loop already closed
+                self.dropped += 1
+                self._closed = True
+                return
+            self.forwarded += 1
+
+    def close(self) -> None:
+        """Stop forwarding (idempotent); later emits are counted drops."""
+        with self._lock:
+            self._closed = True

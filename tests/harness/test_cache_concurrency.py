@@ -1,0 +1,132 @@
+"""Concurrent writers against one ``DiskResultCache`` key.
+
+The cache's documented contract is that its atomic tempfile +
+``os.replace`` protocol is safe under concurrent writers: the worst case
+is two processes computing the same entry and last-write-wins of
+identical bytes.  The service leans on this (N servers may share one
+cache directory), so the claim gets a real two-process race, not a
+comment.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+
+import pytest
+
+from repro.harness.parallel import DiskResultCache
+
+KEY = ("mppt", "HM2", "PFCI", 7, "MPPT&Opt", None, None)
+
+
+@dataclass(frozen=True)
+class Payload:
+    """Small picklable stand-in for a day result."""
+
+    writer: str
+    value: float = 42.0
+
+
+def _race_store(root, name, barrier, errors):
+    try:
+        cache = DiskResultCache(root, fingerprint="race-test")
+        payload = Payload(writer=name)
+        barrier.wait(timeout=30)
+        # Both processes hit os.replace on the same destination at the
+        # same moment, many times over to widen the window.
+        for _ in range(50):
+            cache.store(KEY, payload)
+    except BaseException as exc:  # noqa: BLE001 — reported to the parent
+        errors.put(f"{name}: {type(exc).__name__}: {exc}")
+
+
+def _race_store_vs_load(root, name, barrier, errors):
+    try:
+        cache = DiskResultCache(root, fingerprint="race-test")
+        payload = Payload(writer=name)
+        barrier.wait(timeout=30)
+        for _ in range(50):
+            cache.store(KEY, payload)
+            loaded = cache.load(KEY)
+            # A reader may observe either writer's entry but never a
+            # torn or half-written one.
+            if loaded is not None and not isinstance(loaded, Payload):
+                errors.put(f"{name}: read garbage {loaded!r}")
+    except BaseException as exc:  # noqa: BLE001
+        errors.put(f"{name}: {type(exc).__name__}: {exc}")
+
+
+def _run_pair(target, tmp_path):
+    ctx = multiprocessing.get_context()
+    barrier = ctx.Barrier(2)
+    errors = ctx.Queue()
+    procs = [
+        ctx.Process(target=target, args=(str(tmp_path), name, barrier, errors))
+        for name in ("alpha", "beta")
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0, f"racer died with exit code {p.exitcode}"
+    failures = []
+    while not errors.empty():
+        failures.append(errors.get())
+    assert not failures, failures
+
+
+def test_two_processes_racing_the_same_key_both_succeed(tmp_path):
+    # Pre-create so the format-marker write is not part of the race.
+    DiskResultCache(tmp_path, fingerprint="race-test")
+    _run_pair(_race_store, tmp_path)
+
+    cache = DiskResultCache(tmp_path, fingerprint="race-test")
+    result = cache.load(KEY)
+    assert isinstance(result, Payload)
+    assert result.writer in ("alpha", "beta")  # last write won, intact
+    assert result.value == 42.0
+    # No orphaned temp files: every mkstemp either replaced or unlinked.
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_readers_racing_writers_never_see_torn_entries(tmp_path):
+    DiskResultCache(tmp_path, fingerprint="race-test")
+    _run_pair(_race_store_vs_load, tmp_path)
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_interrupted_write_leaves_no_entry(tmp_path):
+    # The single-process flavor of the same guarantee: a store that dies
+    # mid-write (simulated via a pickling failure) leaves neither a
+    # destination file nor a temp file behind.
+    cache = DiskResultCache(tmp_path, fingerprint="race-test")
+
+    class Unpicklable:
+        def __reduce__(self):
+            raise RuntimeError("simulated mid-write death")
+
+    with pytest.raises(RuntimeError, match="mid-write"):
+        cache.store(KEY, Unpicklable())
+    assert cache.load(KEY) is None
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_corrupt_entry_is_deleted_and_recomputed_not_served(tmp_path):
+    cache = DiskResultCache(tmp_path, fingerprint="race-test")
+    cache.store(KEY, Payload(writer="good"))
+    path = cache.path_for(KEY)
+    # Truncate to model a crash after replace on a non-journaling fs.
+    path.write_bytes(path.read_bytes()[:10])
+    assert cache.load(KEY) is None
+    assert not path.exists()
+
+
+def test_store_bytes_are_stable_for_identical_results(tmp_path):
+    # "Last-write-wins of identical bytes": two writers with the same
+    # result really do produce byte-identical entries.
+    cache = DiskResultCache(tmp_path, fingerprint="race-test")
+    cache.store(KEY, Payload(writer="same"))
+    first = cache.path_for(KEY).read_bytes()
+    cache.store(KEY, Payload(writer="same"))
+    assert cache.path_for(KEY).read_bytes() == first

@@ -1,0 +1,181 @@
+"""The coalescer: exactly-one compute per key, orphans run to completion."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.coalesce import Coalescer
+from tests.service.conftest import run_async
+
+
+class Compute:
+    """An awaitable compute the test releases explicitly."""
+
+    def __init__(self, result="R"):
+        self.calls = 0
+        self.release = asyncio.Event()
+        self.result = result
+
+    async def __call__(self):
+        self.calls += 1
+        await self.release.wait()
+        if isinstance(self.result, Exception):
+            raise self.result
+        return self.result
+
+
+def test_n_waiters_one_compute():
+    async def main():
+        coalescer = Coalescer()
+        compute = Compute()
+        entries = [coalescer.acquire(("k",), compute) for _ in range(8)]
+        attached = [a for _entry, a in entries]
+        assert attached == [False] + [True] * 7
+        waiters = [
+            asyncio.create_task(coalescer.wait(entry))
+            for entry, _a in entries
+        ]
+        await asyncio.sleep(0)  # let the drive task start the compute
+        compute.release.set()
+        results = await asyncio.gather(*waiters)
+        assert results == ["R"] * 8
+        assert compute.calls == 1
+        stats = coalescer.stats()
+        assert stats["computed"] == 1
+        assert stats["coalesced"] == 7
+        assert stats["inflight"] == 0
+        assert stats["orphans"] == 0
+
+    run_async(main())
+
+
+def test_distinct_keys_compute_independently():
+    async def main():
+        coalescer = Coalescer()
+        a, b = Compute("A"), Compute("B")
+        entry_a, _ = coalescer.acquire(("a",), a)
+        entry_b, _ = coalescer.acquire(("b",), b)
+        a.release.set()
+        b.release.set()
+        results = await asyncio.gather(
+            coalescer.wait(entry_a), coalescer.wait(entry_b)
+        )
+        assert results == ["A", "B"]
+        assert coalescer.stats()["computed"] == 2
+
+    run_async(main())
+
+
+def test_completed_key_is_recomputable():
+    async def main():
+        coalescer = Coalescer()
+        first = Compute("one")
+        entry, _ = coalescer.acquire(("k",), first)
+        first.release.set()
+        assert await coalescer.wait(entry) == "one"
+        # The entry is gone; a fresh request computes again (the memory
+        # cache, not the coalescer, is responsible for dedup over time).
+        second = Compute("two")
+        entry2, attached = coalescer.acquire(("k",), second)
+        assert attached is False
+        second.release.set()
+        assert await coalescer.wait(entry2) == "two"
+        assert coalescer.stats()["computed"] == 2
+
+    run_async(main())
+
+
+def test_failures_propagate_to_every_waiter_and_are_not_sticky():
+    async def main():
+        coalescer = Coalescer()
+        failing = Compute(RuntimeError("solver exploded"))
+        entries = [coalescer.acquire(("k",), failing) for _ in range(3)]
+        waiters = [
+            asyncio.create_task(coalescer.wait(entry))
+            for entry, _a in entries
+        ]
+        await asyncio.sleep(0)
+        failing.release.set()
+        results = await asyncio.gather(*waiters, return_exceptions=True)
+        assert all(
+            isinstance(r, RuntimeError) and "exploded" in str(r)
+            for r in results
+        )
+        # Not sticky: the failed entry is gone, a retry starts fresh.
+        retry = Compute("recovered")
+        entry, attached = coalescer.acquire(("k",), retry)
+        assert attached is False
+        retry.release.set()
+        assert await coalescer.wait(entry) == "recovered"
+
+    run_async(main())
+
+
+def test_cancelled_waiter_detaches_without_stopping_the_compute():
+    async def main():
+        coalescer = Coalescer()
+        compute = Compute()
+        entry, _ = coalescer.acquire(("k",), compute)
+        entry2, attached = coalescer.acquire(("k",), compute)
+        assert attached
+        survivor = asyncio.create_task(coalescer.wait(entry))
+        victim = asyncio.create_task(coalescer.wait(entry2))
+        await asyncio.sleep(0)
+        victim.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await victim
+        # The survivor still gets the result: cancellation detached one
+        # waiter, it did not kill the shared compute.
+        compute.release.set()
+        assert await survivor == "R"
+        assert coalescer.stats()["orphans"] == 0
+
+    run_async(main())
+
+
+def test_fully_orphaned_compute_runs_to_completion():
+    finished = asyncio.Event()
+
+    async def main():
+        coalescer = Coalescer()
+
+        async def compute():
+            await asyncio.sleep(0.01)
+            finished.set()
+            return "warm"
+
+        entry, _ = coalescer.acquire(("k",), compute)
+        waiter = asyncio.create_task(coalescer.wait(entry))
+        await asyncio.sleep(0)
+        waiter.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await waiter
+        assert coalescer.stats()["orphans"] == 1
+        # The orphan keeps running and completes; the cache-warming side
+        # effect (in the real service, runner.run_task storing the
+        # result) therefore still happens.
+        await asyncio.wait_for(finished.wait(), 5)
+        await asyncio.sleep(0)  # let _drive clear the entry
+        assert coalescer.stats()["inflight"] == 0
+
+    run_async(main())
+
+
+def test_orphaned_failure_is_swallowed_not_unraised():
+    async def main():
+        coalescer = Coalescer()
+
+        async def compute():
+            raise RuntimeError("orphan death")
+
+        entry, _ = coalescer.acquire(("k",), compute)
+        coalescer.release(entry)  # every waiter gone before it even ran
+        await asyncio.sleep(0.01)
+        # No 'exception was never retrieved' warning and no crash: the
+        # done-callback consumed it.  The entry is cleared.
+        assert coalescer.stats()["inflight"] == 0
+        assert coalescer.stats()["orphans"] == 1
+
+    run_async(main())

@@ -1,0 +1,146 @@
+"""Hypothesis state machine over the job lifecycle.
+
+The :class:`~repro.service.jobs.JobTable` was built synchronous precisely
+so this test can exist: Hypothesis drives *arbitrary interleavings* of
+submit / transition-attempt / cancel / subscribe / unsubscribe against a
+trivial model, and shrinks any violating sequence to its minimal form.
+
+Properties pinned:
+
+* a job's observed state always equals the model's (no transition applies
+  without being valid, no valid transition is lost);
+* an invalid transition raises and leaves the job untouched — terminal
+  jobs can never resurrect;
+* every live subscription's notification sequence is a contiguous walk of
+  the transition relation;
+* **the terminal guarantee**: a subscriber of a terminal job has always
+  already received the terminal notification, no matter when it
+  subscribed relative to the transitions.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.harness.parallel import SweepTask
+from repro.service.jobs import (
+    JOB_STATES,
+    QUEUED,
+    TERMINAL_STATES,
+    VALID_TRANSITIONS,
+    InvalidTransition,
+    JobSpec,
+    JobTable,
+)
+
+_SPEC = JobSpec(tasks=(SweepTask("mppt", "HM2", "AZ", 7),))
+
+#: Target states a transition attempt may name (everything but queued —
+#: nothing ever goes *back* to queued, and the machine tries them all).
+_TARGETS = sorted(JOB_STATES - {QUEUED})
+
+
+class JobLifecycleMachine(RuleBasedStateMachine):
+    jobs = Bundle("jobs")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.table = JobTable()
+        #: The model: job_id -> expected state.
+        self.model: dict[str, str] = {}
+        #: (job, subscription, every notification it ever received).
+        self.subscriptions: list[tuple] = []
+
+    # -- rules ----------------------------------------------------------
+    @rule(target=jobs)
+    def submit(self):
+        job = self.table.create(_SPEC)
+        self.model[job.job_id] = QUEUED
+        return job
+
+    @rule(job=jobs, target_state=st.sampled_from(_TARGETS))
+    def attempt_transition(self, job, target_state):
+        expected = self.model[job.job_id]
+        if target_state in VALID_TRANSITIONS[expected]:
+            self.table.transition(job, target_state)
+            self.model[job.job_id] = target_state
+        else:
+            with pytest.raises(InvalidTransition):
+                self.table.transition(job, target_state)
+
+    @rule(job=jobs)
+    def cancel(self, job):
+        expected = self.model[job.job_id]
+        cancelled = self.table.cancel(job)
+        if expected in TERMINAL_STATES:
+            assert cancelled is False, "cancel resurrected a terminal job"
+        else:
+            assert cancelled is True
+            self.model[job.job_id] = "cancelled"
+
+    @rule(job=jobs)
+    def subscribe(self, job):
+        sub = self.table.subscribe(job.job_id)
+        received = list(sub.drain())
+        sub.listener = received.append
+        self.subscriptions.append((job, sub, received))
+
+    @rule(data=st.data())
+    def unsubscribe(self, data):
+        if not self.subscriptions:
+            return
+        index = data.draw(
+            st.integers(min_value=0, max_value=len(self.subscriptions) - 1)
+        )
+        job, sub, received = self.subscriptions.pop(index)
+        self.table.unsubscribe(sub)
+
+    # -- invariants ------------------------------------------------------
+    @invariant()
+    def states_match_the_model(self):
+        for job_id, expected in self.model.items():
+            job = self.table.get(job_id)
+            assert job.state == expected
+            assert job.state in JOB_STATES
+
+    @invariant()
+    def notification_sequences_walk_the_relation(self):
+        for job, sub, received in self.subscriptions:
+            states = [n["state"] for n in received]
+            for earlier, later in zip(states, states[1:]):
+                assert later in VALID_TRANSITIONS[earlier], (
+                    f"notified {earlier} -> {later}, which is not a "
+                    "valid transition"
+                )
+
+    @invariant()
+    def terminal_jobs_always_notified(self):
+        # The guarantee: however submit/transition/subscribe interleaved,
+        # a subscriber of a terminal job holds the terminal notification.
+        for job, sub, received in self.subscriptions:
+            if job.state in TERMINAL_STATES:
+                states = [n["state"] for n in received]
+                assert job.state in states, (
+                    f"job reached {job.state} but this subscriber never "
+                    f"heard of it (saw only {states})"
+                )
+
+    @invariant()
+    def counts_account_for_every_job(self):
+        counts = self.table.counts()
+        assert sum(counts.values()) == len(self.model)
+
+
+JobLifecycleMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+
+TestJobLifecycle = JobLifecycleMachine.TestCase

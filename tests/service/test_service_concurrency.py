@@ -1,0 +1,293 @@
+"""The service's concurrency contracts, proven end to end over real HTTP.
+
+Three headline guarantees:
+
+* **coalescing** — 8 concurrent identical jobs run exactly one compute
+  (pinned by the ``runner.computes`` telemetry counter, which only the
+  runner's compute path increments);
+* **backpressure** — a WebSocket client that stops reading loses old
+  messages (counted) while the producer never blocks;
+* **cancellation** — cancelling a job mid-compute answers immediately,
+  while the orphaned compute finishes and leaves the cache warm and the
+  ledger consistent.
+
+Every test drives a real :class:`SolarCoreService` bound to an ephemeral
+port, with the compute gated by the :class:`~tests.service.conftest.GatedCompute`
+fake so "mid-compute" is a deterministic place, not a race.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from repro.service.jobs import CANCELLED, DONE, RUNNING
+from tests.service.conftest import run_async
+
+SPEC = {"mix": "HM2", "site": "AZ", "month": 7}
+
+
+async def wait_until(predicate, timeout=10.0, interval=0.005):
+    """Poll ``predicate()`` until truthy (or fail the enclosing wait_for)."""
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        await asyncio.sleep(interval)
+
+
+# ----------------------------------------------------------------------
+# Coalescing
+# ----------------------------------------------------------------------
+def test_eight_concurrent_identical_jobs_run_exactly_one_compute(
+    harness_factory, gated_compute
+):
+    async def main():
+        async with harness_factory() as h:
+            loop = asyncio.get_running_loop()
+            # 8 clients race the same cell; the gate holds the single
+            # compute so every submission demonstrably overlaps it.
+            submissions = [
+                loop.create_task(h.client.submit(dict(SPEC), wait=True))
+                for _ in range(8)
+            ]
+            await loop.run_in_executor(None, gated_compute.started.wait, 10)
+            await wait_until(
+                lambda: h.service.coalescer.stats()["coalesced"] == 7
+            )
+            assert h.service.table.counts()[RUNNING] == 8
+            gated_compute.release()
+            docs = await asyncio.gather(*submissions)
+
+            assert [d["state"] for d in docs] == [DONE] * 8
+            # The one compute, attested three independent ways: the fake
+            # itself, the loop-side coalescer, and the runner's counter.
+            assert gated_compute.calls == 1
+            stats = await h.client.stats()
+            assert stats["coalesce"]["computed"] == 1
+            assert stats["coalesce"]["coalesced"] == 7
+            assert stats["counters"]["runner.computes"] == 1
+            # Exactly one job started the compute; the other 7 attached.
+            assert sum(d["coalesced"] for d in docs) == 7
+            # Everyone got the same result payload.
+            results = {json.dumps(d["result"], sort_keys=True) for d in docs}
+            assert len(results) == 1
+
+    run_async(main())
+
+
+def test_sequential_resubmission_is_a_memory_cache_hit(
+    harness_factory, gated_compute
+):
+    async def main():
+        gated_compute.release()  # no gating needed here
+        async with harness_factory() as h:
+            first = await h.client.submit(dict(SPEC), wait=True)
+            second = await h.client.submit(dict(SPEC), wait=True)
+            assert first["state"] == second["state"] == DONE
+            assert gated_compute.calls == 1
+            assert second["cache_hits"] == 1
+            assert second["coalesced"] == 0
+
+    run_async(main())
+
+
+def test_overlapping_multi_task_jobs_coalesce_per_task(
+    harness_factory, gated_compute
+):
+    async def main():
+        async with harness_factory() as h:
+            loop = asyncio.get_running_loop()
+            a = {"tasks": [dict(SPEC), dict(SPEC, month=1)]}
+            b = {"tasks": [dict(SPEC, month=1), dict(SPEC, month=3)]}
+            jobs = [
+                loop.create_task(h.client.submit(a, wait=True)),
+                loop.create_task(h.client.submit(b, wait=True)),
+            ]
+            await wait_until(
+                lambda: h.service.coalescer.stats()["computed"] == 3
+            )
+            gated_compute.release()
+            docs = await asyncio.gather(*jobs)
+            assert [d["state"] for d in docs] == [DONE] * 2
+            # 4 requested tasks, 3 distinct cells: the shared month-1
+            # cell computed once, whichever job got there second attached.
+            assert gated_compute.calls == 3
+            assert sum(d["coalesced"] for d in docs) == 1
+
+    run_async(main())
+
+
+def test_distinct_jobs_do_not_coalesce(harness_factory, gated_compute):
+    async def main():
+        gated_compute.release()
+        async with harness_factory() as h:
+            await h.client.submit(dict(SPEC), wait=True)
+            await h.client.submit(dict(SPEC, month=1), wait=True)
+            assert gated_compute.calls == 2
+            assert (await h.client.stats())["coalesce"]["coalesced"] == 0
+
+    run_async(main())
+
+
+# ----------------------------------------------------------------------
+# Backpressure
+# ----------------------------------------------------------------------
+def test_slow_websocket_client_drops_oldest_and_never_blocks_producer(
+    harness_factory,
+):
+    async def main():
+        async with harness_factory(client_queue_size=4) as h:
+            ws = await h.client.ws("/ws/telemetry")
+            await ws.recv()  # the greeting snapshot; then stop reading
+
+            hub = h.service.stream_hub
+            # Publish until backpressure is visible: the pump stalls on
+            # the unread socket, the 4-slot queue fills, oldest messages
+            # drop.  The loop itself is the "never blocks" proof — each
+            # publish is synchronous; a blocking producer would hang here
+            # and trip the suite's hard timeout.
+            padding = "x" * 65536
+            start = time.perf_counter()
+            published = 0
+            while hub.stats()["drops"] == 0:
+                assert published < 2000, "no drops after 2000 publishes"
+                for _ in range(25):
+                    hub.publish({"type": "pad", "data": padding})
+                    published += 1
+                await asyncio.sleep(0)  # let the pump run (and stall)
+            elapsed = time.perf_counter() - start
+
+            stats = hub.stats()
+            assert stats["drops"] > 0
+            assert stats["published"] >= published
+            # ~publish-rate sanity: pushing into a full bounded queue is
+            # a deque rotation, not a wait.
+            assert elapsed < 10.0
+
+            # The stuck client costs only itself: the HTTP plane and the
+            # job plane still answer immediately.
+            assert (await h.client.healthz()) == {"status": "ok"}
+            await ws.close()
+
+    run_async(main())
+
+
+def test_fresh_client_after_slow_one_sees_live_traffic(harness_factory):
+    async def main():
+        async with harness_factory(client_queue_size=4) as h:
+            slow = await h.client.ws("/ws/telemetry")
+            await slow.recv()
+            # Saturate the slow client far past its queue.
+            for i in range(50):
+                h.service.stream_hub.publish({"type": "pad", "i": i})
+            fresh = await h.client.ws("/ws/telemetry")
+            greeting = await fresh.recv()
+            assert greeting["type"] == "snapshot"
+            h.service.stream_hub.publish({"type": "pad", "i": "new"})
+            message = await asyncio.wait_for(fresh.recv(), 5)
+            assert message == {"type": "pad", "i": "new"}
+            await fresh.close()
+            await slow.close()
+
+    run_async(main())
+
+
+# ----------------------------------------------------------------------
+# Cancellation mid-compute
+# ----------------------------------------------------------------------
+def test_cancel_mid_compute_answers_now_and_still_warms_the_cache(
+    harness_factory, gated_compute, tmp_path
+):
+    async def main():
+        async with harness_factory(runs_dir=tmp_path / "runs") as h:
+            loop = asyncio.get_running_loop()
+            doc = await h.client.submit(dict(SPEC))
+            job_id = doc["job_id"]
+            ws = await h.client.ws(f"/ws/jobs/{job_id}")
+            await loop.run_in_executor(None, gated_compute.started.wait, 10)
+
+            # Cancel while the compute thread is demonstrably inside the
+            # simulation.  The API answers immediately — it does not wait
+            # for the thread, which cannot be preempted.
+            cancel_doc = await h.client.cancel(job_id)
+            assert cancel_doc["cancelled"] is True
+            assert cancel_doc["state"] == CANCELLED
+            assert gated_compute.finished == 0
+            states = [m["state"] for m in await ws.drain_until_closed()]
+            assert states[-1] == CANCELLED
+            await ws.close()
+
+            # The orphaned compute runs to completion and stores its
+            # result; cancelling again is a documented no-op.
+            assert h.service.coalescer.stats()["orphans"] == 1
+            gated_compute.release()
+            await wait_until(lambda: gated_compute.finished == 1)
+            await wait_until(
+                lambda: h.service.coalescer.stats()["inflight"] == 0
+            )
+            assert (await h.client.cancel(job_id))["cancelled"] is False
+
+            # Cache consistent: the same cell is now a pure memory hit.
+            redo = await h.client.submit(dict(SPEC), wait=True)
+            assert redo["state"] == DONE
+            assert redo["cache_hits"] == 1
+            assert gated_compute.calls == 1
+
+            # Ledger consistent: one manifest per terminal job, states
+            # and cache tier counts matching what actually happened.
+            await wait_until(
+                lambda: len(list((tmp_path / "runs").glob("*.json"))) == 2
+            )
+            manifests = [
+                json.loads(p.read_text())
+                for p in sorted((tmp_path / "runs").glob("*.json"))
+            ]
+            by_state = {m["extra"]["state"]: m for m in manifests}
+            assert set(by_state) == {CANCELLED, DONE}
+            assert by_state[CANCELLED]["extra"]["job_id"] == job_id
+            assert by_state[DONE]["extra"]["cache_hits"] == 1
+            assert by_state[DONE]["cache"]["computes"] == 1
+
+    run_async(main())
+
+
+def test_cancel_queued_job_never_computes(harness_factory, gated_compute):
+    async def main():
+        async with harness_factory() as h:
+            # Occupy the single job pipeline deterministically: job A
+            # holds the gate, job B targets a *different* cell but we
+            # cancel it before releasing anything.
+            a = await h.client.submit(dict(SPEC))
+            b = await h.client.submit(dict(SPEC, month=2))
+            cancel_doc = await h.client.cancel(b["job_id"])
+            assert cancel_doc["state"] == CANCELLED
+            gated_compute.release()
+            done = await h.client.wait_terminal(a["job_id"])
+            assert done["state"] == DONE
+            # B's cell may have started (its compute was in flight when
+            # cancelled -> orphan) or not; either way A computed once
+            # and B delivered no result.
+            assert (await h.client.job(b["job_id"])).get("result") is None
+
+    run_async(main())
+
+
+# ----------------------------------------------------------------------
+# Shutdown
+# ----------------------------------------------------------------------
+def test_close_with_live_jobs_cancels_them_cleanly(
+    harness_factory, gated_compute
+):
+    async def main():
+        h = harness_factory()
+        async with h:
+            doc = await h.client.submit(dict(SPEC))
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, gated_compute.started.wait, 10)
+            gated_compute.release()
+        # aclose() transitioned the live job before cancelling its task.
+        job = h.service.table.get(doc["job_id"])
+        assert job.state == CANCELLED
+
+    run_async(main())

@@ -1,0 +1,117 @@
+"""The hand-rolled RFC 6455 subset, pinned against the RFC itself."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import wsproto
+from tests.service.conftest import run_async
+
+
+async def decode(data: bytes, **kwargs) -> tuple[int, bytes]:
+    """Read one frame out of raw bytes (reader built on the test's loop)."""
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return await wsproto.read_frame(reader, **kwargs)
+
+
+def test_accept_key_rfc_vector():
+    # The worked example of RFC 6455 §1.3.
+    assert (
+        wsproto.accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+        == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+    )
+
+
+def test_mask_is_involutive():
+    payload = bytes(range(256)) * 7 + b"tail"
+    key = b"\x37\xfa\x21\x3d"
+    masked = wsproto._mask(payload, key)
+    assert masked != payload
+    assert wsproto._mask(masked, key) == payload
+    assert wsproto._mask(b"", key) == b""
+
+
+def test_mask_matches_per_byte_definition():
+    # The big-int implementation must equal RFC 6455 §5.3's byte-wise XOR.
+    payload = b"Hello, telemetry!"
+    key = b"\x01\x02\x03\x04"
+    expected = bytes(
+        b ^ key[i % 4] for i, b in enumerate(payload)
+    )
+    assert wsproto._mask(payload, key) == expected
+
+
+@pytest.mark.parametrize("size", [0, 1, 125, 126, 127, 1000, 1 << 16, (1 << 16) + 17])
+@pytest.mark.parametrize("masked", [False, True])
+def test_frame_roundtrip_all_length_encodings(size, masked):
+    payload = bytes(i & 0xFF for i in range(size))
+    frame = wsproto.encode_frame(wsproto.OP_BINARY, payload, masked=masked)
+    opcode, decoded = run_async(
+        decode(frame, max_size=1 << 17)
+    )
+    assert opcode == wsproto.OP_BINARY
+    assert decoded == payload
+
+
+def test_text_frame_roundtrip():
+    frame = wsproto.encode_frame(wsproto.OP_TEXT, "héllo".encode(), masked=True)
+    opcode, payload = run_async(decode(frame))
+    assert opcode == wsproto.OP_TEXT
+    assert payload.decode() == "héllo"
+
+
+def test_control_frames_roundtrip():
+    for opcode in (wsproto.OP_PING, wsproto.OP_PONG, wsproto.OP_CLOSE):
+        frame = wsproto.encode_frame(opcode, b"x" * 125)
+        got_op, got_payload = run_async(decode(frame))
+        assert (got_op, got_payload) == (opcode, b"x" * 125)
+
+
+def test_oversized_control_frame_rejected_at_encode():
+    with pytest.raises(wsproto.WSProtocolError, match="125"):
+        wsproto.encode_frame(wsproto.OP_PING, b"x" * 126)
+
+
+def test_fragmented_frame_rejected():
+    # FIN=0 text frame: a fragment start we deliberately do not support.
+    frame = bytearray(wsproto.encode_frame(wsproto.OP_TEXT, b"part"))
+    frame[0] &= 0x7F  # clear FIN
+    with pytest.raises(wsproto.WSProtocolError, match="fragmented"):
+        run_async(decode(bytes(frame)))
+
+
+def test_continuation_opcode_rejected():
+    frame = bytearray(wsproto.encode_frame(wsproto.OP_TEXT, b"part"))
+    frame[0] = 0x80 | wsproto.OP_CONT
+    with pytest.raises(wsproto.WSProtocolError, match="fragmented"):
+        run_async(decode(bytes(frame)))
+
+
+def test_reserved_bits_rejected():
+    frame = bytearray(wsproto.encode_frame(wsproto.OP_TEXT, b"hi"))
+    frame[0] |= 0x40  # RSV1, as a compression extension would set
+    with pytest.raises(wsproto.WSProtocolError, match="eserved"):
+        run_async(decode(bytes(frame)))
+
+
+def test_unknown_opcode_rejected():
+    frame = bytearray(wsproto.encode_frame(wsproto.OP_TEXT, b"hi"))
+    frame[0] = 0x80 | 0x3
+    with pytest.raises(wsproto.WSProtocolError, match="opcode"):
+        run_async(decode(bytes(frame)))
+
+
+def test_oversized_frame_rejected_before_reading_payload():
+    frame = wsproto.encode_frame(wsproto.OP_BINARY, b"y" * 4096)
+    with pytest.raises(wsproto.WSProtocolError, match="max_size"):
+        run_async(decode(frame, max_size=1024))
+
+
+def test_peer_hangup_mid_frame_raises_incomplete_read():
+    frame = wsproto.encode_frame(wsproto.OP_BINARY, b"z" * 100)
+    with pytest.raises(asyncio.IncompleteReadError):
+        run_async(decode(frame[:20]))
