@@ -102,6 +102,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(f"  {name}")
     print("  Fixed-<watts>  (via simulate --fixed-budget)")
     print("  Battery        (via simulate --battery-derating)")
+    print("\nchip presets (--chip; custom mixes via the spec grammar):")
+    from repro.multicore.spec import CHIP_PRESETS
+
+    for name, spec in CHIP_PRESETS.items():
+        print(f"  {spec.describe()}")
     return 0
 
 
@@ -171,7 +176,10 @@ def _solver_config(args: argparse.Namespace):
     """The :class:`SolarCoreConfig` the command's flags ask for."""
     from repro.core.config import SolarCoreConfig
 
-    return SolarCoreConfig(solver=getattr(args, "solver", "exact"))
+    return SolarCoreConfig(
+        solver=getattr(args, "solver", "exact"),
+        chip_spec=getattr(args, "chip", "alpha8"),
+    )
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -226,9 +234,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _sweep_runner(args: argparse.Namespace):
     """The parallel/caching/resilient runner the sweep flags ask for, or None.
 
-    A non-default ``--solver`` also forces a runner: the experiment
-    functions fall back to the module-level default runner otherwise,
-    which is pinned to the exact-solver config.
+    A non-default ``--solver`` or ``--chip`` also forces a runner: the
+    experiment functions fall back to the module-level default runner
+    otherwise, which is pinned to the exact-solver default-chip config.
     """
     if args.resume and args.checkpoint is None:
         raise SystemExit("error: --resume requires --checkpoint FILE")
@@ -240,6 +248,7 @@ def _sweep_runner(args: argparse.Namespace):
         or args.task_timeout is not None
         or args.checkpoint is not None
         or config.solver != "exact"
+        or config.chip_spec != "alpha8"
     )
     if not wants_runner:
         return None
@@ -487,6 +496,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "surfaces + batched day engine (10x+ faster, "
                           "accuracy per the declared error bound)")
 
+    # Chip model choice for the simulating commands, e.g.
+    #   repro simulate --site AZ --month 7 --chip biglittle
+    #   repro campaign --sites AZ --chip 'big*4+little*4@45nm:cons'
+    chip = argparse.ArgumentParser(add_help=False)
+    chp = chip.add_argument_group("chip model")
+    chp.add_argument("--chip", default="alpha8",
+                     help="chip spec: a preset (alpha8, biglittle, hetero3, "
+                          "little8) or the mix grammar "
+                          "'type*count+...@<node>nm:<model>[;uncore=W]' "
+                          "(default: alpha8, the paper's homogeneous chip)")
+
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="show stations, mixes, and policies",
@@ -506,7 +526,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=None)
 
     simulate = sub.add_parser("simulate", help="run one day simulation",
-                              parents=[common, solver])
+                              parents=[common, solver, chip])
     simulate.add_argument("--mix", default="HM2")
     simulate.add_argument("--site", "--location", dest="site", default="AZ",
                           help="station code (PFCI/BMS/ECSU/ORNL or AZ/CO/NC/TN)")
@@ -525,7 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "'sensor_dropout@600-660,conv_eff@400-:0.85'")
 
     rack = sub.add_parser("rack", help="simulate a rack on a shared farm",
-                          parents=[common, solver])
+                          parents=[common, solver, chip])
     rack.add_argument("--mixes", nargs="+", default=["H1", "L1", "HM2", "ML2"])
     rack.add_argument("--site", "--location", dest="site", default="AZ")
     rack.add_argument("--month", type=int, default=7)
@@ -535,7 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="inject a fault schedule into the shared farm")
 
     campaign = sub.add_parser("campaign", help="multi-day campaign + carbon",
-                              parents=[common, sweep, solver])
+                              parents=[common, sweep, solver, chip])
     campaign.add_argument("--mix", default="HM2")
     campaign.add_argument("--sites", "--locations", dest="sites", nargs="+",
                           default=["AZ", "TN"])
@@ -546,12 +566,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="apply a fault schedule to every campaign day")
 
     experiment = sub.add_parser("experiment", help="regenerate a paper artifact",
-                                parents=[common, sweep, solver])
+                                parents=[common, sweep, solver, chip])
     experiment.add_argument("name", help=f"one of: {', '.join(sorted(_EXPERIMENTS))}")
 
     profile = sub.add_parser(
         "profile", help="profile day simulations (phase wall-time + solver work)",
-        parents=[common, solver])
+        parents=[common, solver, chip])
     profile.add_argument("--mix", default="HM2")
     profile.add_argument("--site", "--location", dest="site", default="AZ")
     profile.add_argument("--month", type=int, default=7)
@@ -579,7 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve", help="run the async job server (HTTP + WebSocket)",
-        parents=[common, solver])
+        parents=[common, solver, chip])
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address (default: 127.0.0.1)")
     serve.add_argument("--port", type=int, default=8321,

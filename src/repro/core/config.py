@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.multicore.chip import NOMINAL_RAIL_V
+from repro.multicore.spec import ChipSpec
 
 __all__ = ["SolarCoreConfig"]
 
@@ -64,6 +65,13 @@ class SolarCoreConfig:
             measured error bound) and unlocks the batched day engine.
             Devices the surfaces cannot represent (fault-injected
             arrays, shaded strings) fall back to exact with a warning.
+        chip_spec: The chip the policies simulate, as a
+            :class:`~repro.multicore.spec.ChipSpec` string — a preset
+            name (``alpha8``, ``biglittle``, ``hetero3``, ``little8``)
+            or the mix grammar (``big*4+little*4@45nm:cons``).  Stored
+            in canonical form, so equal chips compare (and cache-key)
+            equal; the default ``alpha8`` is the paper's homogeneous
+            8-core chip, byte-identical to the pre-ChipSpec model.
     """
 
     rail_voltage: float = NOMINAL_RAIL_V
@@ -83,6 +91,7 @@ class SolarCoreConfig:
     sensor_staleness_min: float = 5.0
     degraded_budget_fraction: float = 0.5
     solver: str = "exact"
+    chip_spec: str = "alpha8"
 
     def __post_init__(self) -> None:
         if self.rail_voltage <= 0:
@@ -122,3 +131,13 @@ class SolarCoreConfig:
             raise ValueError(
                 f"solver must be 'exact' or 'table', got {self.solver!r}"
             )
+        if not isinstance(self.chip_spec, str):
+            raise ValueError(
+                f"chip_spec must be a spec string, got {self.chip_spec!r}"
+            )
+        # Canonicalize so configs naming the same chip compare equal and
+        # share one sweep-cache identity ("alpha*8@90nm:itrs;uncore=45.0"
+        # and "alpha8" are the same cache key).
+        object.__setattr__(
+            self, "chip_spec", ChipSpec.parse(self.chip_spec).canonical()
+        )

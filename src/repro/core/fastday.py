@@ -79,8 +79,19 @@ class _DayArrays:
 
 
 def _ipc_matrix(chip, minutes: np.ndarray) -> np.ndarray:
-    """Per-core phase IPC at every step: shape ``(n_cores, n_steps)``."""
-    return np.stack([core.phase_trace.ipc_array(minutes) for core in chip.cores])
+    """Per-core *effective* IPC at every step: shape ``(n_cores, n_steps)``.
+
+    The benchmark's phase IPC scaled by each core type's PERF base, so
+    every downstream array program sees what the core's performance
+    counters would report (for the homogeneous default the scale is
+    exactly 1.0 and the matrix is bit-identical to the raw phase IPCs).
+    """
+    return np.stack(
+        [
+            core._ipc_scale * core.phase_trace.ipc_array(minutes)
+            for core in chip.cores
+        ]
+    )
 
 
 def _floor_array(chip, ipc: np.ndarray, with_gating: bool) -> np.ndarray:
@@ -91,14 +102,24 @@ def _floor_array(chip, ipc: np.ndarray, with_gating: bool) -> np.ndarray:
     no tuner ever gates a core (``make_tuner(allow_gating=False)``), so
     the floor is the all-cores sum at the bottom level.  Either way the
     array depends only on the phase IPCs, never on mutable chip state.
+
+    Heterogeneity: every coefficient is per-core — each core's own table
+    bottom, voltage ratio, and leakage reference.  For the homogeneous
+    default the per-core values equal the old shared-table scalars, and
+    broadcasting the same float64 multiply per element keeps the result
+    bit-identical.
     """
-    table = chip.power_model.table
-    level = table.min_level
-    vr2 = (table.voltage(level) / table.max_voltage) ** 2
-    freq = table.frequency(level)
-    leak = chip.power_model.leakage_ref_w * vr2
-    epi = np.array([core.bench.epi_nj for core in chip.cores])
-    per_core = epi[:, None] * (vr2 * freq) * ipc + leak
+    vr2f = np.empty(len(chip.cores))
+    leak = np.empty(len(chip.cores))
+    epi = np.empty(len(chip.cores))
+    for i, core in enumerate(chip.cores):
+        table = core.table
+        level = table.min_level
+        vr2 = (table.voltage(level) / table.max_voltage) ** 2
+        vr2f[i] = vr2 * table.frequency(level)
+        leak[i] = core.power_model.leakage_ref_w * vr2
+        epi[i] = core._epi_nj
+    per_core = epi[:, None] * vr2f[:, None] * ipc + leak[:, None]
     folded = per_core.min(axis=0) if with_gating else per_core.sum(axis=0)
     return chip.uncore_power_w + folded
 
@@ -107,23 +128,22 @@ def _span_coefficients(chip) -> tuple[np.ndarray, np.ndarray, float]:
     """Affine chip coefficients for the *current* (frozen) DVFS state.
 
     Returns ``(dyn, freq, leak)`` with per-core dynamic-power slopes
-    [W per IPC], per-core frequencies [GHz] (zero where gated), and the
-    total active leakage [W].
+    [W per effective IPC], per-core frequencies [GHz] (zero where
+    gated), and the total active leakage [W].  Each core contributes
+    through its own DVFS table and power model.
     """
-    table = chip.power_model.table
-    vmax = table.max_voltage
-    leak_ref = chip.power_model.leakage_ref_w
     dyn = np.zeros(len(chip.cores))
     freq = np.zeros(len(chip.cores))
     leak = 0.0
     for i, core in enumerate(chip.cores):
         if core.gated:
             continue
+        table = core.table
         point = table[core.level]
-        vr2 = (point.voltage_v / vmax) ** 2
-        dyn[i] = core.bench.epi_nj * vr2 * point.frequency_ghz
+        vr2 = (point.voltage_v / table.max_voltage) ** 2
+        dyn[i] = core._epi_nj * vr2 * point.frequency_ghz
         freq[i] = point.frequency_ghz
-        leak += leak_ref * vr2
+        leak += core.power_model.leakage_ref_w * vr2
     return dyn, freq, leak
 
 

@@ -48,7 +48,7 @@ def allocate_budget(
             configuration.
     """
     chip.ungate_all()
-    chip.set_all_levels(chip.table.min_level)
+    chip.set_all_min()
     power = chip.total_power_at(minute)
     if power > budget_w and allow_gating:
         # Shed whole cores, least efficient first, until the floor fits.
@@ -69,7 +69,7 @@ def allocate_budget(
                 if core is not cheapest:
                     core.gate()
             cheapest.ungate()
-            cheapest.set_level(chip.table.min_level)
+            cheapest.set_level(cheapest.table.min_level)
             power = chip.total_power_at(minute)
     if power > budget_w:
         raise ValueError(
@@ -112,19 +112,22 @@ def lp_allocation_bound(chip: MultiCoreChip, budget_w: float, minute: float) -> 
     budget_w = budget_w - chip.uncore_power_w
     if budget_w <= 0:
         raise ValueError("budget does not even cover the uncore power")
-    n_levels = len(chip.table)
     n_cores = chip.n_cores
-    throughput = np.empty(n_cores * n_levels)
-    power = np.empty(n_cores * n_levels)
+    # Per-core level counts: heterogeneous chips have per-type table depths.
+    level_counts = [len(core.table) for core in chip.cores]
+    offsets = np.concatenate(([0], np.cumsum(level_counts)))
+    n_vars = int(offsets[-1])
+    throughput = np.empty(n_vars)
+    power = np.empty(n_vars)
     for i, core in enumerate(chip.cores):
-        for level in range(n_levels):
-            throughput[i * n_levels + level] = core.throughput_at_level(level, minute)
-            power[i * n_levels + level] = core.power_at_level(level, minute)
+        for level in range(level_counts[i]):
+            throughput[offsets[i] + level] = core.throughput_at_level(level, minute)
+            power[offsets[i] + level] = core.power_at_level(level, minute)
 
     # One-hot (fractional) selection rows.
-    a_eq = np.zeros((n_cores, n_cores * n_levels))
+    a_eq = np.zeros((n_cores, n_vars))
     for i in range(n_cores):
-        a_eq[i, i * n_levels : (i + 1) * n_levels] = 1.0
+        a_eq[i, offsets[i] : offsets[i + 1]] = 1.0
 
     result = linprog(
         c=-throughput,

@@ -41,6 +41,20 @@ __all__ = [
 ]
 
 
+def _apply_utility_level(chip: MultiCoreChip, level: int | None) -> None:
+    """Run the chip at the utility (grid) operating point.
+
+    ``None`` means full speed — every core at its own table's top level
+    (the heterogeneity-safe default); an explicit level is clamped to
+    each core's table depth.
+    """
+    if level is None:
+        chip.set_all_max()
+    else:
+        for core in chip.cores:
+            core.set_level(min(level, core.table.max_level))
+
+
 class MPPTPolicy(SupplyPolicy):
     """The SolarCore policy day: MPP tracking plus IC/RR/Opt load tuning.
 
@@ -65,8 +79,11 @@ class MPPTPolicy(SupplyPolicy):
         self.workload = workload
         self.cfg = cfg
         self.tel = telemetry
-        self.chip = MultiCoreChip(workload, table=dvfs_table)
-        self.chip.set_all_levels(self.chip.table.min_level)
+        if dvfs_table is not None:
+            self.chip = MultiCoreChip(workload, table=dvfs_table)
+        else:
+            self.chip = MultiCoreChip(workload, spec=cfg.chip_spec)
+        self.chip.set_all_min()
         self.converter = converter or DCDCConverter()
         self.tuner = make_tuner(policy, allow_gating=cfg.enable_pcpg)
         self.controller = SolarCoreController(
@@ -78,11 +95,7 @@ class MPPTPolicy(SupplyPolicy):
         self.tracking_events = 0
         self._last_track_minute = -float("inf")
         self._last_track_mpp: float | None = None
-        self._utility_level = (
-            self.chip.table.max_level
-            if cfg.utility_level is None
-            else cfg.utility_level
-        )
+        self._utility_level = cfg.utility_level
 
     def floor_power(self, ctx: StepContext) -> float:
         return self.chip.floor_power_at(ctx.minute, with_gating=self.cfg.enable_pcpg)
@@ -90,7 +103,7 @@ class MPPTPolicy(SupplyPolicy):
     def enter_solar(self, ctx: StepContext) -> None:
         # Soft-start: engage the panel at the minimum load.
         self.chip.ungate_all()
-        self.chip.set_all_levels(self.chip.table.min_level)
+        self.chip.set_all_min()
         self._last_track_minute = -float("inf")
         if self.predictor is not None:
             self.predictor.reset()
@@ -188,7 +201,7 @@ class MPPTPolicy(SupplyPolicy):
         # Conventional CMP on grid power.
         chip = self.chip
         chip.ungate_all()
-        chip.set_all_levels(self._utility_level)
+        _apply_utility_level(chip, self._utility_level)
         consumed = chip.total_power_at(ctx.minute)
         chip.advance(ctx.minute, ctx.dt)
         return StepSample(
@@ -222,15 +235,11 @@ class FixedBudgetPolicy(SupplyPolicy):
         self.budget_w = budget_w
         self.cfg = cfg
         self.tel = telemetry
-        self.chip = MultiCoreChip(workload)
+        self.chip = MultiCoreChip(workload, spec=cfg.chip_spec)
         self.name = f"Fixed-{budget_w:.0f}W"
         self.tracking_events = 0
         self._last_alloc_minute = -float("inf")
-        self._utility_level = (
-            self.chip.table.max_level
-            if cfg.utility_level is None
-            else cfg.utility_level
-        )
+        self._utility_level = cfg.utility_level
 
     def solar_eligible(self, ctx: StepContext) -> bool:
         # Solar-eligible only when the panel covers the full fixed budget
@@ -275,7 +284,7 @@ class FixedBudgetPolicy(SupplyPolicy):
     def utility_step(self, ctx: StepContext) -> StepSample:
         chip = self.chip
         chip.ungate_all()
-        chip.set_all_levels(self._utility_level)
+        _apply_utility_level(chip, self._utility_level)
         consumed = chip.total_power_at(ctx.minute)
         chip.advance(ctx.minute, ctx.dt)
         self._last_alloc_minute = -float("inf")
@@ -348,8 +357,8 @@ class BatteryPolicy(SupplyPolicy):
             )
 
         # Spend: full speed from a stable supply until the energy runs out.
-        chip = MultiCoreChip(self.workload)
-        chip.set_all_levels(chip.table.max_level)
+        chip = MultiCoreChip(self.workload, spec=self.cfg.chip_spec)
+        chip.set_all_max()
         self.chip = chip
         remaining_wh = self.harvested_wh
         minute = float(trace.minutes[0])

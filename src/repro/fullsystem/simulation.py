@@ -49,10 +49,12 @@ __all__ = [
 ]
 
 
-def default_server(workload: WorkloadMix) -> FullSystemLoad:
-    """A server built from the default chip, memory, disk, and NIC."""
+def default_server(
+    workload: WorkloadMix, chip_spec: str | None = None
+) -> FullSystemLoad:
+    """A server built from the spec'd chip, memory, disk, and NIC."""
     return FullSystemLoad(
-        chip=MultiCoreChip(workload),
+        chip=MultiCoreChip(workload, spec=chip_spec),
         components=[DRAMSystem(), DRPMDisk(), NetworkInterface()],
     )
 
@@ -128,7 +130,7 @@ class FullSystemPolicy(SupplyPolicy):
     ) -> None:
         self.system = system
         self.cfg = cfg
-        system.chip.set_all_levels(system.chip.table.min_level)
+        system.chip.set_all_min()
         for component in system.components:
             component.set_level(0)
         self.controller = SolarCoreController(
@@ -142,7 +144,7 @@ class FullSystemPolicy(SupplyPolicy):
     def enter_solar(self, ctx: StepContext) -> None:
         system = self.system
         system.chip.ungate_all()
-        system.chip.set_all_levels(system.chip.table.min_level)
+        system.chip.set_all_min()
         for component in system.components:
             component.set_level(0)
         self._last_track = -float("inf")
@@ -164,7 +166,7 @@ class FullSystemPolicy(SupplyPolicy):
     def utility_step(self, ctx: StepContext) -> StepSample:
         system = self.system
         system.chip.ungate_all()
-        system.chip.set_all_levels(system.chip.table.max_level)
+        system.chip.set_all_max()
         for component in system.components:
             component.set_level(component.n_levels - 1)
         grid = system.total_power_at(ctx.minute)
@@ -230,7 +232,7 @@ def fullsystem_day_engine(
     kit = build_fault_kit(faults)
     if kit is not None:
         array = kit.wrap_array(array)
-    system = server or default_server(workload)
+    system = server or default_server(workload, chip_spec=cfg.chip_spec)
     supply = FullSystemPolicy(system, cfg, array)
     return DayEngine(
         array=array,

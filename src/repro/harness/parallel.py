@@ -76,7 +76,10 @@ log = logging.getLogger(__name__)
 #: semantic fixes that do not show up in the source fingerprint, ...).
 #: v2: the unified DayEngine replaced the per-scenario day loops — caches
 #: written by the forked-loop implementations are purged on first open.
-CACHE_FORMAT_VERSION = 2
+#: v3: ChipSpec — ``SolarCoreConfig`` grew the ``chip_spec`` field, which
+#: changes every ``config_key`` layout; pre-spec entries are purged loudly
+#: on first open.
+CACHE_FORMAT_VERSION = 3
 
 #: Marker file recording which format a cache directory was written by.
 #: Directories without it (all pre-v2 caches) are treated as stale.

@@ -109,6 +109,12 @@ def build_manifest(
     # Imported here: parallel imports telemetry, and keeping runledger
     # import-light lets the CLI load it before the simulation stack.
     from repro.harness.parallel import code_fingerprint, config_key
+    from repro.multicore.spec import ChipSpec
+
+    chip = getattr(config, "chip_spec", None)
+    chip_identity = (
+        ChipSpec.parse(chip).identity() if chip is not None else None
+    )
 
     tel = telemetry if telemetry is not None else telemetry_hub.current()
     snap = tel.snapshot() if tel.enabled else {}
@@ -140,6 +146,8 @@ def build_manifest(
         "argv": list(argv) if argv is not None else [],
         "code_fingerprint": code_fingerprint(),
         "config_key": repr(config_key(config)) if config is not None else None,
+        "chip": chip,
+        "chip_identity": chip_identity,
         "seeds": list(seeds) if seeds is not None else [],
         "faults": faults,
         "jobs": jobs,
@@ -282,6 +290,12 @@ def render_manifest(manifest: dict) -> str:
         + " ".join(manifest.get("argv", [])),
         f"code      {manifest.get('code_fingerprint', '?')[:16]}",
         f"config    {manifest.get('config_key') or '-'}",
+        f"chip      {manifest.get('chip') or '-'}"
+        + (
+            f" ({manifest['chip_identity'][:16]})"
+            if manifest.get("chip_identity")
+            else ""
+        ),
         f"seeds     {manifest.get('seeds') or '[standard trace]'}",
         f"faults    {manifest.get('faults') or '-'}",
         f"jobs      {_fmt(manifest.get('jobs'))}",
@@ -341,6 +355,7 @@ def diff_manifests(a: dict, b: dict) -> str:
     identity("command", "command")
     identity("code", "code_fingerprint")
     identity("config", "config_key")
+    identity("chip", "chip")
     identity("seeds", "seeds")
     identity("faults", "faults")
     numeric("days", a.get("days"), b.get("days"))

@@ -142,8 +142,8 @@ def validate_mppt(
     cases = []
     for mix_name in mixes:
         for policy in policies:
-            chip = MultiCoreChip(mix(mix_name))
-            chip.set_all_levels(0)
+            chip = MultiCoreChip(mix(mix_name), spec=cfg.chip_spec)
+            chip.set_all_min()
             controller = SolarCoreController(
                 array,
                 DCDCConverter(),

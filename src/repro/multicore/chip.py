@@ -14,6 +14,7 @@ import zlib
 from repro.multicore.core import Core
 from repro.multicore.dvfs import DVFSTable, default_dvfs_table
 from repro.multicore.power_model import CorePowerModel
+from repro.multicore.spec import ChipSpec, power_model_for, resolve_chip_spec
 from repro.workloads.mixes import WorkloadMix
 
 __all__ = ["MultiCoreChip", "NOMINAL_RAIL_V"]
@@ -26,39 +27,91 @@ class MultiCoreChip:
     """An N-core chip running a multi-programmed workload mix.
 
     Args:
-        workload: Benchmark-per-core assignment (Table 5 mix).
-        table: DVFS table shared by all cores (defaults to the paper's
-            6-level SpeedStep-like table).
-        leakage_ref_w: Per-core leakage at the top voltage [W].
+        workload: Benchmark-per-core assignment (Table 5 mix).  When the
+            spec has more cores than the mix has programs, benchmarks
+            wrap round-robin; with fewer cores the leading programs run.
+        table: Legacy homogeneous override — a DVFS table shared by all
+            cores.  Mutually exclusive with ``spec``; when given, the
+            chip is one core per workload program, all the same type
+            (the pre-ChipSpec constructor contract).
+        leakage_ref_w: Legacy homogeneous override — per-core leakage at
+            the top voltage [W].  Only meaningful with ``table``.
         uncore_power_w: Constant chip power [W] outside the cores' DVFS
             domains — L2 caches, clock distribution, I/O, and uncore
             leakage.  Drawn whenever the chip is powered; substantial at
             the paper's 90 nm node, and the reason low-power-budget
             operation is less efficient per instruction than full speed.
+            ``None`` takes the spec's value.
         seed: Base seed for the per-core phase traces.
+        spec: The chip description (a :class:`ChipSpec`, a spec string,
+            or ``None`` for the default ``alpha8`` — the paper chip).
     """
 
     def __init__(
         self,
         workload: WorkloadMix,
         table: DVFSTable | None = None,
-        leakage_ref_w: float = 1.0,
-        uncore_power_w: float = 45.0,
+        leakage_ref_w: float | None = None,
+        uncore_power_w: float | None = None,
         seed: int | None = None,
+        spec: ChipSpec | str | None = None,
     ) -> None:
-        if uncore_power_w < 0:
-            raise ValueError(f"uncore_power_w must be >= 0, got {uncore_power_w}")
+        legacy = table is not None or leakage_ref_w is not None
+        if legacy and spec is not None:
+            raise ValueError(
+                "pass either a chip spec or a legacy table/leakage override, "
+                "not both"
+            )
         self.workload = workload
-        self.uncore_power_w = uncore_power_w
-        self.power_model = CorePowerModel(
-            table=table or default_dvfs_table(), leakage_ref_w=leakage_ref_w
-        )
         if seed is None:
             seed = zlib.crc32(f"chip:{workload.name}".encode())
+        if legacy:
+            # Pre-ChipSpec contract: one shared table, one core per program.
+            self.spec = None
+            resolved_uncore = 45.0 if uncore_power_w is None else uncore_power_w
+            shared_model = CorePowerModel(
+                table=table if table is not None else default_dvfs_table(),
+                leakage_ref_w=1.0 if leakage_ref_w is None else leakage_ref_w,
+            )
+            core_plan = [
+                (bench, shared_model, 1.0, 1.0, "alpha")
+                for bench in workload.benchmarks
+            ]
+        else:
+            self.spec = resolve_chip_spec(spec)
+            resolved_uncore = (
+                self.spec.uncore_power_w if uncore_power_w is None
+                else uncore_power_w
+            )
+            scaling = self.spec.scaling()
+            benches = workload.benchmarks
+            core_plan = [
+                (
+                    benches[i % len(benches)],
+                    power_model_for(ct, scaling),
+                    ct.epi_scale * scaling.dynamic_power,
+                    ct.ipc_scale,
+                    ct.name,
+                )
+                for i, ct in enumerate(self.spec.expand())
+            ]
+        if resolved_uncore < 0:
+            raise ValueError(
+                f"uncore_power_w must be >= 0, got {resolved_uncore}"
+            )
+        self.uncore_power_w = resolved_uncore
         self.cores = [
-            Core(i, bench, self.power_model, seed=seed + i)
-            for i, bench in enumerate(workload.benchmarks)
+            Core(
+                i, bench, model, seed=seed + i,
+                epi_scale=epi_scale, ipc_scale=ipc_scale, type_name=type_name,
+            )
+            for i, (bench, model, epi_scale, ipc_scale, type_name)
+            in enumerate(core_plan)
         ]
+        self.power_model = self.cores[0].power_model
+        self._homogeneous = all(
+            core.power_model is self.power_model for core in self.cores
+        )
         # One-entry memos for the aggregate observables, keyed on
         # (minute, state version): the controller queries them repeatedly
         # at the same frozen minute between core moves.
@@ -71,8 +124,22 @@ class MultiCoreChip:
         return len(self.cores)
 
     @property
+    def homogeneous(self) -> bool:
+        """True when every core shares one power model (and DVFS table)."""
+        return self._homogeneous
+
+    @property
     def table(self) -> DVFSTable:
-        """The shared DVFS table."""
+        """The shared DVFS table — only defined for homogeneous chips.
+
+        Heterogeneous callers must use ``core.table`` per core (or the
+        :meth:`set_all_min` / :meth:`set_all_max` helpers).
+        """
+        if not self._homogeneous:
+            raise ValueError(
+                "heterogeneous chip has no single shared DVFS table; "
+                "use per-core tables"
+            )
         return self.power_model.table
 
     @property
@@ -93,6 +160,21 @@ class MultiCoreChip:
         """Set every core to the same DVFS level."""
         for core in self.cores:
             core.set_level(level)
+
+    def set_all_min(self) -> None:
+        """Drop every core to its own table's bottom level.
+
+        The heterogeneity-safe spelling of
+        ``set_all_levels(table.min_level)`` — per-core tables may have
+        different depths.
+        """
+        for core in self.cores:
+            core.set_level(core.table.min_level)
+
+    def set_all_max(self) -> None:
+        """Raise every core to its own table's top level."""
+        for core in self.cores:
+            core.set_level(core.table.max_level)
 
     # ------------------------------------------------------------------
     # Aggregate observables

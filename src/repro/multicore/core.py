@@ -23,9 +23,16 @@ class Core:
     Args:
         core_id: Index of this core on the chip.
         bench: The program this core runs.
-        power_model: Shared chip power model.
+        power_model: This core type's power model (shared across cores of
+            the same type on the same chip).
         seed: Seed for the program's phase trace.
         initial_level: Starting DVFS level (defaults to the top level).
+        epi_scale: Multiplier on the benchmark's energy per instruction —
+            the core type's POWER base folded with any tech-node
+            dynamic-energy scaling.
+        ipc_scale: Multiplier on the benchmark's phase IPC — the core
+            type's PERF base (microarchitectural width).
+        type_name: Core-type name from the owning :class:`ChipSpec`.
     """
 
     def __init__(
@@ -35,10 +42,14 @@ class Core:
         power_model: CorePowerModel,
         seed: int | None = None,
         initial_level: int | None = None,
+        epi_scale: float = 1.0,
+        ipc_scale: float = 1.0,
+        type_name: str = "alpha",
     ) -> None:
         self.core_id = core_id
         self.bench = bench
         self.power_model = power_model
+        self.type_name = type_name
         self.phase_trace = cached_phase_trace(bench, seed=seed)
         table = power_model.table
         self._level = table.max_level if initial_level is None else initial_level
@@ -54,7 +65,8 @@ class Core:
         self._tpr_memo: dict = {}
         self._min_level = table.min_level
         self._max_level = table.max_level
-        self._epi_nj = bench.epi_nj
+        self._epi_nj = bench.epi_nj * epi_scale
+        self._ipc_scale = ipc_scale
 
     # ------------------------------------------------------------------
     # DVFS / gating state
@@ -116,15 +128,20 @@ class Core:
     # Observables
     # ------------------------------------------------------------------
     def ipc_at(self, minute: float) -> float:
-        """Phase IPC of the program at an absolute time [minutes]."""
-        return self.phase_trace.ipc_at(minute)
+        """Effective IPC at an absolute time [minutes].
+
+        The benchmark's phase IPC scaled by the core type's PERF base —
+        what the performance counters on *this* core would report.
+        """
+        return self._ipc_scale * self.phase_trace.ipc_at(minute)
 
     def power_at(self, minute: float) -> float:
         """Core power [W] at a time instant (zero when gated)."""
         if self._gated:
             return 0.0
         return self.power_model.total_power(
-            self._level, self._epi_nj, self.phase_trace.ipc_at(minute)
+            self._level, self._epi_nj,
+            self._ipc_scale * self.phase_trace.ipc_at(minute),
         )
 
     def throughput_at(self, minute: float) -> float:
@@ -132,19 +149,20 @@ class Core:
         if self._gated:
             return 0.0
         return self.power_model.throughput_gips(
-            self._level, self.phase_trace.ipc_at(minute)
+            self._level, self._ipc_scale * self.phase_trace.ipc_at(minute)
         )
 
     def power_at_level(self, level: int, minute: float) -> float:
         """Predicted core power [W] if the core ran at ``level`` now."""
         return self.power_model.total_power(
-            level, self._epi_nj, self.phase_trace.ipc_at(minute)
+            level, self._epi_nj,
+            self._ipc_scale * self.phase_trace.ipc_at(minute),
         )
 
     def throughput_at_level(self, level: int, minute: float) -> float:
         """Predicted throughput [GIPS] if the core ran at ``level`` now."""
         return self.power_model.throughput_gips(
-            level, self.phase_trace.ipc_at(minute)
+            level, self._ipc_scale * self.phase_trace.ipc_at(minute)
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,485 @@
+"""Serializable chip specifications: named core types, mixes, tech nodes.
+
+The pre-ChipSpec model hard-coded "8 identical Alpha-class cores sharing
+one :func:`~repro.multicore.dvfs.default_dvfs_table`".  A
+:class:`ChipSpec` makes that an explicit, serializable value:
+
+* a **core-mix vector** — ``(core type, count)`` pairs in core-index
+  order, drawn from the :data:`CORE_TYPES` registry (the paper's
+  ``alpha`` core plus lumos-style ``big`` / ``little`` / ``accel``
+  classes) or spelled inline with custom PERF/POWER/DVFS parameters;
+* a **tech node + scaling model** — every core type's DVFS table,
+  switching energy, and leakage are scaled by the
+  :mod:`repro.multicore.techscale` multipliers, with the supply rail
+  floored at the node's near-threshold bound;
+* a **canonical string form** (round-trips through :meth:`ChipSpec.parse`)
+  and a **sha256 identity** over the fully-explicit form — the value
+  cache keys, run manifests, and service jobs carry.
+
+The default spec ``"alpha8"`` is exactly the pre-refactor chip: at the
+90 nm base node every scaling multiplier is 1.0, so the golden fixtures
+stay byte-identical.
+
+Spec grammar (compact forms parse; ``canonical()`` emits the explicit
+one unless the spec equals a registered preset)::
+
+    alpha8                              # preset name
+    big*4+little*4                      # mix at the 90 nm base node
+    alpha*8@45nm:cons                   # default core type, scaled node
+    tiny[f=0.5-1.2/4,v=0.8-1.0]*6       # inline custom core type
+
+Per-type DVFS tables and power models are built once per (type, node,
+model) triple through ``lru_cache`` — constructing a thousand sweep
+chips re-derives nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields, replace
+from functools import lru_cache
+
+import numpy as np
+
+from repro.multicore.dvfs import DVFSTable, OperatingPoint
+from repro.multicore.power_model import CorePowerModel
+from repro.multicore.techscale import BASE_NODE_NM, TechScaling, tech_scaling
+
+__all__ = [
+    "CoreTypeSpec",
+    "ChipSpec",
+    "CORE_TYPES",
+    "CHIP_PRESETS",
+    "DEFAULT_CHIP_SPEC_NAME",
+    "default_chip_spec",
+    "resolve_chip_spec",
+    "dvfs_table_for",
+    "power_model_for",
+]
+
+
+@dataclass(frozen=True)
+class CoreTypeSpec:
+    """One core type: DVFS range plus PERF/POWER/AREA bases at 90 nm.
+
+    Attributes:
+        name: Type name (registry key or inline label).
+        freq_min_ghz / freq_max_ghz: DVFS frequency range at the base
+            node [GHz]; levels interpolate linearly.
+        volt_min_v / volt_max_v: Matching supply-voltage range [V].
+        n_levels: Operating points in the per-type DVFS table.
+        ipc_scale: Multiplier on the benchmark's phase IPC — the
+            microarchitectural PERF base (out-of-order width, or an
+            accelerator's effective issue rate).
+        epi_scale: Multiplier on the benchmark's energy-per-instruction
+            — the POWER base.
+        leakage_ref_w: Leakage at the type's top voltage, 90 nm [W].
+        area_mm2: Core area at 90 nm [mm^2] (reporting only; dark-silicon
+            accounting rides on it).
+    """
+
+    name: str
+    freq_min_ghz: float = 1.0
+    freq_max_ghz: float = 2.5
+    volt_min_v: float = 0.95
+    volt_max_v: float = 1.45
+    n_levels: int = 6
+    ipc_scale: float = 1.0
+    epi_scale: float = 1.0
+    leakage_ref_w: float = 1.0
+    area_mm2: float = 25.0
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c in self.name for c in "*+@;:,[]= "):
+            raise ValueError(f"invalid core-type name {self.name!r}")
+        if not 0 < self.freq_min_ghz < self.freq_max_ghz:
+            raise ValueError(
+                f"{self.name}: need 0 < freq_min < freq_max, got "
+                f"{self.freq_min_ghz}..{self.freq_max_ghz} GHz"
+            )
+        if not 0 < self.volt_min_v <= self.volt_max_v:
+            raise ValueError(
+                f"{self.name}: need 0 < volt_min <= volt_max, got "
+                f"{self.volt_min_v}..{self.volt_max_v} V"
+            )
+        if self.n_levels < 2:
+            raise ValueError(f"{self.name}: n_levels must be >= 2")
+        for field_name in ("ipc_scale", "epi_scale", "area_mm2"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(
+                    f"{self.name}: {field_name} must be positive"
+                )
+        if self.leakage_ref_w < 0:
+            raise ValueError(f"{self.name}: leakage_ref_w must be >= 0")
+
+    def inline(self) -> str:
+        """The inline spelling, e.g. ``big[f=1.2-3.2/8,v=1.0-1.5,...]``."""
+        return (
+            f"{self.name}[f={self.freq_min_ghz!r}-{self.freq_max_ghz!r}"
+            f"/{self.n_levels},v={self.volt_min_v!r}-{self.volt_max_v!r},"
+            f"ipc={self.ipc_scale!r},epi={self.epi_scale!r},"
+            f"leak={self.leakage_ref_w!r},area={self.area_mm2!r}]"
+        )
+
+
+#: The core-type registry: the paper's Alpha-class core plus lumos-style
+#: heterogeneous classes.  ``little`` is a narrow in-order core (low EPI,
+#: low IPC, tiny leakage); ``big`` a wide out-of-order core (the TPR
+#: spread's high end); ``accel`` an accelerator-class unit — huge
+#: effective IPC at low energy per operation, but a shallow DVFS range.
+CORE_TYPES: dict[str, CoreTypeSpec] = {
+    "alpha": CoreTypeSpec("alpha"),
+    "big": CoreTypeSpec(
+        "big", freq_min_ghz=1.2, freq_max_ghz=3.2,
+        volt_min_v=1.0, volt_max_v=1.5, n_levels=8,
+        ipc_scale=1.35, epi_scale=1.6, leakage_ref_w=2.2, area_mm2=30.0,
+    ),
+    "little": CoreTypeSpec(
+        "little", freq_min_ghz=0.6, freq_max_ghz=1.6,
+        volt_min_v=0.85, volt_max_v=1.15, n_levels=4,
+        ipc_scale=0.6, epi_scale=0.45, leakage_ref_w=0.3, area_mm2=5.0,
+    ),
+    "accel": CoreTypeSpec(
+        "accel", freq_min_ghz=0.8, freq_max_ghz=1.2,
+        volt_min_v=0.9, volt_max_v=1.05, n_levels=3,
+        ipc_scale=2.0, epi_scale=0.25, leakage_ref_w=0.5, area_mm2=12.0,
+    ),
+}
+
+
+def _fmt_num(value: float) -> str:
+    """Shortest exact decimal (``repr``) — round-trips through ``float``."""
+    return repr(float(value))
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """A complete chip description: mix x tech node x uncore.
+
+    Attributes:
+        mix: ``(core type, count)`` pairs in core-index order.
+        tech_nm: Process node [nm] (see
+            :data:`~repro.multicore.techscale.TECH_NODES_NM`).
+        tech_model: Scaling-model flavour (``itrs`` or ``cons``).
+        uncore_power_w: Constant chip power outside the core DVFS
+            domains [W].
+    """
+
+    mix: tuple[tuple[CoreTypeSpec, int], ...]
+    tech_nm: int = BASE_NODE_NM
+    tech_model: str = "itrs"
+    uncore_power_w: float = 45.0
+
+    def __post_init__(self) -> None:
+        mix = tuple((ct, int(count)) for ct, count in self.mix)
+        if not mix:
+            raise ValueError("a chip spec needs at least one core-type entry")
+        for ct, count in mix:
+            if not isinstance(ct, CoreTypeSpec):
+                raise TypeError(
+                    f"mix entries must pair CoreTypeSpec with a count, "
+                    f"got {type(ct).__name__}"
+                )
+            if count < 1:
+                raise ValueError(f"core count for {ct.name!r} must be >= 1")
+        object.__setattr__(self, "mix", mix)
+        if self.uncore_power_w < 0:
+            raise ValueError(
+                f"uncore_power_w must be >= 0, got {self.uncore_power_w}"
+            )
+        tech_scaling(self.tech_nm, self.tech_model)  # validates node/model
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    @property
+    def n_cores(self) -> int:
+        """Total core count."""
+        return sum(count for _, count in self.mix)
+
+    def expand(self) -> tuple[CoreTypeSpec, ...]:
+        """One :class:`CoreTypeSpec` per core, in core-index order."""
+        out: list[CoreTypeSpec] = []
+        for ct, count in self.mix:
+            out.extend([ct] * count)
+        return tuple(out)
+
+    def scaling(self) -> TechScaling:
+        """The tech-scaling multipliers this spec's node applies."""
+        return tech_scaling(self.tech_nm, self.tech_model)
+
+    @property
+    def homogeneous(self) -> bool:
+        """True when every core is the same type."""
+        return len({ct for ct, _ in self.mix}) == 1
+
+    def area_mm2(self) -> float:
+        """Total core area at the spec's node [mm^2] (uncore excluded)."""
+        scale = self.scaling().area
+        return sum(ct.area_mm2 * count for ct, count in self.mix) * scale
+
+    # ------------------------------------------------------------------
+    # Canonical form + identity
+    # ------------------------------------------------------------------
+    def explicit(self) -> str:
+        """The fully-explicit canonical string (never a preset name).
+
+        This is what :meth:`identity` hashes: two specs share an identity
+        exactly when every mix entry, node, model, and uncore value is
+        equal — renaming a preset cannot alias a different chip.
+        """
+        terms = []
+        for ct, count in self.mix:
+            registered = CORE_TYPES.get(ct.name)
+            name = ct.name if registered == ct else ct.inline()
+            terms.append(f"{name}*{count}")
+        return (
+            f"{'+'.join(terms)}@{self.tech_nm}nm:{self.tech_model}"
+            f";uncore={_fmt_num(self.uncore_power_w)}"
+        )
+
+    def canonical(self) -> str:
+        """The compact canonical string: a preset name when one matches,
+        the explicit form otherwise.  ``parse(canonical())`` round-trips."""
+        name = _PRESET_BY_SPEC.get(self)
+        return name if name is not None else self.explicit()
+
+    def identity(self) -> str:
+        """sha256 hex digest of the explicit canonical form."""
+        return hashlib.sha256(self.explicit().encode()).hexdigest()
+
+    def describe(self) -> str:
+        """Human-readable summary for logs and the CLI."""
+        mix = " + ".join(f"{count}x {ct.name}" for ct, count in self.mix)
+        return (
+            f"{self.canonical()}: {mix} @ {self.tech_nm} nm "
+            f"({self.tech_model}), uncore {self.uncore_power_w:g} W, "
+            f"{self.area_mm2():.0f} mm^2"
+        )
+
+    # ------------------------------------------------------------------
+    # Parsing
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> ChipSpec:
+        """Parse a spec string (preset name, mix grammar, or explicit form).
+
+        Raises:
+            ValueError: Malformed spec; the message names the bad part.
+        """
+        text = text.strip()
+        if not text:
+            raise ValueError("empty chip spec")
+        preset = CHIP_PRESETS.get(text)
+        if preset is not None:
+            return preset
+        body = text
+        uncore = 45.0
+        node, model = BASE_NODE_NM, "itrs"
+        parts = body.split(";")
+        body = parts[0]
+        for option in parts[1:]:
+            key, sep, value = option.partition("=")
+            if not sep or key != "uncore":
+                raise ValueError(
+                    f"unknown chip-spec option {option!r} (known: uncore=W)"
+                )
+            uncore = _parse_float(value, f"uncore in {text!r}")
+        if "@" in body:
+            body, _, tech = body.partition("@")
+            node_txt, _, model_txt = tech.partition(":")
+            node_txt = node_txt.strip().removesuffix("nm")
+            try:
+                node = int(node_txt)
+            except ValueError:
+                raise ValueError(
+                    f"bad tech node {node_txt!r} in chip spec {text!r}"
+                ) from None
+            if model_txt:
+                model = model_txt.strip()
+        mix = tuple(
+            _parse_mix_term(term, text) for term in body.split("+")
+        )
+        try:
+            return cls(
+                mix=mix, tech_nm=node, tech_model=model, uncore_power_w=uncore
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"chip spec {text!r}: {exc}") from exc
+
+
+def _parse_float(value: str, where: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise ValueError(f"bad number {value!r} for {where}") from None
+
+
+def _parse_mix_term(term: str, full: str) -> tuple[CoreTypeSpec, int]:
+    """``type*count`` (count optional) -> a validated mix entry."""
+    term = term.strip()
+    head, star, count_txt = term.rpartition("*")
+    if star:
+        try:
+            count = int(count_txt)
+        except ValueError:
+            raise ValueError(
+                f"bad core count {count_txt!r} in chip spec {full!r}"
+            ) from None
+    else:
+        head, count = term, 1
+    head = head.strip()
+    if "[" in head:
+        return _parse_inline_type(head, full), count
+    ct = CORE_TYPES.get(head)
+    if ct is None:
+        raise ValueError(
+            f"unknown core type {head!r} in chip spec {full!r} "
+            f"(known: {', '.join(sorted(CORE_TYPES))})"
+        )
+    return ct, count
+
+
+#: Inline parameter keys -> CoreTypeSpec field(s) they set.
+_INLINE_KEYS = ("f", "v", "ipc", "epi", "leak", "area")
+
+
+def _parse_inline_type(head: str, full: str) -> CoreTypeSpec:
+    """``name[f=lo-hi/n,v=lo-hi,ipc=x,epi=x,leak=x,area=x]`` -> spec.
+
+    Unspecified parameters keep the ``alpha`` defaults; a registered
+    name as the label starts from that type instead.
+    """
+    name, _, rest = head.partition("[")
+    name = name.strip()
+    if not rest.endswith("]"):
+        raise ValueError(f"unterminated core-type spec {head!r} in {full!r}")
+    base = CORE_TYPES.get(name, CoreTypeSpec(name))
+    updates: dict[str, object] = {}
+    body = rest[:-1].strip()
+    for item in filter(None, (p.strip() for p in body.split(","))):
+        key, sep, value = item.partition("=")
+        if not sep or key not in _INLINE_KEYS:
+            raise ValueError(
+                f"unknown core-type parameter {item!r} in {full!r} "
+                f"(known: {', '.join(_INLINE_KEYS)})"
+            )
+        where = f"{key} in {full!r}"
+        if key == "f":
+            span, _, levels = value.partition("/")
+            lo, sep2, hi = span.partition("-")
+            if not sep2:
+                raise ValueError(f"expected f=lo-hi[/n], got {item!r}")
+            updates["freq_min_ghz"] = _parse_float(lo, where)
+            updates["freq_max_ghz"] = _parse_float(hi, where)
+            if levels:
+                try:
+                    updates["n_levels"] = int(levels)
+                except ValueError:
+                    raise ValueError(
+                        f"bad level count {levels!r} for {where}"
+                    ) from None
+        elif key == "v":
+            lo, sep2, hi = value.partition("-")
+            if not sep2:
+                raise ValueError(f"expected v=lo-hi, got {item!r}")
+            updates["volt_min_v"] = _parse_float(lo, where)
+            updates["volt_max_v"] = _parse_float(hi, where)
+        else:
+            field_name = {
+                "ipc": "ipc_scale", "epi": "epi_scale",
+                "leak": "leakage_ref_w", "area": "area_mm2",
+            }[key]
+            updates[field_name] = _parse_float(value, where)
+    return replace(base, **updates) if updates else base
+
+
+#: Named chip presets.  ``alpha8`` is the paper chip — the pre-ChipSpec
+#: model exactly, and the byte-identity reference for the golden suite.
+CHIP_PRESETS: dict[str, ChipSpec] = {
+    "alpha8": ChipSpec(mix=((CORE_TYPES["alpha"], 8),)),
+    "biglittle": ChipSpec(
+        mix=((CORE_TYPES["big"], 4), (CORE_TYPES["little"], 4))
+    ),
+    "hetero3": ChipSpec(
+        mix=(
+            (CORE_TYPES["big"], 2),
+            (CORE_TYPES["little"], 4),
+            (CORE_TYPES["accel"], 2),
+        )
+    ),
+    "little8": ChipSpec(mix=((CORE_TYPES["little"], 8),)),
+}
+
+#: Reverse map for :meth:`ChipSpec.canonical`.
+_PRESET_BY_SPEC: dict[ChipSpec, str] = {
+    spec: name for name, spec in CHIP_PRESETS.items()
+}
+
+#: The config default — the paper chip.
+DEFAULT_CHIP_SPEC_NAME = "alpha8"
+
+
+def default_chip_spec() -> ChipSpec:
+    """The ``alpha8`` preset (the paper's homogeneous chip)."""
+    return CHIP_PRESETS[DEFAULT_CHIP_SPEC_NAME]
+
+
+def resolve_chip_spec(value: ChipSpec | str | None) -> ChipSpec:
+    """A :class:`ChipSpec` from a spec, a spec string, or None (default)."""
+    if value is None:
+        return default_chip_spec()
+    if isinstance(value, ChipSpec):
+        return value
+    if isinstance(value, str):
+        return ChipSpec.parse(value)
+    raise TypeError(
+        f"chip spec must be a ChipSpec or string, got {type(value).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Cached per-type table / model construction
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def dvfs_table_for(core_type: CoreTypeSpec, scaling: TechScaling) -> DVFSTable:
+    """The (cached) scaled DVFS table for a core type at a tech node.
+
+    Frequencies and voltages interpolate linearly over the type's range,
+    then scale by the node's multipliers; the supply rail is floored at
+    the node's near-threshold bound (levels whose scaled voltage would
+    dip below it are clamped — frequencies keep their spacing, so the
+    table stays valid).  At the 90 nm base node both multipliers are
+    exactly 1.0 and the ``alpha`` table is bit-identical to
+    :func:`~repro.multicore.dvfs.default_dvfs_table`.
+    """
+    freqs = np.linspace(
+        core_type.freq_min_ghz, core_type.freq_max_ghz, core_type.n_levels
+    ) * scaling.frequency
+    volts = np.linspace(
+        core_type.volt_min_v, core_type.volt_max_v, core_type.n_levels
+    ) * scaling.vdd
+    volts = np.maximum(volts, scaling.v_floor)
+    return DVFSTable(
+        [OperatingPoint(float(f), float(v)) for f, v in zip(freqs, volts)]
+    )
+
+
+@lru_cache(maxsize=None)
+def power_model_for(
+    core_type: CoreTypeSpec, scaling: TechScaling
+) -> CorePowerModel:
+    """The (cached) power model for a core type at a tech node.
+
+    One frozen :class:`CorePowerModel` per (type, node, model) triple —
+    every chip the sweep fan-out constructs shares it instead of
+    re-deriving the hoisted per-level constants.
+    """
+    return CorePowerModel(
+        table=dvfs_table_for(core_type, scaling),
+        leakage_ref_w=core_type.leakage_ref_w * scaling.leakage,
+    )
+
+
+def _spec_fields_note() -> tuple[str, ...]:  # pragma: no cover - doc helper
+    return tuple(f.name for f in fields(ChipSpec))

@@ -1,0 +1,150 @@
+"""Technology-node scaling tables (lumos-style ITRS / conservative models).
+
+The paper evaluates one chip at one node — 90 nm, the contemporary
+process of the Alpha-class cores in its Wattch/CACTI setup.  To ask how
+the SolarCore allocation story changes across process generations, this
+module provides per-node multipliers for frequency, per-instruction
+switching energy, leakage, supply voltage, and area, in the style of the
+lumos MPSoC model's ``freq_scl`` / ``power_scl`` / ``vdd_scl`` tables:
+
+* ``itrs`` — the optimistic ITRS-projection flavour: frequency keeps
+  climbing steeply, dynamic energy per operation falls fast, and
+  leakage grows with each generation.
+* ``cons`` — the conservative flavour: the same monotone trends but
+  flattened toward what post-Dennard silicon actually delivered.
+
+Every multiplier is expressed **relative to the 90 nm base node**, so
+``TechScaling.for_node(90, model)`` is exactly 1.0 on every axis for
+both models — the invariant that keeps the default chip byte-identical
+to the pre-ChipSpec model.  The lumos tables are 45 nm-based; the values
+here follow the same generation-over-generation ratios re-anchored to
+90 nm (see DESIGN.md section 14 for the provenance notes).
+
+Voltage-bounded DVFS: each node also carries a threshold voltage
+(``vth_v``); a scaled DVFS table's supply rail may not drop below
+``DVFS_FLOOR_FACTOR * vth`` — the near-threshold floor lumos encodes as
+its ``DVFS_L_BOUND``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+__all__ = [
+    "TECH_NODES_NM",
+    "TECH_MODELS",
+    "BASE_NODE_NM",
+    "DVFS_FLOOR_FACTOR",
+    "TechScaling",
+    "tech_scaling",
+]
+
+#: Process nodes the scaling tables cover [nm], newest last.
+TECH_NODES_NM = (90, 65, 45, 32, 22, 16)
+
+#: Scaling-model flavours (lumos naming): ITRS projections vs conservative.
+TECH_MODELS = ("itrs", "cons")
+
+#: The reference node every multiplier is expressed against — the
+#: paper's own process.  All multipliers are exactly 1.0 here.
+BASE_NODE_NM = 90
+
+#: A scaled DVFS rail may not drop below this multiple of the node's
+#: threshold voltage (the lumos DVFS lower bound).
+DVFS_FLOOR_FACTOR = 1.2
+
+#: Frequency multiplier vs 90 nm at each node's nominal Vdd.
+_FREQ_SCALE = {
+    "itrs": {90: 1.0, 65: 1.42, 45: 2.08, 32: 2.98, 22: 4.21, 16: 5.85},
+    "cons": {90: 1.0, 65: 1.26, 45: 1.55, 32: 1.89, 22: 2.26, 16: 2.68},
+}
+
+#: Per-instruction switching-energy multiplier vs 90 nm (C * Vdd^2 at
+#: the node's nominal operating point).
+_DYNAMIC_SCALE = {
+    "itrs": {90: 1.0, 65: 0.71, 45: 0.52, 32: 0.39, 22: 0.29, 16: 0.22},
+    "cons": {90: 1.0, 65: 0.81, 45: 0.66, 32: 0.54, 22: 0.44, 16: 0.37},
+}
+
+#: Per-core leakage multiplier vs 90 nm (subthreshold + gate growth).
+_LEAKAGE_SCALE = {
+    "itrs": {90: 1.0, 65: 1.38, 45: 1.82, 32: 2.41, 22: 3.17, 16: 4.10},
+    "cons": {90: 1.0, 65: 1.25, 45: 1.52, 32: 1.86, 22: 2.23, 16: 2.62},
+}
+
+#: Nominal supply-voltage multiplier vs 90 nm.
+_VDD_SCALE = {
+    "itrs": {90: 1.0, 65: 0.85, 45: 0.77, 32: 0.69, 22: 0.62, 16: 0.54},
+    "cons": {90: 1.0, 65: 0.92, 45: 0.85, 32: 0.77, 22: 0.71, 16: 0.65},
+}
+
+#: Core-area multiplier vs 90 nm (both models: area roughly halves per
+#: generation; shared table, as in lumos ``area_scl``).
+_AREA_SCALE = {90: 1.0, 65: 0.52, 45: 0.27, 32: 0.14, 22: 0.073, 16: 0.038}
+
+#: Threshold voltage per node [V] (lumos ``vth`` table flavour).
+_VTH_V = {90: 0.48, 65: 0.43, 45: 0.39, 32: 0.34, 22: 0.30, 16: 0.27}
+
+
+@dataclass(frozen=True)
+class TechScaling:
+    """The multipliers one (node, model) pair applies to a core type.
+
+    Attributes:
+        node_nm: Process node [nm].
+        model: ``itrs`` or ``cons``.
+        frequency: Multiplier on every DVFS frequency.
+        dynamic_power: Multiplier on per-instruction switching energy.
+        leakage: Multiplier on the leakage reference power.
+        vdd: Multiplier on every DVFS supply voltage.
+        area: Multiplier on core area.
+        vth_v: Threshold voltage at the node [V].
+    """
+
+    node_nm: int
+    model: str
+    frequency: float
+    dynamic_power: float
+    leakage: float
+    vdd: float
+    area: float
+    vth_v: float
+
+    @property
+    def v_floor(self) -> float:
+        """Lowest supply voltage a scaled DVFS table may use [V]."""
+        return DVFS_FLOOR_FACTOR * self.vth_v
+
+    @property
+    def is_base(self) -> bool:
+        """True at the 90 nm reference node (all multipliers 1.0)."""
+        return self.node_nm == BASE_NODE_NM
+
+
+@lru_cache(maxsize=None)
+def tech_scaling(node_nm: int = BASE_NODE_NM, model: str = "itrs") -> TechScaling:
+    """The :class:`TechScaling` for a (node, model) pair.
+
+    Raises:
+        ValueError: Unknown node or model (the message lists the
+            supported values).
+    """
+    if model not in TECH_MODELS:
+        raise ValueError(
+            f"tech model must be one of {TECH_MODELS}, got {model!r}"
+        )
+    if node_nm not in TECH_NODES_NM:
+        raise ValueError(
+            f"tech node must be one of {TECH_NODES_NM} nm, got {node_nm!r}"
+        )
+    return TechScaling(
+        node_nm=node_nm,
+        model=model,
+        frequency=_FREQ_SCALE[model][node_nm],
+        dynamic_power=_DYNAMIC_SCALE[model][node_nm],
+        leakage=_LEAKAGE_SCALE[model][node_nm],
+        vdd=_VDD_SCALE[model][node_nm],
+        area=_AREA_SCALE[node_nm],
+        vth_v=_VTH_V[node_nm],
+    )

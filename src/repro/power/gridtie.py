@@ -106,8 +106,8 @@ def run_day_gridtie(
     if trace is None:
         trace = generate_trace(location, month, seed=seed, step_minutes=cfg.step_minutes)
 
-    chip = MultiCoreChip(workload)
-    chip.set_all_levels(chip.table.max_level)
+    chip = MultiCoreChip(workload, spec=cfg.chip_spec)
+    chip.set_all_max()
 
     dt = cfg.step_minutes
     harvested = 0.0

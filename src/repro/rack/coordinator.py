@@ -113,7 +113,7 @@ def _divide(
     try:
         for chip in chips:
             chip.ungate_all()
-            chip.set_all_levels(chip.table.min_level)
+            chip.set_all_min()
         remaining = budget_w - sum(floors)
         while remaining > 0:
             best_chip_idx = None

@@ -106,7 +106,7 @@ class RackPolicy(SupplyPolicy):
         self.division_policy = division_policy
         self.name = f"Rack-{division_policy}"
         self.chips = [
-            MultiCoreChip(mix_by_name(name), seed=1000 + 17 * i)
+            MultiCoreChip(mix_by_name(name), seed=1000 + 17 * i, spec=cfg.chip_spec)
             for i, name in enumerate(mix_names)
         ]
         self.retired = [0.0] * len(self.chips)
@@ -151,7 +151,7 @@ class RackPolicy(SupplyPolicy):
         grid = 0.0
         for chip in self.chips:
             chip.ungate_all()
-            chip.set_all_levels(chip.table.max_level)
+            chip.set_all_max()
             grid += chip.total_power_at(minute)
             chip.advance(minute, ctx.dt)
         self._last_alloc = -float("inf")

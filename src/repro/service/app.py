@@ -165,7 +165,7 @@ class SolarCoreService:
             from repro.harness.runledger import RunLedger
 
             self.ledger = RunLedger(runs_dir)
-        self._bridges: dict[str, AsyncRunner] = {}
+        self._bridges: dict[tuple[str, str], AsyncRunner] = {}
         self._job_tasks: dict[str, asyncio.Task] = {}
         self._job_done: dict[str, asyncio.Event] = {}
         self._job_started_s: dict[str, float] = {}
@@ -250,17 +250,25 @@ class SolarCoreService:
     # ------------------------------------------------------------------
     # Execution engine
     # ------------------------------------------------------------------
-    def _bridge(self, solver: str) -> AsyncRunner:
-        """The per-solver runner bridge (solver is part of cache identity)."""
-        bridge = self._bridges.get(solver)
+    def _bridge(self, solver: str, chip: str | None = None) -> AsyncRunner:
+        """The per-(solver, chip) runner bridge.
+
+        Both axes are part of the runner's cache identity, so jobs that
+        differ in either get separate runners (and never false-coalesce).
+        """
+        base = self.config
+        chip = base.chip_spec if chip is None else chip
+        key = (solver, chip)
+        bridge = self._bridges.get(key)
         if bridge is None:
-            base = self.config
             config = (
-                base if base.solver == solver
+                base
+                if base.solver == solver and base.chip_spec == chip
                 else SolarCoreConfig(**{
                     **{f.name: getattr(base, f.name)
                        for f in dataclass_fields(base)},
                     "solver": solver,
+                    "chip_spec": chip,
                 })
             )
             bridge = AsyncRunner(
@@ -269,7 +277,7 @@ class SolarCoreService:
                 ),
                 max_workers=self.max_workers,
             )
-            self._bridges[solver] = bridge
+            self._bridges[key] = bridge
         return bridge
 
     def submit(self, spec: JobSpec) -> Job:
@@ -301,7 +309,7 @@ class SolarCoreService:
         return job
 
     async def _run_job(self, job: Job) -> None:
-        bridge = self._bridge(job.spec.solver)
+        bridge = self._bridge(job.spec.solver, job.spec.chip)
         acquired: list[tuple] = []  # (task, entry) not yet awaited
         try:
             self.table.transition(job, RUNNING)
@@ -365,7 +373,7 @@ class SolarCoreService:
             manifest = build_manifest(
                 "service-job",
                 [],
-                config=self._bridge(job.spec.solver).runner.config,
+                config=self._bridge(job.spec.solver, job.spec.chip).runner.config,
                 faults=None,
                 jobs=self.sweep_jobs,
                 duration_s=duration,
@@ -426,8 +434,8 @@ class SolarCoreService:
             "coalesce": self.coalescer.stats(),
             "stream": self.stream_hub.stats(),
             "runners": {
-                solver: bridge.stats()
-                for solver, bridge in sorted(self._bridges.items())
+                f"{solver}/{chip}": bridge.stats()
+                for (solver, chip), bridge in sorted(self._bridges.items())
             },
         }
         hub = telemetry_hub.current()

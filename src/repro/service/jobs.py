@@ -27,6 +27,7 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.harness.parallel import SweepTask, grid_tasks
+from repro.multicore.spec import ChipSpec
 
 __all__ = [
     "QUEUED",
@@ -158,11 +159,15 @@ class JobSpec:
             submission order preserved).
         solver: Electrical solver mode (``exact`` or ``table``).
         label: Free-form client label echoed in status responses.
+        chip: Canonical :class:`~repro.multicore.spec.ChipSpec` string —
+            the chip every task in the job simulates.  Part of the job's
+            cache identity: two jobs coalesce only when they agree on it.
     """
 
     tasks: tuple[SweepTask, ...]
     solver: str = "exact"
     label: str = ""
+    chip: str = "alpha8"
 
     @classmethod
     def from_dict(cls, doc: dict) -> JobSpec:
@@ -190,6 +195,13 @@ class JobSpec:
         label = doc.get("label", "")
         if not isinstance(label, str):
             raise JobSpecError(f"'label' must be a string, got {label!r}")
+        chip = doc.get("chip", "alpha8")
+        if not isinstance(chip, str):
+            raise JobSpecError(f"'chip' must be a spec string, got {chip!r}")
+        try:
+            chip = ChipSpec.parse(chip).canonical()
+        except ValueError as exc:
+            raise JobSpecError(f"'chip': {exc}") from exc
         shapes = [key for key in ("tasks", "campaign") if key in doc]
         if len(shapes) > 1:
             raise JobSpecError("give either 'tasks' or 'campaign', not both")
@@ -202,15 +214,19 @@ class JobSpec:
             tasks = _parse_campaign(doc["campaign"])
         else:
             task_doc = {k: v for k, v in doc.items()
-                        if k not in ("solver", "label")}
+                        if k not in ("solver", "label", "chip")}
             tasks = [_parse_task(task_doc, "job")]
-        return cls(tasks=tuple(dict.fromkeys(tasks)), solver=solver, label=label)
+        return cls(
+            tasks=tuple(dict.fromkeys(tasks)), solver=solver, label=label,
+            chip=chip,
+        )
 
     def describe(self) -> str:
         """Short human-readable identity for logs and status payloads."""
+        chip = "" if self.chip == "alpha8" else f" chip={self.chip}"
         if len(self.tasks) == 1:
-            return f"{self.tasks[0].describe()} solver={self.solver}"
-        return f"{len(self.tasks)} task(s) solver={self.solver}"
+            return f"{self.tasks[0].describe()} solver={self.solver}{chip}"
+        return f"{len(self.tasks)} task(s) solver={self.solver}{chip}"
 
 
 @dataclass
@@ -243,6 +259,7 @@ class Job:
             "spec": self.spec.describe(),
             "tasks": len(self.spec.tasks),
             "solver": self.spec.solver,
+            "chip": self.spec.chip,
             "cache_hits": self.cache_hits,
             "coalesced": self.coalesced,
         }

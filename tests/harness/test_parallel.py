@@ -348,6 +348,7 @@ class TestConfigKeyRoundTrip:
         "sensor_staleness_min": 8.0,
         "degraded_budget_fraction": 0.4,
         "solver": "table",
+        "chip_spec": "biglittle",
     }
 
     def test_every_field_alters_the_key(self):

@@ -1,0 +1,199 @@
+"""ChipSpec canonicalization, identity, and cache-key behaviour.
+
+The spec string is part of every cache identity (config key, disk-cache
+path, run manifest, service job), so this suite pins the properties the
+caches lean on: canonical strings round-trip through ``parse``, the
+sha256 identity is stable across spellings and releases, and any change
+to the mix or tech node shifts the disk-cache address.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.core.config import SolarCoreConfig
+from repro.harness.parallel import (
+    CACHE_FORMAT_VERSION,
+    DiskResultCache,
+    config_key,
+)
+from repro.multicore.dvfs import default_dvfs_table
+from repro.multicore.spec import (
+    CHIP_PRESETS,
+    CORE_TYPES,
+    DEFAULT_CHIP_SPEC_NAME,
+    ChipSpec,
+    CoreTypeSpec,
+    default_chip_spec,
+    dvfs_table_for,
+    power_model_for,
+    resolve_chip_spec,
+)
+from repro.multicore.techscale import tech_scaling
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(CHIP_PRESETS))
+    def test_preset_names_round_trip(self, name):
+        spec = ChipSpec.parse(name)
+        assert spec.canonical() == name
+        assert ChipSpec.parse(spec.canonical()) == spec
+
+    @pytest.mark.parametrize("name", sorted(CHIP_PRESETS))
+    def test_explicit_form_round_trips_to_the_same_spec(self, name):
+        spec = CHIP_PRESETS[name]
+        reparsed = ChipSpec.parse(spec.explicit())
+        assert reparsed == spec
+        # ...and the compact canonical form recovers the preset name.
+        assert reparsed.canonical() == name
+
+    def test_grammar_round_trip_with_tech_node_and_uncore(self):
+        spec = ChipSpec.parse("big*2+little*6@45nm:cons;uncore=30")
+        assert spec.tech_nm == 45
+        assert spec.tech_model == "cons"
+        assert spec.uncore_power_w == 30.0
+        assert spec.n_cores == 8
+        assert ChipSpec.parse(spec.explicit()) == spec
+        assert ChipSpec.parse(spec.canonical()) == spec
+
+    def test_inline_custom_type_round_trips(self):
+        spec = ChipSpec.parse("tiny[f=0.5-1.2/4,v=0.8-1.0,ipc=0.5]*6")
+        (entry,) = spec.mix
+        ct, count = entry
+        assert (ct.name, count) == ("tiny", 6)
+        assert ct.n_levels == 4
+        assert ct.ipc_scale == 0.5
+        # Unspecified parameters keep the alpha defaults.
+        assert ct.epi_scale == CORE_TYPES["alpha"].epi_scale
+        assert ChipSpec.parse(spec.explicit()) == spec
+
+    def test_count_defaults_to_one_and_whitespace_is_tolerated(self):
+        spec = ChipSpec.parse(" big + little*3 @ 65nm ")
+        assert spec.mix[0][1] == 1
+        assert spec.mix[1][1] == 3
+        assert spec.tech_nm == 65
+
+    @pytest.mark.parametrize("bad, fragment", [
+        ("", "empty"),
+        ("warp*8", "unknown core type"),
+        ("alpha*x", "bad core count"),
+        ("alpha*8@13nm", "chip spec"),
+        ("alpha*8@45nm:wild", "chip spec"),
+        ("alpha*8;uncore=-5", "uncore"),
+        ("alpha*8;turbo=1", "unknown chip-spec option"),
+        ("tiny[f=0.5]*2", "expected f=lo-hi"),
+        ("tiny[warp=3]*2", "unknown core-type parameter"),
+    ])
+    def test_malformed_specs_fail_loudly(self, bad, fragment):
+        with pytest.raises(ValueError) as excinfo:
+            ChipSpec.parse(bad)
+        assert fragment in str(excinfo.value)
+
+    def test_resolve_accepts_spec_string_none(self):
+        assert resolve_chip_spec(None) == default_chip_spec()
+        assert resolve_chip_spec("biglittle") == CHIP_PRESETS["biglittle"]
+        spec = CHIP_PRESETS["hetero3"]
+        assert resolve_chip_spec(spec) is spec
+        with pytest.raises(TypeError):
+            resolve_chip_spec(8)
+
+
+class TestIdentity:
+    # Pinned digests: the spec identity is carried by run manifests and
+    # job records across releases, so it must never drift silently.  If
+    # this test fails you changed the canonical explicit form — that is
+    # a cache-breaking change and needs a CACHE_FORMAT_VERSION bump.
+    PINNED = {
+        "alpha8": "7c78103285f73e4cbf571983ae65452026eb4b7c"
+                  "59e7ede168d3952e4ca7bf90",
+        "biglittle": "1a656104fc3471f5e4f925ca1ba290fd7e6ef73f"
+                     "c848f81f9ff72915c4d78e07",
+        "hetero3": "9d5ef66f4fa3213d3b1831deeae5e78ccc5be403"
+                   "a002c1a82dbb71363da0c57e",
+        "little8": "cf772400f08f52d43c0311519bbf801a71cc8505"
+                   "61ec8fb97b72d37abef05780",
+    }
+
+    @pytest.mark.parametrize("name", sorted(CHIP_PRESETS))
+    def test_identity_is_pinned(self, name):
+        assert CHIP_PRESETS[name].identity() == self.PINNED[name]
+
+    def test_identity_hashes_contents_not_the_preset_name(self):
+        spec = CHIP_PRESETS["alpha8"]
+        explicit_twin = ChipSpec.parse(spec.explicit())
+        assert explicit_twin.identity() == spec.identity()
+
+    def test_identity_separates_every_axis(self):
+        base = CHIP_PRESETS["alpha8"]
+        variants = [
+            ChipSpec.parse("alpha*7"),
+            ChipSpec.parse("alpha*8@45nm"),
+            ChipSpec.parse("alpha*8@90nm:cons"),
+            ChipSpec.parse("alpha*8;uncore=44"),
+            ChipSpec.parse("little*8"),
+        ]
+        identities = {base.identity(), *(v.identity() for v in variants)}
+        assert len(identities) == len(variants) + 1
+
+    def test_default_spec_is_the_paper_chip(self):
+        spec = default_chip_spec()
+        assert spec.canonical() == DEFAULT_CHIP_SPEC_NAME == "alpha8"
+        assert spec.homogeneous
+        assert spec.n_cores == 8
+        assert spec.scaling().is_base
+        # The alpha table at the base node IS the pre-ChipSpec table.
+        table = dvfs_table_for(CORE_TYPES["alpha"], spec.scaling())
+        assert list(table) == list(default_dvfs_table())
+
+    def test_tables_and_models_are_built_once_per_spec(self):
+        ct = CORE_TYPES["big"]
+        scaling = tech_scaling(45, "itrs")
+        assert dvfs_table_for(ct, scaling) is dvfs_table_for(ct, scaling)
+        assert power_model_for(ct, scaling) is power_model_for(ct, scaling)
+
+
+class TestCacheKeyDrift:
+    def test_changed_mix_or_node_misses_the_disk_cache(self, tmp_path):
+        cache = DiskResultCache(tmp_path, fingerprint="fixed")
+        paths = {
+            chip: cache.path_for(config_key(SolarCoreConfig(chip_spec=chip)))
+            for chip in (
+                "alpha8", "biglittle", "alpha*8@45nm", "alpha*8@90nm:cons",
+            )
+        }
+        assert len(set(paths.values())) == len(paths)
+
+    def test_default_spec_keys_like_the_seed_config(self, tmp_path):
+        # chip_spec canonicalizes on construction, so every spelling of
+        # the default chip shares one cache entry with the plain config.
+        cache = DiskResultCache(tmp_path, fingerprint="fixed")
+        default = cache.path_for(config_key(SolarCoreConfig()))
+        named = cache.path_for(
+            config_key(SolarCoreConfig(chip_spec="alpha8"))
+        )
+        explicit = cache.path_for(config_key(
+            SolarCoreConfig(chip_spec=CHIP_PRESETS["alpha8"].explicit())
+        ))
+        assert default == named == explicit
+
+    def test_format_version_covers_the_chip_spec_field(self):
+        # The chip_spec field changed every config-key layout; the bump
+        # to v3 is what purges pre-spec caches.  Bump again if the key
+        # layout changes — do not lower this.
+        assert CACHE_FORMAT_VERSION >= 3
+
+    def test_pre_spec_cache_is_purged_loudly(self, tmp_path, caplog):
+        stale = tmp_path / "deadbeef.pkl"
+        stale.write_bytes(b"pre-spec entry")
+        (tmp_path / "CACHE_FORMAT").write_text("2\n")
+        with caplog.at_level(logging.WARNING, logger="repro.harness.parallel"):
+            DiskResultCache(tmp_path, fingerprint="fixed")
+        assert not stale.exists()
+        assert any(
+            "stale" in rec.getMessage() and "format 2" in rec.getMessage()
+            for rec in caplog.records
+        )
+        marker = (tmp_path / "CACHE_FORMAT").read_text().strip()
+        assert marker == str(CACHE_FORMAT_VERSION)

@@ -1,0 +1,165 @@
+"""Property-based invariants for arbitrary :class:`ChipSpec` chips.
+
+The energy-conservation suite pins the day engine on the paper's fixed
+``alpha8`` chip; this one re-proves the same physics for *generated*
+chips — random core mixes (registry types plus inline custom types with
+random DVFS ranges), random tech nodes under both scaling models — so no
+heterogeneous configuration can smuggle energy past the ledger or draw
+beyond its supply:
+
+* **spec laws** — ``parse(canonical())`` round-trips and the identity
+  tracks contents, for every generated spec;
+* **energy conservation** — solar in + utility in == load out under
+  MPPT, Fixed-Power, and Battery policies, with and without injected
+  fault schedules;
+* **budget containment** — on solar the chip never draws more than the
+  panel's MPP; under a fixed budget it never exceeds the cap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SolarCoreConfig
+from repro.core.simulation import (
+    battery_day_engine,
+    fixed_day_engine,
+    mppt_day_engine,
+)
+from repro.environment.locations import location_by_code
+from repro.multicore.chip import MultiCoreChip
+from repro.multicore.spec import CORE_TYPES, ChipSpec, CoreTypeSpec
+from repro.multicore.techscale import TECH_MODELS, TECH_NODES_NM
+from repro.workloads.mixes import mix
+
+#: Conservation is resolution-independent; coarse steps keep a
+#: generated-chip day cheap enough for many examples.
+STEP_MINUTES = 15.0
+
+TOL_WH = 1e-6
+
+mix_names = st.sampled_from(("H1", "L1", "HM2", "ML2"))
+sites = st.sampled_from(("AZ", "CO", "NC", "TN"))
+months = st.integers(min_value=1, max_value=12)
+
+#: Deterministic fault schedules spanning the three fault classes, plus
+#: the fault-free day.
+fault_specs = st.sampled_from((
+    None,
+    "sensor_dropout@540-660,seed=3",
+    "conv_eff@480-720:0.85,seed=5",
+    "pv_string@600-780:0.5,seed=7",
+))
+
+custom_types = st.builds(
+    lambda flo, fspan, vlo, vspan, n, ipc, epi, leak: CoreTypeSpec(
+        "cust",
+        freq_min_ghz=flo, freq_max_ghz=flo + fspan,
+        volt_min_v=vlo, volt_max_v=vlo + vspan, n_levels=n,
+        ipc_scale=ipc, epi_scale=epi, leakage_ref_w=leak,
+    ),
+    flo=st.floats(0.4, 1.5), fspan=st.floats(0.2, 2.0),
+    vlo=st.floats(0.7, 1.1), vspan=st.floats(0.05, 0.5),
+    n=st.integers(2, 8), ipc=st.floats(0.3, 2.0),
+    epi=st.floats(0.2, 2.0), leak=st.floats(0.0, 3.0),
+)
+
+
+@st.composite
+def chip_specs(draw) -> ChipSpec:
+    """Random mixes of registry types, optionally plus a custom type."""
+    names = draw(st.lists(
+        st.sampled_from(sorted(CORE_TYPES)), min_size=1, max_size=3,
+        unique=True,
+    ))
+    entries = [(CORE_TYPES[n], draw(st.integers(1, 4))) for n in names]
+    if draw(st.booleans()):
+        entries.append((draw(custom_types), draw(st.integers(1, 2))))
+    return ChipSpec(
+        mix=tuple(entries),
+        tech_nm=draw(st.sampled_from(TECH_NODES_NM)),
+        tech_model=draw(st.sampled_from(TECH_MODELS)),
+    )
+
+
+def config_for(spec: ChipSpec) -> SolarCoreConfig:
+    return SolarCoreConfig(
+        step_minutes=STEP_MINUTES, chip_spec=spec.canonical()
+    )
+
+
+def assert_conserved(engine, solar_wh: float, utility_wh: float) -> None:
+    ledger = engine.ledger
+    assert abs(ledger.residual_wh) <= TOL_WH
+    approx = lambda v: pytest.approx(v, abs=TOL_WH, rel=1e-9)  # noqa: E731
+    assert ledger.solar_wh == approx(solar_wh)
+    assert ledger.utility_wh == approx(utility_wh)
+    assert ledger.load_wh == approx(solar_wh + utility_wh)
+
+
+@given(spec=chip_specs())
+@settings(max_examples=20, deadline=None)
+def test_generated_specs_round_trip_and_keep_identity(spec):
+    assert ChipSpec.parse(spec.canonical()) == spec
+    assert ChipSpec.parse(spec.explicit()) == spec
+    assert ChipSpec.parse(spec.explicit()).identity() == spec.identity()
+    assert spec.n_cores == len(spec.expand())
+    assert spec.area_mm2() > 0.0
+
+
+@given(spec=chip_specs(), mix_name=mix_names, site=sites, month=months,
+       faults=fault_specs)
+@settings(max_examples=10, deadline=None)
+def test_mppt_conserves_energy_on_any_chip(
+    spec, mix_name, site, month, faults
+):
+    engine = mppt_day_engine(
+        mix_name, location_by_code(site), month, "MPPT&Opt",
+        config=config_for(spec), faults=faults,
+    )
+    day = engine.run()
+    assert_conserved(engine, day.solar_used_wh, day.utility_wh)
+    # Budget containment: on solar the chip lives off the panel alone.
+    on = day.on_solar
+    assert np.all(day.consumed_w[on] <= day.mpp_w[on] + 1e-9)
+
+
+@given(spec=chip_specs(), mix_name=mix_names, site=sites, month=months,
+       faults=fault_specs, headroom=st.sampled_from((1.1, 1.5, 2.5)))
+@settings(max_examples=10, deadline=None)
+def test_fixed_budget_is_conserved_and_contained_on_any_chip(
+    spec, mix_name, site, month, faults, headroom
+):
+    # A budget the chip can honour: above the no-gating floor across the
+    # day, scaled by the drawn headroom so allocation depth varies.
+    chip = MultiCoreChip(mix(mix_name), spec=spec, seed=0)
+    chip.set_all_min()
+    floor_w = max(chip.min_power_at(float(m)) for m in range(0, 1440, 120))
+    budget_w = headroom * floor_w
+    engine = fixed_day_engine(
+        mix_name, location_by_code(site), month, budget_w,
+        config=config_for(spec), faults=faults,
+    )
+    day = engine.run()
+    assert_conserved(engine, day.solar_used_wh, day.utility_wh)
+    assert np.all(day.consumed_w <= budget_w + 1e-9)
+
+
+@given(spec=chip_specs(), mix_name=mix_names, site=sites, month=months,
+       derating=st.sampled_from((0.7, 0.81, 0.92)))
+@settings(max_examples=10, deadline=None)
+def test_battery_spends_exactly_the_harvest_on_any_chip(
+    spec, mix_name, site, month, derating
+):
+    engine = battery_day_engine(
+        mix_name, location_by_code(site), month, derating,
+        config=config_for(spec),
+    )
+    day = engine.run()
+    policy = engine.policy
+    approx = pytest.approx(policy.harvested_wh, abs=TOL_WH, rel=1e-9)
+    assert policy.spent_wh == approx
+    assert day.harvested_wh == policy.harvested_wh

@@ -149,7 +149,7 @@ def test_per_solver_runners_are_isolated(harness_factory, gated_compute):
             # Different solver = different cache identity = two computes.
             assert gated_compute.calls == 2
             stats = await h.client.stats()
-            assert set(stats["runners"]) == {"exact", "table"}
+            assert set(stats["runners"]) == {"exact/alpha8", "table/alpha8"}
 
     run_async(main())
 
