@@ -18,13 +18,24 @@ The JSON record keeps the deterministic compute/error counts as hard
 with a different N still share this baseline), wall-clock and latency
 percentiles as warn-only ``timings_s``, and the N-dependent coalescing
 ratios in ``extra``.
+
+A second benchmark (``BENCH_service_durability``) measures the crash
+story end to end: a real ``repro serve`` subprocess is SIGKILLed with
+acknowledged jobs on the books, and the restarted server's journal
+replay time and recovered-job counts are recorded.  Losing an
+acknowledged job is a hard failure; replay time is a warn-only timing.
 """
 
 from __future__ import annotations
 
 import asyncio
 import os
+import re
+import signal
+import subprocess
+import sys
 import time
+from pathlib import Path
 
 from benchjson import write_bench_json
 from conftest import emit
@@ -179,3 +190,131 @@ def test_service_load(out_dir, tmp_path):
     assert report["warm_computes"] == 0, report
     assert report["failed"] == 0, report
     assert hit_rate == 1.0, report
+
+
+# ----------------------------------------------------------------------
+# Durability: SIGKILL a real server, measure journal recovery
+# ----------------------------------------------------------------------
+_SRC = Path(__file__).resolve().parents[1] / "src"
+
+#: Jobs acknowledged as done before the crash (one cell each).
+ACKED_SPECS = [
+    {"mix": "HM2", "site": "AZ", "month": month} for month in (3, 6, 9)
+]
+#: The job caught mid-flight by the kill (12 distinct cells).
+INFLIGHT_SPEC = {"tasks": [
+    {"mix": "HM2", "site": "AZ", "month": month, "seed": seed}
+    for month in (1, 7) for seed in range(6)
+]}
+
+
+def _spawn_serve(cwd, *extra) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        cwd=cwd, env=env,
+    )
+    lines = []
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            raise AssertionError(
+                f"server died during startup (exit {proc.poll()}):\n"
+                + "".join(lines)
+            )
+        lines.append(line)
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        if match:
+            return proc, int(match.group(1))
+
+
+def test_service_durability(out_dir, tmp_path):
+    flags = (
+        "--journal-dir", str(tmp_path / "journal"),
+        "--cache-dir", str(tmp_path / "cache"),
+    )
+    proc, port = _spawn_serve(tmp_path, *flags)
+    try:
+        async def load_then_catch_running():
+            client = ServiceClient("127.0.0.1", port)
+            acked = [
+                await client.submit(spec, wait=True) for spec in ACKED_SPECS
+            ]
+            assert all(doc["state"] == "done" for doc in acked), acked
+            inflight = await client.submit(INFLIGHT_SPEC)
+            while (await client.job(inflight["job_id"]))["state"] == "queued":
+                await asyncio.sleep(0.005)
+            return [doc["job_id"] for doc in acked], inflight["job_id"]
+
+        acked_ids, inflight_id = asyncio.run(
+            asyncio.wait_for(load_then_catch_running(), timeout=120)
+        )
+        os.kill(proc.pid, signal.SIGKILL)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.stdout.close()
+        proc.wait(timeout=30)
+
+    restart_t0 = time.perf_counter()
+    proc2, port2 = _spawn_serve(tmp_path, *flags)
+    try:
+        async def recover():
+            client = ServiceClient("127.0.0.1", port2)
+            jobs = {doc["job_id"]: doc for doc in await client.jobs()}
+            lost = sum(
+                1 for job_id in acked_ids
+                if jobs.get(job_id, {}).get("state") != "done"
+            )
+            if inflight_id not in jobs:
+                lost += 1
+            else:
+                final = await client.wait_terminal(inflight_id)
+                if final["state"] != "done":
+                    lost += 1
+            wall = time.perf_counter() - restart_t0
+            return lost, wall, await client.stats()
+
+        lost, recovery_wall_s, stats = asyncio.run(
+            asyncio.wait_for(recover(), timeout=120)
+        )
+    finally:
+        if proc2.poll() is None:
+            proc2.kill()
+        proc2.stdout.close()
+        proc2.wait(timeout=30)
+
+    recovery = stats["recovery"]
+    emit(out_dir, "service_durability", "\n".join([
+        f"acknowledged before SIGKILL: {len(acked_ids)} done + 1 in flight",
+        f"lost acknowledged jobs: {lost}",
+        f"journal replay: {recovery['jobs']} job(s) from "
+        f"{recovery['records']} record(s) in {recovery['replay_s'] * 1e3:.1f} ms",
+        f"recovered: {recovery['requeued']} requeued, "
+        f"{recovery['failed']} failed",
+        f"restart to all-terminal: {recovery_wall_s:.2f} s",
+    ]))
+    write_bench_json(
+        out_dir,
+        "service_durability",
+        # Durability is binary: any lost acknowledged job hard-fails.
+        metrics={
+            "lost_acknowledged_jobs": float(lost),
+            "recovery_failed_jobs": float(recovery["failed"]),
+            "journal_corrupt_lines": float(recovery["corrupt_lines"]),
+        },
+        timings_s={
+            "journal_replay": recovery["replay_s"],
+            "recovery_to_terminal": recovery_wall_s,
+        },
+        extra={
+            "jobs_replayed": recovery["jobs"],
+            "requeued": recovery["requeued"],
+            "journal_records": recovery["records"],
+            "acked_jobs": len(acked_ids),
+        },
+    )
+    assert lost == 0, (acked_ids, inflight_id, stats)
+    assert recovery["requeued"] == 1, stats

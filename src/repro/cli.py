@@ -617,6 +617,26 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="telemetry snapshot cadence on /ws/telemetry "
                             "(0 disables snapshots)")
+    serve.add_argument("--max-queue", type=int, default=0, metavar="N",
+                       help="bounded admission: reject submissions with 429 "
+                            "once N jobs are live (0 = unbounded)")
+    serve.add_argument("--journal-dir", default=None, metavar="DIR",
+                       help="crash-safe job journal: acknowledged jobs are "
+                            "fsynced here and replayed on restart")
+    serve.add_argument("--recover", choices=("retry", "fail"), default="retry",
+                       help="what replay does with jobs the dead process was "
+                            "running: re-enqueue them (retry, default) or "
+                            "fail them (fail)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="SIGTERM/SIGINT grace: wait this long for "
+                            "in-flight jobs before journaling them as "
+                            "interrupted (default: 10)")
+    serve.add_argument("--lease-stale", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="cross-process compute lease heartbeat timeout "
+                            "(with --cache-dir, N servers on one cache dir "
+                            "compute each key once; 0 disables leases)")
 
     return parser
 
@@ -640,6 +660,7 @@ def _cmd_rack(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from repro.service.app import SolarCoreService
 
@@ -653,22 +674,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         client_queue_size=args.queue_size,
         snapshot_interval_s=args.snapshot_interval,
         runs_dir=args.runs_dir if args.ledger else None,
+        max_queue=args.max_queue or None,
+        journal_dir=args.journal_dir,
+        recover=args.recover,
+        drain_timeout_s=args.drain_timeout,
+        lease_stale_s=args.lease_stale or None,
     )
 
     async def _serve() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-POSIX loop: Ctrl-C falls back to KeyboardInterrupt
         await service.start()
         print(f"solarcore service on http://{service.host}:{service.port}  "
               f"(POST /jobs, GET /stats, WS /ws/telemetry; Ctrl-C stops)",
               flush=True)
+        serve_task = asyncio.ensure_future(service.serve_forever())
+        stop_task = asyncio.ensure_future(stop.wait())
         try:
-            await service.serve_forever()
+            await asyncio.wait(
+                {serve_task, stop_task},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if stop.is_set():
+                print("\ndraining (waiting for in-flight jobs) ...", flush=True)
+                report = await service.drain()
+                print(f"drain: {report}", flush=True)
         finally:
+            for task in (serve_task, stop_task):
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
             await service.aclose()
 
     try:
         asyncio.run(_serve())
     except KeyboardInterrupt:
-        print("\nservice stopped")
+        pass
+    print("service stopped", flush=True)
     return 0
 
 

@@ -78,10 +78,21 @@ class AsyncRunner:
         return await loop.run_in_executor(self._pool, self.runner.run_task, task)
 
     # -- lifecycle -------------------------------------------------------
-    async def aclose(self) -> None:
-        """Stop accepting work and wait for in-flight computes to finish."""
+    async def aclose(self, *, cancel_pending: bool = False) -> None:
+        """Stop accepting work and wait for in-flight computes to finish.
+
+        ``cancel_pending=True`` additionally cancels queued-but-unstarted
+        executor futures (``shutdown(cancel_futures=True)``) — the drain
+        path uses this so a backlog of never-started computes does not
+        hold the process open past its drain deadline.  Threads already
+        inside a simulation still run to completion either way; a thread
+        cannot be safely preempted.
+        """
         loop = asyncio.get_running_loop()
-        await loop.run_in_executor(None, self._pool.shutdown)
+        await loop.run_in_executor(
+            None,
+            lambda: self._pool.shutdown(wait=True, cancel_futures=cancel_pending),
+        )
 
     def stats(self) -> dict[str, float]:
         """The wrapped runner's cache counters."""

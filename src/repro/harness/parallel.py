@@ -30,13 +30,16 @@ in parallel, or read back from disk — enforced by the golden tests in
 from __future__ import annotations
 
 import hashlib
+import json
 import logging
 import os
 import pickle
 import random
 import tempfile
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
 from dataclasses import dataclass, field, fields
 from functools import lru_cache
 from pathlib import Path
@@ -61,6 +64,7 @@ __all__ = [
     "TaskFailure",
     "SweepFailureReport",
     "DiskResultCache",
+    "CacheLease",
     "compute_task",
     "run_parallel",
     "run_serial",
@@ -311,6 +315,72 @@ def compute_task(
 # ----------------------------------------------------------------------
 # Persistent disk cache
 # ----------------------------------------------------------------------
+@dataclass
+class CacheLease:
+    """Ownership of one key's compute, held via an on-disk lease file.
+
+    The file's *mtime is the heartbeat*: :meth:`refresh` touches it, and
+    :meth:`DiskResultCache.try_lease` treats an mtime older than its
+    staleness bound as a dead owner.  The token written inside the file
+    is the identity check — every mutation verifies it first, so a lease
+    taken over by another process is never refreshed or released by the
+    original (now deposed) owner.
+    """
+
+    path: Path
+    token: str
+
+    def owned(self) -> bool:
+        """Does the lease file still carry our token?"""
+        try:
+            doc = json.loads(self.path.read_bytes())
+            return doc.get("token") == self.token
+        except (OSError, ValueError):
+            return False
+
+    def refresh(self) -> bool:
+        """Heartbeat: bump the lease mtime if we still own it."""
+        if not self.owned():
+            return False
+        try:
+            os.utime(self.path, None)
+        except OSError:
+            return False
+        return True
+
+    def release(self) -> None:
+        """Drop the lease if we still own it (idempotent, never raises)."""
+        if self.owned():
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    @contextmanager
+    def heartbeats(self, interval_s: float):
+        """Refresh the lease from a daemon thread while the body runs.
+
+        The thread stops on exit or the first failed refresh (a deposed
+        lease is unrecoverable; the compute still runs to completion —
+        the worst case is duplicated work on a deterministic result).
+        """
+        stop = threading.Event()
+
+        def beat() -> None:
+            while not stop.wait(interval_s):
+                if not self.refresh():
+                    return
+
+        thread = threading.Thread(
+            target=beat, name="cache-lease-heartbeat", daemon=True)
+        thread.start()
+        try:
+            yield self
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+
+
 class DiskResultCache:
     """Content-addressed on-disk cache of day-simulation results.
 
@@ -377,21 +447,26 @@ class DiskResultCache:
         ).hexdigest()
         return self.root / f"{digest}.pkl"
 
-    def load(self, key: tuple) -> DayResult | BatteryDayResult | None:
+    def load(self, key: tuple, *, count: bool = True) -> DayResult | BatteryDayResult | None:
         """The cached result for ``key``, or None.
 
         A corrupt, truncated, or mismatched entry is deleted with a
         warning and reported as a miss — silently returning garbage is
         the one failure mode a result cache must not have.
+
+        ``count=False`` suppresses the hit/miss bookkeeping; the lease
+        follower path polls ``load`` in a loop and would otherwise book
+        one logical lookup as dozens of misses.
         """
         path = self.path_for(key)
         tel = telemetry_hub.current()
         try:
             raw = path.read_bytes()
         except FileNotFoundError:
-            self.misses += 1
-            if tel.enabled:
-                tel.count("cache.disk_misses")
+            if count:
+                self.misses += 1
+                if tel.enabled:
+                    tel.count("cache.disk_misses")
             return None
         try:
             entry = pickle.loads(raw)
@@ -413,13 +488,15 @@ class DiskResultCache:
                 log.warning(
                     "could not delete corrupt cache entry %s: %s", path, unlink_exc
                 )
-            self.misses += 1
-            if tel.enabled:
-                tel.count("cache.disk_misses")
+            if count:
+                self.misses += 1
+                if tel.enabled:
+                    tel.count("cache.disk_misses")
             return None
-        self.hits += 1
-        if tel.enabled:
-            tel.count("cache.disk_hits")
+        if count:
+            self.hits += 1
+            if tel.enabled:
+                tel.count("cache.disk_hits")
         return result
 
     def store(self, key: tuple, result: DayResult | BatteryDayResult) -> Path:
@@ -454,6 +531,128 @@ class DiskResultCache:
         if tel.enabled:
             tel.count("cache.disk_stores")
         return path
+
+    # -- cross-process compute leases ----------------------------------
+    def lease_path_for(self, key: tuple) -> Path:
+        """The lease file guarding ``key``'s compute (beside the entry)."""
+        return self.path_for(key).with_suffix(".lease")
+
+    def lease_age_s(self, key: tuple) -> float | None:
+        """Seconds since the lease's last heartbeat, or None if no lease."""
+        try:
+            return max(0.0, time.time() - self.lease_path_for(key).stat().st_mtime)
+        except OSError:
+            return None
+
+    def try_lease(self, key: tuple, *, stale_after_s: float = 30.0) -> CacheLease | None:
+        """Try to become the one process computing ``key``.
+
+        Returns a :class:`CacheLease` on success, None when another live
+        process holds the lease (the caller should follow: poll
+        :meth:`load` until the result lands or the lease goes stale).
+
+        The protocol, in order of preference:
+
+        1. ``O_EXCL``-create the lease file — atomic on POSIX, so exactly
+           one of N racing processes wins a fresh election.
+        2. If it exists but its mtime (the heartbeat) is older than
+           ``stale_after_s``, take it over: atomically ``os.replace`` a
+           claim file onto it, then *read back* the token.  Replace is
+           last-writer-wins, so the read-back is what decides the
+           election — every taker but one sees a foreign token and loses.
+
+        Worst case under pathological timing (owner stalls longer than
+        ``stale_after_s`` then resumes) is two processes computing the
+        same deterministic entry and racing atomic stores of identical
+        bytes — duplicated work, never corruption.
+        """
+        path = self.lease_path_for(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        token = f"{os.getpid()}-{random.getrandbits(64):016x}"
+        payload = json.dumps(
+            {"pid": os.getpid(), "token": token, "created": time.time()}
+        ).encode()
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            try:
+                age = time.time() - path.stat().st_mtime
+            except OSError:
+                return None  # vanished: owner just released; caller re-polls
+            if age <= stale_after_s:
+                return None
+            log.warning(
+                "cache lease %s is stale (%.1fs > %.1fs); taking over",
+                path.name, age, stale_after_s,
+            )
+            claim_fd, claim = tempfile.mkstemp(dir=self.root, suffix=".lease-claim")
+            try:
+                with os.fdopen(claim_fd, "wb") as handle:
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(claim, path)
+            except BaseException:
+                try:
+                    os.unlink(claim)
+                except OSError:
+                    pass
+                raise
+            lease = CacheLease(path=path, token=token)
+            return lease if lease.owned() else None
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return CacheLease(path=path, token=token)
+
+    def load_or_compute(
+        self,
+        key: tuple,
+        compute,
+        *,
+        stale_after_s: float = 30.0,
+        heartbeat_s: float | None = None,
+        poll_s: float = 0.05,
+    ):
+        """Cross-process-deduplicated compute: ``(result, computed_by_us)``.
+
+        Exactly one process per cache directory computes ``key`` at a
+        time; everyone else waits on the lease and reads the stored
+        result.  A leader that dies mid-compute (``kill -9``) stops
+        heartbeating, its lease goes stale after ``stale_after_s``, and a
+        follower is re-elected — no key can wedge forever.
+
+        The caller is expected to have tried :meth:`load` already;
+        internal polling loads use ``count=False`` so one logical lookup
+        does not inflate the hit/miss counters.
+        """
+        if heartbeat_s is None:
+            heartbeat_s = max(stale_after_s / 3.0, 0.01)
+        while True:
+            lease = self.try_lease(key, stale_after_s=stale_after_s)
+            if lease is not None:
+                try:
+                    # A racer may have stored between our load miss and
+                    # our election — serve its result instead of recomputing.
+                    result = self.load(key, count=False)
+                    if result is not None:
+                        return result, False
+                    with lease.heartbeats(heartbeat_s):
+                        result = compute()
+                        self.store(key, result)
+                    return result, True
+                finally:
+                    lease.release()
+            # Follower: wait for the leader's store, re-elect if it dies.
+            while True:
+                result = self.load(key, count=False)
+                if result is not None:
+                    return result, False
+                age = self.lease_age_s(key)
+                if age is None or age > stale_after_s:
+                    break  # lease released or gone stale: re-elect
+                time.sleep(poll_s)
 
     def stats(self) -> dict[str, float]:
         """``hits`` / ``misses`` counters for this cache handle."""

@@ -76,6 +76,13 @@ class SimulationRunner:
         checkpoint: Optional
             :class:`~repro.harness.checkpoint.SweepCheckpoint` recording
             prefetch progress (call its ``load()`` first to resume).
+        lease_stale_s: When set (and a disk cache is attached), single-task
+            computes go through the cross-process lease protocol
+            (:meth:`~repro.harness.parallel.DiskResultCache.load_or_compute`):
+            N processes sharing one cache directory produce exactly one
+            compute per key, and a leader dead longer than this many
+            seconds is replaced.  None (default) keeps the lease-free
+            single-process behavior.
     """
 
     def __init__(
@@ -88,14 +95,20 @@ class SimulationRunner:
         task_timeout: float | None = None,
         salvage: bool = False,
         checkpoint=None,
+        lease_stale_s: float | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if lease_stale_s is not None and lease_stale_s <= 0:
+            raise ValueError(f"lease_stale_s must be > 0, got {lease_stale_s}")
         self.config = config or SolarCoreConfig()
         self.jobs = jobs
         self.disk = DiskResultCache(cache_dir) if cache_dir is not None else None
+        self.lease_stale_s = lease_stale_s
+        #: Computes this runner ceded to another process's lease.
+        self.lease_follows = 0
         self.retries = retries
         self.task_timeout = task_timeout
         self.salvage = salvage
@@ -152,6 +165,24 @@ class SimulationRunner:
             return result
         log.debug("cache miss: %s", task.describe())
         tel = telemetry_hub.current()
+        if self.disk is not None and self.lease_stale_s is not None:
+            # Cross-process dedup: exactly one process on this cache dir
+            # computes the key; everyone else waits and reads the store.
+            result, computed = self.disk.load_or_compute(
+                key,
+                lambda: compute_task(task, self.config),
+                stale_after_s=self.lease_stale_s,
+            )
+            result = _freeze(result)
+            if computed:
+                if tel.enabled:
+                    tel.count("runner.computes")
+            else:
+                self.lease_follows += 1
+                if tel.enabled:
+                    tel.count("runner.lease_follows")
+            self._store_of(task)[key] = result
+            return result
         if tel.enabled:
             tel.count("runner.computes")
         result = _freeze(compute_task(task, self.config))
@@ -358,6 +389,8 @@ class SimulationRunner:
         if self.disk is not None:
             stats["disk_hits"] = self.disk.hits
             stats["disk_misses"] = self.disk.misses
+        if self.lease_stale_s is not None:
+            stats["lease_follows"] = self.lease_follows
         return stats
 
 

@@ -5,9 +5,13 @@ changing the simulation stack:
 
 * :mod:`repro.service.jobs` — job specs (the :class:`SweepTask` config
   surface as JSON) and the strict queued → running → terminal state
-  machine, pure-sync so property tests can drive it;
+  machine (plus the durability states ``interrupted`` /
+  ``deadline_exceeded``), pure-sync so property tests can drive it;
+* :mod:`repro.service.journal` — the crash-safe append-only job journal
+  with atomic snapshot compaction (``--journal-dir``);
 * :mod:`repro.service.coalesce` — exactly-one in-flight compute per task
-  cache key, with orphaned computes running to completion;
+  cache key, with orphaned computes running to completion and follower
+  re-election when a leader dies;
 * :mod:`repro.service.stream` — bounded drop-oldest fan-out to
   subscribed clients;
 * :mod:`repro.service.wsproto` — the hand-rolled RFC 6455 subset
@@ -25,13 +29,20 @@ Start one with ``repro serve`` or programmatically::
                                   wait=True)
 """
 
-from repro.service.app import SolarCoreService, summarize_result
+from repro.service.app import (
+    ServiceDraining,
+    ServiceOverloaded,
+    SolarCoreService,
+    summarize_result,
+)
 from repro.service.client import ServiceClient, ServiceError, WSClient
 from repro.service.coalesce import Coalescer, InFlight
 from repro.service.jobs import (
     CANCELLED,
+    DEADLINE_EXCEEDED,
     DONE,
     FAILED,
+    INTERRUPTED,
     QUEUED,
     RUNNING,
     TERMINAL_STATES,
@@ -43,10 +54,13 @@ from repro.service.jobs import (
     JobTable,
     Subscription,
 )
+from repro.service.journal import JobJournal, JournalCorruption, ReplayReport
 from repro.service.stream import ClientStream, StreamHub
 
 __all__ = [
     "SolarCoreService",
+    "ServiceOverloaded",
+    "ServiceDraining",
     "summarize_result",
     "ServiceClient",
     "ServiceError",
@@ -58,6 +72,8 @@ __all__ = [
     "DONE",
     "FAILED",
     "CANCELLED",
+    "INTERRUPTED",
+    "DEADLINE_EXCEEDED",
     "TERMINAL_STATES",
     "VALID_TRANSITIONS",
     "InvalidTransition",
@@ -66,6 +82,9 @@ __all__ = [
     "JobSpecError",
     "JobTable",
     "Subscription",
+    "JobJournal",
+    "JournalCorruption",
+    "ReplayReport",
     "ClientStream",
     "StreamHub",
 ]

@@ -22,14 +22,33 @@ this possible; the service is strictly a concurrency shell:
   stalls the service;
 * **terminal states persist**: every finished/failed/cancelled job can
   record a PR 5 run-ledger manifest, so "what did the service run and
-  from which cache tier" outlives the process.
+  from which cache tier" outlives the process;
+* **acknowledged jobs survive ``kill -9``**: with ``journal_dir`` set,
+  every submission and state change is fsynced to an append-only journal
+  (:mod:`repro.service.journal`) *before* the response that reports it,
+  and a restarted server replays the journal — queued jobs re-enqueue,
+  jobs caught running are marked ``interrupted`` and retried (or failed,
+  per the ``recover`` policy);
+* **overload is a first-class answer**: a bounded queue (``max_queue``)
+  turns excess submissions into ``429`` + ``Retry-After`` with a
+  machine-readable envelope instead of unbounded memory growth, and a
+  per-job ``deadline_s`` lands over-budget work in the terminal
+  ``deadline_exceeded`` state with its compute truly cancelled;
+* **shutdown is graceful**: :meth:`SolarCoreService.drain` (wired to
+  SIGTERM/SIGINT by ``repro serve``) stops admission, fails readiness
+  (``/readyz``) while liveness (``/healthz``) stays green, waits up to
+  ``drain_timeout_s`` for in-flight jobs, journals the stragglers as
+  ``interrupted``, and closes WebSocket clients with a 1001 going-away
+  frame.
 
 HTTP API (JSON in/out)::
 
-    GET  /healthz                liveness
+    GET  /healthz                liveness (always "ok" while the loop runs)
+    GET  /readyz                 readiness (503 once draining)
     GET  /stats                  jobs, coalescing, cache, stream counters
     GET  /jobs                   every job's status
     POST /jobs                   submit a job spec; ?wait=1 blocks to terminal
+                                 (429 when the queue is full, 503 draining)
     GET  /jobs/<id>              one job's status
     POST /jobs/<id>/cancel       cancel (no-op if already terminal)
     GET  /ws/jobs/<id>           WebSocket: state changes until terminal
@@ -41,8 +60,11 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import math
+import struct
 import time
 import urllib.parse
+from collections import deque
 from dataclasses import fields as dataclass_fields
 
 from repro.core.config import SolarCoreConfig
@@ -52,8 +74,11 @@ from repro.service import wsproto
 from repro.service.coalesce import Coalescer
 from repro.service.jobs import (
     CANCELLED,
+    DEADLINE_EXCEEDED,
     DONE,
     FAILED,
+    INTERRUPTED,
+    QUEUED,
     RUNNING,
     TERMINAL_STATES,
     Job,
@@ -61,12 +86,18 @@ from repro.service.jobs import (
     JobSpecError,
     JobTable,
 )
+from repro.service.journal import JobJournal
 from repro.service.stream import ClientStream, StreamHub
 from repro.telemetry import hub as telemetry_hub
 from repro.telemetry.async_sink import AsyncBridgeSink
 from repro.telemetry.hub import Telemetry
 
-__all__ = ["SolarCoreService", "summarize_result"]
+__all__ = [
+    "SolarCoreService",
+    "ServiceOverloaded",
+    "ServiceDraining",
+    "summarize_result",
+]
 
 log = logging.getLogger(__name__)
 
@@ -115,6 +146,24 @@ class _HttpError(Exception):
         self.status = status
 
 
+class ServiceOverloaded(RuntimeError):
+    """The bounded job queue is full; try again after ``retry_after_s``."""
+
+    def __init__(self, live_jobs: int, max_queue: int,
+                 retry_after_s: float) -> None:
+        super().__init__(
+            f"job queue full ({live_jobs}/{max_queue} live jobs); "
+            f"retry in ~{retry_after_s:.0f}s"
+        )
+        self.live_jobs = live_jobs
+        self.max_queue = max_queue
+        self.retry_after_s = retry_after_s
+
+
+class ServiceDraining(RuntimeError):
+    """The server is shutting down and no longer admits work."""
+
+
 class SolarCoreService:
     """The long-running job server.
 
@@ -133,6 +182,24 @@ class SolarCoreService:
         runs_dir: Record a run-ledger manifest per terminal job under
             this directory (None disables the ledger).
         ws_max_size: Largest accepted WebSocket frame [bytes].
+        max_queue: Bounded admission: at most this many live (non-
+            terminal) jobs; excess submissions get a 429 with
+            ``Retry-After``.  None = unbounded (the pre-durability
+            behavior).
+        journal_dir: Crash-safe job journal directory (None disables
+            durability).  With it set, every acknowledged submission
+            survives ``kill -9`` and is recovered on restart.
+        recover: What happens to jobs found ``interrupted`` during
+            journal replay: ``"retry"`` re-enqueues them, ``"fail"``
+            fails them with an explanatory error.
+        drain_timeout_s: Default budget :meth:`drain` waits for in-flight
+            jobs before journaling them as ``interrupted``.
+        journal_fsync: Force every journal append to stable storage (the
+            acknowledgment guarantee).  Tests may disable for speed.
+        lease_stale_s: When set (with ``cache_dir``), runners use
+            cross-process compute leases: N server processes sharing the
+            cache directory produce exactly one compute per key, and a
+            leader silent for this many seconds is considered dead.
     """
 
     def __init__(
@@ -148,7 +215,17 @@ class SolarCoreService:
         snapshot_interval_s: float = 1.0,
         runs_dir=None,
         ws_max_size: int = 1 << 20,
+        max_queue: int | None = None,
+        journal_dir=None,
+        recover: str = "retry",
+        drain_timeout_s: float = 10.0,
+        journal_fsync: bool = True,
+        lease_stale_s: float | None = None,
     ) -> None:
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1 or None, got {max_queue}")
+        if recover not in ("retry", "fail"):
+            raise ValueError(f"recover must be 'retry' or 'fail', got {recover!r}")
         self.config = config or SolarCoreConfig()
         self.host = host
         self.port = port
@@ -157,18 +234,36 @@ class SolarCoreService:
         self.max_workers = max_workers
         self.snapshot_interval_s = snapshot_interval_s
         self.ws_max_size = ws_max_size
+        self.max_queue = max_queue
+        self.recover = recover
+        self.drain_timeout_s = drain_timeout_s
+        self.lease_stale_s = lease_stale_s if cache_dir is not None else None
         self.table = JobTable()
         self.coalescer = Coalescer()
         self.stream_hub = StreamHub(client_queue_size=client_queue_size)
+        self.journal: JobJournal | None = None
+        if journal_dir is not None:
+            self.journal = JobJournal(journal_dir, fsync=journal_fsync)
+        #: Replay/recovery report of the last :meth:`start` (None without
+        #: a journal).
+        self.recovery: dict | None = None
+        #: Report of the completed :meth:`drain` (None until drained).
+        self.drain_report: dict | None = None
+        #: Admission counters for /stats.
+        self.rejected_overload = 0
+        self.rejected_draining = 0
         self.ledger = None
         if runs_dir is not None:
             from repro.harness.runledger import RunLedger
 
             self.ledger = RunLedger(runs_dir)
+        self._draining = False
         self._bridges: dict[tuple[str, str], AsyncRunner] = {}
         self._job_tasks: dict[str, asyncio.Task] = {}
         self._job_done: dict[str, asyncio.Event] = {}
         self._job_started_s: dict[str, float] = {}
+        self._durations_s: deque[float] = deque(maxlen=32)
+        self._job_streams: set[ClientStream] = set()
         self._server: asyncio.AbstractServer | None = None
         self._snapshot_task: asyncio.Task | None = None
         self._sink: AsyncBridgeSink | None = None
@@ -179,7 +274,11 @@ class SolarCoreService:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind the server and arm the telemetry bridge."""
+        """Replay the journal, bind the server, arm the telemetry bridge.
+
+        Recovery runs strictly before the socket binds: no client can
+        observe (or submit into) a half-recovered table.
+        """
         loop = asyncio.get_running_loop()
         hub = telemetry_hub.current()
         if not hub.enabled:
@@ -191,6 +290,8 @@ class SolarCoreService:
             self._owns_hub = True
         self._sink = AsyncBridgeSink(loop, self._publish_event)
         hub.add_sink(self._sink)
+        if self.journal is not None:
+            self._recover()
         if self.snapshot_interval_s > 0:
             self._snapshot_task = loop.create_task(self._snapshot_loop())
         self._server = await asyncio.start_server(
@@ -198,6 +299,53 @@ class SolarCoreService:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         log.info("solarcore service listening on %s:%d", self.host, self.port)
+
+    def _recover(self) -> None:
+        """Replay the journal into the table and relaunch recoverable jobs."""
+        t0 = time.perf_counter()
+        report = self.journal.replay()
+        for job in report.jobs:
+            self.table.restore(job)
+        # Arm the observer only now: restores are already journaled, but
+        # every recovery *transition* below must hit the journal again.
+        self.table.observer = self._on_job_event
+        requeued = failed = 0
+        for job in report.jobs:
+            if job.state == RUNNING:
+                # The old process died holding this job.
+                self.table.transition(job, INTERRUPTED)
+            if job.state == INTERRUPTED:
+                if self.recover == "retry":
+                    self.table.transition(job, QUEUED)
+                else:
+                    failed += 1
+                    self.table.transition(
+                        job, FAILED,
+                        error="interrupted by server crash (recover=fail)",
+                    )
+            if job.state == QUEUED:
+                requeued += 1
+                self._launch(job)
+        self.recovery = {
+            "jobs": len(report.jobs),
+            "requeued": requeued,
+            "failed": failed,
+            "records": report.records,
+            "corrupt_lines": report.corrupt_lines,
+            "truncated_bytes": report.truncated_bytes,
+            "corrupt_snapshot": report.corrupt_snapshot,
+            "replay_s": time.perf_counter() - t0,
+        }
+        # Fold the replayed history into a fresh snapshot immediately, so
+        # repeated crash/restart cycles do not re-pay an ever-longer log.
+        self.journal.compact(self.table.jobs(), self.table.next_id)
+        if report.jobs:
+            log.info(
+                "journal recovery: %d job(s) replayed, %d requeued, "
+                "%d failed (%.3fs)",
+                len(report.jobs), requeued, failed,
+                self.recovery["replay_s"],
+            )
 
     async def aclose(self) -> None:
         """Stop accepting, cancel live jobs, release the telemetry hub."""
@@ -214,7 +362,9 @@ class SolarCoreService:
             self._snapshot_task = None
         for job_id, task in list(self._job_tasks.items()):
             job = self.table.get(job_id)
-            if job.state not in TERMINAL_STATES:
+            if job.state in (QUEUED, RUNNING):
+                # Drained (interrupted) jobs keep their state: the journal
+                # already promised they will be recovered, not cancelled.
                 self.table.cancel(job)
             task.cancel()
         if self._job_tasks:
@@ -222,8 +372,12 @@ class SolarCoreService:
                 *self._job_tasks.values(), return_exceptions=True
             )
         for bridge in self._bridges.values():
-            await bridge.aclose()
+            await bridge.aclose(cancel_pending=self._draining)
         self.stream_hub.close()
+        for stream in list(self._job_streams):
+            stream.close()
+        if self.journal is not None:
+            self.journal.close()
         hub = telemetry_hub.current()
         if self._sink is not None:
             self._sink.close()
@@ -273,22 +427,67 @@ class SolarCoreService:
             )
             bridge = AsyncRunner(
                 SimulationRunner(
-                    config, jobs=self.sweep_jobs, cache_dir=self.cache_dir
+                    config, jobs=self.sweep_jobs, cache_dir=self.cache_dir,
+                    lease_stale_s=self.lease_stale_s,
                 ),
                 max_workers=self.max_workers,
             )
             self._bridges[key] = bridge
         return bridge
 
+    def _on_job_event(self, event: str, job: Job) -> None:
+        """``JobTable`` observer: journal first, then maybe compact.
+
+        Called synchronously inside ``create``/``transition``, i.e.
+        strictly before the HTTP response that reports the change — this
+        ordering *is* the write-ahead acknowledgment guarantee.
+        """
+        try:
+            self.journal.observer(event, job)
+            self.journal.maybe_compact(self.table.jobs(), self.table.next_id)
+        except Exception:  # noqa: BLE001 — a sick disk must not wedge the table
+            log.exception("journal append failed for %s (%s)", job.job_id, event)
+
+    @property
+    def live_jobs(self) -> int:
+        """Jobs admitted but not yet terminal (the admission meter)."""
+        return len(self._job_tasks)
+
+    def _retry_after_s(self) -> float:
+        """Honest Retry-After estimate from recent job durations."""
+        if not self._durations_s:
+            return 1.0
+        mean = sum(self._durations_s) / len(self._durations_s)
+        # One queue slot frees roughly every mean/(worker) seconds.
+        return float(max(1, math.ceil(mean / max(1, self.max_workers))))
+
     def submit(self, spec: JobSpec) -> Job:
-        """Register and launch a job (event-loop only)."""
+        """Register and launch a job (event-loop only).
+
+        Raises:
+            ServiceDraining: The server no longer admits work.
+            ServiceOverloaded: ``max_queue`` live jobs already exist; the
+                exception carries an honest ``retry_after_s``.
+        """
+        if self._draining:
+            self.rejected_draining += 1
+            raise ServiceDraining("server is draining; submit elsewhere")
+        if self.max_queue is not None and self.live_jobs >= self.max_queue:
+            self.rejected_overload += 1
+            raise ServiceOverloaded(
+                self.live_jobs, self.max_queue, self._retry_after_s()
+            )
         job = self.table.create(spec)
+        self._launch(job)
+        return job
+
+    def _launch(self, job: Job) -> None:
+        """Start (or, after recovery, restart) a queued job's task."""
         self._job_done[job.job_id] = asyncio.Event()
         self._job_started_s[job.job_id] = time.perf_counter()
         self._job_tasks[job.job_id] = asyncio.get_running_loop().create_task(
             self._run_job(job)
         )
-        return job
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a job; True if this call cancelled it (event-loop only)."""
@@ -309,39 +508,30 @@ class SolarCoreService:
         return job
 
     async def _run_job(self, job: Job) -> None:
-        bridge = self._bridge(job.spec.solver, job.spec.chip)
-        acquired: list[tuple] = []  # (task, entry) not yet awaited
         try:
             self.table.transition(job, RUNNING)
-            results: dict = {}
-            for task in job.spec.tasks:
-                cached = bridge.peek_memory(task)
-                if cached is not None:
-                    # Cache-hit-first: answered inline, no executor hop.
-                    job.cache_hits += 1
-                    results[task] = cached
-                    continue
-                entry, attached = self.coalescer.acquire(
-                    bridge.cache_key(task),
-                    lambda task=task: bridge.run_task(task),
-                )
-                if attached:
-                    job.coalesced += 1
-                acquired.append((task, entry))
-            while acquired:
-                task, entry = acquired.pop(0)
-                # wait() releases the entry however the await ends.
-                results[task] = await self.coalescer.wait(entry)
-            summary = [
-                summarize_result(task, results[task])
-                for task in job.spec.tasks
-            ]
+            if job.spec.deadline_s is not None:
+                try:
+                    summary = await asyncio.wait_for(
+                        self._execute(job), job.spec.deadline_s
+                    )
+                except asyncio.TimeoutError:
+                    # wait_for cancelled _execute, which hard-released its
+                    # coalescer entries: unstarted computes never run.
+                    if job.state in (QUEUED, RUNNING):
+                        self.table.transition(
+                            job, DEADLINE_EXCEEDED,
+                            error=f"deadline of {job.spec.deadline_s}s exceeded",
+                        )
+                    return
+            else:
+                summary = await self._execute(job)
             self.table.transition(job, DONE, result=summary)
         except asyncio.CancelledError:
             # Normal path: self.cancel() already moved the job to
-            # cancelled before cancelling this task.  Shutdown path: the
-            # table transition happens in aclose() just before cancel.
-            if job.state not in TERMINAL_STATES:
+            # cancelled before cancelling this task.  Drain path: the job
+            # was journaled as interrupted and must keep that state.
+            if job.state in (QUEUED, RUNNING):
                 self.table.transition(job, CANCELLED)
             raise
         except Exception as exc:  # noqa: BLE001 — any failure fails the job
@@ -351,14 +541,114 @@ class SolarCoreService:
                     job, FAILED, error=f"{type(exc).__name__}: {exc}"
                 )
         finally:
-            for _task, entry in acquired:
-                self.coalescer.release(entry)
             self._finish_job(job)
+
+    async def _execute(self, job: Job) -> list[dict]:
+        """Run every task of ``job`` through the coalescer; returns summaries."""
+        bridge = self._bridge(job.spec.solver, job.spec.chip)
+        # Deadline jobs hard-release: their cancellation must truly stop
+        # queued work.  Ordinary cancellations keep the warm-the-cache
+        # orphan semantics.
+        hard = job.spec.deadline_s is not None
+        acquired: list[tuple] = []  # (task, entry, start) not yet awaited
+        try:
+            results: dict = {}
+            for task in job.spec.tasks:
+                cached = bridge.peek_memory(task)
+                if cached is not None:
+                    # Cache-hit-first: answered inline, no executor hop.
+                    job.cache_hits += 1
+                    results[task] = cached
+                    continue
+                start = lambda task=task: bridge.run_task(task)  # noqa: E731
+                entry, attached = self.coalescer.acquire(
+                    bridge.cache_key(task), start
+                )
+                if attached:
+                    job.coalesced += 1
+                acquired.append((task, entry, start))
+            while acquired:
+                task, entry, start = acquired.pop(0)
+                # wait() releases the entry however the await ends, and
+                # re-elects a new leader if the current one's task dies.
+                results[task] = await self.coalescer.wait(
+                    entry, start, hard=hard
+                )
+            return [
+                summarize_result(task, results[task])
+                for task in job.spec.tasks
+            ]
+        finally:
+            for _task, entry, _start in acquired:
+                self.coalescer.release(entry, hard=hard)
+
+    async def drain(self, timeout: float | None = None) -> dict:
+        """Graceful shutdown, phase one: stop admitting, settle in-flight.
+
+        * Readiness (``/readyz``) starts failing immediately; liveness
+          stays green so orchestrators do not kill a draining process.
+        * In-flight jobs get ``timeout`` (default ``drain_timeout_s``)
+          to finish.
+        * Stragglers are journaled as ``interrupted`` (so a successor
+          process recovers them) and their tasks cancelled; without a
+          journal they are plainly cancelled.
+        * Every WebSocket client is closed with 1001 (going away).
+
+        Idempotent; returns a report dict (also kept as
+        :attr:`drain_report`).  Call :meth:`aclose` afterwards.
+        """
+        if self.drain_report is not None:
+            return self.drain_report
+        self._draining = True
+        if timeout is None:
+            timeout = self.drain_timeout_s
+        t0 = time.perf_counter()
+        tasks = list(self._job_tasks.values())
+        if tasks:
+            done, pending = await asyncio.wait(tasks, timeout=timeout)
+        else:
+            done, pending = set(), set()
+        interrupted = cancelled = 0
+        if pending:
+            for job_id, task in list(self._job_tasks.items()):
+                if task.done():
+                    continue
+                job = self.table.get(job_id)
+                if self.journal is not None and job.state == RUNNING:
+                    # Journaled before the cancel below: the successor
+                    # process owes these jobs a retry.
+                    self.table.transition(job, INTERRUPTED)
+                    interrupted += 1
+                elif job.state in (QUEUED, RUNNING):
+                    cancelled += 1
+                task.cancel()
+            await asyncio.gather(
+                *[t for t in self._job_tasks.values()], return_exceptions=True
+            )
+        self.stream_hub.close(1001, b"server draining")
+        for stream in list(self._job_streams):
+            stream.close(1001, b"server draining")
+        if self.journal is not None:
+            try:
+                self.journal.compact(self.table.jobs(), self.table.next_id)
+            except Exception:  # noqa: BLE001
+                log.exception("journal compaction during drain failed")
+        self.drain_report = {
+            "drained": len(done),
+            "interrupted": interrupted,
+            "cancelled": cancelled,
+            "duration_s": time.perf_counter() - t0,
+            "timed_out": bool(pending),
+        }
+        log.info("drain complete: %s", self.drain_report)
+        return self.drain_report
 
     def _finish_job(self, job: Job) -> None:
         """Terminal bookkeeping: wake waiters, record the ledger manifest."""
         self._job_tasks.pop(job.job_id, None)
         started = self._job_started_s.pop(job.job_id, None)
+        if started is not None:
+            self._durations_s.append(time.perf_counter() - started)
         event = self._job_done.get(job.job_id)
         if event is not None:
             event.set()
@@ -433,11 +723,24 @@ class SolarCoreService:
             "transitions": dict(self.table.transitions),
             "coalesce": self.coalescer.stats(),
             "stream": self.stream_hub.stats(),
+            "admission": {
+                "live_jobs": self.live_jobs,
+                "max_queue": self.max_queue,
+                "draining": self._draining,
+                "rejected_overload": self.rejected_overload,
+                "rejected_draining": self.rejected_draining,
+            },
             "runners": {
                 f"{solver}/{chip}": bridge.stats()
                 for (solver, chip), bridge in sorted(self._bridges.items())
             },
         }
+        if self.journal is not None:
+            doc["journal"] = self.journal.stats()
+        if self.recovery is not None:
+            doc["recovery"] = self.recovery
+        if self.drain_report is not None:
+            doc["drain"] = self.drain_report
         hub = telemetry_hub.current()
         if hub.enabled:
             counters = hub.snapshot().get("counters", {})
@@ -522,13 +825,17 @@ class SolarCoreService:
 
     async def _respond_json(
         self, writer: asyncio.StreamWriter, status: int, doc: dict, *,
-        reason: str = "OK",
+        reason: str = "OK", headers: dict[str, str] | None = None,
     ) -> None:
         payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{extra}"
             "Connection: close\r\n\r\n"
         ).encode("latin-1")
         writer.write(head + payload)
@@ -546,7 +853,20 @@ class SolarCoreService:
     ) -> None:
         parts = [p for p in path.split("/") if p]
         if parts == ["healthz"] and method == "GET":
+            # Liveness: stays "ok" for the whole process lifetime (even
+            # while draining) — orchestrators must not kill a drainer.
             await self._respond_json(writer, 200, {"status": "ok"})
+        elif parts == ["readyz"] and method == "GET":
+            if self._draining:
+                await self._respond_json(
+                    writer, 503,
+                    {"status": "draining", "ready": False},
+                    reason="Service Unavailable",
+                )
+            else:
+                await self._respond_json(
+                    writer, 200, {"status": "ok", "ready": True}
+                )
         elif parts == ["stats"] and method == "GET":
             await self._respond_json(writer, 200, self.stats())
         elif parts == ["jobs"] and method == "GET":
@@ -594,7 +914,29 @@ class SolarCoreService:
             spec = JobSpec.from_dict(doc)
         except JobSpecError as exc:
             raise _HttpError(422, str(exc)) from None
-        job = self.submit(spec)
+        try:
+            job = self.submit(spec)
+        except ServiceOverloaded as exc:
+            await self._respond_json(
+                writer, 429,
+                {
+                    "error": str(exc),
+                    "code": "overloaded",
+                    "live_jobs": exc.live_jobs,
+                    "max_queue": exc.max_queue,
+                    "retry_after_s": exc.retry_after_s,
+                },
+                reason="Too Many Requests",
+                headers={"Retry-After": f"{exc.retry_after_s:.0f}"},
+            )
+            return
+        except ServiceDraining as exc:
+            await self._respond_json(
+                writer, 503,
+                {"error": str(exc), "code": "draining"},
+                reason="Service Unavailable",
+            )
+            return
         if query.get("wait") in ("1", "true", "yes"):
             await self.wait_terminal(job.job_id)
             await self._respond_json(writer, 200, job.status())
@@ -637,7 +979,12 @@ class SolarCoreService:
                     message.get("state") in TERMINAL_STATES
                 ):
                     break
-            writer.write(wsproto.encode_frame(wsproto.OP_CLOSE, b""))
+            payload = b""
+            if stream.close_code is not None:
+                # e.g. 1001 "going away" during drain, so clients know to
+                # reconnect elsewhere rather than retry here.
+                payload = struct.pack("!H", stream.close_code) + stream.close_reason
+            writer.write(wsproto.encode_frame(wsproto.OP_CLOSE, payload))
             await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
@@ -685,6 +1032,7 @@ class SolarCoreService:
         table's subscribe-after-terminal guarantee covers finished jobs.
         """
         stream = ClientStream(self.stream_hub.client_queue_size)
+        self._job_streams.add(stream)
         sub = self.table.subscribe(job.job_id)
         sub.listener = stream.push
         delivered_terminal = False
@@ -696,6 +1044,7 @@ class SolarCoreService:
 
         def cleanup() -> None:
             self.table.unsubscribe(sub)
+            self._job_streams.discard(stream)
             stream.close()
 
         return stream, cleanup

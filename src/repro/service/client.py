@@ -26,13 +26,25 @@ class ServiceError(RuntimeError):
     Attributes:
         status: The HTTP status code.
         body: The decoded JSON body (usually ``{"error": ...}``).
+        headers: Lower-cased response headers (e.g. ``retry-after`` on a
+            429 overload answer).
     """
 
-    def __init__(self, status: int, body) -> None:
+    def __init__(self, status: int, body, headers: dict | None = None) -> None:
         message = body.get("error") if isinstance(body, dict) else body
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.body = body
+        self.headers = headers or {}
+
+    @property
+    def retry_after_s(self) -> float | None:
+        """The parsed ``Retry-After`` header, if the server sent one."""
+        value = self.headers.get("retry-after")
+        try:
+            return float(value) if value is not None else None
+        except ValueError:
+            return None
 
 
 class ServiceClient:
@@ -68,7 +80,7 @@ class ServiceClient:
                 "Connection: close\r\n\r\n"
             ).encode("latin-1") + payload)
             await writer.drain()
-            status, doc = await _read_response(reader)
+            status, headers, doc = await _read_response(reader)
         finally:
             writer.close()
             try:
@@ -76,11 +88,15 @@ class ServiceClient:
             except ConnectionError:
                 pass
         if not 200 <= status < 300:
-            raise ServiceError(status, doc)
+            raise ServiceError(status, doc, headers)
         return doc
 
     async def healthz(self) -> dict:
         return await self.request("GET", "/healthz")
+
+    async def readyz(self) -> dict:
+        """Readiness; raises :class:`ServiceError` (503) while draining."""
+        return await self.request("GET", "/readyz")
 
     async def stats(self) -> dict:
         return await self.request("GET", "/stats")
@@ -159,6 +175,10 @@ class WSClient:
         self.reader = reader
         self.writer = writer
         self.closed = False
+        #: Close code from the server's close frame (e.g. 1001 on drain);
+        #: None for a codeless close or a dropped connection.
+        self.close_code: int | None = None
+        self.close_reason: str = ""
 
     async def recv(self) -> dict | None:
         """The next JSON message; None once the server closed.
@@ -175,6 +195,9 @@ class WSClient:
                 self.closed = True
                 return None
             if opcode == wsproto.OP_CLOSE:
+                if len(payload) >= 2:
+                    self.close_code = int.from_bytes(payload[:2], "big")
+                    self.close_reason = payload[2:].decode("utf-8", "replace")
                 await self.close()
                 return None
             if opcode == wsproto.OP_PING:
@@ -237,7 +260,9 @@ async def _read_headers(reader: asyncio.StreamReader) -> dict[str, str]:
         headers[name.strip().lower()] = value.strip()
 
 
-async def _read_response(reader: asyncio.StreamReader) -> tuple[int, dict]:
+async def _read_response(
+    reader: asyncio.StreamReader,
+) -> tuple[int, dict[str, str], dict]:
     status_line = (await reader.readline()).decode("latin-1")
     try:
         status = int(status_line.split(" ", 2)[1])
@@ -255,4 +280,4 @@ async def _read_response(reader: asyncio.StreamReader) -> tuple[int, dict]:
         doc = json.loads(body.decode("utf-8")) if body else {}
     except (UnicodeDecodeError, json.JSONDecodeError):
         doc = {"error": body.decode("utf-8", "replace")}
-    return status, doc
+    return status, headers, doc

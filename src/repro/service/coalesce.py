@@ -58,6 +58,10 @@ class Coalescer:
         self.coalesced = 0
         #: Entries whose every waiter detached before completion.
         self.orphans = 0
+        #: Waiters that survived a dead leader by starting a new compute.
+        self.reelected = 0
+        #: Entries whose compute was truly cancelled on last-waiter exit.
+        self.hard_cancels = 0
 
     def stats(self) -> dict[str, int]:
         """Loop-side counters for ``/stats`` and the load bench."""
@@ -65,6 +69,8 @@ class Coalescer:
             "computed": self.computed,
             "coalesced": self.coalesced,
             "orphans": self.orphans,
+            "reelected": self.reelected,
+            "hard_cancels": self.hard_cancels,
             "inflight": len(self._inflight),
         }
 
@@ -116,10 +122,26 @@ class Coalescer:
             if not entry.future.done():
                 entry.future.set_result(result)
 
-    def release(self, entry: InFlight) -> None:
-        """Detach one waiter (a cancelled or finished job)."""
+    def release(self, entry: InFlight, *, hard: bool = False) -> None:
+        """Detach one waiter (a cancelled or finished job).
+
+        ``hard=True`` changes what happens when the *last* waiter leaves
+        an unfinished compute: instead of orphaning it (run to
+        completion, warm the cache), the driving task is cancelled — if
+        the underlying work has not started yet (a queued executor
+        future) it never runs.  Deadline enforcement and drain use this;
+        plain job cancellation keeps the warm-the-cache default.
+        """
         entry.waiters -= 1
         if entry.waiters <= 0 and not entry.future.done() and not entry.orphaned:
+            if hard and entry.runner_task is not None:
+                entry.orphaned = True
+                self.hard_cancels += 1
+                entry.future.add_done_callback(_consume_exception)
+                entry.runner_task.cancel()
+                log.info("compute for %r hard-cancelled (last waiter left)",
+                         entry.key)
+                return
             entry.orphaned = True
             self.orphans += 1
             # Swallow the eventual result so "everyone cancelled" does not
@@ -131,12 +153,39 @@ class Coalescer:
                 "letting it finish to keep the cache warm", entry.key,
             )
 
-    async def wait(self, entry: InFlight):
-        """Await the shared result, detaching cleanly on cancellation."""
-        try:
-            return await asyncio.shield(entry.future)
-        finally:
-            self.release(entry)
+    async def wait(self, entry: InFlight, start=None, *, hard: bool = False):
+        """Await the shared result, detaching cleanly on cancellation.
+
+        Leader-death safety: if the shared future is *cancelled* — the
+        leader's driving task died without delivering a result — a
+        follower must not be collateral damage.  When ``start`` is
+        given, the follower re-elects: it re-acquires the key (becoming
+        the new leader, or attaching to whichever racer won) and keeps
+        waiting.  Without ``start`` the cancellation propagates.
+
+        A waiter whose *own* task is cancelled still detaches cleanly:
+        the shield keeps the shared future alive for everyone else.
+        ``hard`` is forwarded to :meth:`release` (see there).
+        """
+        while True:
+            try:
+                result = await asyncio.shield(entry.future)
+            except asyncio.CancelledError:
+                self.release(entry, hard=hard)
+                if entry.future.cancelled() and start is not None:
+                    # The leader died, not us: start (or join) a new compute.
+                    self.reelected += 1
+                    log.info("re-electing compute for %r after leader death",
+                             entry.key)
+                    entry, _ = self.acquire(entry.key, start)
+                    continue
+                raise
+            except BaseException:
+                self.release(entry, hard=hard)
+                raise
+            else:
+                self.release(entry, hard=hard)
+                return result
 
 
 def _consume_exception(future: asyncio.Future) -> None:

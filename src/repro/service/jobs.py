@@ -1,7 +1,8 @@
 """The service's job model: specs, a strict state machine, and a table.
 
 Everything in this module is *synchronous and loop-free* on purpose: the
-job lifecycle (``queued -> running -> done/failed/cancelled``) and its
+job lifecycle (``queued -> running -> done/failed/cancelled``, plus the
+durability states ``interrupted`` and ``deadline_exceeded``) and its
 notification guarantee are the most safety-critical part of the service,
 so they live in plain objects that a Hypothesis state machine can drive
 through arbitrary interleavings (``tests/service/test_property_lifecycle``)
@@ -23,7 +24,6 @@ from the event-loop thread only.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 from repro.harness.parallel import SweepTask, grid_tasks
@@ -35,6 +35,8 @@ __all__ = [
     "DONE",
     "FAILED",
     "CANCELLED",
+    "INTERRUPTED",
+    "DEADLINE_EXCEEDED",
     "JOB_STATES",
     "TERMINAL_STATES",
     "VALID_TRANSITIONS",
@@ -51,22 +53,38 @@ RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
+#: The job was running (or queued behind a drain) when its process went
+#: away — a crash, a SIGKILL, or a drain timeout.  Non-terminal: journal
+#: replay moves it to ``queued`` (retry) or ``failed`` per the server's
+#: ``--recover`` policy.
+INTERRUPTED = "interrupted"
+#: The job's ``deadline_s`` elapsed before it produced a result.
+DEADLINE_EXCEEDED = "deadline_exceeded"
 
-JOB_STATES = frozenset({QUEUED, RUNNING, DONE, FAILED, CANCELLED})
+JOB_STATES = frozenset({
+    QUEUED, RUNNING, DONE, FAILED, CANCELLED, INTERRUPTED,
+    DEADLINE_EXCEEDED,
+})
 
 #: States a job can never leave.
-TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED, DEADLINE_EXCEEDED})
 
 #: The complete transition relation.  Anything not listed here raises
 #: :class:`InvalidTransition` — there is no "forgiving" path that would
 #: let a terminal job silently resurrect or a queued job skip to done
-#: without having run.
+#: without having run.  ``interrupted`` is the one state that may go
+#: *back* to ``queued``: it exists precisely so a crashed or drained
+#: server can re-enqueue the work it was holding.
 VALID_TRANSITIONS: dict[str, frozenset[str]] = {
-    QUEUED: frozenset({RUNNING, CANCELLED, FAILED}),
-    RUNNING: frozenset({DONE, FAILED, CANCELLED}),
+    QUEUED: frozenset({RUNNING, CANCELLED, FAILED, DEADLINE_EXCEEDED}),
+    RUNNING: frozenset({
+        DONE, FAILED, CANCELLED, DEADLINE_EXCEEDED, INTERRUPTED,
+    }),
+    INTERRUPTED: frozenset({QUEUED, FAILED, CANCELLED}),
     DONE: frozenset(),
     FAILED: frozenset(),
     CANCELLED: frozenset(),
+    DEADLINE_EXCEEDED: frozenset(),
 }
 
 
@@ -150,6 +168,22 @@ def _parse_campaign(doc: dict) -> list[SweepTask]:
         raise JobSpecError(f"campaign: {exc}") from exc
 
 
+def _task_doc(task: SweepTask) -> dict:
+    """One :class:`SweepTask` -> the task document ``_parse_task`` accepts."""
+    doc: dict = {
+        "kind": task.kind,
+        "mix": task.mix_name,
+        "site": task.location_code,
+        "month": task.month,
+        "policy": task.policy,
+    }
+    for key in ("budget_w", "derating", "seed", "faults"):
+        value = getattr(task, key)
+        if value is not None:
+            doc[key] = value
+    return doc
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """A validated, immutable job description.
@@ -162,12 +196,16 @@ class JobSpec:
         chip: Canonical :class:`~repro.multicore.spec.ChipSpec` string —
             the chip every task in the job simulates.  Part of the job's
             cache identity: two jobs coalesce only when they agree on it.
+        deadline_s: Optional wall-clock budget for the whole job.  When it
+            elapses the service cancels the work and the job lands in the
+            terminal ``deadline_exceeded`` state.
     """
 
     tasks: tuple[SweepTask, ...]
     solver: str = "exact"
     label: str = ""
     chip: str = "alpha8"
+    deadline_s: float | None = None
 
     @classmethod
     def from_dict(cls, doc: dict) -> JobSpec:
@@ -202,6 +240,15 @@ class JobSpec:
             chip = ChipSpec.parse(chip).canonical()
         except ValueError as exc:
             raise JobSpecError(f"'chip': {exc}") from exc
+        deadline_s = doc.get("deadline_s")
+        if deadline_s is not None:
+            if (isinstance(deadline_s, bool)
+                    or not isinstance(deadline_s, (int, float))
+                    or deadline_s <= 0):
+                raise JobSpecError(
+                    f"'deadline_s' must be a positive number, got {deadline_s!r}"
+                )
+            deadline_s = float(deadline_s)
         shapes = [key for key in ("tasks", "campaign") if key in doc]
         if len(shapes) > 1:
             raise JobSpecError("give either 'tasks' or 'campaign', not both")
@@ -214,12 +261,30 @@ class JobSpec:
             tasks = _parse_campaign(doc["campaign"])
         else:
             task_doc = {k: v for k, v in doc.items()
-                        if k not in ("solver", "label", "chip")}
+                        if k not in ("solver", "label", "chip", "deadline_s")}
             tasks = [_parse_task(task_doc, "job")]
         return cls(
             tasks=tuple(dict.fromkeys(tasks)), solver=solver, label=label,
-            chip=chip,
+            chip=chip, deadline_s=deadline_s,
         )
+
+    def to_dict(self) -> dict:
+        """A JSON-safe document that :meth:`from_dict` round-trips exactly.
+
+        This is the journal's wire format for specs: a replayed server
+        re-parses it through the same validation path a client submission
+        takes, so a journal can never smuggle in a spec the API would
+        have rejected.
+        """
+        doc: dict = {
+            "tasks": [_task_doc(task) for task in self.tasks],
+            "solver": self.solver,
+            "label": self.label,
+            "chip": self.chip,
+        }
+        if self.deadline_s is not None:
+            doc["deadline_s"] = self.deadline_s
+        return doc
 
     def describe(self) -> str:
         """Short human-readable identity for logs and status payloads."""
@@ -263,6 +328,8 @@ class Job:
             "cache_hits": self.cache_hits,
             "coalesced": self.coalesced,
         }
+        if self.spec.deadline_s is not None:
+            doc["deadline_s"] = self.spec.deadline_s
         if self.error is not None:
             doc["error"] = self.error
         if self.result is not None:
@@ -270,7 +337,7 @@ class Job:
         return doc
 
 
-@dataclass
+@dataclass(eq=False)
 class Subscription:
     """A subscriber's private, ordered view of one job's state changes.
 
@@ -278,6 +345,10 @@ class Subscription:
     by the table; the consumer drains :attr:`pending` at its own pace.
     The asyncio layer additionally sets :attr:`listener` to push each
     notification into a bounded WebSocket stream the moment it happens.
+
+    ``eq=False`` is load-bearing: two drained subscriptions to the same
+    job are value-equal, and :meth:`JobTable.unsubscribe` must detach
+    *this* subscriber, not the first look-alike in the list.
     """
 
     job_id: str
@@ -296,22 +367,54 @@ class JobTable:
 
     Not thread-safe by design: the service mutates it from the event-loop
     thread only, and the property suite drives it single-threaded.
+
+    The optional ``observer`` is the journal hook: it is called
+    ``observer("submit", job)`` the moment a job is created and
+    ``observer("transition", job)`` after every state change is applied
+    but *before* subscribers are notified — so a record reaches durable
+    storage before any client can learn the state it describes.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, observer=None) -> None:
         self._jobs: dict[str, Job] = {}
         self._subs: dict[str, list[Subscription]] = {}
-        self._ids = itertools.count(1)
+        self._next_id = 1
+        #: Optional ``observer(event, job)`` hook (the journal).
+        self.observer = observer
         #: Transition counters by target state (service /stats section).
         self.transitions: dict[str, int] = dict.fromkeys(JOB_STATES, 0)
+
+    @property
+    def next_id(self) -> int:
+        """The integer suffix the next created job will use."""
+        return self._next_id
 
     # -- creation and lookup -------------------------------------------
     def create(self, spec: JobSpec) -> Job:
         """Register a new queued job."""
-        job = Job(job_id=f"job-{next(self._ids):06d}", spec=spec)
+        job = Job(job_id=f"job-{self._next_id:06d}", spec=spec)
+        self._next_id += 1
         self._jobs[job.job_id] = job
         self.transitions[QUEUED] += 1
+        if self.observer is not None:
+            self.observer("submit", job)
         return job
+
+    def restore(self, job: Job) -> None:
+        """Re-insert a job reconstructed from the journal.
+
+        No observer call (the journal already knows this job) and no
+        subscriber notification (nobody can have subscribed yet — this
+        runs before the server starts accepting connections).  The id
+        counter is bumped past the restored id so new submissions never
+        collide with replayed ones.
+        """
+        if job.job_id in self._jobs:
+            raise ValueError(f"duplicate restore of {job.job_id!r}")
+        self._jobs[job.job_id] = job
+        suffix = job.job_id.rsplit("-", 1)[-1]
+        if suffix.isdigit():
+            self._next_id = max(self._next_id, int(suffix) + 1)
 
     def get(self, job_id: str) -> Job:
         """The job, or raise ``KeyError`` with the known ids."""
@@ -355,6 +458,8 @@ class JobTable:
         if result is not None:
             job.result = result
         self.transitions[new_state] += 1
+        if self.observer is not None:
+            self.observer("transition", job)
         self._notify(job)
 
     def cancel(self, job: Job) -> bool:

@@ -37,6 +37,10 @@ class ClientStream:
         #: Messages ever offered to this client.
         self.offered = 0
         self.closed = False
+        #: WebSocket close code the server should send (None = default 1000).
+        self.close_code: int | None = None
+        #: Close reason bytes accompanying :attr:`close_code`.
+        self.close_reason: bytes = b""
 
     def push(self, message: dict) -> None:
         """Enqueue without blocking, evicting the oldest on overflow."""
@@ -47,8 +51,16 @@ class ClientStream:
         self._messages.append(message)
         self._wakeup.set()
 
-    def close(self) -> None:
-        """Wake any pending :meth:`get` with a ``None`` end-of-stream."""
+    def close(self, code: int | None = None, reason: bytes = b"") -> None:
+        """Wake any pending :meth:`get` with a ``None`` end-of-stream.
+
+        ``code``/``reason`` are recorded for the WebSocket layer to put
+        on the wire — a draining server closes with 1001 (going away) so
+        well-behaved clients reconnect elsewhere instead of retrying.
+        """
+        if code is not None and self.close_code is None:
+            self.close_code = code
+            self.close_reason = reason
         self.closed = True
         self._wakeup.set()
 
@@ -92,12 +104,13 @@ class StreamHub:
         self._clients.add(client)
         return client
 
-    def unsubscribe(self, client: ClientStream) -> None:
+    def unsubscribe(self, client: ClientStream, code: int | None = None,
+                    reason: bytes = b"") -> None:
         """Detach and close ``client`` (idempotent); keeps its drop count."""
         if client in self._clients:
             self._clients.remove(client)
             self.drops_total += client.drops
-        client.close()
+        client.close(code, reason)
 
     def publish(self, message: dict) -> None:
         """Offer ``message`` to every client.  Never blocks, never awaits."""
@@ -114,7 +127,7 @@ class StreamHub:
             "drops": self.drops_total + live_drops,
         }
 
-    def close(self) -> None:
-        """Close every client stream (server shutdown)."""
+    def close(self, code: int | None = None, reason: bytes = b"") -> None:
+        """Close every client stream (server shutdown or drain)."""
         for client in list(self._clients):
-            self.unsubscribe(client)
+            self.unsubscribe(client, code, reason)

@@ -15,6 +15,7 @@ ROADMAP's perf work needs.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -110,7 +111,20 @@ class SpanTracker:
         self.clock = clock
         self.records: list[SpanRecord] = []
         self.aggregates: dict[str, SpanAggregate] = {}
-        self._stack: list[Span] = []
+        # Nesting is a per-thread notion: the service runs day
+        # simulations on several compute threads against one shared
+        # tracker, and a shared stack would interleave their spans (and
+        # trip the corruption check below).  Aggregates stay shared,
+        # guarded by the lock.
+        self._local = threading.local()
+        self._agg_lock = threading.Lock()
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str, **attrs) -> Span:
         """A new (not yet entered) span under ``name``."""
@@ -127,37 +141,39 @@ class SpanTracker:
         return self._stack[-1] if self._stack else None
 
     def _finish(self, span: Span, duration_s: float) -> None:
-        popped = self._stack.pop()
+        stack = self._stack
+        popped = stack.pop()
         if popped is not span:  # defensive: exits must nest properly
             raise RuntimeError(
                 f"span stack corrupted: exiting {span.name!r} "
                 f"but innermost is {popped.name!r}"
             )
-        parent = self._stack[-1] if self._stack else None
+        parent = stack[-1] if stack else None
         if parent is not None:
             parent.add_child_time(duration_s)
 
-        agg = self.aggregates.get(span.name)
-        if agg is None:
-            agg = self.aggregates[span.name] = SpanAggregate(span.name)
-        agg.count += 1
-        agg.total_s += duration_s
-        agg.self_total_s += max(0.0, duration_s - span._child_s)
-        if duration_s < agg.min_s:
-            agg.min_s = duration_s
-        if duration_s > agg.max_s:
-            agg.max_s = duration_s
+        with self._agg_lock:
+            agg = self.aggregates.get(span.name)
+            if agg is None:
+                agg = self.aggregates[span.name] = SpanAggregate(span.name)
+            agg.count += 1
+            agg.total_s += duration_s
+            agg.self_total_s += max(0.0, duration_s - span._child_s)
+            if duration_s < agg.min_s:
+                agg.min_s = duration_s
+            if duration_s > agg.max_s:
+                agg.max_s = duration_s
 
-        if self.keep_records:
-            self.records.append(
-                SpanRecord(
-                    name=span.name,
-                    duration_s=duration_s,
-                    depth=len(self._stack),
-                    parent=parent.name if parent is not None else None,
-                    attrs=span.attrs,
+            if self.keep_records:
+                self.records.append(
+                    SpanRecord(
+                        name=span.name,
+                        duration_s=duration_s,
+                        depth=len(stack),
+                        parent=parent.name if parent is not None else None,
+                        attrs=span.attrs,
+                    )
                 )
-            )
 
     def merge(self, snapshot: dict[str, dict[str, float]]) -> None:
         """Fold another tracker's :meth:`snapshot` into this tracker.

@@ -11,6 +11,9 @@ comment.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
+import time
 from dataclasses import dataclass
 
 import pytest
@@ -130,3 +133,147 @@ def test_store_bytes_are_stable_for_identical_results(tmp_path):
     first = cache.path_for(KEY).read_bytes()
     cache.store(KEY, Payload(writer="same"))
     assert cache.path_for(KEY).read_bytes() == first
+
+
+# ----------------------------------------------------------------------
+# Cross-process compute leases
+# ----------------------------------------------------------------------
+def _lease_compute(root, name, barrier, errors, computes, compute_s):
+    """One 'server process' racing load_or_compute on the shared key."""
+    try:
+        cache = DiskResultCache(root, fingerprint="race-test")
+
+        def compute():
+            with computes.get_lock():
+                computes.value += 1
+            time.sleep(compute_s)
+            return Payload(writer=name)
+
+        barrier.wait(timeout=30)
+        result, _computed = cache.load_or_compute(
+            KEY, compute, stale_after_s=5.0, poll_s=0.01
+        )
+        if not isinstance(result, Payload):
+            errors.put(f"{name}: read garbage {result!r}")
+    except BaseException as exc:  # noqa: BLE001 — reported to the parent
+        errors.put(f"{name}: {type(exc).__name__}: {exc}")
+
+
+def test_lease_race_two_processes_compute_exactly_once(tmp_path):
+    DiskResultCache(tmp_path, fingerprint="race-test")
+    ctx = multiprocessing.get_context()
+    barrier = ctx.Barrier(2)
+    errors = ctx.Queue()
+    computes = ctx.Value("i", 0)
+    procs = [
+        ctx.Process(
+            target=_lease_compute,
+            args=(str(tmp_path), name, barrier, errors, computes, 0.3),
+        )
+        for name in ("alpha", "beta")
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0, f"racer died with exit code {p.exitcode}"
+    failures = []
+    while not errors.empty():
+        failures.append(errors.get())
+    assert not failures, failures
+    # The whole point: two processes, one compute.
+    assert computes.value == 1
+    # The winner released its lease and left no claim temp files.
+    cache = DiskResultCache(tmp_path, fingerprint="race-test")
+    assert not cache.lease_path_for(KEY).exists()
+    assert list(tmp_path.glob("*.lease-claim")) == []
+
+
+def _lease_and_hang(root, ready):
+    """Take the lease, signal the parent, then hang until SIGKILLed."""
+    cache = DiskResultCache(root, fingerprint="race-test")
+    lease = cache.try_lease(KEY, stale_after_s=30.0)
+    assert lease is not None
+    ready.set()
+    time.sleep(300)
+
+
+def test_stale_lease_takeover_after_sigkilled_owner(tmp_path):
+    DiskResultCache(tmp_path, fingerprint="race-test")
+    ctx = multiprocessing.get_context()
+    ready = ctx.Event()
+    owner = ctx.Process(target=_lease_and_hang, args=(str(tmp_path), ready))
+    owner.start()
+    try:
+        assert ready.wait(timeout=30), "owner never took the lease"
+        os.kill(owner.pid, signal.SIGKILL)
+        owner.join(timeout=30)
+
+        cache = DiskResultCache(tmp_path, fingerprint="race-test")
+        # While the corpse's lease is fresh, we are a follower.
+        assert cache.try_lease(KEY, stale_after_s=30.0) is None
+        # Once its heartbeat age passes the staleness bound, takeover.
+        time.sleep(0.6)
+        result, computed = cache.load_or_compute(
+            KEY, lambda: Payload(writer="successor"),
+            stale_after_s=0.5, poll_s=0.01,
+        )
+        assert computed is True
+        assert result.writer == "successor"
+        assert not cache.lease_path_for(KEY).exists()
+    finally:
+        if owner.is_alive():
+            owner.kill()
+            owner.join(timeout=10)
+
+
+def test_heartbeat_keeps_slow_compute_leased(tmp_path):
+    # A compute slower than the staleness bound must NOT lose its lease,
+    # because the heartbeat thread keeps touching the lease file.
+    cache = DiskResultCache(tmp_path, fingerprint="race-test")
+    other = DiskResultCache(tmp_path, fingerprint="race-test")
+    observed = []
+
+    def slow_compute():
+        # 1.2s of compute against a 0.6s staleness bound: without
+        # heartbeats the rival would see a stale lease and take over.
+        for _ in range(4):
+            time.sleep(0.3)
+            observed.append(other.try_lease(KEY, stale_after_s=0.6))
+        return Payload(writer="slow")
+
+    result, computed = cache.load_or_compute(
+        KEY, slow_compute, stale_after_s=0.6, heartbeat_s=0.1,
+    )
+    assert computed is True
+    assert result.writer == "slow"
+    # The rival never managed a takeover at any point during the compute.
+    assert observed == [None, None, None, None]
+
+
+def test_released_lease_is_immediately_reacquirable(tmp_path):
+    cache = DiskResultCache(tmp_path, fingerprint="race-test")
+    lease = cache.try_lease(KEY, stale_after_s=30.0)
+    assert lease is not None
+    lease.release()
+    second = cache.try_lease(KEY, stale_after_s=30.0)
+    assert second is not None
+    second.release()
+
+
+def test_deposed_lease_refuses_refresh_and_release(tmp_path):
+    cache = DiskResultCache(tmp_path, fingerprint="race-test")
+    original = cache.try_lease(KEY, stale_after_s=30.0)
+    assert original is not None
+    # Make the lease look dead, then let a rival take it over.
+    old = time.time() - 60.0
+    os.utime(cache.lease_path_for(KEY), (old, old))
+    usurper = cache.try_lease(KEY, stale_after_s=0.5)
+    assert usurper is not None
+    # The deposed owner can no longer refresh, and its release must not
+    # delete the usurper's lease out from under it.
+    assert original.refresh() is False
+    original.release()
+    assert cache.lease_path_for(KEY).exists()
+    assert usurper.refresh() is True
+    usurper.release()

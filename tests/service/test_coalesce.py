@@ -163,6 +163,65 @@ def test_fully_orphaned_compute_runs_to_completion():
     run_async(main())
 
 
+def test_follower_reelects_when_the_leader_dies():
+    # Regression: a follower attached to a compute whose driving task is
+    # cancelled (leader death) must not be collateral damage — given a
+    # start callable it re-elects and still produces a result.
+    async def main():
+        coalescer = Coalescer()
+        doomed, backup = Compute("never"), Compute("recovered")
+        entry, _ = coalescer.acquire(("k",), doomed)
+        follower = asyncio.create_task(coalescer.wait(entry, backup))
+        await asyncio.sleep(0)  # doomed's drive task starts
+        entry.runner_task.cancel()
+        await asyncio.sleep(0.01)  # re-election happens
+        backup.release.set()
+        assert await follower == "recovered"
+        stats = coalescer.stats()
+        assert stats["reelected"] == 1
+        assert stats["computed"] == 2
+        assert stats["inflight"] == 0
+
+    run_async(main())
+
+
+def test_leader_death_without_start_propagates_cancellation():
+    async def main():
+        coalescer = Coalescer()
+        doomed = Compute("never")
+        entry, _ = coalescer.acquire(("k",), doomed)
+        follower = asyncio.create_task(coalescer.wait(entry))
+        await asyncio.sleep(0)
+        entry.runner_task.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await follower
+        assert coalescer.stats()["reelected"] == 0
+
+    run_async(main())
+
+
+def test_hard_release_cancels_the_compute_instead_of_orphaning():
+    async def main():
+        coalescer = Coalescer()
+        compute = Compute()
+        entry, _ = coalescer.acquire(("k",), compute)
+        waiter = asyncio.create_task(coalescer.wait(entry, hard=True))
+        await asyncio.sleep(0)
+        waiter.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await waiter
+        await asyncio.sleep(0.01)
+        stats = coalescer.stats()
+        assert stats["hard_cancels"] == 1
+        assert stats["orphans"] == 0
+        assert stats["inflight"] == 0
+        # The compute was interrupted, not left running to completion.
+        assert not compute.release.is_set()
+        assert entry.future.cancelled()
+
+    run_async(main())
+
+
 def test_orphaned_failure_is_swallowed_not_unraised():
     async def main():
         coalescer = Coalescer()

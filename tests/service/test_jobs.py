@@ -171,6 +171,7 @@ def test_counts_and_transition_counters():
     table.cancel(c)
     assert table.counts() == {
         "queued": 0, "running": 1, "done": 1, "failed": 0, "cancelled": 1,
+        "interrupted": 0, "deadline_exceeded": 0,
     }
     assert table.transitions["queued"] == 3
     assert table.transitions["done"] == 1

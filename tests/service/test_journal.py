@@ -1,0 +1,200 @@
+"""The crash-safe job journal: round-trip, torn tails, compaction."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.parallel import SweepTask
+from repro.service.jobs import (
+    DONE,
+    INTERRUPTED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobSpec,
+    JobTable,
+)
+from repro.service.journal import JobJournal, JournalCorruption
+
+
+def spec(month: int = 7, deadline_s: float | None = None) -> JobSpec:
+    return JobSpec(
+        tasks=(SweepTask("mppt", "HM2", "PFCI", month),),
+        label="t", deadline_s=deadline_s,
+    )
+
+
+def test_spec_to_dict_round_trips_through_from_dict():
+    original = JobSpec.from_dict({
+        "tasks": [
+            {"mix": "HM2", "site": "AZ", "month": 7, "seed": 3},
+            {"kind": "fixed", "mix": "H1", "site": "TN", "month": 1,
+             "budget_w": 200.0},
+        ],
+        "solver": "table",
+        "label": "round trip",
+        "deadline_s": 5.0,
+    })
+    assert JobSpec.from_dict(original.to_dict()) == original
+
+
+def test_journal_replays_submits_and_transitions(tmp_path):
+    journal = JobJournal(tmp_path, fsync=False)
+    table = JobTable(observer=journal.observer)
+    a = table.create(spec(1))
+    b = table.create(spec(2))
+    table.transition(a, RUNNING)
+    table.transition(a, DONE)
+    table.transition(b, RUNNING)
+
+    report = JobJournal(tmp_path).replay()
+    by_id = {job.job_id: job for job in report.jobs}
+    assert by_id[a.job_id].state == DONE
+    assert by_id[b.job_id].state == RUNNING
+    assert by_id[b.job_id].spec == b.spec
+    assert report.next_id == 3
+    assert report.corrupt_lines == 0
+    assert report.truncated_bytes == 0
+
+
+def test_restore_bumps_id_counter_past_replayed_jobs(tmp_path):
+    journal = JobJournal(tmp_path, fsync=False)
+    table = JobTable(observer=journal.observer)
+    table.create(spec(1))
+    table.create(spec(2))
+
+    report = JobJournal(tmp_path).replay()
+    fresh = JobTable()
+    for job in report.jobs:
+        fresh.restore(job)
+    assert fresh.next_id == 3
+    assert fresh.create(spec(3)).job_id == "job-000003"
+
+
+def test_restore_rejects_duplicates(tmp_path):
+    table = JobTable()
+    job = Job(job_id="job-000004", spec=spec())
+    table.restore(job)
+    with pytest.raises(ValueError, match="duplicate"):
+        table.restore(job)
+
+
+def test_torn_tail_is_truncated_loudly(tmp_path):
+    journal = JobJournal(tmp_path, fsync=False)
+    table = JobTable(observer=journal.observer)
+    job = table.create(spec())
+    table.transition(job, RUNNING)
+    journal.close()
+    # Simulate a crash mid-append: a half-written record at the tail.
+    with open(journal.journal_path, "a", encoding="utf-8") as fh:
+        fh.write('{"op": "state", "job_id": "job-0000')
+    size_before = journal.journal_path.stat().st_size
+
+    with pytest.warns(JournalCorruption, match="torn tail"):
+        report = JobJournal(tmp_path).replay()
+    assert report.truncated_bytes > 0
+    assert journal.journal_path.stat().st_size < size_before
+    assert report.jobs[0].state == RUNNING  # acknowledged prefix survives
+
+    # A second replay is clean: truncation healed the file.
+    again = JobJournal(tmp_path).replay()
+    assert again.truncated_bytes == 0
+    assert again.corrupt_lines == 0
+
+
+def test_corrupt_middle_record_is_dropped_but_tail_kept(tmp_path):
+    journal = JobJournal(tmp_path, fsync=False)
+    table = JobTable(observer=journal.observer)
+    a = table.create(spec(1))
+    journal.append({"op": "state", "job_id": "job-999999", "state": DONE})
+    table.transition(a, RUNNING)
+
+    with pytest.warns(JournalCorruption, match="unusable record"):
+        report = JobJournal(tmp_path).replay()
+    assert report.corrupt_lines == 1
+    assert report.truncated_bytes == 0  # later good records keep the tail
+    assert report.jobs[0].state == RUNNING
+
+
+def test_compaction_is_atomic_and_replayable(tmp_path):
+    journal = JobJournal(tmp_path, fsync=False)
+    table = JobTable(observer=journal.observer)
+    a = table.create(spec(1))
+    table.transition(a, RUNNING)
+    table.transition(a, DONE)
+    b = table.create(spec(2))
+
+    journal.compact(table.jobs(), table.next_id)
+    assert journal.journal_path.stat().st_size == 0
+    assert journal.snapshot_path.exists()
+
+    # Post-compaction appends layer on top of the snapshot.
+    table.transition(b, RUNNING)
+    table.transition(b, INTERRUPTED)
+
+    report = JobJournal(tmp_path).replay()
+    by_id = {job.job_id: job for job in report.jobs}
+    assert by_id[a.job_id].state == DONE
+    assert by_id[b.job_id].state == INTERRUPTED
+    assert report.next_id == 3
+
+
+def test_maybe_compact_honors_threshold(tmp_path):
+    journal = JobJournal(tmp_path, fsync=False, compact_every=4)
+    table = JobTable(observer=journal.observer)
+    job = table.create(spec())          # 1 append
+    assert journal.maybe_compact(table.jobs(), table.next_id) is False
+    table.transition(job, RUNNING)      # 2
+    table.transition(job, DONE)         # 3
+    assert journal.maybe_compact(table.jobs(), table.next_id) is False
+    table.create(spec(2))               # 4
+    assert journal.maybe_compact(table.jobs(), table.next_id) is True
+    assert journal.compactions == 1
+    assert journal.journal_path.stat().st_size == 0
+
+
+def test_corrupt_snapshot_falls_back_to_journal(tmp_path):
+    journal = JobJournal(tmp_path, fsync=False)
+    table = JobTable(observer=journal.observer)
+    a = table.create(spec(1))
+    table.transition(a, RUNNING)
+    journal.snapshot_path.write_text("{not json", encoding="utf-8")
+
+    with pytest.warns(JournalCorruption, match="unusable snapshot"):
+        report = JobJournal(tmp_path).replay()
+    assert report.corrupt_snapshot is True
+    assert report.jobs[0].state == RUNNING
+
+
+def test_empty_directory_replays_to_nothing(tmp_path):
+    report = JobJournal(tmp_path / "fresh").replay()
+    assert report.jobs == []
+    assert report.next_id == 1
+
+
+def test_unknown_state_in_record_is_corruption(tmp_path):
+    journal = JobJournal(tmp_path, fsync=False)
+    table = JobTable(observer=journal.observer)
+    job = table.create(spec())
+    journal.append({"op": "state", "job_id": job.job_id, "state": "paused"})
+    with pytest.warns(JournalCorruption, match="unknown state"):
+        report = JobJournal(tmp_path).replay()
+    assert report.corrupt_lines == 1
+    assert report.jobs[0].state == QUEUED
+
+
+def test_journal_records_are_one_json_object_per_line(tmp_path):
+    journal = JobJournal(tmp_path, fsync=False)
+    table = JobTable(observer=journal.observer)
+    job = table.create(spec(deadline_s=2.5))
+    table.transition(job, RUNNING)
+    lines = journal.journal_path.read_text().splitlines()
+    assert len(lines) == 2
+    submit = json.loads(lines[0])
+    assert submit["op"] == "submit"
+    assert submit["spec"]["deadline_s"] == 2.5
+    assert json.loads(lines[1]) == {
+        "job_id": job.job_id, "op": "state", "state": RUNNING,
+    }

@@ -1,5 +1,7 @@
 """Unit tests for span timing, nesting, and aggregates (fake clock)."""
 
+import threading
+
 import pytest
 
 from repro.telemetry.spans import SpanTracker
@@ -99,6 +101,35 @@ class TestNesting:
         with tracker.span("outer"):
             pass
         assert tracker.records == []
+
+    def test_nesting_is_per_thread(self):
+        # Regression: the service runs day simulations on several compute
+        # threads against one shared tracker.  A shared stack interleaved
+        # their spans and raised "span stack corrupted"; each thread must
+        # see only its own nesting while aggregates stay shared.
+        tracker = SpanTracker()
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def worker():
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(200):
+                    with tracker.span("run_day"):
+                        with tracker.span("step"):
+                            pass
+            except BaseException as exc:  # noqa: BLE001 — reported below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert errors == []
+        assert tracker.aggregates["run_day"].count == 4 * 200
+        assert tracker.aggregates["step"].count == 4 * 200
+        assert tracker.depth == 0
 
     def test_mismatched_exit_raises(self, clock):
         tracker = SpanTracker(clock=clock)
